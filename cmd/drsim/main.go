@@ -1,0 +1,246 @@
+// Command drsim regenerates the paper's tables and figures from the
+// simulation (see DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	drsim -exp table1
+//	drsim -exp fig7 [-csv]          # freeway sweep (figs 7-10: fig8/fig9/fig10)
+//	drsim -exp fig3 -svg fig3.svg   # update trail, linear prediction
+//	drsim -exp fig6 -svg fig6.svg   # update trail, map-based
+//	drsim -exp headline
+//	drsim -exp ablate-prob|ablate-route|ablate-wolfson|ablate-um|ablate-nsight|ablate-pred
+//	drsim -exp history              # §2 history-based DR convergence
+//	drsim -exp disconnect           # Wolfson dtdr across a link outage
+//	drsim -exp bandwidth            # bytes/h vs naive 1 Hz reporting
+//
+// -scale 0.1 shrinks the scenarios for quick runs; the defaults reproduce
+// the paper's full trace lengths.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mapdr/internal/experiments"
+	"mapdr/internal/stats"
+	"mapdr/internal/viz"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "table1", "experiment id (table1, fig3, fig6, fig7-fig10, headline, ablate-*)")
+		seed  = flag.Int64("seed", 42, "deterministic scenario seed")
+		scale = flag.Float64("scale", 1.0, "scenario scale in (0,1]; 1 = paper scale")
+		csv   = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		svg   = flag.String("svg", "", "write an SVG rendering to this path (fig3/fig6)")
+	)
+	flag.Parse()
+	opts := experiments.Options{Seed: *seed, Scale: *scale}
+	if err := run(*exp, opts, *csv, *svg); err != nil {
+		fmt.Fprintln(os.Stderr, "drsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, opts experiments.Options, csv bool, svgPath string) error {
+	figKinds := map[string]experiments.Kind{
+		"fig7":  experiments.Freeway,
+		"fig8":  experiments.InterUrban,
+		"fig9":  experiments.City,
+		"fig10": experiments.Walking,
+	}
+	switch exp {
+	case "table1":
+		rows, err := experiments.RunTable1(opts)
+		if err != nil {
+			return err
+		}
+		return emit(experiments.Table1Table(rows), csv)
+
+	case "fig7", "fig8", "fig9", "fig10":
+		fr, err := experiments.RunFigure(figKinds[exp], opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# %s: %v — updates per hour, absolute and relative to distance-based\n", exp, fr.Kind)
+		if svgPath != "" {
+			if err := writeFigureChart(fr, exp, svgPath); err != nil {
+				return err
+			}
+			fmt.Println("wrote", svgPath)
+		}
+		return emit(fr.Table(), csv)
+
+	case "fig3", "fig6":
+		protocol := "linear-pred"
+		if exp == "fig6" {
+			protocol = "map-based"
+		}
+		trail, err := experiments.RunTrail(experiments.Freeway, opts, protocol, 600, 100)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# %s: %s on the first 10 min of the freeway trace at u_s=100 m: %d updates\n",
+			exp, protocol, trail.Count)
+		sc, err := experiments.Cached(experiments.Freeway, opts)
+		if err != nil {
+			return err
+		}
+		if svgPath != "" {
+			f, err := os.Create(svgPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			scene := viz.Scene{
+				Graph:   sc.Graph,
+				Truth:   trail.Truth,
+				Updates: trail.Updates,
+				Title:   fmt.Sprintf("%s: %s, %d updates", exp, protocol, trail.Count),
+			}
+			if err := scene.WriteSVG(f); err != nil {
+				return err
+			}
+			fmt.Println("wrote", svgPath)
+		} else {
+			fmt.Println(viz.RenderASCII(nil, trail.Truth, trail.Updates, 100, 30))
+		}
+		return nil
+
+	case "headline":
+		for _, kind := range experiments.Kinds() {
+			fr, err := experiments.RunFigure(kind, opts)
+			if err != nil {
+				return err
+			}
+			h := experiments.ComputeHeadline(fr)
+			fmt.Printf("%-18s linear-vs-distance %5.1f%%  map-vs-linear %5.1f%%  map-vs-distance %5.1f%%  ordering=%v\n",
+				fr.Kind, h.MaxLinearVsDistance, h.MaxMapVsLinear, h.MaxMapVsDistance, h.OrderingHoldsEverywhere)
+		}
+		return nil
+
+	case "ablate-prob":
+		ar, err := experiments.AblationTurnProb(opts)
+		if err != nil {
+			return err
+		}
+		return emit(ar.Table(), csv)
+	case "ablate-route":
+		ar, err := experiments.AblationKnownRoute(experiments.Freeway, opts)
+		if err != nil {
+			return err
+		}
+		return emit(ar.Table(), csv)
+	case "ablate-wolfson":
+		ar, err := experiments.AblationWolfson(opts)
+		if err != nil {
+			return err
+		}
+		if err := emit(ar.Table(), csv); err != nil {
+			return err
+		}
+		fmt.Println("# mean server error vs ground truth [m]:")
+		for _, name := range ar.Order {
+			fmt.Printf("#   %-5s %v\n", name, ar.SeriesErr[name])
+		}
+		fmt.Println("# combined Wolfson cost per hour (C_u per message + C_d per m*s):")
+		for _, name := range ar.Order {
+			fmt.Printf("#   %-5s %v\n", name, ar.SeriesCost[name])
+		}
+		return nil
+	case "ablate-um":
+		ar, err := experiments.AblationMatchRadius(opts)
+		if err != nil {
+			return err
+		}
+		return emit(ar.Table(), csv)
+	case "ablate-pred":
+		ar, err := experiments.AblationPredictors(opts)
+		if err != nil {
+			return err
+		}
+		return emit(ar.Table(), csv)
+	case "history":
+		hr, err := experiments.RunHistoryLearning(opts)
+		if err != nil {
+			return err
+		}
+		tb := stats.NewTable("trips", "learned-map [upd/h]", "cells")
+		for i, k := range hr.Trips {
+			tb.AddRow(k, hr.UpdatesPerH[i], hr.Coverage[i])
+		}
+		if err := emit(tb, csv); err != nil {
+			return err
+		}
+		fmt.Printf("# true-map map-based DR: %.1f upd/h; linear DR (no map): %.1f upd/h\n",
+			hr.TrueMap, hr.Linear)
+		return nil
+	case "bandwidth":
+		rows, err := experiments.RunBandwidth(opts)
+		if err != nil {
+			return err
+		}
+		tb := stats.NewTable("scenario", "protocol", "updates/h", "bytes/h", "% of naive 1 Hz")
+		for _, r := range rows {
+			tb.AddRow(r.Scenario, r.Protocol, r.UpdatesPerH, r.BytesPerH, r.PctOfNaive)
+		}
+		return emit(tb, csv)
+	case "disconnect":
+		dr, err := experiments.RunDisconnection(opts)
+		if err != nil {
+			return err
+		}
+		tb := stats.NewTable("policy", "updates", "mean err [m]", "max err [m]")
+		for i, p := range dr.Policies {
+			tb.AddRow(p, dr.Updates[i], dr.MeanErr[i], dr.MaxErr[i])
+		}
+		return emit(tb, csv)
+	case "ablate-nsight":
+		for _, kind := range experiments.Kinds() {
+			ar, err := experiments.AblationSightings(kind, opts)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("# %v\n", kind)
+			if err := emit(ar.Table(), csv); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+}
+
+// writeFigureChart renders the absolute updates-per-hour plot (the left
+// panel of the paper's Figs. 7-10) as an SVG line chart.
+func writeFigureChart(fr *experiments.FigureResult, exp, path string) error {
+	chart := viz.Chart{
+		Title:  fmt.Sprintf("%s: %v", exp, fr.Kind),
+		XLabel: "accuracy requested on sink, u_s [m]",
+		YLabel: "no. of updates/h",
+	}
+	for pi, name := range fr.Protocols {
+		s := viz.ChartSeries{Name: name}
+		for _, row := range fr.Rows {
+			s.X = append(s.X, row.US)
+			s.Y = append(s.Y, row.UpdatesPerH[pi])
+		}
+		chart.Series = append(chart.Series, s)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return chart.WriteSVG(f)
+}
+
+func emit(tb *stats.Table, csv bool) error {
+	if csv {
+		return tb.WriteCSV(os.Stdout)
+	}
+	_, err := tb.WriteTo(os.Stdout)
+	return err
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mapdr/internal/experiments"
+)
+
+var tinyOpts = experiments.Options{Seed: 42, Scale: 0.05}
+
+func TestRunAllExperimentIDs(t *testing.T) {
+	// Every experiment id must execute without error at tiny scale.
+	ids := []string{
+		"table1", "fig7", "fig8", "fig9", "fig10", "headline",
+		"ablate-prob", "ablate-route", "ablate-wolfson", "ablate-um",
+		"ablate-nsight", "ablate-pred", "history", "disconnect", "bandwidth",
+	}
+	for _, id := range ids {
+		if err := run(id, tinyOpts, false, ""); err != nil {
+			t.Errorf("exp %q: %v", id, err)
+		}
+	}
+}
+
+func TestRunCSVOutput(t *testing.T) {
+	if err := run("table1", tinyOpts, true, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFigSVG(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fig6.svg")
+	if err := run("fig6", tinyOpts, false, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<svg") || !strings.Contains(string(data), "<circle") {
+		t.Error("SVG output missing expected elements")
+	}
+}
+
+func TestRunFigureChartSVG(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fig7.svg")
+	if err := run("fig7", tinyOpts, false, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<polyline") {
+		t.Error("chart SVG missing series")
+	}
+}
+
+func TestRunFigASCII(t *testing.T) {
+	if err := run("fig3", tinyOpts, false, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("nope", tinyOpts, false, ""); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}

@@ -1,0 +1,76 @@
+// Command drviz renders a road network with a trace as SVG or ASCII.
+//
+// Usage:
+//
+//	drviz -map map.json -trace trace.csv -out scene.svg
+//	drviz -map map.json -trace trace.csv -ascii
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mapdr/internal/roadmap"
+	"mapdr/internal/trace"
+	"mapdr/internal/viz"
+)
+
+func main() {
+	var (
+		mapPath   = flag.String("map", "", "road network JSON")
+		tracePath = flag.String("trace", "", "trace CSV")
+		out       = flag.String("out", "", "SVG output path (default stdout)")
+		ascii     = flag.Bool("ascii", false, "render ASCII instead of SVG")
+		width     = flag.Int("width", 1200, "SVG width in pixels")
+	)
+	flag.Parse()
+	if err := run(*mapPath, *tracePath, *out, *ascii, *width); err != nil {
+		fmt.Fprintln(os.Stderr, "drviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(mapPath, tracePath, out string, ascii bool, width int) error {
+	var g *roadmap.Graph
+	if mapPath != "" {
+		f, err := os.Open(mapPath)
+		if err != nil {
+			return err
+		}
+		g, err = roadmap.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	var tr *trace.Trace
+	if tracePath != "" {
+		f, err := os.Open(tracePath)
+		if err != nil {
+			return err
+		}
+		tr, err = trace.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	if g == nil && tr == nil {
+		return fmt.Errorf("need -map and/or -trace")
+	}
+	if ascii {
+		fmt.Println(viz.RenderASCII(g, tr, nil, 120, 40))
+		return nil
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return viz.Scene{Graph: g, Truth: tr, WidthPx: width}.WriteSVG(w)
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mapdr/internal/geo"
+	"mapdr/internal/mapgen"
+	"mapdr/internal/roadmap"
+	"mapdr/internal/trace"
+)
+
+func writeFixtures(t *testing.T) (mapPath, tracePath string) {
+	t.Helper()
+	dir := t.TempDir()
+	cor, err := mapgen.FootpathWeb(mapgen.FootpathConfig{
+		Seed: 1, Rows: 6, Cols: 6, Spacing: 60, Jitter: 8, DiagProb: 0.2, DropProb: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapPath = filepath.Join(dir, "map.json")
+	mf, err := os.Create(mapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := roadmap.WriteJSON(mf, cor.Graph); err != nil {
+		t.Fatal(err)
+	}
+	mf.Close()
+
+	tr := &trace.Trace{}
+	for i := 0; i < 60; i++ {
+		tr.Samples = append(tr.Samples, trace.Sample{T: float64(i), Pos: geo.Pt(float64(i)*5, 30)})
+	}
+	tracePath = filepath.Join(dir, "trace.csv")
+	tf, err := os.Create(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteCSV(tf, tr); err != nil {
+		t.Fatal(err)
+	}
+	tf.Close()
+	return mapPath, tracePath
+}
+
+func TestRunSVG(t *testing.T) {
+	mapPath, tracePath := writeFixtures(t)
+	out := filepath.Join(t.TempDir(), "scene.svg")
+	if err := run(mapPath, tracePath, out, false, 800); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<svg") || !strings.Contains(string(data), "<polyline") {
+		t.Error("SVG missing elements")
+	}
+}
+
+func TestRunASCII(t *testing.T) {
+	mapPath, tracePath := writeFixtures(t)
+	if err := run(mapPath, tracePath, "", true, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Trace only.
+	if err := run("", tracePath, "", true, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", "", false, 800); err == nil {
+		t.Error("no inputs should fail")
+	}
+	if err := run("/nonexistent/map.json", "", "", false, 800); err == nil {
+		t.Error("missing map file should fail")
+	}
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestBuildServiceAndQuery(t *testing.T) {
+	svc, err := buildService(2, 1, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.Len() != 2 {
+		t.Fatalf("objects = %d", svc.Len())
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/objects")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ids []string
+	if err := json.NewDecoder(resp.Body).Decode(&ids); err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != "car-00" {
+		t.Errorf("ids = %v", ids)
+	}
+
+	resp2, err := http.Get(ts.URL + "/position?id=car-00&t=60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("position status = %d", resp2.StatusCode)
+	}
+}

@@ -1,0 +1,96 @@
+// Command tracegen loads a road network, simulates movement over it and
+// writes the resulting GPS trace as CSV or NMEA.
+//
+// Usage:
+//
+//	tracegen -map map.json -mode drive -length 20000 -out trace.csv
+//	tracegen -map map.json -mode walk -nmea -out trace.nmea
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mapdr/internal/geo"
+	"mapdr/internal/roadmap"
+	"mapdr/internal/trace"
+	"mapdr/internal/tracegen"
+)
+
+func main() {
+	var (
+		mapPath = flag.String("map", "", "road network JSON (from mapgen)")
+		mode    = flag.String("mode", "drive", "movement mode: drive, citydrive, walk")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		length  = flag.Float64("length", 10000, "route length in metres")
+		start   = flag.Int("start", 0, "start node id")
+		noise   = flag.Float64("noise", 0, "add Gauss-Markov sensor noise with this sigma (m)")
+		nmea    = flag.Bool("nmea", false, "write NMEA $GPRMC instead of CSV")
+		out     = flag.String("out", "", "output path (default stdout)")
+	)
+	flag.Parse()
+	if err := run(*mapPath, *mode, *seed, *length, *start, *noise, *nmea, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(mapPath, mode string, seed int64, length float64, start int, noise float64, nmea bool, out string) error {
+	if mapPath == "" {
+		return fmt.Errorf("need -map (generate one with mapgen)")
+	}
+	f, err := os.Open(mapPath)
+	if err != nil {
+		return err
+	}
+	g, err := roadmap.ReadJSON(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if start < 0 || start >= g.NumNodes() {
+		return fmt.Errorf("start node %d out of range [0, %d)", start, g.NumNodes())
+	}
+	route, err := tracegen.Wander(g, seed, roadmap.NodeID(start), length, tracegen.DefaultWanderPolicy())
+	if err != nil {
+		return err
+	}
+	var params tracegen.Params
+	switch mode {
+	case "drive":
+		params = tracegen.CarParams()
+	case "citydrive":
+		params = tracegen.CityCarParams()
+	case "walk":
+		params = tracegen.PedestrianParams()
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	res, err := tracegen.DriveRoute(g, route, params, seed+1)
+	if err != nil {
+		return err
+	}
+	tr := res.Trace
+	if noise > 0 {
+		tr = trace.ApplyNoise(tr, trace.NewGaussMarkov(seed+2, noise, 30))
+	}
+	st := tr.ComputeStats()
+	fmt.Fprintf(os.Stderr, "trace: %.1f km, %.2f h, avg %.1f km/h, max %.1f km/h, %d samples\n",
+		st.LengthKm, st.DurationH, st.AvgSpeedKmh, st.MaxSpeedKmh, tr.Len())
+
+	w := os.Stdout
+	if out != "" {
+		fo, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer fo.Close()
+		w = fo
+	}
+	if nmea {
+		proj := geo.NewProjection(geo.LatLon{Lat: 48.7758, Lon: 9.1829})
+		return trace.WriteNMEA(w, tr, proj)
+	}
+	return trace.WriteCSV(w, tr)
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mapdr/internal/mapgen"
+	"mapdr/internal/roadmap"
+	"mapdr/internal/trace"
+)
+
+func writeTestMap(t *testing.T) string {
+	t.Helper()
+	cor, err := mapgen.CityGrid(mapgen.CityConfig{
+		Seed: 1, Rows: 8, Cols: 8, Spacing: 200, Jitter: 10,
+		SignalProb: 0.3, DropProb: 0.05, AvenueEach: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "map.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := roadmap.WriteJSON(f, cor.Graph); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunDriveCSV(t *testing.T) {
+	mapPath := writeTestMap(t)
+	out := filepath.Join(t.TempDir(), "trace.csv")
+	if err := run(mapPath, "drive", 1, 3000, 0, 3, false, out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() < 50 {
+		t.Errorf("trace has only %d samples", tr.Len())
+	}
+	if tr.PathLength() < 2500 {
+		t.Errorf("trace covers only %.0f m", tr.PathLength())
+	}
+}
+
+func TestRunWalkNMEA(t *testing.T) {
+	mapPath := writeTestMap(t)
+	out := filepath.Join(t.TempDir(), "trace.nmea")
+	if err := run(mapPath, "walk", 2, 500, 0, 0, true, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "$GPRMC,") {
+		t.Errorf("NMEA output starts with %q", string(data[:20]))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "drive", 1, 100, 0, 0, false, ""); err == nil {
+		t.Error("missing map should fail")
+	}
+	mapPath := writeTestMap(t)
+	if err := run(mapPath, "teleport", 1, 100, 0, 0, false, ""); err == nil {
+		t.Error("unknown mode should fail")
+	}
+	if err := run(mapPath, "drive", 1, 100, 10_000, 0, false, ""); err == nil {
+		t.Error("out-of-range start node should fail")
+	}
+}

@@ -1,0 +1,92 @@
+package mapdr_test
+
+import (
+	"fmt"
+
+	"mapdr"
+)
+
+// Example shows the core protocol loop: a source decides when to send
+// updates, a server replica answers position queries in between.
+func Example() {
+	// A straight 2 km road.
+	b := mapdr.NewMapBuilder()
+	n0 := b.AddNode(mapdr.Pt(0, 0))
+	n1 := b.AddNode(mapdr.Pt(2000, 0))
+	b.AddLink(mapdr.LinkSpec{From: n0, To: n1})
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+
+	cfg := mapdr.SourceConfig{US: 100, UP: 5, Sightings: 2}
+	src, err := mapdr.NewMapSource(cfg, mapdr.NewMapPredictor(g))
+	if err != nil {
+		panic(err)
+	}
+	srv := mapdr.NewServer(mapdr.NewMapPredictor(g))
+
+	// Drive at a constant 20 m/s: after the initial update the shared
+	// prediction is perfect, so no further messages are needed.
+	updates := 0
+	for i := 0; i <= 90; i++ {
+		s := mapdr.Sample{T: float64(i), Pos: mapdr.Pt(20*float64(i), 0)}
+		if u, ok := src.OnSample(s); ok {
+			srv.Apply(u)
+			updates++
+		}
+	}
+	pos, _ := srv.Position(90)
+	fmt.Printf("updates sent: %d\n", updates)
+	fmt.Printf("server view at t=90: %v\n", pos)
+	// Output:
+	// updates sent: 1
+	// server view at t=90: (1800.00, 0.00)
+}
+
+// ExampleLocationService shows nearest-object queries over the location
+// service.
+func ExampleLocationService() {
+	ls := mapdr.NewLocationService()
+	for _, id := range []mapdr.ObjectID{"taxi-a", "taxi-b"} {
+		if err := ls.Register(id, mapdr.LinearPredictor{}); err != nil {
+			panic(err)
+		}
+	}
+	// taxi-a heads east at 15 m/s from the origin; taxi-b parks at x=600.
+	_ = ls.Apply("taxi-a", mapdr.Update{Report: mapdr.Report{Seq: 1, T: 0, Pos: mapdr.Pt(0, 0), V: 15}})
+	_ = ls.Apply("taxi-b", mapdr.Update{Report: mapdr.Report{Seq: 1, T: 0, Pos: mapdr.Pt(600, 0)}})
+
+	for _, t := range []float64{0, 60} {
+		hits := ls.Nearest(mapdr.Pt(1000, 0), 1, t)
+		fmt.Printf("t=%.0f nearest: %s\n", t, hits[0].ID)
+	}
+	// Output:
+	// t=0 nearest: taxi-b
+	// t=60 nearest: taxi-a
+}
+
+// ExampleMapLearner shows history-based map learning: repeated trips
+// become a road map usable by the map-based protocol.
+func ExampleMapLearner() {
+	learner := mapdr.NewMapLearner(mapdr.MapLearnerConfig{CellSize: 25, MinVisits: 2})
+	for trip := 0; trip < 3; trip++ {
+		tr := &mapdr.Trace{}
+		for i := 0; i <= 100; i++ {
+			tr.Samples = append(tr.Samples, mapdr.Sample{
+				T: float64(i), Pos: mapdr.Pt(10*float64(i), 0),
+			})
+		}
+		learner.AddTrace(tr)
+	}
+	learned, err := learner.Build()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("learned a connected map: %v\n", learned.Graph.Connectivity() == 1)
+	fmt.Printf("length within 10%% of 1 km: %v\n",
+		learned.Graph.TotalLength() > 900 && learned.Graph.TotalLength() < 1100)
+	// Output:
+	// learned a connected map: true
+	// length within 10% of 1 km: true
+}

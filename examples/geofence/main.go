@@ -1,0 +1,127 @@
+// Geofence: the paper's "address all users that are currently inside a
+// department of a store" scenario (§1). Pedestrians walk a path network;
+// their devices report through map-based dead reckoning, and the location
+// service answers range queries over a geofenced rectangle in real time.
+//
+// The example measures geofence answer quality against ground truth and
+// shows the accuracy/traffic trade-off of the protocol bound u_s.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mapdr"
+)
+
+const walkers = 6
+
+type walker struct {
+	id      mapdr.ObjectID
+	truth   *mapdr.Trace
+	updates []mapdr.Update
+	next    int
+}
+
+func main() {
+	park, err := mapdr.GenerateFootpaths(mapdr.DefaultFootpathConfig(11))
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := park.Graph
+	bounds := g.Bounds()
+	// The geofence: a "department" covering the centre ninth of the park.
+	fence := mapdr.Rect{
+		Min: mapdr.Pt(bounds.Min.X+bounds.Width()/3, bounds.Min.Y+bounds.Height()/3),
+		Max: mapdr.Pt(bounds.Max.X-bounds.Width()/3, bounds.Max.Y-bounds.Height()/3),
+	}
+	fmt.Printf("geofence: %v\n", fence)
+
+	for _, us := range []float64{20, 100} {
+		svc := mapdr.NewLocationService()
+		var all []*walker
+		var updates, samples int
+		var duration float64
+
+		for i := 0; i < walkers; i++ {
+			w := &walker{id: mapdr.ObjectID(fmt.Sprintf("visitor-%d", i))}
+			if err := svc.Register(w.id, mapdr.NewMapPredictor(g)); err != nil {
+				log.Fatal(err)
+			}
+			start := mapdr.NodeID((i * 97) % g.NumNodes())
+			route, err := mapdr.Wander(g, int64(i+40), start, 2500, mapdr.DefaultWanderPolicy())
+			if err != nil {
+				log.Fatal(err)
+			}
+			walk, err := mapdr.DriveRoute(g, route, mapdr.PedestrianParams(), int64(i+50))
+			if err != nil {
+				log.Fatal(err)
+			}
+			w.truth = walk.Trace
+			sensor := mapdr.ApplyNoise(walk.Trace, mapdr.NewGaussMarkovNoise(int64(i+60), 3, 30))
+			src, err := mapdr.NewMapSource(mapdr.SourceConfig{US: us, UP: 5, Sightings: 8}, mapdr.NewMapPredictor(g))
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, s := range sensor.Samples {
+				if u, ok := src.OnSample(s); ok {
+					w.updates = append(w.updates, u)
+				}
+			}
+			updates += len(w.updates)
+			samples += sensor.Len()
+			if d := walk.Trace.Duration(); d > duration {
+				duration = d
+			}
+			all = append(all, w)
+		}
+
+		// Replay in real time, checking the geofence answer every 30 s.
+		var truthIn, reportedIn, agree, checked int
+		truthAt := func(w *walker, t float64) (mapdr.Point, bool) {
+			for _, s := range w.truth.Samples {
+				if s.T >= t {
+					return s.Pos, true
+				}
+			}
+			return mapdr.Point{}, false
+		}
+		for t := 0.0; t <= duration; t++ {
+			for _, w := range all {
+				for w.next < len(w.updates) && w.updates[w.next].Report.T <= t {
+					if err := svc.Apply(w.id, w.updates[w.next]); err != nil {
+						log.Fatal(err)
+					}
+					w.next++
+				}
+			}
+			if int(t)%30 != 0 || t < 60 {
+				continue
+			}
+			inFence := map[mapdr.ObjectID]bool{}
+			for _, h := range svc.Within(fence, t) {
+				inFence[h.ID] = true
+			}
+			for _, w := range all {
+				truthPos, ok := truthAt(w, t)
+				if !ok {
+					continue
+				}
+				checked++
+				tIn := fence.Contains(truthPos)
+				rIn := inFence[w.id]
+				if tIn {
+					truthIn++
+				}
+				if rIn {
+					reportedIn++
+				}
+				if tIn == rIn {
+					agree++
+				}
+			}
+		}
+		fmt.Printf("u_s=%3.0fm: %5d samples -> %4d updates; geofence agreement %d/%d (%.0f%%), truth-in %d, reported-in %d\n",
+			us, samples, updates, agree, checked, 100*float64(agree)/float64(checked), truthIn, reportedIn)
+	}
+}

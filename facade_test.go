@@ -1,0 +1,98 @@
+package mapdr
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFacadeConstructors exercises every public constructor end to end.
+func TestFacadeConstructors(t *testing.T) {
+	// Projection round trip.
+	proj := NewProjection(LatLon{Lat: 48.7, Lon: 9.1})
+	ll := LatLon{Lat: 48.71, Lon: 9.12}
+	back := proj.Inverse(proj.Forward(ll))
+	if math.Abs(back.Lat-ll.Lat) > 1e-9 || math.Abs(back.Lon-ll.Lon) > 1e-9 {
+		t.Error("projection round trip failed")
+	}
+
+	// Generators.
+	iu := DefaultInterUrbanConfig(1)
+	iu.LengthKm = 8
+	cor, err := GenerateInterUrban(iu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cor.Graph.NumLinks() == 0 {
+		t.Error("empty inter-urban network")
+	}
+	fp := DefaultFootpathConfig(1)
+	fp.Rows, fp.Cols = 8, 8
+	park, err := GenerateFootpaths(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Movement parameter presets are distinct and sane.
+	if CarParams().Accel <= 0 || CityCarParams().StopRate <= 0 || PedestrianParams().SpeedFactor <= 0 {
+		t.Error("movement presets broken")
+	}
+
+	// Wander + pedestrian drive over the footpath web.
+	route, err := Wander(park.Graph, 2, 0, 1500, DefaultWanderPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	walk, err := DriveRoute(park.Graph, route, PedestrianParams(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if walk.Trace.Len() < 100 {
+		t.Errorf("walk samples = %d", walk.Trace.Len())
+	}
+
+	// Speed-capped predictor through the facade.
+	sp := NewSpeedCappedMapPredictor(cor.Graph, true)
+	if sp.Graph() != cor.Graph {
+		t.Error("speed-capped graph accessor")
+	}
+	src, err := NewMapSource(SourceConfig{US: 100, UP: 5, Sightings: 4}, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvRep := NewServer(NewSpeedCappedMapPredictor(cor.Graph, true))
+	n := 0
+	for _, s := range walk.Trace.Samples[:100] {
+		if u, ok := src.OnSample(s); ok {
+			srvRep.Apply(u)
+			n++
+		}
+	}
+	_ = n
+
+	// Map learner defaults.
+	if DefaultMapLearnerConfig().CellSize <= 0 {
+		t.Error("learner defaults broken")
+	}
+	learner := NewMapLearner(MapLearnerConfig{CellSize: 30, MinVisits: 1})
+	learner.AddTrace(walk.Trace)
+	if learner.Traces() != 1 {
+		t.Error("learner did not record the trace")
+	}
+
+	// NewRoute through the facade.
+	dirs := route.Dirs()
+	r2, err := NewRoute(park.Graph, dirs[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Len() != 2 {
+		t.Error("facade NewRoute")
+	}
+
+	// CTRV predictor alias usable.
+	var ctrv CTRVPredictor
+	p := ctrv.Predict(Report{T: 0, Pos: Pt(0, 0), V: 5, Heading: 0, Omega: 0.1}, 3)
+	if !p.IsFinite() {
+		t.Error("CTRV produced non-finite point")
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mapdr/internal/geo"
+	"mapdr/internal/roadmap"
+	"mapdr/internal/trace"
+)
+
+// TestDeviationBoundPropertyRandomPaths drives randomised zig-zag
+// trajectories through source+server and checks the protocol's central
+// guarantee for both the static and linear predictors: after processing a
+// sample, the server prediction is within u_s - u_p of the sensor
+// position.
+func TestDeviationBoundPropertyRandomPaths(t *testing.T) {
+	f := func(ampSeed, periodSeed, speedSeed, usSeed uint16) bool {
+		amp := 10 + float64(ampSeed%500)       // 10..510 m
+		period := 20 + float64(periodSeed%200) // 20..220 s
+		speed := 1 + float64(speedSeed%40)     // 1..41 m/s
+		us := 30 + float64(usSeed%470)         // 30..500 m
+		const up = 5.0
+		for _, pred := range []Predictor{StaticPredictor{}, LinearPredictor{}} {
+			src, err := NewSource(SourceConfig{US: us, UP: up, Sightings: 2}, pred)
+			if err != nil {
+				return false
+			}
+			srv := NewServer(pred)
+			for i := 0; i < 400; i++ {
+				tt := float64(i)
+				s := trace.Sample{T: tt, Pos: geo.Pt(speed*tt, amp*math.Sin(2*math.Pi*tt/period))}
+				if u, ok := src.OnSample(s); ok {
+					srv.Apply(u)
+				}
+				if p, ok := srv.Position(tt); ok {
+					if p.Dist(s.Pos) > us-up+1e-6 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMapPredictorPurityProperty checks that two map-predictor replicas
+// over the same graph agree exactly for randomised reports — the
+// source/server consistency requirement.
+func TestMapPredictorPurityProperty(t *testing.T) {
+	g, links := buildCurveChain(t)
+	a, b := NewMapPredictor(g), NewMapPredictor(g)
+	f := func(linkSel uint8, offSeed uint16, vSeed, dtSeed uint8, fwd bool) bool {
+		link := g.Link(links[int(linkSel)%len(links)])
+		rep := Report{
+			T:      0,
+			V:      float64(vSeed%50) + 0.5,
+			Link:   roadmap.Dir{Link: link.ID, Forward: fwd},
+			Offset: math.Mod(float64(offSeed), link.Length()),
+		}
+		tt := float64(dtSeed % 120)
+		pa, pb := a.Predict(rep, tt), b.Predict(rep, tt)
+		if pa != pb {
+			return false
+		}
+		// Predictions stay finite and within (an expanded) graph extent.
+		ext := g.Bounds().Expand(1)
+		return pa.IsFinite() && ext.Contains(pa)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMapPredictorTravelDistanceProperty: the distance travelled along the
+// network between two prediction times never exceeds v*(t2-t1) (the
+// predictor cannot teleport), measured as straight-line displacement.
+func TestMapPredictorTravelDistanceProperty(t *testing.T) {
+	g, links := buildCurveChain(t)
+	mp := NewMapPredictor(g)
+	f := func(offSeed uint16, vSeed, t1Seed, dtSeed uint8) bool {
+		link := g.Link(links[0])
+		v := float64(vSeed%40) + 1
+		offset := math.Mod(float64(offSeed), link.Length())
+		pos, _ := link.PointAtDirected(offset, true)
+		rep := Report{
+			T: 0, V: v, Pos: pos,
+			Link:   roadmap.Dir{Link: link.ID, Forward: true},
+			Offset: offset,
+		}
+		t1 := float64(t1Seed % 60)
+		t2 := t1 + float64(dtSeed%60)
+		p1, p2 := mp.Predict(rep, t1), mp.Predict(rep, t2)
+		return p1.Dist(p2) <= v*(t2-t1)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestThresholdPoliciesPositiveProperty: every threshold policy returns a
+// positive bound for arbitrary (sane) inputs.
+func TestThresholdPoliciesPositiveProperty(t *testing.T) {
+	policies := []ThresholdPolicy{
+		FixedThreshold{US: 100},
+		NewADRThreshold(50, 0.5),
+		NewDTDRThreshold(100, 60, 5),
+	}
+	f := func(nowSeed, lastSeed uint16, vSeed uint8) bool {
+		now := float64(nowSeed)
+		last := float64(lastSeed)
+		v := float64(vSeed)
+		for _, p := range policies {
+			if th := p.Threshold(now, last, v); !(th > 0) || math.IsInf(th, 0) || math.IsNaN(th) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

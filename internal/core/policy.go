@@ -1,0 +1,135 @@
+package core
+
+import "math"
+
+// ThresholdPolicy supplies the deviation threshold the source compares
+// against. The plain protocols use a fixed u_s; the Wolfson et al.
+// strategies (sdr, adr, dtdr — paper §5, [12]) vary it.
+type ThresholdPolicy interface {
+	// Threshold returns the allowed deviation at time now, given the time
+	// of the last update and the current speed estimate.
+	Threshold(now, lastUpdate float64, v float64) float64
+	// OnUpdate notifies the policy that an update was sent at time now
+	// with the deviation that triggered it.
+	OnUpdate(now, deviation float64)
+	// Name identifies the policy.
+	Name() string
+}
+
+// FixedThreshold is the plain dead-reckoning threshold u_s (sdr in
+// Wolfson's terms, "speed dead-reckoning" with a constant bound).
+type FixedThreshold struct {
+	US float64
+}
+
+// Threshold implements ThresholdPolicy.
+func (f FixedThreshold) Threshold(_, _, _ float64) float64 { return f.US }
+
+// OnUpdate implements ThresholdPolicy.
+func (f FixedThreshold) OnUpdate(_, _ float64) {}
+
+// Name implements ThresholdPolicy.
+func (f FixedThreshold) Name() string { return "sdr" }
+
+// ADRThreshold implements adaptive dead reckoning: the threshold is
+// chosen to minimise a cost model with an update cost C_u (messages) and
+// a deviation cost C_d per metre-second of uncertainty. Minimising
+// C_u + C_d * th * T(th) with an expected inter-update time proportional
+// to th/v yields th* = sqrt(C_u * v / C_d) (Wolfson et al. [12], adapted).
+// The threshold is clamped to [MinTh, MaxTh].
+type ADRThreshold struct {
+	UpdateCost    float64 // cost of one update message
+	DeviationCost float64 // cost per metre of allowed deviation per second
+	MinTh, MaxTh  float64
+
+	last float64 // most recent threshold, for reporting
+}
+
+// NewADRThreshold returns an adaptive policy with sane defaults spanning
+// the paper's u_s sweep range.
+func NewADRThreshold(updateCost, deviationCost float64) *ADRThreshold {
+	return &ADRThreshold{
+		UpdateCost:    updateCost,
+		DeviationCost: deviationCost,
+		MinTh:         20,
+		MaxTh:         500,
+	}
+}
+
+// Threshold implements ThresholdPolicy.
+func (a *ADRThreshold) Threshold(_, _, v float64) float64 {
+	if v < 1 {
+		v = 1
+	}
+	th := math.Sqrt(a.UpdateCost * v / a.DeviationCost)
+	if th < a.MinTh {
+		th = a.MinTh
+	}
+	if th > a.MaxTh {
+		th = a.MaxTh
+	}
+	a.last = th
+	return th
+}
+
+// OnUpdate implements ThresholdPolicy.
+func (a *ADRThreshold) OnUpdate(_, _ float64) {}
+
+// Name implements ThresholdPolicy.
+func (a *ADRThreshold) Name() string { return "adr" }
+
+// DTDRThreshold implements disconnection-detection dead reckoning: the
+// threshold continuously shrinks while no update is sent, so a silent
+// (possibly disconnected) source implies a tighter server-side uncertainty
+// bound (Wolfson et al. [12]).
+type DTDRThreshold struct {
+	US       float64 // threshold right after an update
+	HalfLife float64 // seconds for the threshold to halve
+	Floor    float64 // lower bound
+}
+
+// NewDTDRThreshold returns a decaying policy.
+func NewDTDRThreshold(us, halfLife, floor float64) *DTDRThreshold {
+	return &DTDRThreshold{US: us, HalfLife: halfLife, Floor: floor}
+}
+
+// Threshold implements ThresholdPolicy.
+func (d *DTDRThreshold) Threshold(now, lastUpdate float64, _ float64) float64 {
+	age := now - lastUpdate
+	if age < 0 {
+		age = 0
+	}
+	th := d.US * math.Exp2(-age/d.HalfLife)
+	if th < d.Floor {
+		th = d.Floor
+	}
+	return th
+}
+
+// OnUpdate implements ThresholdPolicy.
+func (d *DTDRThreshold) OnUpdate(_, _ float64) {}
+
+// Name implements ThresholdPolicy.
+func (d *DTDRThreshold) Name() string { return "dtdr" }
+
+// AuxPolicy adds non-deviation update triggers: time-based and movement-
+// based reporting (the classic PCS protocols of Bar-Noy et al. [1],
+// discussed in paper §5), usable standalone or alongside dead reckoning.
+type AuxPolicy struct {
+	// Period, when positive, forces an update every Period seconds.
+	Period float64
+	// MoveDist, when positive, forces an update after the object has
+	// moved MoveDist metres of path length since the last update.
+	MoveDist float64
+}
+
+// due reports whether an auxiliary trigger fires.
+func (a AuxPolicy) due(now, lastUpdate, movedSince float64) (Reason, bool) {
+	if a.Period > 0 && now-lastUpdate >= a.Period {
+		return ReasonPeriodic, true
+	}
+	if a.MoveDist > 0 && movedSince >= a.MoveDist {
+		return ReasonMovement, true
+	}
+	return ReasonNone, false
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFixedThreshold(t *testing.T) {
+	p := FixedThreshold{US: 100}
+	if p.Threshold(0, 0, 30) != 100 || p.Threshold(1e6, 0, 0) != 100 {
+		t.Error("fixed threshold must not vary")
+	}
+	if p.Name() != "sdr" {
+		t.Errorf("name = %q", p.Name())
+	}
+}
+
+func TestADRThresholdScalesWithSpeed(t *testing.T) {
+	p := NewADRThreshold(100, 0.01)
+	slow := p.Threshold(0, 0, 2)
+	fast := p.Threshold(0, 0, 32)
+	if fast <= slow {
+		t.Errorf("adr: fast %v should exceed slow %v", fast, slow)
+	}
+	// th = sqrt(C_u*v/C_d): at v=32, sqrt(100*32/0.01) ≈ 566 -> clamped 500.
+	if fast != 500 {
+		t.Errorf("fast = %v, want clamp at 500", fast)
+	}
+	// At v below 1 the speed floor holds: sqrt(100*1/0.01) = 100.
+	if got := p.Threshold(0, 0, 0.1); math.Abs(got-100) > 1e-9 {
+		t.Errorf("slow clamp = %v", got)
+	}
+	if p.Name() != "adr" {
+		t.Errorf("name = %q", p.Name())
+	}
+}
+
+func TestADRThresholdClampsLow(t *testing.T) {
+	p := NewADRThreshold(0.001, 10)
+	if got := p.Threshold(0, 0, 1); got != p.MinTh {
+		t.Errorf("min clamp = %v", got)
+	}
+}
+
+func TestDTDRThresholdDecays(t *testing.T) {
+	p := NewDTDRThreshold(200, 60, 20)
+	if got := p.Threshold(0, 0, 0); math.Abs(got-200) > 1e-9 {
+		t.Errorf("t0 = %v", got)
+	}
+	if got := p.Threshold(60, 0, 0); math.Abs(got-100) > 1e-9 {
+		t.Errorf("one half-life = %v", got)
+	}
+	if got := p.Threshold(120, 0, 0); math.Abs(got-50) > 1e-9 {
+		t.Errorf("two half-lives = %v", got)
+	}
+	// Floor.
+	if got := p.Threshold(1e6, 0, 0); got != 20 {
+		t.Errorf("floor = %v", got)
+	}
+	// Negative age clamps to full threshold.
+	if got := p.Threshold(0, 100, 0); got != 200 {
+		t.Errorf("negative age = %v", got)
+	}
+	if p.Name() != "dtdr" {
+		t.Errorf("name = %q", p.Name())
+	}
+}
+
+func TestAuxPolicyTriggers(t *testing.T) {
+	var a AuxPolicy
+	if _, due := a.due(100, 0, 1e6); due {
+		t.Error("zero policy must never fire")
+	}
+	a = AuxPolicy{Period: 60}
+	if r, due := a.due(59, 0, 0); due {
+		t.Errorf("fired early: %v", r)
+	}
+	if r, due := a.due(60, 0, 0); !due || r != ReasonPeriodic {
+		t.Errorf("periodic = %v/%v", r, due)
+	}
+	a = AuxPolicy{MoveDist: 500}
+	if r, due := a.due(0, 0, 499); due {
+		t.Errorf("fired early: %v", r)
+	}
+	if r, due := a.due(0, 0, 500); !due || r != ReasonMovement {
+		t.Errorf("movement = %v/%v", r, due)
+	}
+	// Period takes precedence when both fire.
+	a = AuxPolicy{Period: 10, MoveDist: 10}
+	if r, _ := a.due(20, 0, 20); r != ReasonPeriodic {
+		t.Errorf("precedence = %v", r)
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"mapdr/internal/geo"
+	"mapdr/internal/roadmap"
+)
+
+// Predictor is the shared prediction function pred(o_r, param, t) of the
+// general dead-reckoning protocol (paper §2, Fig. 1). Implementations
+// must be pure: identical inputs produce identical outputs at source and
+// server, which is what makes the deviation bound enforceable.
+type Predictor interface {
+	// Predict returns the assumed position of the object at time t given
+	// its last report.
+	Predict(rep Report, t float64) geo.Point
+	// Name identifies the predictor in experiment output.
+	Name() string
+}
+
+// StaticPredictor assumes the object rests at its reported position. The
+// deviation trigger then degenerates to the non dead-reckoning
+// distance-based reporting protocol of the paper's earlier work [6].
+type StaticPredictor struct{}
+
+// Predict implements Predictor.
+func (StaticPredictor) Predict(rep Report, _ float64) geo.Point { return rep.Pos }
+
+// Name implements Predictor.
+func (StaticPredictor) Name() string { return "distance-based" }
+
+// LinearPredictor extrapolates along the reported heading with the
+// reported speed ("linear prediction", paper §2).
+type LinearPredictor struct{}
+
+// Predict implements Predictor.
+func (LinearPredictor) Predict(rep Report, t float64) geo.Point {
+	dt := t - rep.T
+	if dt <= 0 {
+		return rep.Pos
+	}
+	return geo.PolarPoint(rep.Pos, rep.Heading, rep.V*dt)
+}
+
+// Name implements Predictor.
+func (LinearPredictor) Name() string { return "linear-pred" }
+
+// GraphPredictor is a predictor bound to a road network — the map-based
+// predictor family. Sources built with NewMapSource run a map matcher
+// over the predictor's graph.
+type GraphPredictor interface {
+	Predictor
+	// Graph returns the road network the predictor extrapolates on.
+	Graph() *roadmap.Graph
+}
+
+// MapPredictor advances the object along its reported link with the
+// reported speed, selecting an outgoing link at every intersection with
+// the TurnChooser — the map-based dead-reckoning prediction of paper §3.
+// Reports without a valid link fall back to linear prediction.
+type MapPredictor struct {
+	G       *roadmap.Graph
+	Chooser roadmap.TurnChooser
+}
+
+// NewMapPredictor returns a map predictor with the paper's default
+// smallest-angle turn chooser.
+func NewMapPredictor(g *roadmap.Graph) *MapPredictor {
+	return &MapPredictor{G: g, Chooser: roadmap.SmallestAngleChooser{}}
+}
+
+// Predict implements Predictor.
+func (mp *MapPredictor) Predict(rep Report, t float64) geo.Point {
+	if !rep.Link.IsValid() {
+		return (LinearPredictor{}).Predict(rep, t)
+	}
+	dt := t - rep.T
+	if dt <= 0 {
+		return rep.Pos
+	}
+	remainingDist := rep.V * dt
+	cur := rep.Link
+	offset := rep.Offset
+
+	// Walk links until the travel distance is consumed. The iteration
+	// bound guards against degenerate zero-length cycles.
+	for iter := 0; iter < 10000; iter++ {
+		link := mp.G.Link(cur.Link)
+		left := link.Length() - offset
+		if remainingDist <= left {
+			p, _ := link.PointAtDirected(offset+remainingDist, cur.Forward)
+			return p
+		}
+		remainingDist -= left
+		node := link.EndNode(cur.Forward)
+		exitHeading := link.ExitHeading(cur.Forward)
+		alts := mp.G.Outgoing(node, cur)
+		next := mp.Chooser.Choose(mp.G, cur, exitHeading, alts)
+		if !next.IsValid() {
+			// Dead end: assume the object waits at the intersection.
+			return mp.G.Node(node).Pt
+		}
+		cur = next
+		offset = 0
+	}
+	p, _ := mp.G.Link(cur.Link).PointAtDirected(offset, cur.Forward)
+	return p
+}
+
+// Name implements Predictor.
+func (mp *MapPredictor) Name() string {
+	if _, ok := mp.Chooser.(roadmap.SmallestAngleChooser); ok {
+		return "map-based"
+	}
+	return "map-based+" + mp.Chooser.Name()
+}
+
+// Graph implements GraphPredictor.
+func (mp *MapPredictor) Graph() *roadmap.Graph { return mp.G }
+
+// RoutePredictor advances the object along a route known in advance to
+// both source and server — the Wolfson et al. baseline the paper compares
+// against conceptually ("dead-reckoning with known route", §2).
+type RoutePredictor struct {
+	Route *roadmap.Route
+}
+
+// Predict implements Predictor.
+func (rp *RoutePredictor) Predict(rep Report, t float64) geo.Point {
+	dt := t - rep.T
+	if dt < 0 {
+		dt = 0
+	}
+	p, _ := rp.Route.PointAt(rep.RouteOffset + rep.V*dt)
+	return p
+}
+
+// Name implements Predictor.
+func (rp *RoutePredictor) Name() string { return "known-route" }
+
+// PredictedState returns both position and heading for predictors that can
+// supply it; used by the location server to answer richer queries.
+func PredictedState(p Predictor, rep Report, t float64) (geo.Point, float64) {
+	pos := p.Predict(rep, t)
+	// Heading: finite difference over a short horizon.
+	const h = 0.5
+	next := p.Predict(rep, t+h)
+	d := next.Sub(pos)
+	if d.Norm() < 1e-9 {
+		return pos, rep.Heading
+	}
+	return pos, d.Heading()
+}

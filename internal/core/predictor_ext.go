@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math"
+
+	"mapdr/internal/geo"
+	"mapdr/internal/roadmap"
+)
+
+// CTRVPredictor implements the paper's "prediction with higher-order
+// function" variant (§2): instead of a straight line it extrapolates a
+// constant-turn-rate-and-velocity (CTRV) arc from the reported speed,
+// heading and turn rate, which can follow a road curve for a while
+// without any map. The paper mentions this variant and dismisses it in
+// favour of the map-based protocol; we implement it as an ablation
+// baseline.
+type CTRVPredictor struct{}
+
+// minTurnRate below which CTRV degenerates to linear prediction (rad/s).
+const minTurnRate = 1e-4
+
+// Predict implements Predictor.
+func (CTRVPredictor) Predict(rep Report, t float64) geo.Point {
+	dt := t - rep.T
+	if dt <= 0 {
+		return rep.Pos
+	}
+	if math.Abs(rep.Omega) < minTurnRate {
+		return (LinearPredictor{}).Predict(rep, t)
+	}
+	// Circular arc of radius v/|omega|, centred 90 degrees to the left of
+	// the heading for a left turn (omega > 0), to the right otherwise.
+	sign := 1.0
+	if rep.Omega < 0 {
+		sign = -1
+	}
+	r := rep.V / math.Abs(rep.Omega)
+	centre := geo.PolarPoint(rep.Pos, rep.Heading+sign*math.Pi/2, r)
+	ang := rep.Heading - sign*math.Pi/2 + rep.Omega*dt
+	return geo.PolarPoint(centre, ang, r)
+}
+
+// Name implements Predictor.
+func (CTRVPredictor) Name() string { return "ctrv" }
+
+// SpeedCappedMapPredictor is the paper's §6 future-work extension: the
+// map-based predictor additionally uses per-link speed limits, assuming
+// the object travels at min(reported speed, link speed limit) on every
+// link it traverses. After a report sent at low speed inside a village
+// the prediction no longer crawls across the following trunk road, and a
+// report sent at trunk speed does not overshoot through the next village.
+type SpeedCappedMapPredictor struct {
+	G       *roadmap.Graph
+	Chooser roadmap.TurnChooser
+	// RaiseToLimit additionally raises the assumed speed to the link
+	// limit when the reported speed is lower (the object is assumed to
+	// accelerate back to free flow after the congestion ends).
+	RaiseToLimit bool
+}
+
+// NewSpeedCappedMapPredictor returns the speed-limit-aware map predictor
+// with the default smallest-angle chooser.
+func NewSpeedCappedMapPredictor(g *roadmap.Graph, raise bool) *SpeedCappedMapPredictor {
+	return &SpeedCappedMapPredictor{G: g, Chooser: roadmap.SmallestAngleChooser{}, RaiseToLimit: raise}
+}
+
+// assumedSpeed returns the speed used on a link.
+func (sp *SpeedCappedMapPredictor) assumedSpeed(repV float64, l *roadmap.Link) float64 {
+	limit := l.Speed()
+	if sp.RaiseToLimit {
+		// Blend: never below half the limit, never above the limit.
+		v := repV
+		if v < limit/2 {
+			v = limit / 2
+		}
+		if v > limit {
+			v = limit
+		}
+		return v
+	}
+	if repV > limit {
+		return limit
+	}
+	return repV
+}
+
+// Predict implements Predictor. It advances by *time*, spending it on each
+// link according to the assumed speed there.
+func (sp *SpeedCappedMapPredictor) Predict(rep Report, t float64) geo.Point {
+	if !rep.Link.IsValid() {
+		return (LinearPredictor{}).Predict(rep, t)
+	}
+	remaining := t - rep.T
+	if remaining <= 0 {
+		return rep.Pos
+	}
+	cur := rep.Link
+	offset := rep.Offset
+	for iter := 0; iter < 10000; iter++ {
+		link := sp.G.Link(cur.Link)
+		v := sp.assumedSpeed(rep.V, link)
+		if v <= 0 {
+			// Standing still: the prediction stays at the offset.
+			p, _ := link.PointAtDirected(offset, cur.Forward)
+			return p
+		}
+		left := link.Length() - offset
+		timeOnLink := left / v
+		if remaining <= timeOnLink {
+			p, _ := link.PointAtDirected(offset+remaining*v, cur.Forward)
+			return p
+		}
+		remaining -= timeOnLink
+		node := link.EndNode(cur.Forward)
+		exitHeading := link.ExitHeading(cur.Forward)
+		alts := sp.G.Outgoing(node, cur)
+		next := sp.Chooser.Choose(sp.G, cur, exitHeading, alts)
+		if !next.IsValid() {
+			return sp.G.Node(node).Pt
+		}
+		cur = next
+		offset = 0
+	}
+	p, _ := sp.G.Link(cur.Link).PointAtDirected(offset, cur.Forward)
+	return p
+}
+
+// Graph implements GraphPredictor.
+func (sp *SpeedCappedMapPredictor) Graph() *roadmap.Graph { return sp.G }
+
+// Name implements Predictor.
+func (sp *SpeedCappedMapPredictor) Name() string {
+	if sp.RaiseToLimit {
+		return "map-based+speedlimit-blend"
+	}
+	return "map-based+speedlimit"
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mapdr/internal/geo"
+	"mapdr/internal/roadmap"
+	"mapdr/internal/trace"
+)
+
+func TestCTRVDegeneratesToLinear(t *testing.T) {
+	rep := Report{T: 0, Pos: geo.Pt(0, 0), V: 10, Heading: 0, Omega: 0}
+	p := (CTRVPredictor{}).Predict(rep, 5)
+	if p.Dist(geo.Pt(50, 0)) > 1e-9 {
+		t.Errorf("zero turn rate: %v", p)
+	}
+	// Before the report time: frozen.
+	if q := (CTRVPredictor{}).Predict(rep, -1); q != rep.Pos {
+		t.Errorf("past = %v", q)
+	}
+}
+
+func TestCTRVFollowsCircle(t *testing.T) {
+	// v=10 m/s, omega=0.1 rad/s -> radius 100 m circle. After a quarter
+	// period (pi/2 / 0.1 s) the object is 90 degrees around the circle.
+	rep := Report{T: 0, Pos: geo.Pt(0, 0), V: 10, Heading: 0, Omega: 0.1}
+	quarter := (math.Pi / 2) / 0.1
+	p := (CTRVPredictor{}).Predict(rep, quarter)
+	want := geo.Pt(100, 100) // centre (0,100), start angle -pi/2 + pi/2 = 0
+	if p.Dist(want) > 1e-6 {
+		t.Errorf("quarter circle: %v, want %v", p, want)
+	}
+	// Full period returns to the start.
+	full := (2 * math.Pi) / 0.1
+	p = (CTRVPredictor{}).Predict(rep, full)
+	if p.Dist(rep.Pos) > 1e-6 {
+		t.Errorf("full circle: %v", p)
+	}
+}
+
+func TestCTRVNegativeOmega(t *testing.T) {
+	// Right turn: the object curves to negative Y.
+	rep := Report{T: 0, Pos: geo.Pt(0, 0), V: 10, Heading: 0, Omega: -0.1}
+	p := (CTRVPredictor{}).Predict(rep, 5)
+	if p.Y >= 0 {
+		t.Errorf("right turn went to %v", p)
+	}
+	if p.X <= 0 {
+		t.Errorf("right turn should still progress in X: %v", p)
+	}
+}
+
+func TestCTRVBeatsLinearOnCurve(t *testing.T) {
+	// An object moving on a circle: CTRV predicts it far better than the
+	// linear extrapolation over the same horizon.
+	circle := func(tt float64) geo.Point {
+		return geo.Pt(100*math.Cos(tt*0.1-math.Pi/2), 100+100*math.Sin(tt*0.1-math.Pi/2))
+	}
+	rep := Report{T: 0, Pos: circle(0), V: 10, Heading: 0, Omega: 0.1}
+	for _, horizon := range []float64{5, 10, 20} {
+		truth := circle(horizon)
+		ctrvErr := (CTRVPredictor{}).Predict(rep, horizon).Dist(truth)
+		linErr := (LinearPredictor{}).Predict(rep, horizon).Dist(truth)
+		if ctrvErr >= linErr {
+			t.Errorf("horizon %v: ctrv %v not better than linear %v", horizon, ctrvErr, linErr)
+		}
+		if ctrvErr > 0.5 {
+			t.Errorf("horizon %v: ctrv error %v too large", horizon, ctrvErr)
+		}
+	}
+}
+
+// speedLimitChain builds fast(27.8 m/s, 1000m) -> slow(5 m/s, 500m) ->
+// fast(27.8, 1000m) links in a row.
+func speedLimitChain(t *testing.T) (*roadmap.Graph, []roadmap.LinkID) {
+	t.Helper()
+	b := roadmap.NewBuilder()
+	n0 := b.AddNode(geo.Pt(0, 0))
+	n1 := b.AddNode(geo.Pt(1000, 0))
+	n2 := b.AddNode(geo.Pt(1500, 0))
+	n3 := b.AddNode(geo.Pt(2500, 0))
+	l0 := b.AddLink(roadmap.LinkSpec{From: n0, To: n1, SpeedLimit: 27.8})
+	l1 := b.AddLink(roadmap.LinkSpec{From: n1, To: n2, SpeedLimit: 5})
+	l2 := b.AddLink(roadmap.LinkSpec{From: n2, To: n3, SpeedLimit: 27.8})
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, []roadmap.LinkID{l0, l1, l2}
+}
+
+func TestSpeedCappedPredictorSlowsOnSlowLink(t *testing.T) {
+	g, links := speedLimitChain(t)
+	sp := NewSpeedCappedMapPredictor(g, false)
+	rep := Report{
+		T: 0, Pos: geo.Pt(900, 0), V: 27.8, Heading: 0,
+		Link: roadmap.Dir{Link: links[0], Forward: true}, Offset: 900,
+	}
+	// 100 m at 27.8 (3.6 s) then the slow link at 5 m/s. At t=23.6 s the
+	// object should be 100 m into the slow link (x = 1100).
+	p := sp.Predict(rep, 3.6+20)
+	if p.Dist(geo.Pt(1100, 0)) > 1.0 {
+		t.Errorf("speed-capped prediction = %v, want ~(1100,0)", p)
+	}
+	// The plain map predictor would have travelled 656 m total (x=1556).
+	mp := NewMapPredictor(g)
+	q := mp.Predict(rep, 3.6+20)
+	if q.X < 1500 {
+		t.Errorf("plain map predictor = %v, expected to overshoot the village", q)
+	}
+}
+
+func TestSpeedCappedRaiseToLimit(t *testing.T) {
+	g, links := speedLimitChain(t)
+	sp := NewSpeedCappedMapPredictor(g, true)
+	// Reported crawling at 2 m/s on the fast link (congestion): with
+	// RaiseToLimit the assumed speed is limit/2 = 13.9 m/s.
+	rep := Report{
+		T: 0, Pos: geo.Pt(0, 0), V: 2, Heading: 0,
+		Link: roadmap.Dir{Link: links[0], Forward: true}, Offset: 0,
+	}
+	p := sp.Predict(rep, 10)
+	if math.Abs(p.X-139) > 1 {
+		t.Errorf("raise-to-limit prediction = %v, want x≈139", p)
+	}
+	// Without raising, it crawls.
+	spNo := NewSpeedCappedMapPredictor(g, false)
+	p = spNo.Predict(rep, 10)
+	if math.Abs(p.X-20) > 1 {
+		t.Errorf("non-raising prediction = %v, want x≈20", p)
+	}
+}
+
+func TestSpeedCappedZeroSpeedStays(t *testing.T) {
+	g, links := speedLimitChain(t)
+	sp := NewSpeedCappedMapPredictor(g, false)
+	rep := Report{
+		T: 0, Pos: geo.Pt(500, 0), V: 0,
+		Link: roadmap.Dir{Link: links[0], Forward: true}, Offset: 500,
+	}
+	p := sp.Predict(rep, 1000)
+	if p.Dist(geo.Pt(500, 0)) > 1e-9 {
+		t.Errorf("stationary prediction moved to %v", p)
+	}
+}
+
+func TestSpeedCappedFallsBackToLinear(t *testing.T) {
+	g, _ := speedLimitChain(t)
+	sp := NewSpeedCappedMapPredictor(g, false)
+	rep := Report{T: 0, Pos: geo.Pt(0, 50), V: 10, Heading: 0, Link: roadmap.NoDir}
+	p := sp.Predict(rep, 10)
+	if p.Dist(geo.Pt(100, 50)) > 1e-9 {
+		t.Errorf("fallback = %v", p)
+	}
+}
+
+func TestSpeedCappedSourceServerIntegration(t *testing.T) {
+	// End to end: a vehicle obeying the village limit produces fewer
+	// updates with the speed-capped predictor than with the plain one.
+	g, _ := speedLimitChain(t)
+	mkSamples := func() []trace.Sample {
+		var out []trace.Sample
+		x, tt := 0.0, 0.0
+		for x < 2400 {
+			v := 27.8
+			if x >= 1000 && x < 1500 {
+				v = 5
+			}
+			x += v
+			tt++
+			out = append(out, trace.Sample{T: tt, Pos: geo.Pt(x, 0)})
+		}
+		return out
+	}
+	count := func(pred GraphPredictor) int {
+		src, err := NewMapSource(SourceConfig{US: 100, UP: 5, Sightings: 2}, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, s := range mkSamples() {
+			if _, ok := src.OnSample(s); ok {
+				n++
+			}
+		}
+		return n
+	}
+	plain := count(NewMapPredictor(g))
+	capped := count(NewSpeedCappedMapPredictor(g, false))
+	if capped > plain {
+		t.Errorf("speed-capped %d updates > plain %d", capped, plain)
+	}
+}
+
+func TestGraphPredictorInterface(t *testing.T) {
+	g, _ := speedLimitChain(t)
+	var _ GraphPredictor = NewMapPredictor(g)
+	var _ GraphPredictor = NewSpeedCappedMapPredictor(g, false)
+	if NewMapPredictor(g).Graph() != g || NewSpeedCappedMapPredictor(g, true).Graph() != g {
+		t.Error("Graph() accessor wrong")
+	}
+	names := map[string]bool{}
+	for _, p := range []Predictor{
+		CTRVPredictor{},
+		NewSpeedCappedMapPredictor(g, false),
+		NewSpeedCappedMapPredictor(g, true),
+	} {
+		if n := p.Name(); n == "" || names[n] {
+			t.Errorf("name %q empty or duplicate", n)
+		} else {
+			names[n] = true
+		}
+	}
+}
+
+func TestOmegaSurvivesCodec(t *testing.T) {
+	in := Report{Seq: 1, Omega: 0.125}
+	data, err := in.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Report
+	if err := out.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.Omega-0.125) > 1e-7 {
+		t.Errorf("omega = %v", out.Omega)
+	}
+}
+
+func TestSourceFillsOmegaOnCurve(t *testing.T) {
+	src, err := NewSource(SourceConfig{US: 30, UP: 1, Sightings: 4}, CTRVPredictor{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive a circle; some update's report must carry a non-zero omega
+	// close to the true 0.05 rad/s.
+	var got []float64
+	for i := 0; i < 300; i++ {
+		tt := float64(i)
+		p := geo.Pt(200*math.Cos(tt*0.05), 200*math.Sin(tt*0.05))
+		if u, ok := src.OnSample(trace.Sample{T: tt, Pos: p}); ok {
+			got = append(got, u.Report.Omega)
+		}
+	}
+	if len(got) == 0 {
+		t.Fatal("no updates")
+	}
+	found := false
+	for _, w := range got[1:] {
+		if math.Abs(w-0.05) < 0.02 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no report carried omega ≈ 0.05: %v", got)
+	}
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mapdr/internal/geo"
+	"mapdr/internal/roadmap"
+)
+
+// buildCurveChain builds three links forming a right-angle path:
+// A(0,0)->B(1000,0)->C(1000,1000)->D(0,1000), plus a spur at B heading
+// 30 degrees up to make the smallest-angle choice non-trivial.
+func buildCurveChain(t *testing.T) (*roadmap.Graph, []roadmap.LinkID) {
+	t.Helper()
+	b := roadmap.NewBuilder()
+	a := b.AddNode(geo.Pt(0, 0))
+	bb := b.AddNode(geo.Pt(1000, 0))
+	c := b.AddNode(geo.Pt(1000, 1000))
+	d := b.AddNode(geo.Pt(0, 1000))
+	spur := b.AddNode(geo.PolarPoint(geo.Pt(1000, 0), geo.Rad(30), 800))
+	l0 := b.AddLink(roadmap.LinkSpec{From: a, To: bb})
+	l1 := b.AddLink(roadmap.LinkSpec{From: bb, To: c})
+	l2 := b.AddLink(roadmap.LinkSpec{From: c, To: d})
+	l3 := b.AddLink(roadmap.LinkSpec{From: bb, To: spur})
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, []roadmap.LinkID{l0, l1, l2, l3}
+}
+
+func TestStaticPredictor(t *testing.T) {
+	rep := Report{T: 10, Pos: geo.Pt(5, 5), V: 100, Heading: 1}
+	p := (StaticPredictor{}).Predict(rep, 100)
+	if p != rep.Pos {
+		t.Errorf("static moved: %v", p)
+	}
+}
+
+func TestLinearPredictor(t *testing.T) {
+	rep := Report{T: 10, Pos: geo.Pt(100, 200), V: 10, Heading: math.Pi / 2}
+	p := (LinearPredictor{}).Predict(rep, 15)
+	want := geo.Pt(100, 250)
+	if p.Dist(want) > 1e-9 {
+		t.Errorf("predicted %v, want %v", p, want)
+	}
+	// Before the report time: position frozen.
+	if q := (LinearPredictor{}).Predict(rep, 5); q != rep.Pos {
+		t.Errorf("past prediction = %v", q)
+	}
+}
+
+func TestMapPredictorWithinLink(t *testing.T) {
+	g, links := buildCurveChain(t)
+	mp := NewMapPredictor(g)
+	rep := Report{
+		T: 0, Pos: geo.Pt(100, 0), V: 20, Heading: 0,
+		Link: roadmap.Dir{Link: links[0], Forward: true}, Offset: 100,
+	}
+	p := mp.Predict(rep, 10) // 200 m further along l0
+	if p.Dist(geo.Pt(300, 0)) > 1e-9 {
+		t.Errorf("predicted %v", p)
+	}
+}
+
+func TestMapPredictorCrossesIntersection(t *testing.T) {
+	g, links := buildCurveChain(t)
+	mp := NewMapPredictor(g)
+	rep := Report{
+		T: 0, Pos: geo.Pt(900, 0), V: 20, Heading: 0,
+		Link: roadmap.Dir{Link: links[0], Forward: true}, Offset: 900,
+	}
+	// After 10 s: 200 m of travel; 100 m to B, then the smallest-angle
+	// outgoing link is the spur at 30 deg (vs l1 at 90 deg).
+	p := mp.Predict(rep, 10)
+	wantSpur := geo.PolarPoint(geo.Pt(1000, 0), geo.Rad(30), 100)
+	if p.Dist(wantSpur) > 1e-6 {
+		t.Errorf("predicted %v, want on spur %v", p, wantSpur)
+	}
+}
+
+func TestMapPredictorMultiLink(t *testing.T) {
+	// Without the spur the predictor follows the L-corner; travel 1500 m
+	// from the start ends 500 m up the second link.
+	b := roadmap.NewBuilder()
+	a := b.AddNode(geo.Pt(0, 0))
+	bb := b.AddNode(geo.Pt(1000, 0))
+	c := b.AddNode(geo.Pt(1000, 2000))
+	l0 := b.AddLink(roadmap.LinkSpec{From: a, To: bb})
+	b.AddLink(roadmap.LinkSpec{From: bb, To: c})
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp := NewMapPredictor(g)
+	rep := Report{
+		T: 0, Pos: geo.Pt(0, 0), V: 30, Heading: 0,
+		Link: roadmap.Dir{Link: l0, Forward: true}, Offset: 0,
+	}
+	p := mp.Predict(rep, 50) // 1500 m
+	if p.Dist(geo.Pt(1000, 500)) > 1e-6 {
+		t.Errorf("predicted %v", p)
+	}
+}
+
+func TestMapPredictorDeadEnd(t *testing.T) {
+	b := roadmap.NewBuilder()
+	a := b.AddNode(geo.Pt(0, 0))
+	bb := b.AddNode(geo.Pt(500, 0))
+	l0 := b.AddLink(roadmap.LinkSpec{From: a, To: bb, OneWay: true})
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp := NewMapPredictor(g)
+	rep := Report{
+		T: 0, Pos: geo.Pt(0, 0), V: 50, Heading: 0,
+		Link: roadmap.Dir{Link: l0, Forward: true}, Offset: 0,
+	}
+	// 5000 m of travel on a 500 m dead-end one-way link: waits at the end.
+	p := mp.Predict(rep, 100)
+	if p.Dist(geo.Pt(500, 0)) > 1e-9 {
+		t.Errorf("predicted %v, want dead end", p)
+	}
+}
+
+func TestMapPredictorFallsBackToLinear(t *testing.T) {
+	g, _ := buildCurveChain(t)
+	mp := NewMapPredictor(g)
+	rep := Report{T: 0, Pos: geo.Pt(50, 50), V: 10, Heading: 0, Link: roadmap.NoDir}
+	p := mp.Predict(rep, 10)
+	if p.Dist(geo.Pt(150, 50)) > 1e-9 {
+		t.Errorf("fallback prediction = %v", p)
+	}
+}
+
+func TestMapPredictorDeterminism(t *testing.T) {
+	g, links := buildCurveChain(t)
+	a := NewMapPredictor(g)
+	b := NewMapPredictor(g)
+	rep := Report{
+		T: 0, Pos: geo.Pt(0, 0), V: 25, Heading: 0,
+		Link: roadmap.Dir{Link: links[0], Forward: true}, Offset: 0,
+	}
+	for tt := 0.0; tt < 200; tt += 7 {
+		if a.Predict(rep, tt) != b.Predict(rep, tt) {
+			t.Fatal("two predictor replicas disagree — source/server would diverge")
+		}
+	}
+}
+
+func TestRoutePredictor(t *testing.T) {
+	g, links := buildCurveChain(t)
+	r, err := roadmap.NewRoute(g, []roadmap.Dir{
+		{Link: links[0], Forward: true},
+		{Link: links[1], Forward: true},
+		{Link: links[2], Forward: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := &RoutePredictor{Route: r}
+	rep := Report{T: 0, V: 20, RouteOffset: 900}
+	// 900 + 20*10 = 1100 -> 100 m up the second link.
+	p := rp.Predict(rep, 10)
+	if p.Dist(geo.Pt(1000, 100)) > 1e-9 {
+		t.Errorf("predicted %v", p)
+	}
+	// Past the route end: clamped at the final node.
+	p = rp.Predict(rep, 1e6)
+	if p.Dist(geo.Pt(0, 1000)) > 1e-9 {
+		t.Errorf("end clamp = %v", p)
+	}
+}
+
+func TestPredictorNames(t *testing.T) {
+	g, _ := buildCurveChain(t)
+	names := map[string]bool{}
+	for _, p := range []Predictor{
+		StaticPredictor{}, LinearPredictor{}, NewMapPredictor(g),
+		&MapPredictor{G: g, Chooser: roadmap.MainRoadChooser{}},
+		&RoutePredictor{},
+	} {
+		n := p.Name()
+		if n == "" || names[n] {
+			t.Errorf("predictor name %q empty or duplicate", n)
+		}
+		names[n] = true
+	}
+}
+
+func TestPredictedState(t *testing.T) {
+	rep := Report{T: 0, Pos: geo.Pt(0, 0), V: 10, Heading: math.Pi / 4}
+	pos, h := PredictedState(LinearPredictor{}, rep, 10)
+	if pos.Dist(geo.PolarPoint(geo.Pt(0, 0), math.Pi/4, 100)) > 1e-6 {
+		t.Errorf("pos = %v", pos)
+	}
+	if math.Abs(geo.AngleDiff(h, math.Pi/4)) > 1e-6 {
+		t.Errorf("heading = %v", h)
+	}
+	// Zero speed: heading falls back to the reported heading.
+	rep.V = 0
+	_, h = PredictedState(LinearPredictor{}, rep, 10)
+	if h != rep.Heading {
+		t.Errorf("stationary heading = %v", h)
+	}
+}

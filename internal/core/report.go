@@ -1,0 +1,131 @@
+// Package core implements the dead-reckoning update protocols of the
+// paper: the shared prediction functions (linear, map-based, map-based
+// with turn probabilities, known-route), the source-side update triggers
+// (deviation-based dead reckoning, distance/time/movement-based reporting,
+// and the Wolfson sdr/adr/dtdr threshold controllers) and the server-side
+// replica.
+//
+// The central invariant is that source and server evaluate the *same*
+// pure prediction function over the *same* last report, so the source can
+// locally decide when the server's view exceeds the accuracy bound u_s
+// (paper §2, Fig. 1).
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"mapdr/internal/geo"
+	"mapdr/internal/roadmap"
+)
+
+// Report is the object state o_r transmitted in an update message. For
+// map-based operation it carries the corrected position, the current
+// directed link and the offset on it; Link.IsValid()==false signals the
+// linear fall-back (the "empty link" of paper §3).
+type Report struct {
+	Seq         uint32
+	T           float64     // timestamp of the state
+	Pos         geo.Point   // position (corrected position p_c when matched)
+	V           float64     // speed, m/s
+	Heading     float64     // travel heading, radians
+	Link        roadmap.Dir // current link, or NoDir
+	Offset      float64     // offset along travel direction on Link, m
+	RouteOffset float64     // offset along a pre-known route (known-route DR)
+	Omega       float64     // turn rate, rad/s (higher-order CTRV predictor)
+}
+
+// Reason states why an update was sent; it is diagnostic only and not
+// transmitted.
+type Reason uint8
+
+// Update reasons.
+const (
+	ReasonNone      Reason = iota
+	ReasonInit             // first report for the object
+	ReasonDeviation        // predicted/actual deviation exceeded the bound
+	ReasonLinkLost         // map matching lost the link (fall back to linear)
+	ReasonRematch          // map matching reacquired a link
+	ReasonPeriodic         // time-based reporting period elapsed
+	ReasonMovement         // movement-based reporting distance exceeded
+)
+
+// String implements fmt.Stringer.
+func (r Reason) String() string {
+	switch r {
+	case ReasonNone:
+		return "none"
+	case ReasonInit:
+		return "init"
+	case ReasonDeviation:
+		return "deviation"
+	case ReasonLinkLost:
+		return "link-lost"
+	case ReasonRematch:
+		return "rematch"
+	case ReasonPeriodic:
+		return "periodic"
+	case ReasonMovement:
+		return "movement"
+	default:
+		return "unknown"
+	}
+}
+
+// Update is one protocol message from source to server.
+type Update struct {
+	Report Report
+	Reason Reason
+}
+
+// Wire format: fixed-size little-endian encoding.
+//
+//	seq u32 | t f64 | x f64 | y f64 | v f32 | heading f32 |
+//	link i32 | flags u8 | offset f32 | routeOffset f32 | omega f32
+const encodedSize = 4 + 8 + 8 + 8 + 4 + 4 + 4 + 1 + 4 + 4 + 4
+
+// EncodedSize returns the wire size of a report in bytes.
+func EncodedSize() int { return encodedSize }
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (r Report) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, encodedSize)
+	le := binary.LittleEndian
+	le.PutUint32(buf[0:], r.Seq)
+	le.PutUint64(buf[4:], math.Float64bits(r.T))
+	le.PutUint64(buf[12:], math.Float64bits(r.Pos.X))
+	le.PutUint64(buf[20:], math.Float64bits(r.Pos.Y))
+	le.PutUint32(buf[28:], math.Float32bits(float32(r.V)))
+	le.PutUint32(buf[32:], math.Float32bits(float32(r.Heading)))
+	le.PutUint32(buf[36:], uint32(int32(r.Link.Link)))
+	var flags uint8
+	if r.Link.Forward {
+		flags |= 1
+	}
+	buf[40] = flags
+	le.PutUint32(buf[41:], math.Float32bits(float32(r.Offset)))
+	le.PutUint32(buf[45:], math.Float32bits(float32(r.RouteOffset)))
+	le.PutUint32(buf[49:], math.Float32bits(float32(r.Omega)))
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (r *Report) UnmarshalBinary(data []byte) error {
+	if len(data) != encodedSize {
+		return fmt.Errorf("core: report size %d, want %d", len(data), encodedSize)
+	}
+	le := binary.LittleEndian
+	r.Seq = le.Uint32(data[0:])
+	r.T = math.Float64frombits(le.Uint64(data[4:]))
+	r.Pos.X = math.Float64frombits(le.Uint64(data[12:]))
+	r.Pos.Y = math.Float64frombits(le.Uint64(data[20:]))
+	r.V = float64(math.Float32frombits(le.Uint32(data[28:])))
+	r.Heading = float64(math.Float32frombits(le.Uint32(data[32:])))
+	r.Link.Link = roadmap.LinkID(int32(le.Uint32(data[36:])))
+	r.Link.Forward = data[40]&1 != 0
+	r.Offset = float64(math.Float32frombits(le.Uint32(data[41:])))
+	r.RouteOffset = float64(math.Float32frombits(le.Uint32(data[45:])))
+	r.Omega = float64(math.Float32frombits(le.Uint32(data[49:])))
+	return nil
+}

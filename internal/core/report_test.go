@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mapdr/internal/geo"
+	"mapdr/internal/roadmap"
+)
+
+func TestReportRoundTrip(t *testing.T) {
+	in := Report{
+		Seq:         42,
+		T:           1234.5,
+		Pos:         geo.Pt(1000.25, -2000.75),
+		V:           33.3,
+		Heading:     -1.25,
+		Link:        roadmap.Dir{Link: 77, Forward: true},
+		Offset:      512.5,
+		RouteOffset: 90000.25,
+	}
+	data, err := in.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != EncodedSize() {
+		t.Fatalf("size = %d, want %d", len(data), EncodedSize())
+	}
+	var out Report
+	if err := out.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if out.Seq != in.Seq || out.T != in.T || out.Pos != in.Pos {
+		t.Errorf("lossless fields changed: %+v", out)
+	}
+	// f32 fields round trip within float32 precision.
+	if math.Abs(out.V-in.V) > 1e-4 || math.Abs(out.Heading-in.Heading) > 1e-6 {
+		t.Errorf("V/Heading = %v/%v", out.V, out.Heading)
+	}
+	if out.Link != in.Link {
+		t.Errorf("Link = %+v", out.Link)
+	}
+	if math.Abs(out.Offset-in.Offset) > 1e-2 || math.Abs(out.RouteOffset-in.RouteOffset) > 1e-1 {
+		t.Errorf("offsets = %v/%v", out.Offset, out.RouteOffset)
+	}
+}
+
+func TestReportRoundTripNoLink(t *testing.T) {
+	in := Report{Seq: 1, Link: roadmap.NoDir}
+	data, _ := in.MarshalBinary()
+	var out Report
+	if err := out.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if out.Link.IsValid() {
+		t.Errorf("NoDir did not survive: %+v", out.Link)
+	}
+}
+
+func TestReportUnmarshalErrors(t *testing.T) {
+	var r Report
+	if err := r.UnmarshalBinary(make([]byte, 3)); err == nil {
+		t.Error("expected size error")
+	}
+	if err := r.UnmarshalBinary(make([]byte, EncodedSize()+1)); err == nil {
+		t.Error("expected size error")
+	}
+}
+
+func TestReportRoundTripProperty(t *testing.T) {
+	f := func(seq uint32, tt, x, y float64, v, h float32, link int32, fwd bool) bool {
+		clamp := func(f float64) float64 {
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				return 0
+			}
+			return f
+		}
+		in := Report{
+			Seq: seq, T: clamp(tt),
+			Pos:     geo.Pt(clamp(x), clamp(y)),
+			V:       math.Abs(float64(v)),
+			Heading: float64(h),
+			Link:    roadmap.Dir{Link: roadmap.LinkID(link), Forward: fwd},
+		}
+		if math.IsNaN(in.V) || math.IsInf(in.V, 0) || math.IsNaN(in.Heading) || math.IsInf(in.Heading, 0) {
+			return true
+		}
+		data, err := in.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var out Report
+		if err := out.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		return out.Seq == in.Seq && out.T == in.T && out.Pos == in.Pos &&
+			out.Link.Link == in.Link.Link && out.Link.Forward == in.Link.Forward
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReasonString(t *testing.T) {
+	for r := ReasonNone; r <= ReasonMovement; r++ {
+		if r.String() == "" || r.String() == "unknown" {
+			t.Errorf("reason %d unnamed", r)
+		}
+	}
+	if Reason(99).String() != "unknown" {
+		t.Error("out of range reason")
+	}
+}

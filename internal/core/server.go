@@ -1,0 +1,65 @@
+package core
+
+import (
+	"mapdr/internal/geo"
+)
+
+// Server is the location-server side of the protocol: it stores the last
+// reported object state and answers position queries by evaluating the
+// same prediction function as the source (paper Fig. 1, posQuery).
+type Server struct {
+	pred Predictor
+
+	last      Report
+	hasReport bool
+
+	updates int64
+	bytes   int64
+}
+
+// NewServer returns a server replica driven by the given predictor, which
+// must be configured identically to the source's.
+func NewServer(pred Predictor) *Server { return &Server{pred: pred} }
+
+// Apply ingests an update message.
+func (sv *Server) Apply(u Update) {
+	// Stale or duplicated messages (out-of-order delivery) are ignored:
+	// sequence numbers only move forward.
+	if sv.hasReport && u.Report.Seq <= sv.last.Seq {
+		return
+	}
+	sv.last = u.Report
+	sv.hasReport = true
+	sv.updates++
+	sv.bytes += int64(EncodedSize())
+}
+
+// Position answers a position query at time t. ok is false before the
+// first update arrives.
+func (sv *Server) Position(t float64) (geo.Point, bool) {
+	if !sv.hasReport {
+		return geo.Point{}, false
+	}
+	return sv.pred.Predict(sv.last, t), true
+}
+
+// State returns predicted position and heading at time t.
+func (sv *Server) State(t float64) (geo.Point, float64, bool) {
+	if !sv.hasReport {
+		return geo.Point{}, 0, false
+	}
+	p, h := PredictedState(sv.pred, sv.last, t)
+	return p, h, true
+}
+
+// LastReport returns the last applied report.
+func (sv *Server) LastReport() (Report, bool) { return sv.last, sv.hasReport }
+
+// Updates returns the number of updates applied.
+func (sv *Server) Updates() int64 { return sv.updates }
+
+// Bytes returns the total wire bytes of applied updates.
+func (sv *Server) Bytes() int64 { return sv.bytes }
+
+// Predictor returns the server's prediction function.
+func (sv *Server) Predictor() Predictor { return sv.pred }

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestAblationTurnProb(t *testing.T) {
+	ar, err := AblationTurnProb(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ar.Order) != 3 {
+		t.Fatalf("choosers = %v", ar.Order)
+	}
+	// User-specific turn probabilities learned from the driven route give
+	// the predictor perfect intersection knowledge: it must not be worse
+	// than the smallest-angle default on average over the sweep.
+	var saSum, probSum float64
+	for i := range ar.Values {
+		saSum += ar.Series["smallest-angle"][i]
+		probSum += ar.Series["most-probable"][i]
+	}
+	if probSum > saSum {
+		t.Errorf("probability chooser (%v total upd/h) worse than smallest angle (%v)", probSum, saSum)
+	}
+	if ar.Table().String() == "" {
+		t.Error("empty table")
+	}
+}
+
+func TestAblationKnownRoute(t *testing.T) {
+	ar, err := AblationKnownRoute(Freeway, testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Known-route DR is the optimal map-based protocol (§2): never more
+	// updates than map-based at any u_s.
+	for i, us := range ar.Values {
+		kr := ar.Series["known-route"][i]
+		mb := ar.Series["map-based"][i]
+		if kr > mb+1e-9 {
+			t.Errorf("u_s=%v: known-route %v > map-based %v", us, kr, mb)
+		}
+	}
+}
+
+func TestAblationWolfson(t *testing.T) {
+	ar, err := AblationWolfson(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"sdr", "adr", "dtdr"} {
+		series, ok := ar.Series[name]
+		if !ok || len(series) != len(ar.Values) {
+			t.Fatalf("missing series %q", name)
+		}
+		for i, v := range series {
+			if v < 0 {
+				t.Errorf("%s[%d] = %v", name, i, v)
+			}
+		}
+	}
+	// dtdr's decaying threshold must send at least as many updates as sdr.
+	for i := range ar.Values {
+		if ar.Series["dtdr"][i] < ar.Series["sdr"][i]-1e-9 {
+			t.Errorf("dtdr (%v) below sdr (%v) at u_s=%v",
+				ar.Series["dtdr"][i], ar.Series["sdr"][i], ar.Values[i])
+		}
+	}
+	// Cost accounting is present and sane for every policy, and adr's
+	// observable benefit holds: it never sends meaningfully more messages
+	// than the fixed threshold it was calibrated against.
+	for i := range ar.Values {
+		for _, name := range []string{"sdr", "adr", "dtdr"} {
+			if c := ar.SeriesCost[name][i]; !(c > 0) {
+				t.Errorf("%s cost %v at u_s=%v", name, c, ar.Values[i])
+			}
+		}
+		if ar.Series["adr"][i] > ar.Series["sdr"][i]*1.05 {
+			t.Errorf("adr sends %v upd/h vs sdr %v at u_s=%v",
+				ar.Series["adr"][i], ar.Series["sdr"][i], ar.Values[i])
+		}
+	}
+	// dtdr's decaying threshold must not cost accuracy: its mean error
+	// stays within a small factor of sdr's (at large u_s the decay has
+	// room to improve accuracy, at small u_s the two behave alike).
+	for i := range ar.Values {
+		if ar.SeriesErr["dtdr"][i] > ar.SeriesErr["sdr"][i]*1.15 {
+			t.Errorf("dtdr error (%v) far above sdr (%v) at u_s=%v",
+				ar.SeriesErr["dtdr"][i], ar.SeriesErr["sdr"][i], ar.Values[i])
+		}
+	}
+}
+
+func TestAblationMatchRadius(t *testing.T) {
+	ar, err := AblationMatchRadius(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ar.Series["map-based"]) != len(ar.Values) {
+		t.Fatal("series length mismatch")
+	}
+	// A pathologically small u_m (below sensor noise) must not beat the
+	// default 25 m: matching keeps failing and linear fall-back dominates.
+	tiny := ar.Series["map-based"][0] // u_m = 10
+	def := ar.Series["map-based"][2]  // u_m = 25
+	if def > tiny {
+		t.Errorf("u_m=25 (%v upd/h) worse than u_m=10 (%v)", def, tiny)
+	}
+}
+
+func TestAblationSightings(t *testing.T) {
+	// Freeway: small n is optimal (paper uses n=2); a huge window lags so
+	// much that updates increase.
+	ar, err := AblationSightings(Freeway, testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2 := ar.Series["linear-pred"][0]
+	n16 := ar.Series["linear-pred"][3]
+	if n2 > n16 {
+		t.Errorf("freeway: n=2 (%v upd/h) should not be worse than n=16 (%v)", n2, n16)
+	}
+}

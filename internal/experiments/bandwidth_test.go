@@ -1,0 +1,29 @@
+package experiments
+
+import "testing"
+
+func TestRunBandwidth(t *testing.T) {
+	rows, err := RunBandwidth(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4*3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.BytesPerH < 0 || r.PctOfNaive < 0 {
+			t.Errorf("%s/%s: negative cost", r.Scenario, r.Protocol)
+		}
+		// Every protocol beats naive 1 Hz reporting by a wide margin.
+		if r.PctOfNaive > 50 {
+			t.Errorf("%s/%s: %.1f%% of naive — protocol not paying off",
+				r.Scenario, r.Protocol, r.PctOfNaive)
+		}
+		// Bytes and updates are consistent (fixed-size messages).
+		wantBytes := r.UpdatesPerH * 53
+		if r.BytesPerH < wantBytes*0.99 || r.BytesPerH > wantBytes*1.01 {
+			t.Errorf("%s/%s: bytes %v vs updates %v inconsistent",
+				r.Scenario, r.Protocol, r.BytesPerH, r.UpdatesPerH)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// testOpts keeps scenario construction fast: ~10% of the paper's trace
+// lengths. Scenario construction is cached across tests.
+var testOpts = Options{Seed: 42, Scale: 0.1}
+
+func TestBuildAllScenarios(t *testing.T) {
+	for _, kind := range Kinds() {
+		sc, err := Cached(kind, testOpts)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if err := sc.Truth.Validate(); err != nil {
+			t.Errorf("%v truth: %v", kind, err)
+		}
+		if err := sc.Sensor.Validate(); err != nil {
+			t.Errorf("%v sensor: %v", kind, err)
+		}
+		if sc.Truth.Len() != sc.Sensor.Len() {
+			t.Errorf("%v: truth/sensor misaligned", kind)
+		}
+		if sc.Truth.Len() < 100 {
+			t.Errorf("%v: only %d samples", kind, sc.Truth.Len())
+		}
+		if sc.Graph.Connectivity() != 1 {
+			t.Errorf("%v: disconnected network", kind)
+		}
+	}
+}
+
+func TestScenarioSpeedBands(t *testing.T) {
+	// Average speeds must land in the movement-class bands of Table 1
+	// (freeway 103, inter-urban 60, city 34, walking 4.6 km/h) — wide
+	// tolerances since the scaled-down routes differ from the full runs.
+	bands := map[Kind][2]float64{
+		Freeway:    {80, 125},
+		InterUrban: {45, 85},
+		City:       {20, 48},
+		Walking:    {2.5, 6.5},
+	}
+	for kind, band := range bands {
+		sc, err := Cached(kind, testOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := sc.Truth.ComputeStats()
+		if st.AvgSpeedKmh < band[0] || st.AvgSpeedKmh > band[1] {
+			t.Errorf("%v: avg speed %.1f km/h outside [%v, %v]", kind, st.AvgSpeedKmh, band[0], band[1])
+		}
+	}
+}
+
+func TestScenarioDeterminism(t *testing.T) {
+	a, err := Build(Walking, Options{Seed: 5, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(Walking, Options{Seed: 5, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Truth.Len() != b.Truth.Len() {
+		t.Fatal("same seed, different traces")
+	}
+	for i := range a.Truth.Samples {
+		if a.Truth.Samples[i] != b.Truth.Samples[i] {
+			t.Fatal("same seed, different truth samples")
+		}
+		if a.Sensor.Samples[i] != b.Sensor.Samples[i] {
+			t.Fatal("same seed, different sensor samples")
+		}
+	}
+}
+
+func TestUSValues(t *testing.T) {
+	car := USValues(Freeway)
+	if car[0] != 20 || car[len(car)-1] != 500 {
+		t.Errorf("car sweep = %v", car)
+	}
+	walk := USValues(Walking)
+	if walk[0] != 20 || walk[len(walk)-1] != 250 {
+		t.Errorf("walking sweep = %v", walk)
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	rows, err := RunTable1(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Ordering of scenarios matches Table 1: freeway fastest, walking slowest.
+	if rows[0].Stats.AvgSpeedKmh <= rows[3].Stats.AvgSpeedKmh {
+		t.Error("freeway should be faster than walking")
+	}
+	out := Table1Table(rows).String()
+	if len(out) == 0 {
+		t.Error("empty table")
+	}
+}
+
+func TestRunFigureFreeway(t *testing.T) {
+	fr, err := RunFigure(Freeway, testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Rows) != len(USValues(Freeway)) || len(fr.Protocols) != 3 {
+		t.Fatalf("shape: %d rows, %d protocols", len(fr.Rows), len(fr.Protocols))
+	}
+	h := ComputeHeadline(fr)
+	// Paper headline shapes: linear DR cuts ≥60% vs distance-based at its
+	// best point; map-based cuts ≥40% vs linear; ordering holds everywhere
+	// on the freeway.
+	if h.MaxLinearVsDistance < 60 {
+		t.Errorf("linear vs distance reduction = %.0f%%", h.MaxLinearVsDistance)
+	}
+	if h.MaxMapVsLinear < 40 {
+		t.Errorf("map vs linear reduction = %.0f%%", h.MaxMapVsLinear)
+	}
+	if !h.OrderingHoldsEverywhere {
+		t.Error("map <= linear <= distance-based violated on freeway")
+	}
+	// Relative columns: distance-based is always 100.
+	for _, row := range fr.Rows {
+		if row.Relative[0] < 100-1e-9 || row.Relative[0] > 100+1e-9 {
+			t.Errorf("baseline relative = %v", row.Relative[0])
+		}
+	}
+	if fr.Table().String() == "" {
+		t.Error("empty figure table")
+	}
+}
+
+func TestRunFigureWalkingShape(t *testing.T) {
+	fr, err := RunFigure(Walking, testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := ComputeHeadline(fr)
+	// For the walking person the paper reports smaller gains and allows
+	// linear to win at the tightest accuracy; require only that map-based
+	// beats distance-based somewhere and stays within 2x of linear at
+	// u_s=20 (no pathological blow-up).
+	if h.MaxMapVsDistance <= 0 {
+		t.Error("map-based never beat distance-based while walking")
+	}
+	first := fr.Rows[0]
+	if first.US != 20 {
+		t.Fatalf("first sweep point = %v", first.US)
+	}
+	if first.UpdatesPerH[2] > 2*first.UpdatesPerH[1] {
+		t.Errorf("walking u_s=20: map %.0f vs linear %.0f upd/h — matcher pathology",
+			first.UpdatesPerH[2], first.UpdatesPerH[1])
+	}
+}
+
+func TestRunTrailFig3Fig6(t *testing.T) {
+	const window = 600 // first 10 minutes of the freeway trace
+	lin, err := RunTrail(Freeway, testOpts, "linear-pred", window, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := RunTrail(Freeway, testOpts, "map-based", window, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 3 shows 9 linear updates, Fig. 6 shows 3 map-based updates on
+	// the same stretch: require the map-based count to be strictly lower.
+	if mb.Count >= lin.Count {
+		t.Errorf("map-based trail %d updates, linear %d", mb.Count, lin.Count)
+	}
+	if lin.Count == 0 {
+		t.Error("linear trail has no updates")
+	}
+	if _, err := RunTrail(Freeway, testOpts, "nope", window, 100); err == nil {
+		t.Error("unknown protocol should fail")
+	}
+}
+
+func TestComputeHeadlineSynthetic(t *testing.T) {
+	fr := &FigureResult{
+		Kind:      Freeway,
+		Protocols: []string{"distance-based", "linear-pred", "map-based"},
+		Rows: []FigureRow{
+			{US: 100, UpdatesPerH: []float64{100, 40, 20}},
+			{US: 200, UpdatesPerH: []float64{50, 10, 8}},
+		},
+	}
+	h := ComputeHeadline(fr)
+	if h.MaxLinearVsDistance != 80 { // (50-10)/50
+		t.Errorf("lin vs db = %v", h.MaxLinearVsDistance)
+	}
+	if h.MaxMapVsLinear != 50 { // (40-20)/40
+		t.Errorf("map vs lin = %v", h.MaxMapVsLinear)
+	}
+	if h.MaxMapVsDistance != 84 { // (50-8)/50
+		t.Errorf("map vs db = %v", h.MaxMapVsDistance)
+	}
+	if !h.OrderingHoldsEverywhere || !h.MapWinsEverywhere {
+		t.Error("ordering flags wrong")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for _, k := range Kinds() {
+		if k.String() == "" {
+			t.Errorf("kind %d unnamed", k)
+		}
+	}
+	if Kind(9).String() != "kind(9)" {
+		t.Error("out of range kind")
+	}
+}

@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mapdr/internal/core"
+	"mapdr/internal/histmap"
+	"mapdr/internal/netsim"
+	"mapdr/internal/sim"
+	"mapdr/internal/trace"
+)
+
+// AblationPredictors compares the full predictor family on the
+// inter-urban scenario, where both curves (CTRV vs linear) and speed-limit
+// changes through villages (speed-capped map predictor, paper §6 future
+// work) matter.
+func AblationPredictors(opts Options) (*AblationResult, error) {
+	sc, err := Cached(InterUrban, opts)
+	if err != nil {
+		return nil, err
+	}
+	specs := []sim.ProtocolSpec{
+		{
+			Name: "linear-pred",
+			Build: func(us float64) (*core.Source, *core.Server, error) {
+				src, err := core.NewSource(srcConfig(sc, us), core.LinearPredictor{})
+				return src, core.NewServer(core.LinearPredictor{}), err
+			},
+		},
+		{
+			Name: "ctrv",
+			Build: func(us float64) (*core.Source, *core.Server, error) {
+				src, err := core.NewSource(srcConfig(sc, us), core.CTRVPredictor{})
+				return src, core.NewServer(core.CTRVPredictor{}), err
+			},
+		},
+		{
+			Name: "map-based",
+			Build: func(us float64) (*core.Source, *core.Server, error) {
+				src, err := core.NewMapSource(srcConfig(sc, us), core.NewMapPredictor(sc.Graph))
+				return src, core.NewServer(core.NewMapPredictor(sc.Graph)), err
+			},
+		},
+		{
+			Name: "map+speedlimit",
+			Build: func(us float64) (*core.Source, *core.Server, error) {
+				src, err := core.NewMapSource(srcConfig(sc, us), core.NewSpeedCappedMapPredictor(sc.Graph, true))
+				return src, core.NewServer(core.NewSpeedCappedMapPredictor(sc.Graph, true)), err
+			},
+		},
+	}
+	ar := &AblationResult{
+		Name:   "predictors",
+		Param:  "u_s [m]",
+		Values: []float64{50, 100, 200},
+		Series: map[string][]float64{},
+	}
+	for _, spec := range specs {
+		ar.Order = append(ar.Order, spec.Name)
+		for _, us := range ar.Values {
+			res, err := runSpec(sc, spec, us)
+			if err != nil {
+				return nil, err
+			}
+			ar.Series[spec.Name] = append(ar.Series[spec.Name], res.UpdatesPerH)
+		}
+	}
+	return ar, nil
+}
+
+// HistoryLearningResult reports the §2 history-based dead-reckoning
+// convergence: protocol performance on a map learned from k past trips
+// versus the true map.
+type HistoryLearningResult struct {
+	Trips       []int     // learning set sizes
+	UpdatesPerH []float64 // learned-map map-based DR at u_s=100
+	TrueMap     float64   // true-map map-based DR at u_s=100
+	Linear      float64   // linear DR baseline (no map at all)
+	Coverage    []float64 // learned cells per trip count
+}
+
+// RunHistoryLearning learns a map from repeated traversals of the city
+// route (fresh sensor noise per trip) and measures how map-based DR over
+// the learned map converges toward the true-map performance.
+func RunHistoryLearning(opts Options) (*HistoryLearningResult, error) {
+	sc, err := Cached(City, opts)
+	if err != nil {
+		return nil, err
+	}
+	const us = 100.0
+	specs := PaperSpecs(sc)
+	trueRes, err := runSpec(sc, specs[2], us)
+	if err != nil {
+		return nil, err
+	}
+	linRes, err := runSpec(sc, specs[1], us)
+	if err != nil {
+		return nil, err
+	}
+	out := &HistoryLearningResult{
+		Trips:   []int{2, 4, 8},
+		TrueMap: trueRes.UpdatesPerH,
+		Linear:  linRes.UpdatesPerH,
+	}
+	learner := histmap.New(histmap.Config{CellSize: 25, MinVisits: 2})
+	added := 0
+	for _, k := range out.Trips {
+		for added < k {
+			added++
+			noisy := trace.ApplyNoise(sc.Truth, trace.NewGaussMarkov(opts.Seed+int64(added)*131, noiseSigma, noiseTau))
+			learner.AddTrace(noisy)
+		}
+		res, err := learner.Build()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: history build at k=%d: %w", k, err)
+		}
+		spec := sim.ProtocolSpec{
+			Name: fmt.Sprintf("learned-k%d", k),
+			Build: func(us float64) (*core.Source, *core.Server, error) {
+				src, err := core.NewMapSource(srcConfig(sc, us), core.NewMapPredictor(res.Graph))
+				return src, core.NewServer(core.NewMapPredictor(res.Graph)), err
+			},
+		}
+		r, err := runSpec(sc, spec, us)
+		if err != nil {
+			return nil, err
+		}
+		out.UpdatesPerH = append(out.UpdatesPerH, r.UpdatesPerH)
+		out.Coverage = append(out.Coverage, float64(res.CoveredCells))
+	}
+	return out, nil
+}
+
+// BandwidthRow is one protocol's wire cost on one scenario at u_s=100 m.
+type BandwidthRow struct {
+	Scenario    string
+	Protocol    string
+	UpdatesPerH float64
+	BytesPerH   float64
+	PctOfNaive  float64 // relative to reporting every 1 Hz sensor fix
+}
+
+// RunBandwidth measures the wire cost of the three protocols against the
+// naive report-every-fix baseline — the paper's motivation ("bandwidth in
+// wireless WAN communication is still scarce and expensive", §1).
+func RunBandwidth(opts Options) ([]BandwidthRow, error) {
+	const us = 100.0
+	naiveBytesPerH := 3600 * float64(core.EncodedSize())
+	var out []BandwidthRow
+	for _, kind := range Kinds() {
+		sc, err := Cached(kind, opts)
+		if err != nil {
+			return nil, err
+		}
+		for _, spec := range PaperSpecs(sc) {
+			res, err := runSpec(sc, spec, us)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, BandwidthRow{
+				Scenario:    kind.String(),
+				Protocol:    spec.Name,
+				UpdatesPerH: res.UpdatesPerH,
+				BytesPerH:   res.BytesPerH,
+				PctOfNaive:  100 * res.BytesPerH / naiveBytesPerH,
+			})
+		}
+	}
+	return out, nil
+}
+
+// DisconnectionResult compares sdr and dtdr across a link outage
+// (Wolfson's motivation for dtdr: a silent source should imply a tighter
+// uncertainty bound so the server's error during a disconnection shrinks).
+type DisconnectionResult struct {
+	Policies []string
+	// MeanErr and MaxErr are server errors vs ground truth over the whole
+	// run including the outage window.
+	MeanErr, MaxErr []float64
+	Updates         []int64
+}
+
+// RunDisconnection runs linear DR on the freeway trace with a 120 s link
+// outage in the middle, under sdr and dtdr thresholds.
+func RunDisconnection(opts Options) (*DisconnectionResult, error) {
+	sc, err := Cached(Freeway, opts)
+	if err != nil {
+		return nil, err
+	}
+	const us = 200.0
+	mid := sc.Truth.Duration() / 2
+	mkLink := func() *netsim.Link {
+		l := netsim.NewPerfect()
+		l.Disconnections = []netsim.Window{{From: mid, To: mid + 120}}
+		return l
+	}
+	out := &DisconnectionResult{}
+	type pol struct {
+		name string
+		mk   func() core.ThresholdPolicy
+	}
+	for _, p := range []pol{
+		{"sdr", func() core.ThresholdPolicy { return core.FixedThreshold{US: us} }},
+		{"dtdr", func() core.ThresholdPolicy { return core.NewDTDRThreshold(us, 120, sensorUP/2) }},
+	} {
+		cfg := srcConfig(sc, us)
+		cfg.Threshold = p.mk()
+		src, err := core.NewSource(cfg, core.LinearPredictor{})
+		if err != nil {
+			return nil, err
+		}
+		run := sim.Run{
+			Truth:  sc.Truth,
+			Sensor: sc.Sensor,
+			Source: src,
+			Server: core.NewServer(core.LinearPredictor{}),
+			Link:   mkLink(),
+		}
+		res, err := run.Execute(us)
+		if err != nil {
+			return nil, err
+		}
+		out.Policies = append(out.Policies, p.name)
+		out.MeanErr = append(out.MeanErr, res.ErrTruth.Mean())
+		out.MaxErr = append(out.MaxErr, res.ErrTruth.Max())
+		out.Updates = append(out.Updates, res.Updates)
+	}
+	return out, nil
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import "testing"
+
+func TestAblationPredictors(t *testing.T) {
+	ar, err := AblationPredictors(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ar.Order) != 4 {
+		t.Fatalf("predictors = %v", ar.Order)
+	}
+	// Shape requirements on inter-urban roads at every u_s point:
+	// the map-based family beats the map-less predictors.
+	for i, us := range ar.Values {
+		lin := ar.Series["linear-pred"][i]
+		mb := ar.Series["map-based"][i]
+		if mb > lin {
+			t.Errorf("u_s=%v: map-based %v above linear %v", us, mb, lin)
+		}
+	}
+	// CTRV is at least competitive with linear on winding roads at the
+	// tightest bound (it follows curves for a while).
+	if ar.Series["ctrv"][0] > ar.Series["linear-pred"][0]*1.3 {
+		t.Errorf("ctrv %v far above linear %v at u_s=50",
+			ar.Series["ctrv"][0], ar.Series["linear-pred"][0])
+	}
+}
+
+func TestRunHistoryLearning(t *testing.T) {
+	hr, err := RunHistoryLearning(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hr.UpdatesPerH) != len(hr.Trips) {
+		t.Fatalf("series length %d", len(hr.UpdatesPerH))
+	}
+	// Coverage grows (or at least does not shrink) with more trips.
+	for i := 1; i < len(hr.Coverage); i++ {
+		if hr.Coverage[i] < hr.Coverage[i-1] {
+			t.Errorf("coverage shrank: %v", hr.Coverage)
+		}
+	}
+	// With the most trips, the learned map must be usable: its update
+	// rate lands within 2x of the true map's and below plain linear DR's
+	// 1.5x band (the §2 equivalence claim, allowing learning roughness).
+	last := hr.UpdatesPerH[len(hr.UpdatesPerH)-1]
+	if last > 2*hr.TrueMap {
+		t.Errorf("learned-map DR %v vs true map %v: not converging", last, hr.TrueMap)
+	}
+	if last > 1.5*hr.Linear {
+		t.Errorf("learned-map DR %v far above linear %v", last, hr.Linear)
+	}
+}
+
+func TestRunDisconnection(t *testing.T) {
+	dr, err := RunDisconnection(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dr.Policies) != 2 {
+		t.Fatalf("policies = %v", dr.Policies)
+	}
+	// dtdr sends at least as many updates and its worst-case error across
+	// the outage must not exceed sdr's (that is dtdr's purpose).
+	if dr.Updates[1] < dr.Updates[0] {
+		t.Errorf("dtdr updates %d below sdr %d", dr.Updates[1], dr.Updates[0])
+	}
+	if dr.MaxErr[1] > dr.MaxErr[0]*1.05 {
+		t.Errorf("dtdr max error %v above sdr %v", dr.MaxErr[1], dr.MaxErr[0])
+	}
+}

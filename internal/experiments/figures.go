@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mapdr/internal/core"
+	"mapdr/internal/geo"
+	"mapdr/internal/sim"
+	"mapdr/internal/stats"
+	"mapdr/internal/trace"
+)
+
+// srcConfig returns the protocol source configuration for a scenario.
+func srcConfig(sc *Scenario, us float64) core.SourceConfig {
+	return core.SourceConfig{US: us, UP: sc.UP, Sightings: sc.Sightings}
+}
+
+// PaperSpecs returns the three protocols of the paper's evaluation:
+// distance-based reporting, linear-prediction DR and map-based DR.
+func PaperSpecs(sc *Scenario) []sim.ProtocolSpec {
+	return []sim.ProtocolSpec{
+		{
+			Name: "distance-based",
+			Build: func(us float64) (*core.Source, *core.Server, error) {
+				src, err := core.NewSource(srcConfig(sc, us), core.StaticPredictor{})
+				return src, core.NewServer(core.StaticPredictor{}), err
+			},
+		},
+		{
+			Name: "linear-pred",
+			Build: func(us float64) (*core.Source, *core.Server, error) {
+				src, err := core.NewSource(srcConfig(sc, us), core.LinearPredictor{})
+				return src, core.NewServer(core.LinearPredictor{}), err
+			},
+		},
+		{
+			Name: "map-based",
+			Build: func(us float64) (*core.Source, *core.Server, error) {
+				pred := core.NewMapPredictor(sc.Graph)
+				src, err := core.NewMapSource(srcConfig(sc, us), pred)
+				return src, core.NewServer(core.NewMapPredictor(sc.Graph)), err
+			},
+		},
+	}
+}
+
+// FigureRow is one u_s point of a Fig. 7-10 plot.
+type FigureRow struct {
+	US          float64
+	UpdatesPerH []float64 // per protocol, absolute (left plot)
+	Relative    []float64 // per protocol, % of distance-based (right plot)
+}
+
+// FigureResult is the full data behind one of Figs. 7-10.
+type FigureResult struct {
+	Kind      Kind
+	Protocols []string
+	Rows      []FigureRow
+	// Points carries the raw results for deeper inspection.
+	Points []sim.SweepPoint
+}
+
+// RunFigure reproduces one of the paper's Figs. 7-10: updates per hour,
+// absolute and relative to distance-based reporting, over the u_s sweep.
+func RunFigure(kind Kind, opts Options) (*FigureResult, error) {
+	sc, err := Cached(kind, opts)
+	if err != nil {
+		return nil, err
+	}
+	specs := PaperSpecs(sc)
+	sw := sim.Sweep{
+		Truth:    sc.Truth,
+		Sensor:   sc.Sensor,
+		Specs:    specs,
+		USValues: USValues(kind),
+	}
+	points, err := sw.Execute()
+	if err != nil {
+		return nil, err
+	}
+	fr := &FigureResult{Kind: kind, Points: points}
+	for _, s := range specs {
+		fr.Protocols = append(fr.Protocols, s.Name)
+	}
+	for _, pt := range points {
+		row := FigureRow{US: pt.US}
+		base := pt.Results[0] // distance-based is always first
+		for _, res := range pt.Results {
+			row.UpdatesPerH = append(row.UpdatesPerH, res.UpdatesPerH)
+			row.Relative = append(row.Relative, sim.RelativeTo(res, base))
+		}
+		fr.Rows = append(fr.Rows, row)
+	}
+	return fr, nil
+}
+
+// Table renders the figure data as a text table.
+func (fr *FigureResult) Table() *stats.Table {
+	header := []string{"u_s [m]"}
+	for _, p := range fr.Protocols {
+		header = append(header, p+" [upd/h]")
+	}
+	for _, p := range fr.Protocols {
+		header = append(header, p+" [%]")
+	}
+	tb := stats.NewTable(header...)
+	for _, row := range fr.Rows {
+		cells := []any{row.US}
+		for _, v := range row.UpdatesPerH {
+			cells = append(cells, v)
+		}
+		for _, v := range row.Relative {
+			cells = append(cells, v)
+		}
+		tb.AddRow(cells...)
+	}
+	return tb
+}
+
+// Table1Row is one line of the paper's Table 1.
+type Table1Row struct {
+	Scenario string
+	Stats    trace.Stats
+}
+
+// RunTable1 reproduces Table 1: the characteristics of the four traces.
+func RunTable1(opts Options) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, kind := range Kinds() {
+		sc, err := Cached(kind, opts)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table1Row{Scenario: kind.String(), Stats: sc.Truth.ComputeStats()})
+	}
+	return rows, nil
+}
+
+// Table1Table renders Table 1.
+func Table1Table(rows []Table1Row) *stats.Table {
+	tb := stats.NewTable("scenario", "length [km]", "duration [h]", "avg speed [km/h]", "max speed [km/h]")
+	for _, r := range rows {
+		tb.AddRow(r.Scenario,
+			fmt.Sprintf("%.0f", r.Stats.LengthKm),
+			fmt.Sprintf("%.2f", r.Stats.DurationH),
+			fmt.Sprintf("%.0f", r.Stats.AvgSpeedKmh),
+			fmt.Sprintf("%.0f", r.Stats.MaxSpeedKmh))
+	}
+	return tb
+}
+
+// UpdateTrail runs one protocol over a time slice of a scenario and
+// returns the positions at which updates were sent — the Fig. 3 / Fig. 6
+// artifact (9 linear-prediction updates vs 3 map-based updates on the
+// same freeway stretch).
+type UpdateTrail struct {
+	Protocol string
+	Updates  []geo.Point
+	Truth    *trace.Trace
+	Count    int
+}
+
+// RunTrail computes the update trail for the named protocol ("linear-pred"
+// or "map-based") on the first window seconds of the scenario at the given
+// u_s.
+func RunTrail(kind Kind, opts Options, protocol string, window, us float64) (*UpdateTrail, error) {
+	sc, err := Cached(kind, opts)
+	if err != nil {
+		return nil, err
+	}
+	truth := sc.Truth.Slice(0, window)
+	sensor := sc.Sensor.Slice(0, window)
+	var spec *sim.ProtocolSpec
+	for _, s := range PaperSpecs(sc) {
+		if s.Name == protocol {
+			s := s
+			spec = &s
+			break
+		}
+	}
+	if spec == nil {
+		return nil, fmt.Errorf("experiments: unknown protocol %q", protocol)
+	}
+	src, _, err := spec.Build(us)
+	if err != nil {
+		return nil, err
+	}
+	trail := &UpdateTrail{Protocol: protocol, Truth: truth}
+	for i := range sensor.Samples {
+		s := sensor.Samples[i]
+		if u, ok := src.OnSample(trace.Sample{T: s.T, Pos: s.Pos}); ok {
+			trail.Updates = append(trail.Updates, u.Report.Pos)
+		}
+	}
+	trail.Count = len(trail.Updates)
+	return trail, nil
+}
+
+// Headline summarises the paper's §1/§6 claims from the figure data:
+// the maximum reduction of linear DR vs distance-based, map-based vs
+// linear, and map-based vs distance-based (overall).
+type Headline struct {
+	Kind                    Kind
+	MaxLinearVsDistance     float64 // %, best over the u_s sweep
+	MaxMapVsLinear          float64
+	MaxMapVsDistance        float64
+	MapWinsEverywhere       bool // map-based <= linear at every u_s
+	OrderingHoldsEverywhere bool
+}
+
+// ComputeHeadline derives the headline numbers from a figure result.
+func ComputeHeadline(fr *FigureResult) Headline {
+	h := Headline{Kind: fr.Kind, MapWinsEverywhere: true, OrderingHoldsEverywhere: true}
+	reduction := func(from, to float64) float64 {
+		if from <= 0 {
+			return 0
+		}
+		return 100 * (from - to) / from
+	}
+	for _, row := range fr.Rows {
+		db, lin, mb := row.UpdatesPerH[0], row.UpdatesPerH[1], row.UpdatesPerH[2]
+		if r := reduction(db, lin); r > h.MaxLinearVsDistance {
+			h.MaxLinearVsDistance = r
+		}
+		if r := reduction(lin, mb); r > h.MaxMapVsLinear {
+			h.MaxMapVsLinear = r
+		}
+		if r := reduction(db, mb); r > h.MaxMapVsDistance {
+			h.MaxMapVsDistance = r
+		}
+		if mb > lin {
+			h.MapWinsEverywhere = false
+		}
+		if !(mb <= lin && lin <= db) {
+			h.OrderingHoldsEverywhere = false
+		}
+	}
+	return h
+}

@@ -1,0 +1,52 @@
+package geo
+
+import "math"
+
+// EarthRadius is the mean Earth radius in metres (IUGG).
+const EarthRadius = 6371008.8
+
+// LatLon is a WGS84 geodetic coordinate in degrees.
+type LatLon struct {
+	Lat, Lon float64
+}
+
+// Haversine returns the great-circle distance between two geodetic
+// coordinates in metres.
+func Haversine(a, b LatLon) float64 {
+	lat1, lon1 := Rad(a.Lat), Rad(a.Lon)
+	lat2, lon2 := Rad(b.Lat), Rad(b.Lon)
+	dLat, dLon := lat2-lat1, lon2-lon1
+	s := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * EarthRadius * math.Asin(math.Min(1, math.Sqrt(s)))
+}
+
+// Projection maps WGS84 coordinates into a local tangent plane centred on
+// an origin coordinate, using an equirectangular approximation. At the
+// scales relevant here (tens of kilometres) the approximation error is far
+// below GPS sensor noise.
+type Projection struct {
+	Origin LatLon
+	cosLat float64
+}
+
+// NewProjection returns a Projection centred on origin.
+func NewProjection(origin LatLon) *Projection {
+	return &Projection{Origin: origin, cosLat: math.Cos(Rad(origin.Lat))}
+}
+
+// Forward maps a geodetic coordinate to planar metres.
+func (pr *Projection) Forward(ll LatLon) Point {
+	return Point{
+		X: EarthRadius * Rad(ll.Lon-pr.Origin.Lon) * pr.cosLat,
+		Y: EarthRadius * Rad(ll.Lat-pr.Origin.Lat),
+	}
+}
+
+// Inverse maps planar metres back to a geodetic coordinate.
+func (pr *Projection) Inverse(p Point) LatLon {
+	return LatLon{
+		Lat: pr.Origin.Lat + Deg(p.Y/EarthRadius),
+		Lon: pr.Origin.Lon + Deg(p.X/(EarthRadius*pr.cosLat)),
+	}
+}

@@ -1,0 +1,61 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHaversineKnownDistance(t *testing.T) {
+	// Stuttgart to Munich is roughly 190 km.
+	stuttgart := LatLon{Lat: 48.7758, Lon: 9.1829}
+	munich := LatLon{Lat: 48.1351, Lon: 11.5820}
+	d := Haversine(stuttgart, munich)
+	if d < 185e3 || d > 200e3 {
+		t.Errorf("Stuttgart-Munich = %v m", d)
+	}
+	if Haversine(stuttgart, stuttgart) != 0 {
+		t.Error("distance to self should be 0")
+	}
+}
+
+func TestProjectionRoundTrip(t *testing.T) {
+	pr := NewProjection(LatLon{Lat: 48.7758, Lon: 9.1829})
+	f := func(dLat, dLon float64) bool {
+		if math.IsNaN(dLat) || math.IsInf(dLat, 0) || math.IsNaN(dLon) || math.IsInf(dLon, 0) {
+			return true
+		}
+		// Stay within ~1 degree of the origin (≈100 km).
+		ll := LatLon{
+			Lat: 48.7758 + math.Mod(dLat, 1),
+			Lon: 9.1829 + math.Mod(dLon, 1),
+		}
+		back := pr.Inverse(pr.Forward(ll))
+		return approx(back.Lat, ll.Lat, 1e-9) && approx(back.Lon, ll.Lon, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProjectionDistanceAgreement(t *testing.T) {
+	// Planar distance must agree with the haversine distance to well under
+	// sensor noise (a few metres) at city scale.
+	pr := NewProjection(LatLon{Lat: 48.7758, Lon: 9.1829})
+	a := LatLon{Lat: 48.78, Lon: 9.18}
+	b := LatLon{Lat: 48.80, Lon: 9.25}
+	planar := pr.Forward(a).Dist(pr.Forward(b))
+	geodesic := Haversine(a, b)
+	if math.Abs(planar-geodesic) > 5 {
+		t.Errorf("planar %v vs geodesic %v", planar, geodesic)
+	}
+}
+
+func TestProjectionOriginMapsToZero(t *testing.T) {
+	origin := LatLon{Lat: 10, Lon: 20}
+	pr := NewProjection(origin)
+	p := pr.Forward(origin)
+	if p.Norm() > eps {
+		t.Errorf("origin maps to %v", p)
+	}
+}

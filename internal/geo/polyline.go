@@ -1,0 +1,211 @@
+package geo
+
+import "math"
+
+// Polyline is an ordered sequence of vertices describing a piecewise-linear
+// curve. Road link geometry (intersection, shape points, intersection) is a
+// Polyline.
+type Polyline []Point
+
+// Length returns the total length of the polyline.
+func (pl Polyline) Length() float64 {
+	var total float64
+	for i := 1; i < len(pl); i++ {
+		total += pl[i-1].Dist(pl[i])
+	}
+	return total
+}
+
+// CumLengths returns the cumulative arc length at every vertex. The result
+// has len(pl) entries; entry 0 is 0 and the last entry equals Length().
+// Returns nil for an empty polyline.
+func (pl Polyline) CumLengths() []float64 {
+	if len(pl) == 0 {
+		return nil
+	}
+	cum := make([]float64, len(pl))
+	for i := 1; i < len(pl); i++ {
+		cum[i] = cum[i-1] + pl[i-1].Dist(pl[i])
+	}
+	return cum
+}
+
+// Bounds returns the bounding rectangle of all vertices.
+func (pl Polyline) Bounds() Rect { return RectFromPoints(pl...) }
+
+// Segment returns the i-th segment (from vertex i to vertex i+1).
+func (pl Polyline) Segment(i int) Segment { return Segment{A: pl[i], B: pl[i+1]} }
+
+// NumSegments returns the number of segments in the polyline.
+func (pl Polyline) NumSegments() int {
+	if len(pl) < 2 {
+		return 0
+	}
+	return len(pl) - 1
+}
+
+// PointAtLength returns the point at arc length s from the start. s is
+// clamped to [0, Length()]. Panics on an empty polyline.
+func (pl Polyline) PointAtLength(s float64) Point {
+	p, _ := pl.PosAtLength(s)
+	return p
+}
+
+// PosAtLength returns the point at arc length s from the start along with
+// the heading of the containing segment. s is clamped to [0, Length()].
+// For a single-vertex polyline the heading is 0.
+func (pl Polyline) PosAtLength(s float64) (Point, float64) {
+	if len(pl) == 0 {
+		panic("geo: PosAtLength on empty polyline")
+	}
+	if len(pl) == 1 {
+		return pl[0], 0
+	}
+	if s <= 0 {
+		return pl[0], pl.Segment(0).Heading()
+	}
+	remaining := s
+	for i := 1; i < len(pl); i++ {
+		d := pl[i-1].Dist(pl[i])
+		if remaining <= d {
+			seg := Segment{A: pl[i-1], B: pl[i]}
+			if d == 0 {
+				return pl[i], seg.Heading()
+			}
+			return seg.PointAt(remaining / d), seg.Heading()
+		}
+		remaining -= d
+	}
+	last := pl.Segment(len(pl) - 2)
+	return pl[len(pl)-1], last.Heading()
+}
+
+// Projection is the result of projecting a point onto a polyline.
+type PolylineProjection struct {
+	Point   Point   // nearest point on the polyline
+	Offset  float64 // arc length from the start of the polyline to Point
+	Dist    float64 // distance from the query point to Point
+	Segment int     // index of the segment containing Point
+}
+
+// Project returns the closest point on the polyline to p. Panics on a
+// polyline with fewer than 1 vertex.
+func (pl Polyline) Project(p Point) PolylineProjection {
+	if len(pl) == 0 {
+		panic("geo: Project on empty polyline")
+	}
+	if len(pl) == 1 {
+		return PolylineProjection{Point: pl[0], Offset: 0, Dist: p.Dist(pl[0])}
+	}
+	best := PolylineProjection{Dist: math.Inf(1)}
+	var walked float64
+	for i := 0; i < len(pl)-1; i++ {
+		seg := Segment{A: pl[i], B: pl[i+1]}
+		segLen := seg.Length()
+		q, t := seg.ClosestPoint(p)
+		d := p.Dist(q)
+		if d < best.Dist {
+			best = PolylineProjection{
+				Point:   q,
+				Offset:  walked + t*segLen,
+				Dist:    d,
+				Segment: i,
+			}
+		}
+		walked += segLen
+	}
+	return best
+}
+
+// Reversed returns a copy of the polyline with vertex order reversed.
+func (pl Polyline) Reversed() Polyline {
+	out := make(Polyline, len(pl))
+	for i, p := range pl {
+		out[len(pl)-1-i] = p
+	}
+	return out
+}
+
+// Clone returns a deep copy of the polyline.
+func (pl Polyline) Clone() Polyline {
+	out := make(Polyline, len(pl))
+	copy(out, pl)
+	return out
+}
+
+// Resample returns a polyline with vertices spaced at most step apart,
+// preserving the original vertices. step must be positive.
+func (pl Polyline) Resample(step float64) Polyline {
+	if step <= 0 {
+		panic("geo: Resample step must be positive")
+	}
+	if len(pl) < 2 {
+		return pl.Clone()
+	}
+	out := Polyline{pl[0]}
+	for i := 1; i < len(pl); i++ {
+		seg := Segment{A: pl[i-1], B: pl[i]}
+		d := seg.Length()
+		if d > step {
+			n := int(math.Ceil(d / step))
+			for k := 1; k < n; k++ {
+				out = append(out, seg.PointAt(float64(k)/float64(n)))
+			}
+		}
+		out = append(out, pl[i])
+	}
+	return out
+}
+
+// Simplify returns a simplified polyline using the Douglas-Peucker
+// algorithm with the given tolerance. Endpoints are always preserved.
+func (pl Polyline) Simplify(tol float64) Polyline {
+	if len(pl) < 3 {
+		return pl.Clone()
+	}
+	keep := make([]bool, len(pl))
+	keep[0], keep[len(pl)-1] = true, true
+	var rec func(lo, hi int)
+	rec = func(lo, hi int) {
+		if hi-lo < 2 {
+			return
+		}
+		seg := Segment{A: pl[lo], B: pl[hi]}
+		maxDist, maxIdx := -1.0, -1
+		for i := lo + 1; i < hi; i++ {
+			if d := seg.DistanceTo(pl[i]); d > maxDist {
+				maxDist, maxIdx = d, i
+			}
+		}
+		if maxDist > tol {
+			keep[maxIdx] = true
+			rec(lo, maxIdx)
+			rec(maxIdx, hi)
+		}
+	}
+	rec(0, len(pl)-1)
+	out := make(Polyline, 0, len(pl))
+	for i, k := range keep {
+		if k {
+			out = append(out, pl[i])
+		}
+	}
+	return out
+}
+
+// HeadingAtVertex returns a smoothed heading at vertex i, averaging the
+// directions of the adjacent segments where both exist.
+func (pl Polyline) HeadingAtVertex(i int) float64 {
+	switch {
+	case len(pl) < 2:
+		return 0
+	case i <= 0:
+		return pl.Segment(0).Heading()
+	case i >= len(pl)-1:
+		return pl.Segment(len(pl) - 2).Heading()
+	default:
+		h1 := pl.Segment(i - 1).Heading()
+		h2 := pl.Segment(i).Heading()
+		return NormalizeAngle(h1 + AngleDiff(h1, h2)/2)
+	}
+}

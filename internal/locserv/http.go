@@ -1,0 +1,95 @@
+package locserv
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"mapdr/internal/geo"
+)
+
+// Handler exposes the service as a small JSON HTTP API:
+//
+//	GET /objects                         -> ["id", ...]
+//	GET /position?id=car1&t=120          -> {"id":"car1","x":..,"y":..}
+//	GET /nearest?x=0&y=0&k=3&t=120       -> [{"id":..,"x":..,"y":..,"dist":..}]
+//	GET /within?minx=&miny=&maxx=&maxy=&t= -> [{"id":..,"x":..,"y":..}]
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /objects", s.handleObjects)
+	mux.HandleFunc("GET /position", s.handlePosition)
+	mux.HandleFunc("GET /nearest", s.handleNearest)
+	mux.HandleFunc("GET /within", s.handleWithin)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func queryFloat(r *http.Request, key string) (float64, bool) {
+	v, err := strconv.ParseFloat(r.URL.Query().Get(key), 64)
+	return v, err == nil
+}
+
+func (s *Service) handleObjects(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.Objects())
+}
+
+type posJSON struct {
+	ID   ObjectID `json:"id"`
+	X    float64  `json:"x"`
+	Y    float64  `json:"y"`
+	Dist float64  `json:"dist,omitempty"`
+}
+
+func (s *Service) handlePosition(w http.ResponseWriter, r *http.Request) {
+	id := ObjectID(r.URL.Query().Get("id"))
+	t, okT := queryFloat(r, "t")
+	if id == "" || !okT {
+		http.Error(w, "need id and t", http.StatusBadRequest)
+		return
+	}
+	pos, ok := s.Position(id, t)
+	if !ok {
+		http.Error(w, "unknown object or no report", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, posJSON{ID: id, X: pos.X, Y: pos.Y})
+}
+
+func (s *Service) handleNearest(w http.ResponseWriter, r *http.Request) {
+	x, okX := queryFloat(r, "x")
+	y, okY := queryFloat(r, "y")
+	t, okT := queryFloat(r, "t")
+	k, err := strconv.Atoi(r.URL.Query().Get("k"))
+	if !okX || !okY || !okT || err != nil || k <= 0 {
+		http.Error(w, "need x, y, t and positive k", http.StatusBadRequest)
+		return
+	}
+	hits := s.Nearest(geo.Pt(x, y), k, t)
+	out := make([]posJSON, 0, len(hits))
+	for _, h := range hits {
+		out = append(out, posJSON{ID: h.ID, X: h.Pos.X, Y: h.Pos.Y, Dist: h.Dist})
+	}
+	writeJSON(w, out)
+}
+
+func (s *Service) handleWithin(w http.ResponseWriter, r *http.Request) {
+	minx, ok1 := queryFloat(r, "minx")
+	miny, ok2 := queryFloat(r, "miny")
+	maxx, ok3 := queryFloat(r, "maxx")
+	maxy, ok4 := queryFloat(r, "maxy")
+	t, okT := queryFloat(r, "t")
+	if !ok1 || !ok2 || !ok3 || !ok4 || !okT {
+		http.Error(w, "need minx, miny, maxx, maxy, t", http.StatusBadRequest)
+		return
+	}
+	hits := s.Within(geo.Rect{Min: geo.Pt(minx, miny), Max: geo.Pt(maxx, maxy)}, t)
+	out := make([]posJSON, 0, len(hits))
+	for _, h := range hits {
+		out = append(out, posJSON{ID: h.ID, X: h.Pos.X, Y: h.Pos.Y})
+	}
+	writeJSON(w, out)
+}

@@ -1,0 +1,148 @@
+// Package locserv implements the location service the update protocols
+// feed ([5],[7] in the paper): an in-memory store of per-object protocol
+// replicas that answers position, k-nearest and range queries by
+// evaluating each object's shared prediction function — so query answers
+// carry the same accuracy guarantee u_s as the protocol itself.
+package locserv
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mapdr/internal/core"
+	"mapdr/internal/geo"
+)
+
+// ObjectID identifies a tracked mobile object.
+type ObjectID string
+
+// ObjectPos is a query result: an object and its predicted position.
+type ObjectPos struct {
+	ID  ObjectID
+	Pos geo.Point
+	// Dist is the distance to the query point for nearest queries.
+	Dist float64
+}
+
+// Service is a thread-safe location service.
+type Service struct {
+	mu   sync.RWMutex
+	objs map[ObjectID]*core.Server
+}
+
+// New returns an empty service.
+func New() *Service {
+	return &Service{objs: make(map[ObjectID]*core.Server)}
+}
+
+// Register adds an object with its prediction function. The predictor
+// must match the object's source configuration.
+func (s *Service) Register(id ObjectID, pred core.Predictor) error {
+	if id == "" {
+		return fmt.Errorf("locserv: empty object id")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.objs[id]; dup {
+		return fmt.Errorf("locserv: object %q already registered", id)
+	}
+	s.objs[id] = core.NewServer(pred)
+	return nil
+}
+
+// Deregister removes an object.
+func (s *Service) Deregister(id ObjectID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.objs, id)
+}
+
+// Apply ingests an update for an object.
+func (s *Service) Apply(id ObjectID, u core.Update) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	srv, ok := s.objs[id]
+	if !ok {
+		return fmt.Errorf("locserv: unknown object %q", id)
+	}
+	srv.Apply(u)
+	return nil
+}
+
+// Position answers a position query for one object at time t.
+func (s *Service) Position(id ObjectID, t float64) (geo.Point, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	srv, ok := s.objs[id]
+	if !ok {
+		return geo.Point{}, false
+	}
+	return srv.Position(t)
+}
+
+// Len returns the number of registered objects.
+func (s *Service) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.objs)
+}
+
+// Objects returns the registered ids in sorted order.
+func (s *Service) Objects() []ObjectID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]ObjectID, 0, len(s.objs))
+	for id := range s.objs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Nearest returns up to k objects nearest to p at time t ("find the
+// nearest taxi cab", paper §1). Objects without a report yet are skipped.
+func (s *Service) Nearest(p geo.Point, k int, t float64) []ObjectPos {
+	if k <= 0 {
+		return nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var all []ObjectPos
+	for id, srv := range s.objs {
+		pos, ok := srv.Position(t)
+		if !ok {
+			continue
+		}
+		all = append(all, ObjectPos{ID: id, Pos: pos, Dist: p.Dist(pos)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Dist != all[j].Dist {
+			return all[i].Dist < all[j].Dist
+		}
+		return all[i].ID < all[j].ID
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// Within returns all objects predicted inside r at time t ("all users
+// currently inside a department of a store", paper §1), sorted by id.
+func (s *Service) Within(r geo.Rect, t float64) []ObjectPos {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []ObjectPos
+	for id, srv := range s.objs {
+		pos, ok := srv.Position(t)
+		if !ok {
+			continue
+		}
+		if r.Contains(pos) {
+			out = append(out, ObjectPos{ID: id, Pos: pos})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

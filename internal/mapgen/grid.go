@@ -1,0 +1,182 @@
+package mapgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mapdr/internal/geo"
+	"mapdr/internal/roadmap"
+)
+
+// CityConfig parameterises CityGrid.
+type CityConfig struct {
+	Seed       int64
+	Rows, Cols int
+	Spacing    float64 // m between intersections
+	Jitter     float64 // m of positional jitter per intersection
+	SignalProb float64 // probability an intersection has a traffic light
+	DropProb   float64 // probability a grid edge is absent (irregularity)
+	AvenueEach int     // every n-th row/col is a faster avenue (0 = none)
+}
+
+// DefaultCityConfig returns a city of ~10x10 km, paper city-trace scale.
+func DefaultCityConfig(seed int64) CityConfig {
+	return CityConfig{
+		Seed:       seed,
+		Rows:       40,
+		Cols:       40,
+		Spacing:    250,
+		Jitter:     30,
+		SignalProb: 0.45,
+		DropProb:   0.08,
+		AvenueEach: 5,
+	}
+}
+
+// CityGrid generates an irregular Manhattan-style street grid with traffic
+// signals and avenues. High intersection density plus stop-and-go signals
+// reproduce the city-traffic movement character (paper Fig. 9).
+func CityGrid(cfg CityConfig) (*Corridor, error) {
+	if cfg.Rows < 2 || cfg.Cols < 2 {
+		return nil, fmt.Errorf("mapgen: city grid needs at least 2x2 intersections")
+	}
+	if cfg.Spacing <= 0 {
+		return nil, fmt.Errorf("mapgen: spacing must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := roadmap.NewBuilder()
+
+	ids := make([][]roadmap.NodeID, cfg.Rows)
+	for r := 0; r < cfg.Rows; r++ {
+		ids[r] = make([]roadmap.NodeID, cfg.Cols)
+		for c := 0; c < cfg.Cols; c++ {
+			jx := (rng.Float64()*2 - 1) * cfg.Jitter
+			jy := (rng.Float64()*2 - 1) * cfg.Jitter
+			pt := geo.Pt(float64(c)*cfg.Spacing+jx, float64(r)*cfg.Spacing+jy)
+			if rng.Float64() < cfg.SignalProb {
+				ids[r][c] = b.AddSignalNode(pt)
+			} else {
+				ids[r][c] = b.AddNode(pt)
+			}
+		}
+	}
+
+	isAvenue := func(i int) bool { return cfg.AvenueEach > 0 && i%cfg.AvenueEach == 0 }
+	addStreet := func(a, bID roadmap.NodeID, avenue bool) {
+		class := roadmap.ClassResidential
+		speed := 50 / 3.6
+		if avenue {
+			class = roadmap.ClassSecondary
+			speed = 60 / 3.6
+		}
+		b.AddLink(roadmap.LinkSpec{From: a, To: bID, Class: class, SpeedLimit: speed})
+	}
+
+	// Horizontal streets.
+	for r := 0; r < cfg.Rows; r++ {
+		for c := 0; c+1 < cfg.Cols; c++ {
+			if rng.Float64() < cfg.DropProb && !isAvenue(r) {
+				continue
+			}
+			addStreet(ids[r][c], ids[r][c+1], isAvenue(r))
+		}
+	}
+	// Vertical streets.
+	for c := 0; c < cfg.Cols; c++ {
+		for r := 0; r+1 < cfg.Rows; r++ {
+			if rng.Float64() < cfg.DropProb && !isAvenue(c) {
+				continue
+			}
+			addStreet(ids[r][c], ids[r+1][c], isAvenue(c))
+		}
+	}
+
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Corridor{Graph: g}, nil
+}
+
+// FootpathConfig parameterises FootpathWeb.
+type FootpathConfig struct {
+	Seed       int64
+	Rows, Cols int
+	Spacing    float64
+	Jitter     float64
+	DiagProb   float64 // probability of a diagonal shortcut per cell
+	DropProb   float64
+}
+
+// DefaultFootpathConfig returns a park-like footpath web about 2x2 km,
+// matching the paper's 10 km walking trace when meandered through.
+func DefaultFootpathConfig(seed int64) FootpathConfig {
+	return FootpathConfig{
+		Seed:     seed,
+		Rows:     30,
+		Cols:     30,
+		Spacing:  70,
+		Jitter:   18,
+		DiagProb: 0.3,
+		DropProb: 0.12,
+	}
+}
+
+// FootpathWeb generates a dense irregular pedestrian path network.
+// Short links and frequent direction changes reproduce the walking-person
+// movement character (paper Fig. 10).
+func FootpathWeb(cfg FootpathConfig) (*Corridor, error) {
+	if cfg.Rows < 2 || cfg.Cols < 2 {
+		return nil, fmt.Errorf("mapgen: footpath web needs at least 2x2 nodes")
+	}
+	if cfg.Spacing <= 0 {
+		return nil, fmt.Errorf("mapgen: spacing must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := roadmap.NewBuilder()
+
+	ids := make([][]roadmap.NodeID, cfg.Rows)
+	for r := 0; r < cfg.Rows; r++ {
+		ids[r] = make([]roadmap.NodeID, cfg.Cols)
+		for c := 0; c < cfg.Cols; c++ {
+			jx := (rng.Float64()*2 - 1) * cfg.Jitter
+			jy := (rng.Float64()*2 - 1) * cfg.Jitter
+			ids[r][c] = b.AddNode(geo.Pt(float64(c)*cfg.Spacing+jx, float64(r)*cfg.Spacing+jy))
+		}
+	}
+	addPath := func(a, bID roadmap.NodeID) {
+		b.AddLink(roadmap.LinkSpec{From: a, To: bID, Class: roadmap.ClassFootpath, SpeedLimit: 2.0})
+	}
+	for r := 0; r < cfg.Rows; r++ {
+		for c := 0; c+1 < cfg.Cols; c++ {
+			if rng.Float64() >= cfg.DropProb {
+				addPath(ids[r][c], ids[r][c+1])
+			}
+		}
+	}
+	for c := 0; c < cfg.Cols; c++ {
+		for r := 0; r+1 < cfg.Rows; r++ {
+			if rng.Float64() >= cfg.DropProb {
+				addPath(ids[r][c], ids[r+1][c])
+			}
+		}
+	}
+	// Diagonal shortcuts.
+	for r := 0; r+1 < cfg.Rows; r++ {
+		for c := 0; c+1 < cfg.Cols; c++ {
+			if rng.Float64() < cfg.DiagProb {
+				if rng.Float64() < 0.5 {
+					addPath(ids[r][c], ids[r+1][c+1])
+				} else {
+					addPath(ids[r][c+1], ids[r+1][c])
+				}
+			}
+		}
+	}
+
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Corridor{Graph: g}, nil
+}

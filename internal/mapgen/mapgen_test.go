@@ -1,0 +1,243 @@
+package mapgen
+
+import (
+	"math"
+	"testing"
+
+	"mapdr/internal/geo"
+	"mapdr/internal/roadmap"
+)
+
+func TestFreewayGeneration(t *testing.T) {
+	cfg := DefaultFreewayConfig(1)
+	cfg.LengthKm = 30 // keep the test fast
+	cor, err := Freeway(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cor.Graph
+	if g.NumNodes() < 5 || g.NumLinks() < 5 {
+		t.Fatalf("tiny freeway: %d nodes %d links", g.NumNodes(), g.NumLinks())
+	}
+	if c := g.Connectivity(); c != 1 {
+		t.Errorf("components = %d", c)
+	}
+	if len(cor.Main) < 5 {
+		t.Errorf("main corridor = %d nodes", len(cor.Main))
+	}
+	// Main route length is at least the target.
+	var mainLen float64
+	for i := 1; i < len(cor.Main); i++ {
+		r, err := roadmap.ShortestPath(g, cor.Main[i-1], cor.Main[i], nil)
+		if err != nil {
+			t.Fatalf("main corridor disconnected at %d: %v", i, err)
+		}
+		mainLen += r.Length()
+	}
+	if mainLen < 30e3 {
+		t.Errorf("main length = %.1f km", mainLen/1000)
+	}
+	// Motorway links dominate the corridor.
+	var motorway, other int
+	for _, l := range g.Links() {
+		if l.Class == roadmap.ClassMotorway {
+			motorway++
+		} else {
+			other++
+		}
+	}
+	if motorway == 0 || motorway < other {
+		t.Errorf("motorway/other = %d/%d", motorway, other)
+	}
+}
+
+func TestFreewayHasGentleCurves(t *testing.T) {
+	cfg := DefaultFreewayConfig(2)
+	cfg.LengthKm = 20
+	cor, err := Freeway(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Freeway curvature must exist (else map-based = linear) but stay
+	// gentle (radius >= ~300 m).
+	var sawCurve bool
+	for _, l := range cor.Graph.Links() {
+		if l.Class != roadmap.ClassMotorway {
+			continue
+		}
+		for i := 1; i < len(l.Shape)-1; i++ {
+			c := math.Abs(geo.CurvatureAt(l.Shape, i))
+			if c > 1.0/250 {
+				t.Fatalf("curve too sharp: radius %.0f m", 1/c)
+			}
+			if c > 1.0/5000 {
+				sawCurve = true
+			}
+		}
+	}
+	if !sawCurve {
+		t.Error("freeway is entirely straight; map-based protocol would show no advantage")
+	}
+}
+
+func TestFreewayDeterminism(t *testing.T) {
+	cfg := DefaultFreewayConfig(7)
+	cfg.LengthKm = 10
+	a, err := Freeway(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Freeway(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.NumNodes() != b.Graph.NumNodes() || a.Graph.NumLinks() != b.Graph.NumLinks() {
+		t.Fatal("same seed produced different networks")
+	}
+	for i := 0; i < a.Graph.NumNodes(); i++ {
+		if a.Graph.Node(roadmap.NodeID(i)).Pt != b.Graph.Node(roadmap.NodeID(i)).Pt {
+			t.Fatal("node positions differ")
+		}
+	}
+	cfg2 := cfg
+	cfg2.Seed = 8
+	c, err := Freeway(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := a.Graph.NumNodes() == c.Graph.NumNodes()
+	if same {
+		diff := false
+		for i := 0; i < a.Graph.NumNodes(); i++ {
+			if a.Graph.Node(roadmap.NodeID(i)).Pt != c.Graph.Node(roadmap.NodeID(i)).Pt {
+				diff = true
+				break
+			}
+		}
+		if !diff {
+			t.Error("different seeds produced identical networks")
+		}
+	}
+}
+
+func TestInterUrbanGeneration(t *testing.T) {
+	cfg := DefaultInterUrbanConfig(3)
+	cfg.LengthKm = 20
+	cor, err := InterUrban(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cor.Graph
+	if g.Connectivity() != 1 {
+		t.Error("inter-urban network disconnected")
+	}
+	st := g.ComputeStats()
+	if st.Signals == 0 {
+		t.Error("villages should have signals")
+	}
+	// Mixed classes: trunk between villages, residential inside.
+	classes := map[roadmap.RoadClass]int{}
+	for _, l := range g.Links() {
+		classes[l.Class]++
+	}
+	if classes[roadmap.ClassTrunk] == 0 || classes[roadmap.ClassResidential] == 0 {
+		t.Errorf("class mix = %v", classes)
+	}
+}
+
+func TestCityGridGeneration(t *testing.T) {
+	cfg := DefaultCityConfig(4)
+	cfg.Rows, cfg.Cols = 12, 12
+	cor, err := CityGrid(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cor.Graph
+	if g.NumNodes() != 144 {
+		t.Errorf("nodes = %d", g.NumNodes())
+	}
+	st := g.ComputeStats()
+	if st.Signals == 0 {
+		t.Error("city should have signals")
+	}
+	// Grid minus drops: still close to 2*12*11 edges; ensure most are present.
+	maxEdges := 2 * 12 * 11
+	if g.NumLinks() < maxEdges*3/4 {
+		t.Errorf("links = %d of max %d", g.NumLinks(), maxEdges)
+	}
+	// Avenue class present.
+	var avenues int
+	for _, l := range g.Links() {
+		if l.Class == roadmap.ClassSecondary {
+			avenues++
+		}
+	}
+	if avenues == 0 {
+		t.Error("no avenues generated")
+	}
+	// Mean link length near spacing.
+	if st.MeanLinkLength < cfg.Spacing*0.7 || st.MeanLinkLength > cfg.Spacing*1.4 {
+		t.Errorf("mean link length = %v for spacing %v", st.MeanLinkLength, cfg.Spacing)
+	}
+}
+
+func TestFootpathWebGeneration(t *testing.T) {
+	cfg := DefaultFootpathConfig(5)
+	cfg.Rows, cfg.Cols = 10, 10
+	cor, err := FootpathWeb(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cor.Graph
+	for _, l := range g.Links() {
+		if l.Class != roadmap.ClassFootpath {
+			t.Fatal("non-footpath link in footpath web")
+		}
+		if l.Speed() > 3 {
+			t.Fatal("footpath speed too high")
+		}
+	}
+	// Diagonals make NumLinks exceed the pure grid count minus drops.
+	if g.NumLinks() < 100 {
+		t.Errorf("links = %d", g.NumLinks())
+	}
+}
+
+func TestGeneratorInvalidConfigs(t *testing.T) {
+	if _, err := Freeway(FreewayConfig{}); err == nil {
+		t.Error("zero freeway config should fail")
+	}
+	if _, err := InterUrban(InterUrbanConfig{}); err == nil {
+		t.Error("zero inter-urban config should fail")
+	}
+	if _, err := CityGrid(CityConfig{Rows: 1, Cols: 5, Spacing: 100}); err == nil {
+		t.Error("1-row city should fail")
+	}
+	if _, err := CityGrid(CityConfig{Rows: 5, Cols: 5}); err == nil {
+		t.Error("zero spacing city should fail")
+	}
+	if _, err := FootpathWeb(FootpathConfig{Rows: 5, Cols: 1, Spacing: 50}); err == nil {
+		t.Error("1-col footpath web should fail")
+	}
+}
+
+func TestCurvedShapeProperties(t *testing.T) {
+	start := geo.Pt(0, 0)
+	pl := curvedShape(start, 0, geo.Rad(30), 1000, 50)
+	if pl[0] != start {
+		t.Error("shape must start at start point")
+	}
+	// Length close to requested (bezier shortens slightly).
+	l := pl.Length()
+	if l < 900 || l > 1100 {
+		t.Errorf("length = %v", l)
+	}
+	// Entry heading ≈ 0.
+	if h := pl.Segment(0).Heading(); math.Abs(h) > geo.Rad(8) {
+		t.Errorf("entry heading = %v deg", geo.Deg(h))
+	}
+	// Exit heading ≈ 30 deg.
+	if h := pl.Segment(pl.NumSegments() - 1).Heading(); math.Abs(geo.AngleDiff(h, geo.Rad(30))) > geo.Rad(10) {
+		t.Errorf("exit heading = %v deg", geo.Deg(h))
+	}
+}

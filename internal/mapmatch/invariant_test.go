@@ -1,0 +1,101 @@
+package mapmatch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mapdr/internal/geo"
+	"mapdr/internal/mapgen"
+	"mapdr/internal/roadmap"
+	"mapdr/internal/tracegen"
+)
+
+// TestMatchedResultsRespectRadiusProperty: whatever positions are fed, a
+// matched result's distance never exceeds u_m and the corrected position
+// lies on the reported link.
+func TestMatchedResultsRespectRadiusProperty(t *testing.T) {
+	cor, err := mapgen.CityGrid(mapgen.CityConfig{
+		Seed: 9, Rows: 10, Cols: 10, Spacing: 150, Jitter: 20,
+		SignalProb: 0.3, DropProb: 0.05, AvenueEach: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cor.Graph
+	cfg := Config{MatchRadius: 30, ReacquireEvery: 2, BacktrackDepth: 2}
+	m := New(g, cfg)
+	rng := rand.New(rand.NewSource(17))
+	bounds := g.Bounds()
+	pos := bounds.Center()
+	for i := 0; i < 5000; i++ {
+		// Random walk with occasional jumps (teleports exercise the lost
+		// and re-acquisition paths).
+		if rng.Float64() < 0.01 {
+			pos = geo.Pt(
+				bounds.Min.X+rng.Float64()*bounds.Width(),
+				bounds.Min.Y+rng.Float64()*bounds.Height(),
+			)
+		} else {
+			pos = pos.Add(geo.Pt(rng.NormFloat64()*8, rng.NormFloat64()*8))
+		}
+		r := m.Feed(float64(i), pos, rng.Float64()*2*math.Pi-math.Pi)
+		if !r.Matched {
+			continue
+		}
+		if r.Dist > cfg.MatchRadius+1e-9 {
+			t.Fatalf("step %d: matched at distance %v > u_m", i, r.Dist)
+		}
+		link := g.Link(r.Dir.Link)
+		proj := link.Project(r.Corrected)
+		if proj.Dist > 1e-6 {
+			t.Fatalf("step %d: corrected position %v m off its link", i, proj.Dist)
+		}
+		if r.Offset < -1e-9 || r.Offset > link.Length()+1e-9 {
+			t.Fatalf("step %d: offset %v outside [0, %v]", i, r.Offset, link.Length())
+		}
+	}
+}
+
+// TestMatcherFollowsDrivenRoute feeds an actual drive and checks the
+// matcher stays matched nearly always and on-route most of the time.
+func TestMatcherFollowsDrivenRoute(t *testing.T) {
+	cor, err := mapgen.CityGrid(mapgen.CityConfig{
+		Seed: 5, Rows: 12, Cols: 12, Spacing: 200, Jitter: 15,
+		SignalProb: 0.3, DropProb: 0.05, AvenueEach: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cor.Graph
+	route, err := tracegen.Wander(g, 6, 0, 8000, tracegen.DefaultWanderPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tracegen.DriveRoute(g, route, tracegen.CarParams(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onRoute := map[roadmap.LinkID]bool{}
+	for _, d := range route.Dirs() {
+		onRoute[d.Link] = true
+	}
+	m := New(g, DefaultConfig())
+	matched, correct, total := 0, 0, 0
+	for _, s := range res.Trace.Samples {
+		r := m.Feed(s.T, s.Pos, s.Heading)
+		total++
+		if r.Matched {
+			matched++
+			if onRoute[r.Dir.Link] {
+				correct++
+			}
+		}
+	}
+	if frac := float64(matched) / float64(total); frac < 0.95 {
+		t.Errorf("matched fraction = %.2f", frac)
+	}
+	if frac := float64(correct) / float64(matched); frac < 0.90 {
+		t.Errorf("on-route fraction = %.2f", frac)
+	}
+}

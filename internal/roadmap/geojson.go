@@ -1,0 +1,73 @@
+package roadmap
+
+import (
+	"encoding/json"
+	"io"
+
+	"mapdr/internal/geo"
+)
+
+// geoJSON document structures (minimal subset of RFC 7946).
+type geoJSONDoc struct {
+	Type     string            `json:"type"`
+	Features []geoJSONFeature  `json:"features"`
+}
+
+type geoJSONFeature struct {
+	Type       string         `json:"type"`
+	Geometry   geoJSONGeom    `json:"geometry"`
+	Properties map[string]any `json:"properties,omitempty"`
+}
+
+type geoJSONGeom struct {
+	Type        string `json:"type"`
+	Coordinates any    `json:"coordinates"`
+}
+
+// WriteGeoJSON exports the network as a GeoJSON FeatureCollection:
+// one LineString per link (with class/speed/name properties) and one
+// Point per intersection. proj converts the planar coordinates to WGS84
+// lon/lat as RFC 7946 requires; pass a projection centred on your area
+// of interest.
+func WriteGeoJSON(w io.Writer, g *Graph, proj *geo.Projection) error {
+	doc := geoJSONDoc{Type: "FeatureCollection"}
+	for i := range g.links {
+		l := &g.links[i]
+		coords := make([][2]float64, 0, len(l.Shape))
+		for _, p := range l.Shape {
+			ll := proj.Inverse(p)
+			coords = append(coords, [2]float64{ll.Lon, ll.Lat})
+		}
+		props := map[string]any{
+			"id":    int(l.ID),
+			"class": l.Class.String(),
+			"speed": l.Speed(),
+		}
+		if l.Name != "" {
+			props["name"] = l.Name
+		}
+		if l.OneWay {
+			props["oneway"] = true
+		}
+		doc.Features = append(doc.Features, geoJSONFeature{
+			Type:       "Feature",
+			Geometry:   geoJSONGeom{Type: "LineString", Coordinates: coords},
+			Properties: props,
+		})
+	}
+	for i := range g.nodes {
+		n := &g.nodes[i]
+		ll := proj.Inverse(n.Pt)
+		props := map[string]any{"id": int(n.ID)}
+		if n.Signal {
+			props["signal"] = true
+		}
+		doc.Features = append(doc.Features, geoJSONFeature{
+			Type:       "Feature",
+			Geometry:   geoJSONGeom{Type: "Point", Coordinates: [2]float64{ll.Lon, ll.Lat}},
+			Properties: props,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

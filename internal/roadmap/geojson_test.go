@@ -1,0 +1,81 @@
+package roadmap
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"mapdr/internal/geo"
+)
+
+func TestWriteGeoJSON(t *testing.T) {
+	g := buildSerializable(t)
+	proj := geo.NewProjection(geo.LatLon{Lat: 48.7758, Lon: 9.1829})
+	var buf bytes.Buffer
+	if err := WriteGeoJSON(&buf, g, proj); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Type     string `json:"type"`
+		Features []struct {
+			Type     string `json:"type"`
+			Geometry struct {
+				Type        string          `json:"type"`
+				Coordinates json.RawMessage `json:"coordinates"`
+			} `json:"geometry"`
+			Properties map[string]any `json:"properties"`
+		} `json:"features"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Type != "FeatureCollection" {
+		t.Errorf("type = %q", doc.Type)
+	}
+	// 2 links + 3 nodes.
+	if len(doc.Features) != 5 {
+		t.Fatalf("features = %d", len(doc.Features))
+	}
+	var lines, points, signals, oneways int
+	for _, f := range doc.Features {
+		switch f.Geometry.Type {
+		case "LineString":
+			lines++
+			if f.Properties["class"] == nil {
+				t.Error("link missing class property")
+			}
+			if f.Properties["oneway"] == true {
+				oneways++
+			}
+		case "Point":
+			points++
+			if f.Properties["signal"] == true {
+				signals++
+			}
+		}
+	}
+	if lines != 2 || points != 3 {
+		t.Errorf("lines/points = %d/%d", lines, points)
+	}
+	if signals != 1 {
+		t.Errorf("signals = %d", signals)
+	}
+	if oneways != 1 {
+		t.Errorf("oneways = %d", oneways)
+	}
+	// Coordinates are lon/lat near the projection origin.
+	var coords [][2]float64
+	for _, f := range doc.Features {
+		if f.Geometry.Type == "LineString" {
+			if err := json.Unmarshal(f.Geometry.Coordinates, &coords); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	for _, c := range coords {
+		if c[0] < 9 || c[0] > 9.4 || c[1] < 48.7 || c[1] > 48.9 {
+			t.Errorf("coordinate %v not near Stuttgart", c)
+		}
+	}
+}

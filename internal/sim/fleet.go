@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"mapdr/internal/core"
+	"mapdr/internal/locserv"
+	"mapdr/internal/trace"
+)
+
+// FleetObject is one tracked mobile object in a fleet simulation.
+type FleetObject struct {
+	ID     locserv.ObjectID
+	Truth  *trace.Trace // ground truth (used for error accounting)
+	Sensor *trace.Trace // what the device observes; nil = Truth
+	Source *core.Source
+}
+
+// FleetResult summarises a fleet run.
+type FleetResult struct {
+	Samples int
+	Updates map[locserv.ObjectID]int64
+	// MeanErr is the time-averaged server error vs ground truth across
+	// all objects.
+	MeanErr float64
+}
+
+// Fleet drives many objects' protocol sources against one location
+// service in simulation-time lockstep, so queries issued from the Tick
+// callback see exactly the updates a live service would have received by
+// that time.
+type Fleet struct {
+	Service *locserv.Service
+	Objects []FleetObject
+	// Tick, when set, is invoked once per simulated second after all due
+	// updates have been applied.
+	Tick func(t float64)
+	// Step is the clock step in seconds (default 1).
+	Step float64
+}
+
+// Run executes the fleet simulation until every object's trace is
+// exhausted.
+func (f *Fleet) Run() (*FleetResult, error) {
+	if f.Service == nil {
+		return nil, fmt.Errorf("sim: fleet needs a service")
+	}
+	if len(f.Objects) == 0 {
+		return nil, fmt.Errorf("sim: fleet has no objects")
+	}
+	step := f.Step
+	if step <= 0 {
+		step = 1
+	}
+	type state struct {
+		obj    *FleetObject
+		sensor *trace.Trace
+		next   int
+	}
+	states := make([]*state, len(f.Objects))
+	tEnd := math.Inf(-1)
+	for i := range f.Objects {
+		o := &f.Objects[i]
+		if o.Truth == nil || o.Truth.Len() == 0 {
+			return nil, fmt.Errorf("sim: object %q has no truth trace", o.ID)
+		}
+		sensor := o.Sensor
+		if sensor == nil {
+			sensor = o.Truth
+		}
+		if sensor.Len() != o.Truth.Len() {
+			return nil, fmt.Errorf("sim: object %q sensor/truth misaligned", o.ID)
+		}
+		states[i] = &state{obj: o, sensor: sensor}
+		if last := o.Truth.Samples[o.Truth.Len()-1].T; last > tEnd {
+			tEnd = last
+		}
+	}
+
+	res := &FleetResult{Updates: map[locserv.ObjectID]int64{}}
+	var errSum float64
+	var errN int
+	for t := 0.0; t <= tEnd+1e-9; t += step {
+		for _, st := range states {
+			for st.next < st.sensor.Len() && st.sensor.Samples[st.next].T <= t {
+				s := st.sensor.Samples[st.next]
+				truth := st.obj.Truth.Samples[st.next]
+				st.next++
+				res.Samples++
+				if u, ok := st.obj.Source.OnSample(trace.Sample{T: s.T, Pos: s.Pos}); ok {
+					if err := f.Service.Apply(st.obj.ID, u); err != nil {
+						return nil, err
+					}
+					res.Updates[st.obj.ID]++
+				}
+				if p, ok := f.Service.Position(st.obj.ID, s.T); ok {
+					errSum += p.Dist(truth.Pos)
+					errN++
+				}
+			}
+		}
+		if f.Tick != nil {
+			f.Tick(t)
+		}
+	}
+	if errN > 0 {
+		res.MeanErr = errSum / float64(errN)
+	}
+	return res, nil
+}

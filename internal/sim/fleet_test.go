@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"mapdr/internal/core"
+	"mapdr/internal/geo"
+	"mapdr/internal/locserv"
+	"mapdr/internal/trace"
+)
+
+func mkFleet(t *testing.T, n int) (*locserv.Service, []FleetObject) {
+	t.Helper()
+	svc := locserv.New()
+	var objs []FleetObject
+	for i := 0; i < n; i++ {
+		id := locserv.ObjectID(fmt.Sprintf("obj-%d", i))
+		if err := svc.Register(id, core.LinearPredictor{}); err != nil {
+			t.Fatal(err)
+		}
+		src, err := core.NewSource(core.SourceConfig{US: 100, UP: 5, Sightings: 2}, core.LinearPredictor{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := &trace.Trace{}
+		for k := 0; k < 300; k++ {
+			tr.Samples = append(tr.Samples, trace.Sample{
+				T:   float64(k),
+				Pos: geo.Pt(10*float64(k), 100*float64(i)),
+			})
+		}
+		objs = append(objs, FleetObject{ID: id, Truth: tr, Source: src})
+	}
+	return svc, objs
+}
+
+func TestFleetRun(t *testing.T) {
+	svc, objs := mkFleet(t, 3)
+	ticks := 0
+	fleet := Fleet{
+		Service: svc,
+		Objects: objs,
+		Tick: func(t float64) {
+			ticks++
+		},
+	}
+	res, err := fleet.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples != 3*300 {
+		t.Errorf("samples = %d", res.Samples)
+	}
+	if ticks < 299 {
+		t.Errorf("ticks = %d", ticks)
+	}
+	for id, n := range res.Updates {
+		// Perfect linear motion: exactly the initial update each.
+		if n != 1 {
+			t.Errorf("%s: %d updates", id, n)
+		}
+	}
+	if res.MeanErr > 1 {
+		t.Errorf("mean error = %v", res.MeanErr)
+	}
+}
+
+func TestFleetQueriesSeeTimeConsistentState(t *testing.T) {
+	svc, objs := mkFleet(t, 2)
+	fleet := Fleet{
+		Service: svc,
+		Objects: objs,
+		Tick: func(tt float64) {
+			if tt != 150 {
+				return
+			}
+			// At t=150 the prediction for obj-0 must be near (1500, 0),
+			// not its final position.
+			p, ok := svc.Position("obj-0", tt)
+			if !ok {
+				return
+			}
+			if p.Dist(geo.Pt(1500, 0)) > 50 {
+				panic(fmt.Sprintf("time-travel: query at t=150 saw %v", p))
+			}
+		},
+	}
+	if _, err := fleet.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFleetValidation(t *testing.T) {
+	svc, objs := mkFleet(t, 1)
+	if _, err := (&Fleet{Objects: objs}).Run(); err == nil {
+		t.Error("missing service should fail")
+	}
+	if _, err := (&Fleet{Service: svc}).Run(); err == nil {
+		t.Error("no objects should fail")
+	}
+	bad := objs
+	bad[0].Sensor = &trace.Trace{Samples: []trace.Sample{{T: 0}}}
+	if _, err := (&Fleet{Service: svc, Objects: bad}).Run(); err == nil {
+		t.Error("misaligned sensor should fail")
+	}
+}

@@ -1,0 +1,122 @@
+// Package sim is the simulation harness of the paper's evaluation (§4):
+// it feeds sensor samples into a protocol source, carries updates over a
+// (possibly imperfect) link to the server replica, and measures the number
+// of update messages and the accuracy of the location information at the
+// server against ground truth.
+package sim
+
+import (
+	"fmt"
+
+	"mapdr/internal/core"
+	"mapdr/internal/netsim"
+	"mapdr/internal/stats"
+	"mapdr/internal/trace"
+)
+
+// Run drives one protocol over one trace.
+type Run struct {
+	// Truth is the ground-truth trace (object's actual positions).
+	Truth *trace.Trace
+	// Sensor is the noisy sensor trace the source observes; must be
+	// sample-aligned with Truth. If nil, Truth is used directly.
+	Sensor *trace.Trace
+	// Source and Server are the protocol endpoints; their predictors must
+	// be configured identically.
+	Source *core.Source
+	Server *core.Server
+	// Link carries the updates; nil means a perfect link.
+	Link *netsim.Link
+}
+
+// Result aggregates one run's measurements.
+type Result struct {
+	Protocol      string
+	Samples       int
+	DurationH     float64
+	Updates       int64   // updates sent by the source
+	Delivered     int64   // updates applied at the server
+	UpdatesPerH   float64 // sent updates per hour (the paper's metric)
+	BytesPerH     float64
+	ReasonCounts  map[core.Reason]int64
+	ErrTruth      stats.Welford // server prediction vs ground truth, m
+	ErrSensor     stats.Welford // server prediction vs sensor position, m
+	ErrTruthP95   float64
+	ErrSensorP95  float64
+	WithinBound   float64 // fraction of samples with sensor error <= u_s
+	usedThreshold float64
+}
+
+// Execute runs the simulation to completion.
+func (r *Run) Execute(us float64) (*Result, error) {
+	if r.Truth == nil || r.Truth.Len() == 0 {
+		return nil, fmt.Errorf("sim: empty truth trace")
+	}
+	sensor := r.Sensor
+	if sensor == nil {
+		sensor = r.Truth
+	}
+	if sensor.Len() != r.Truth.Len() {
+		return nil, fmt.Errorf("sim: sensor (%d) and truth (%d) not aligned", sensor.Len(), r.Truth.Len())
+	}
+	link := r.Link
+	if link == nil {
+		link = netsim.NewPerfect()
+	}
+
+	res := &Result{
+		Protocol:     r.Source.Predictor().Name(),
+		Samples:      r.Truth.Len(),
+		ReasonCounts: make(map[core.Reason]int64),
+	}
+	var truthSample, sensorSample stats.Sample
+	var inBound int
+
+	for i := 0; i < r.Truth.Len(); i++ {
+		tt := r.Truth.Samples[i]
+		ss := sensor.Samples[i]
+
+		// Deliver link messages due before (or at) this sample time.
+		for _, m := range link.Deliverable(ss.T) {
+			r.Server.Apply(m.Payload.(core.Update))
+		}
+
+		// Source observes the sensor sample.
+		if u, ok := r.Source.OnSample(trace.Sample{T: ss.T, Pos: ss.Pos}); ok {
+			res.Updates++
+			res.ReasonCounts[u.Reason]++
+			link.Send(ss.T, core.EncodedSize(), u)
+			// Messages with zero latency are applied immediately.
+			for _, m := range link.Deliverable(ss.T) {
+				r.Server.Apply(m.Payload.(core.Update))
+			}
+		}
+
+		// Measure server-side accuracy.
+		if p, ok := r.Server.Position(ss.T); ok {
+			dTruth := p.Dist(tt.Pos)
+			dSensor := p.Dist(ss.Pos)
+			res.ErrTruth.Add(dTruth)
+			res.ErrSensor.Add(dSensor)
+			truthSample.Add(dTruth)
+			sensorSample.Add(dSensor)
+			if dSensor <= us {
+				inBound++
+			}
+		}
+	}
+
+	res.Delivered = r.Server.Updates()
+	res.DurationH = r.Truth.Duration() / 3600
+	if res.DurationH > 0 {
+		res.UpdatesPerH = float64(res.Updates) / res.DurationH
+		res.BytesPerH = float64(res.Updates*int64(core.EncodedSize())) / res.DurationH
+	}
+	if truthSample.Len() > 0 {
+		res.ErrTruthP95 = truthSample.Quantile(0.95)
+		res.ErrSensorP95 = sensorSample.Quantile(0.95)
+		res.WithinBound = float64(inBound) / float64(truthSample.Len())
+	}
+	res.usedThreshold = us
+	return res, nil
+}

@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"mapdr/internal/core"
+	"mapdr/internal/geo"
+	"mapdr/internal/netsim"
+	"mapdr/internal/trace"
+)
+
+// sineTrace returns a weaving trajectory at roughly v m/s for n seconds.
+func sineTrace(v float64, n int) *trace.Trace {
+	tr := &trace.Trace{}
+	for i := 0; i < n; i++ {
+		tt := float64(i)
+		tr.Samples = append(tr.Samples, trace.Sample{
+			T:   tt,
+			Pos: geo.Pt(v*tt, 200*math.Sin(tt/30)),
+		})
+	}
+	return tr
+}
+
+func mkPair(t *testing.T, us float64, pred core.Predictor) (*core.Source, *core.Server) {
+	t.Helper()
+	src, err := core.NewSource(core.SourceConfig{US: us, UP: 5, Sightings: 2}, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src, core.NewServer(pred)
+}
+
+func TestRunBasics(t *testing.T) {
+	truth := sineTrace(20, 1800)
+	src, srv := mkPair(t, 100, core.LinearPredictor{})
+	run := Run{Truth: truth, Source: src, Server: srv}
+	res, err := run.Execute(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updates == 0 || res.Delivered != res.Updates {
+		t.Errorf("updates=%d delivered=%d", res.Updates, res.Delivered)
+	}
+	if res.UpdatesPerH <= 0 {
+		t.Errorf("updates/h = %v", res.UpdatesPerH)
+	}
+	if res.ErrSensor.Max() > 100 {
+		t.Errorf("sensor error max %v exceeded u_s", res.ErrSensor.Max())
+	}
+	if res.WithinBound < 0.999 {
+		t.Errorf("within bound = %v", res.WithinBound)
+	}
+	if res.ReasonCounts[core.ReasonInit] != 1 {
+		t.Errorf("init count = %d", res.ReasonCounts[core.ReasonInit])
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	src, srv := mkPair(t, 100, core.LinearPredictor{})
+	if _, err := (&Run{Truth: &trace.Trace{}, Source: src, Server: srv}).Execute(100); err == nil {
+		t.Error("empty trace should fail")
+	}
+	truth := sineTrace(20, 100)
+	misaligned := sineTrace(20, 99)
+	if _, err := (&Run{Truth: truth, Sensor: misaligned, Source: src, Server: srv}).Execute(100); err == nil {
+		t.Error("misaligned sensor should fail")
+	}
+}
+
+func TestRunWithNoise(t *testing.T) {
+	truth := sineTrace(15, 1200)
+	sensor := trace.ApplyNoise(truth, trace.NewGaussMarkov(1, 4, 30))
+	src, srv := mkPair(t, 100, core.LinearPredictor{})
+	run := Run{Truth: truth, Sensor: sensor, Source: src, Server: srv}
+	res, err := run.Execute(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sensor-relative error stays within u_s; truth error may exceed it by
+	// roughly the noise magnitude but not wildly.
+	if res.ErrSensor.Max() > 100 {
+		t.Errorf("sensor error max = %v", res.ErrSensor.Max())
+	}
+	if res.ErrTruth.Max() > 100+6*4 {
+		t.Errorf("truth error max = %v", res.ErrTruth.Max())
+	}
+}
+
+func TestRunLossyLinkDegradesAccuracy(t *testing.T) {
+	truth := sineTrace(20, 1800)
+
+	srcA, srvA := mkPair(t, 100, core.LinearPredictor{})
+	perfect, err := (&Run{Truth: truth, Source: srcA, Server: srvA}).Execute(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srcB, srvB := mkPair(t, 100, core.LinearPredictor{})
+	lossy := (&Run{
+		Truth: truth, Source: srcB, Server: srvB,
+		Link: netsim.NewLink(1, 0, 0, 0.4),
+	})
+	lossyRes, err := lossy.Execute(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossyRes.Delivered >= lossyRes.Updates {
+		t.Errorf("lossy link delivered everything: %d/%d", lossyRes.Delivered, lossyRes.Updates)
+	}
+	if lossyRes.ErrSensor.Max() <= perfect.ErrSensor.Max() {
+		t.Errorf("loss should raise max error: %v vs %v",
+			lossyRes.ErrSensor.Max(), perfect.ErrSensor.Max())
+	}
+}
+
+func TestRunLatencyBoundedViolation(t *testing.T) {
+	// With latency, the bound can be violated only transiently; the error
+	// must stay below u_s + v*latency roughly.
+	truth := sineTrace(20, 1200)
+	src, srv := mkPair(t, 100, core.LinearPredictor{})
+	run := Run{
+		Truth: truth, Source: src, Server: srv,
+		Link: netsim.NewLink(2, 3, 0, 0),
+	}
+	res, err := run.Execute(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ErrSensor.Max() > 100+20*2*3+10 {
+		t.Errorf("error with latency = %v", res.ErrSensor.Max())
+	}
+}
+
+func TestSweepOrderingInvariant(t *testing.T) {
+	// Larger u_s must never require more updates (monotone in the bound)
+	// for the deviation-triggered protocols.
+	truth := sineTrace(20, 1800)
+	specs := []ProtocolSpec{
+		{
+			Name: "distance-based",
+			Build: func(us float64) (*core.Source, *core.Server, error) {
+				src, err := core.NewSource(core.SourceConfig{US: us, UP: 5, Sightings: 2}, core.StaticPredictor{})
+				return src, core.NewServer(core.StaticPredictor{}), err
+			},
+		},
+		{
+			Name: "linear-pred",
+			Build: func(us float64) (*core.Source, *core.Server, error) {
+				src, err := core.NewSource(core.SourceConfig{US: us, UP: 5, Sightings: 2}, core.LinearPredictor{})
+				return src, core.NewServer(core.LinearPredictor{}), err
+			},
+		},
+	}
+	sw := Sweep{Truth: truth, Specs: specs, USValues: []float64{20, 50, 100, 250, 500}}
+	points, err := sw.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 5 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for p := 0; p < len(specs); p++ {
+		for i := 1; i < len(points); i++ {
+			prev := points[i-1].Results[p].UpdatesPerH
+			curr := points[i].Results[p].UpdatesPerH
+			if curr > prev {
+				t.Errorf("%s: updates/h increased from u_s=%v (%v) to u_s=%v (%v)",
+					specs[p].Name, points[i-1].US, prev, points[i].US, curr)
+			}
+		}
+	}
+	// Linear DR beats distance-based on a weaving but mostly-forward path.
+	for _, pt := range points {
+		if pt.Results[1].UpdatesPerH >= pt.Results[0].UpdatesPerH {
+			t.Errorf("u_s=%v: linear (%v) not below distance-based (%v)",
+				pt.US, pt.Results[1].UpdatesPerH, pt.Results[0].UpdatesPerH)
+		}
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	sw := Sweep{Truth: sineTrace(10, 10)}
+	if _, err := sw.Execute(); err == nil {
+		t.Error("empty sweep should fail")
+	}
+}
+
+func TestRelativeTo(t *testing.T) {
+	base := &Result{UpdatesPerH: 200}
+	res := &Result{UpdatesPerH: 50}
+	if got := RelativeTo(res, base); got != 25 {
+		t.Errorf("relative = %v", got)
+	}
+	if got := RelativeTo(res, &Result{}); got != 0 {
+		t.Errorf("zero base = %v", got)
+	}
+}

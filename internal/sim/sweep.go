@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"fmt"
+
+	"mapdr/internal/core"
+	"mapdr/internal/netsim"
+	"mapdr/internal/trace"
+)
+
+// ProtocolSpec names a protocol and constructs fresh source/server pairs
+// for a given accuracy bound u_s. A fresh pair per run keeps sweeps
+// independent.
+type ProtocolSpec struct {
+	Name  string
+	Build func(us float64) (*core.Source, *core.Server, error)
+}
+
+// SweepPoint is the outcome of all protocols at one u_s value.
+type SweepPoint struct {
+	US      float64
+	Results []*Result // index-aligned with the sweep's protocol list
+}
+
+// Sweep runs every protocol at every u_s over the same trace pair,
+// mirroring the paper's Figs. 7-10 experiments.
+type Sweep struct {
+	Truth    *trace.Trace
+	Sensor   *trace.Trace
+	Specs    []ProtocolSpec
+	USValues []float64
+	// LinkFactory optionally supplies a fresh link per run (nil = perfect).
+	LinkFactory func() *netsim.Link
+}
+
+// Execute runs the full sweep.
+func (sw *Sweep) Execute() ([]SweepPoint, error) {
+	if len(sw.Specs) == 0 || len(sw.USValues) == 0 {
+		return nil, fmt.Errorf("sim: sweep needs protocols and u_s values")
+	}
+	var points []SweepPoint
+	for _, us := range sw.USValues {
+		point := SweepPoint{US: us}
+		for _, spec := range sw.Specs {
+			src, srv, err := spec.Build(us)
+			if err != nil {
+				return nil, fmt.Errorf("sim: build %s at u_s=%v: %w", spec.Name, us, err)
+			}
+			run := Run{Truth: sw.Truth, Sensor: sw.Sensor, Source: src, Server: srv}
+			if sw.LinkFactory != nil {
+				run.Link = sw.LinkFactory()
+			}
+			res, err := run.Execute(us)
+			if err != nil {
+				return nil, fmt.Errorf("sim: run %s at u_s=%v: %w", spec.Name, us, err)
+			}
+			res.Protocol = spec.Name
+			point.Results = append(point.Results, res)
+		}
+		points = append(points, point)
+	}
+	return points, nil
+}
+
+// RelativeTo returns res.UpdatesPerH as a percentage of base.UpdatesPerH
+// (the paper's right-hand plots normalise to the distance-based protocol).
+func RelativeTo(res, base *Result) float64 {
+	if base.UpdatesPerH == 0 {
+		return 0
+	}
+	return 100 * res.UpdatesPerH / base.UpdatesPerH
+}

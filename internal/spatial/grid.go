@@ -1,0 +1,164 @@
+package spatial
+
+import (
+	"math"
+
+	"mapdr/internal/geo"
+)
+
+// Grid is a uniform grid index. Each entry is registered in every cell its
+// bounding rectangle overlaps. Nearest-neighbour queries expand an outward
+// ring of cells until the candidate distance bound is met.
+//
+// Grids are the classic choice for road maps: link segments are short and
+// uniformly spread, so a cell size near the median segment length gives
+// O(1) lookups.
+type Grid struct {
+	cellSize float64
+	entries  []Entry
+	cells    map[[2]int32][]int32
+	bounds   geo.Rect
+	built    bool
+}
+
+// NewGrid returns a grid index with the given cell size in metres.
+func NewGrid(cellSize float64) *Grid {
+	if cellSize <= 0 {
+		panic("spatial: grid cell size must be positive")
+	}
+	return &Grid{
+		cellSize: cellSize,
+		cells:    make(map[[2]int32][]int32),
+		bounds:   geo.EmptyRect(),
+	}
+}
+
+func (g *Grid) cellOf(p geo.Point) [2]int32 {
+	return [2]int32{int32(math.Floor(p.X / g.cellSize)), int32(math.Floor(p.Y / g.cellSize))}
+}
+
+// Insert implements Index. Entries are visible immediately.
+func (g *Grid) Insert(e Entry) {
+	idx := int32(len(g.entries))
+	g.entries = append(g.entries, e)
+	b := e.Bounds()
+	g.bounds = g.bounds.Union(b)
+	lo, hi := g.cellOf(b.Min), g.cellOf(b.Max)
+	for cx := lo[0]; cx <= hi[0]; cx++ {
+		for cy := lo[1]; cy <= hi[1]; cy++ {
+			key := [2]int32{cx, cy}
+			g.cells[key] = append(g.cells[key], idx)
+		}
+	}
+}
+
+// Build implements Index (no-op for the grid).
+func (g *Grid) Build() { g.built = true }
+
+// Len implements Index.
+func (g *Grid) Len() int { return len(g.entries) }
+
+// Search implements Index.
+func (g *Grid) Search(r geo.Rect, fn func(Entry) bool) {
+	if r.IsEmpty() || len(g.entries) == 0 {
+		return
+	}
+	lo, hi := g.cellOf(r.Min), g.cellOf(r.Max)
+	seen := make(map[int32]struct{})
+	for cx := lo[0]; cx <= hi[0]; cx++ {
+		for cy := lo[1]; cy <= hi[1]; cy++ {
+			for _, idx := range g.cells[[2]int32{cx, cy}] {
+				if _, dup := seen[idx]; dup {
+					continue
+				}
+				seen[idx] = struct{}{}
+				e := g.entries[idx]
+				if r.Intersects(e.Bounds()) {
+					if !fn(e) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// Nearest implements Index.
+func (g *Grid) Nearest(p geo.Point, maxDist float64) (Hit, bool) {
+	hits := g.NearestK(p, 1, maxDist)
+	if len(hits) == 0 {
+		return Hit{}, false
+	}
+	return hits[0], true
+}
+
+// NearestK implements Index. It scans rings of cells outward from p; the
+// search stops once the next ring cannot contain anything closer than the
+// current k-th best hit.
+func (g *Grid) NearestK(p geo.Point, k int, maxDist float64) []Hit {
+	if k <= 0 || len(g.entries) == 0 {
+		return nil
+	}
+	center := g.cellOf(p)
+	// A ring beyond the farthest corner of the occupied extent cannot hold
+	// entries, so cap the scan there even when maxDist is infinite.
+	farthest := math.Max(
+		math.Max(p.Dist(g.bounds.Min), p.Dist(g.bounds.Max)),
+		math.Max(p.Dist(geo.Pt(g.bounds.Min.X, g.bounds.Max.Y)), p.Dist(geo.Pt(g.bounds.Max.X, g.bounds.Min.Y))),
+	)
+	reach := math.Min(maxDist, farthest)
+	maxRing := int32(math.Ceil(reach/g.cellSize)) + 1
+	var hits []Hit
+	seen := make(map[int32]struct{})
+	for ring := int32(0); ring <= maxRing; ring++ {
+		// Entries in cells of this ring are at least (ring-1)*cellSize away.
+		minPossible := float64(ring-1) * g.cellSize
+		if minPossible > kthDist(hits, k, maxDist) {
+			break
+		}
+		g.visitRing(center, ring, func(idx int32) {
+			if _, dup := seen[idx]; dup {
+				return
+			}
+			seen[idx] = struct{}{}
+			e := g.entries[idx]
+			if d := e.Seg.DistanceTo(p); d <= maxDist {
+				hits = insertHit(hits, Hit{Entry: e, Dist: d}, k)
+			}
+		})
+	}
+	return hits
+}
+
+// visitRing calls fn for every entry index registered in cells on the
+// square ring at Chebyshev distance ring from center.
+func (g *Grid) visitRing(center [2]int32, ring int32, fn func(int32)) {
+	if ring == 0 {
+		for _, idx := range g.cells[center] {
+			fn(idx)
+		}
+		return
+	}
+	for dx := -ring; dx <= ring; dx++ {
+		for _, dy := range ringYs(dx, ring) {
+			key := [2]int32{center[0] + dx, center[1] + dy}
+			for _, idx := range g.cells[key] {
+				fn(idx)
+			}
+		}
+	}
+}
+
+// ringYs returns the dy values on the ring for a given dx.
+func ringYs(dx, ring int32) []int32 {
+	if dx == -ring || dx == ring {
+		ys := make([]int32, 0, 2*ring+1)
+		for dy := -ring; dy <= ring; dy++ {
+			ys = append(ys, dy)
+		}
+		return ys
+	}
+	return []int32{-ring, ring}
+}
+
+var _ Index = (*Grid)(nil)

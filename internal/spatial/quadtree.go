@@ -1,0 +1,194 @@
+package spatial
+
+import (
+	"sort"
+
+	"mapdr/internal/geo"
+)
+
+const (
+	quadMaxEntries = 16
+	quadMaxDepth   = 12
+)
+
+// QuadTree is a region quadtree over segments. Entries whose bounds straddle
+// a split line are kept at the internal node.
+type QuadTree struct {
+	bounds  geo.Rect
+	root    *quadNode
+	pending []Entry
+	count   int
+	built   bool
+}
+
+type quadNode struct {
+	bounds   geo.Rect
+	entries  []Entry
+	children [4]*quadNode // nil for leaves
+	depth    int
+}
+
+// NewQuadTree returns a quadtree covering bounds. Entries outside bounds
+// are stored at the root.
+func NewQuadTree(bounds geo.Rect) *QuadTree {
+	return &QuadTree{bounds: bounds}
+}
+
+// Insert implements Index.
+func (q *QuadTree) Insert(e Entry) {
+	q.count++
+	if !q.built {
+		q.pending = append(q.pending, e)
+		return
+	}
+	q.root.insert(e)
+}
+
+// Build implements Index.
+func (q *QuadTree) Build() {
+	if q.built {
+		return
+	}
+	q.built = true
+	b := q.bounds
+	if b.IsEmpty() {
+		for _, e := range q.pending {
+			b = b.Union(e.Bounds())
+		}
+	}
+	q.root = &quadNode{bounds: b}
+	for _, e := range q.pending {
+		q.root.insert(e)
+	}
+	q.pending = nil
+}
+
+func (n *quadNode) insert(e Entry) {
+	b := e.Bounds()
+	if n.children[0] == nil {
+		n.entries = append(n.entries, e)
+		if len(n.entries) > quadMaxEntries && n.depth < quadMaxDepth {
+			n.split()
+		}
+		return
+	}
+	if c := n.childFor(b); c != nil {
+		c.insert(e)
+		return
+	}
+	n.entries = append(n.entries, e)
+}
+
+func (n *quadNode) split() {
+	c := n.bounds.Center()
+	quads := [4]geo.Rect{
+		{Min: n.bounds.Min, Max: c},
+		{Min: geo.Pt(c.X, n.bounds.Min.Y), Max: geo.Pt(n.bounds.Max.X, c.Y)},
+		{Min: geo.Pt(n.bounds.Min.X, c.Y), Max: geo.Pt(c.X, n.bounds.Max.Y)},
+		{Min: c, Max: n.bounds.Max},
+	}
+	for i := range quads {
+		n.children[i] = &quadNode{bounds: quads[i], depth: n.depth + 1}
+	}
+	kept := n.entries[:0]
+	for _, e := range n.entries {
+		if c := n.childFor(e.Bounds()); c != nil {
+			c.insert(e)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	n.entries = kept
+}
+
+// childFor returns the child that fully contains b, or nil.
+func (n *quadNode) childFor(b geo.Rect) *quadNode {
+	for _, c := range n.children {
+		if c != nil && c.bounds.ContainsRect(b) {
+			return c
+		}
+	}
+	return nil
+}
+
+// Len implements Index.
+func (q *QuadTree) Len() int { return q.count }
+
+// Search implements Index.
+func (q *QuadTree) Search(r geo.Rect, fn func(Entry) bool) {
+	q.ensureBuilt()
+	quadSearch(q.root, r, fn)
+}
+
+func (q *QuadTree) ensureBuilt() {
+	if !q.built {
+		q.Build()
+	}
+}
+
+func quadSearch(n *quadNode, r geo.Rect, fn func(Entry) bool) bool {
+	if n == nil {
+		return true
+	}
+	// Straddling entries at the root may lie outside node bounds, so test
+	// entries before pruning children by bounds.
+	for _, e := range n.entries {
+		if r.Intersects(e.Bounds()) {
+			if !fn(e) {
+				return false
+			}
+		}
+	}
+	for _, c := range n.children {
+		if c != nil && c.bounds.Intersects(r) {
+			if !quadSearch(c, r, fn) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Nearest implements Index.
+func (q *QuadTree) Nearest(p geo.Point, maxDist float64) (Hit, bool) {
+	hits := q.NearestK(p, 1, maxDist)
+	if len(hits) == 0 {
+		return Hit{}, false
+	}
+	return hits[0], true
+}
+
+// NearestK implements Index.
+func (q *QuadTree) NearestK(p geo.Point, k int, maxDist float64) []Hit {
+	q.ensureBuilt()
+	if k <= 0 || q.root == nil {
+		return nil
+	}
+	var hits []Hit
+	var descend func(n *quadNode)
+	descend = func(n *quadNode) {
+		for _, e := range n.entries {
+			if d := e.Seg.DistanceTo(p); d <= kthDist(hits, k, maxDist) {
+				hits = insertHit(hits, Hit{Entry: e, Dist: d}, k)
+			}
+		}
+		var kids []*quadNode
+		for _, c := range n.children {
+			if c != nil {
+				kids = append(kids, c)
+			}
+		}
+		sort.Slice(kids, func(i, j int) bool {
+			return kids[i].bounds.DistanceTo(p) < kids[j].bounds.DistanceTo(p)
+		})
+		for _, c := range kids {
+			if c.bounds.DistanceTo(p) <= kthDist(hits, k, maxDist) {
+				descend(c)
+			}
+		}
+	}
+	descend(q.root)
+	return hits
+}
+
+var _ Index = (*QuadTree)(nil)

@@ -1,0 +1,381 @@
+package spatial
+
+import (
+	"math"
+	"sort"
+
+	"mapdr/internal/geo"
+)
+
+const (
+	rtreeMaxFill = 16
+	rtreeMinFill = 6
+)
+
+// RTree is an R-tree over segments. Build performs an STR (sort-tile-
+// recursive) bulk load over all inserted entries; Insert after Build falls
+// back to a classic quadratic-split insertion.
+type RTree struct {
+	root    *rtreeNode
+	pending []Entry
+	count   int
+	built   bool
+}
+
+type rtreeNode struct {
+	bounds   geo.Rect
+	leaf     bool
+	entries  []Entry      // leaf payload
+	children []*rtreeNode // internal children
+}
+
+// NewRTree returns an empty R-tree.
+func NewRTree() *RTree { return &RTree{} }
+
+// Insert implements Index. Before Build, entries are buffered for bulk
+// loading; after Build they are inserted incrementally.
+func (t *RTree) Insert(e Entry) {
+	t.count++
+	if !t.built {
+		t.pending = append(t.pending, e)
+		return
+	}
+	if t.root == nil {
+		t.root = &rtreeNode{leaf: true, bounds: e.Bounds()}
+	}
+	t.insertInto(t.root, e)
+	if len(t.root.entries) > rtreeMaxFill || len(t.root.children) > rtreeMaxFill {
+		t.splitRoot()
+	}
+}
+
+// Build implements Index: STR bulk load of all pending entries.
+func (t *RTree) Build() {
+	t.built = true
+	if len(t.pending) == 0 {
+		return
+	}
+	entries := t.pending
+	t.pending = nil
+	leaves := strPack(entries)
+	nodes := leaves
+	for len(nodes) > 1 {
+		nodes = strPackNodes(nodes)
+	}
+	if t.root == nil {
+		t.root = nodes[0]
+		return
+	}
+	// Build called again after incremental inserts: merge by re-inserting.
+	merged := nodes[0]
+	collectEntries(t.root, func(e Entry) { t.insertInto(merged, e) })
+	t.root = merged
+}
+
+func collectEntries(n *rtreeNode, fn func(Entry)) {
+	if n == nil {
+		return
+	}
+	if n.leaf {
+		for _, e := range n.entries {
+			fn(e)
+		}
+		return
+	}
+	for _, c := range n.children {
+		collectEntries(c, fn)
+	}
+}
+
+// strPack packs entries into leaf nodes using sort-tile-recursive order.
+func strPack(entries []Entry) []*rtreeNode {
+	n := len(entries)
+	leafCount := (n + rtreeMaxFill - 1) / rtreeMaxFill
+	sliceCount := int(math.Ceil(math.Sqrt(float64(leafCount))))
+	perSlice := sliceCount * rtreeMaxFill
+
+	sorted := make([]Entry, n)
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].Bounds().Center().X < sorted[j].Bounds().Center().X
+	})
+
+	var leaves []*rtreeNode
+	for s := 0; s < n; s += perSlice {
+		end := s + perSlice
+		if end > n {
+			end = n
+		}
+		slice := sorted[s:end]
+		sort.Slice(slice, func(i, j int) bool {
+			return slice[i].Bounds().Center().Y < slice[j].Bounds().Center().Y
+		})
+		for o := 0; o < len(slice); o += rtreeMaxFill {
+			oEnd := o + rtreeMaxFill
+			if oEnd > len(slice) {
+				oEnd = len(slice)
+			}
+			leaf := &rtreeNode{leaf: true, entries: append([]Entry(nil), slice[o:oEnd]...)}
+			leaf.recomputeBounds()
+			leaves = append(leaves, leaf)
+		}
+	}
+	return leaves
+}
+
+// strPackNodes packs child nodes into a level of parent nodes.
+func strPackNodes(nodes []*rtreeNode) []*rtreeNode {
+	n := len(nodes)
+	parentCount := (n + rtreeMaxFill - 1) / rtreeMaxFill
+	sliceCount := int(math.Ceil(math.Sqrt(float64(parentCount))))
+	perSlice := sliceCount * rtreeMaxFill
+
+	sorted := make([]*rtreeNode, n)
+	copy(sorted, nodes)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].bounds.Center().X < sorted[j].bounds.Center().X
+	})
+
+	var parents []*rtreeNode
+	for s := 0; s < n; s += perSlice {
+		end := s + perSlice
+		if end > n {
+			end = n
+		}
+		slice := sorted[s:end]
+		sort.Slice(slice, func(i, j int) bool {
+			return slice[i].bounds.Center().Y < slice[j].bounds.Center().Y
+		})
+		for o := 0; o < len(slice); o += rtreeMaxFill {
+			oEnd := o + rtreeMaxFill
+			if oEnd > len(slice) {
+				oEnd = len(slice)
+			}
+			parent := &rtreeNode{children: append([]*rtreeNode(nil), slice[o:oEnd]...)}
+			parent.recomputeBounds()
+			parents = append(parents, parent)
+		}
+	}
+	return parents
+}
+
+func (n *rtreeNode) recomputeBounds() {
+	b := geo.EmptyRect()
+	if n.leaf {
+		for _, e := range n.entries {
+			b = b.Union(e.Bounds())
+		}
+	} else {
+		for _, c := range n.children {
+			b = b.Union(c.bounds)
+		}
+	}
+	n.bounds = b
+}
+
+func (t *RTree) insertInto(n *rtreeNode, e Entry) {
+	n.bounds = n.bounds.Union(e.Bounds())
+	if n.leaf {
+		n.entries = append(n.entries, e)
+		return
+	}
+	best := chooseSubtree(n.children, e.Bounds())
+	t.insertInto(best, e)
+	if len(best.entries) > rtreeMaxFill || len(best.children) > rtreeMaxFill {
+		a, b := splitNode(best)
+		for i, c := range n.children {
+			if c == best {
+				n.children[i] = a
+				n.children = append(n.children, b)
+				break
+			}
+		}
+	}
+}
+
+func (t *RTree) splitRoot() {
+	a, b := splitNode(t.root)
+	root := &rtreeNode{children: []*rtreeNode{a, b}}
+	root.recomputeBounds()
+	t.root = root
+}
+
+// chooseSubtree picks the child needing least area enlargement.
+func chooseSubtree(children []*rtreeNode, b geo.Rect) *rtreeNode {
+	var best *rtreeNode
+	bestEnl, bestArea := math.Inf(1), math.Inf(1)
+	for _, c := range children {
+		enl := c.bounds.Union(b).Area() - c.bounds.Area()
+		area := c.bounds.Area()
+		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = c, enl, area
+		}
+	}
+	return best
+}
+
+// splitNode splits an over-full node into two, seeding with the pair of
+// items whose union wastes the most area (quadratic split).
+func splitNode(n *rtreeNode) (*rtreeNode, *rtreeNode) {
+	if n.leaf {
+		ga, gb := quadraticSplit(len(n.entries), func(i int) geo.Rect { return n.entries[i].Bounds() })
+		a := &rtreeNode{leaf: true}
+		b := &rtreeNode{leaf: true}
+		for _, i := range ga {
+			a.entries = append(a.entries, n.entries[i])
+		}
+		for _, i := range gb {
+			b.entries = append(b.entries, n.entries[i])
+		}
+		a.recomputeBounds()
+		b.recomputeBounds()
+		return a, b
+	}
+	ga, gb := quadraticSplit(len(n.children), func(i int) geo.Rect { return n.children[i].bounds })
+	a := &rtreeNode{}
+	b := &rtreeNode{}
+	for _, i := range ga {
+		a.children = append(a.children, n.children[i])
+	}
+	for _, i := range gb {
+		b.children = append(b.children, n.children[i])
+	}
+	a.recomputeBounds()
+	b.recomputeBounds()
+	return a, b
+}
+
+func quadraticSplit(n int, boundsOf func(int) geo.Rect) (groupA, groupB []int) {
+	// Pick seeds maximising wasted area.
+	seedA, seedB := 0, 1
+	worst := math.Inf(-1)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			waste := boundsOf(i).Union(boundsOf(j)).Area() - boundsOf(i).Area() - boundsOf(j).Area()
+			if waste > worst {
+				worst, seedA, seedB = waste, i, j
+			}
+		}
+	}
+	groupA = []int{seedA}
+	groupB = []int{seedB}
+	ba, bb := boundsOf(seedA), boundsOf(seedB)
+	for i := 0; i < n; i++ {
+		if i == seedA || i == seedB {
+			continue
+		}
+		// Force balance so both groups satisfy the minimum fill.
+		switch {
+		case len(groupA)+n-i-1 <= rtreeMinFill && !contains(groupB, i):
+			groupA = append(groupA, i)
+			ba = ba.Union(boundsOf(i))
+			continue
+		case len(groupB)+n-i-1 <= rtreeMinFill && !contains(groupA, i):
+			groupB = append(groupB, i)
+			bb = bb.Union(boundsOf(i))
+			continue
+		}
+		enlA := ba.Union(boundsOf(i)).Area() - ba.Area()
+		enlB := bb.Union(boundsOf(i)).Area() - bb.Area()
+		if enlA <= enlB {
+			groupA = append(groupA, i)
+			ba = ba.Union(boundsOf(i))
+		} else {
+			groupB = append(groupB, i)
+			bb = bb.Union(boundsOf(i))
+		}
+	}
+	return groupA, groupB
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Len implements Index.
+func (t *RTree) Len() int { return t.count }
+
+// Search implements Index.
+func (t *RTree) Search(r geo.Rect, fn func(Entry) bool) {
+	t.ensureBuilt()
+	searchNode(t.root, r, fn)
+}
+
+func (t *RTree) ensureBuilt() {
+	if !t.built {
+		t.Build()
+	}
+}
+
+func searchNode(n *rtreeNode, r geo.Rect, fn func(Entry) bool) bool {
+	if n == nil || !n.bounds.Intersects(r) {
+		return true
+	}
+	if n.leaf {
+		for _, e := range n.entries {
+			if r.Intersects(e.Bounds()) {
+				if !fn(e) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, c := range n.children {
+		if !searchNode(c, r, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Nearest implements Index via best-first branch-and-bound descent.
+func (t *RTree) Nearest(p geo.Point, maxDist float64) (Hit, bool) {
+	hits := t.NearestK(p, 1, maxDist)
+	if len(hits) == 0 {
+		return Hit{}, false
+	}
+	return hits[0], true
+}
+
+// NearestK implements Index.
+func (t *RTree) NearestK(p geo.Point, k int, maxDist float64) []Hit {
+	t.ensureBuilt()
+	if k <= 0 || t.root == nil {
+		return nil
+	}
+	var hits []Hit
+	var descend func(n *rtreeNode)
+	descend = func(n *rtreeNode) {
+		bound := kthDist(hits, k, maxDist)
+		if n.bounds.DistanceTo(p) > bound {
+			return
+		}
+		if n.leaf {
+			for _, e := range n.entries {
+				if d := e.Seg.DistanceTo(p); d <= kthDist(hits, k, maxDist) {
+					hits = insertHit(hits, Hit{Entry: e, Dist: d}, k)
+				}
+			}
+			return
+		}
+		// Visit children nearest-first so the bound tightens quickly.
+		order := make([]*rtreeNode, len(n.children))
+		copy(order, n.children)
+		sort.Slice(order, func(i, j int) bool {
+			return order[i].bounds.DistanceTo(p) < order[j].bounds.DistanceTo(p)
+		})
+		for _, c := range order {
+			descend(c)
+		}
+	}
+	descend(t.root)
+	return hits
+}
+
+var _ Index = (*RTree)(nil)

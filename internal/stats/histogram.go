@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-width bin histogram over [Min, Max). Observations
+// outside the range are counted in underflow/overflow bins.
+type Histogram struct {
+	Min, Max  float64
+	bins      []int64
+	underflow int64
+	overflow  int64
+	total     int64
+}
+
+// NewHistogram returns a histogram with n bins spanning [min, max).
+func NewHistogram(min, max float64, n int) *Histogram {
+	if n <= 0 || !(max > min) {
+		panic("stats: invalid histogram parameters")
+	}
+	return &Histogram{Min: min, Max: max, bins: make([]int64, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Min:
+		h.underflow++
+	case x >= h.Max:
+		h.overflow++
+	default:
+		i := int(float64(len(h.bins)) * (x - h.Min) / (h.Max - h.Min))
+		if i >= len(h.bins) {
+			i = len(h.bins) - 1
+		}
+		h.bins[i]++
+	}
+}
+
+// Count returns the total number of observations including out-of-range.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Bin returns the count in bin i.
+func (h *Histogram) Bin(i int) int64 { return h.bins[i] }
+
+// NumBins returns the number of in-range bins.
+func (h *Histogram) NumBins() int { return len(h.bins) }
+
+// Underflow returns the count of observations below Min.
+func (h *Histogram) Underflow() int64 { return h.underflow }
+
+// Overflow returns the count of observations at or above Max.
+func (h *Histogram) Overflow() int64 { return h.overflow }
+
+// BinCenter returns the midpoint value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Max - h.Min) / float64(len(h.bins))
+	return h.Min + (float64(i)+0.5)*w
+}
+
+// CDFAt returns the fraction of observations with value < x (including
+// underflow), approximating within-bin distribution as uniform.
+func (h *Histogram) CDFAt(x float64) float64 {
+	if h.total == 0 {
+		return math.NaN()
+	}
+	if x <= h.Min {
+		return float64(h.underflow) / float64(h.total)
+	}
+	if x >= h.Max {
+		return float64(h.total-h.overflow) / float64(h.total)
+	}
+	w := (h.Max - h.Min) / float64(len(h.bins))
+	pos := (x - h.Min) / w
+	full := int(pos)
+	var cum int64 = h.underflow
+	for i := 0; i < full && i < len(h.bins); i++ {
+		cum += h.bins[i]
+	}
+	frac := pos - float64(full)
+	var partial float64
+	if full < len(h.bins) {
+		partial = frac * float64(h.bins[full])
+	}
+	return (float64(cum) + partial) / float64(h.total)
+}
+
+// String renders a compact ASCII bar chart, one row per bin.
+func (h *Histogram) String() string {
+	var sb strings.Builder
+	var maxCount int64 = 1
+	for _, c := range h.bins {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, c := range h.bins {
+		bar := strings.Repeat("#", int(40*c/maxCount))
+		fmt.Fprintf(&sb, "%10.2f | %-40s %d\n", h.BinCenter(i), bar, c)
+	}
+	return sb.String()
+}

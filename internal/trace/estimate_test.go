@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"mapdr/internal/geo"
+)
+
+func TestEstimatorConstantVelocity(t *testing.T) {
+	est := NewEstimator(4)
+	var v, h float64
+	var ok bool
+	for i := 0; i < 10; i++ {
+		v, h, ok = est.Add(Sample{T: float64(i), Pos: geo.Pt(0, 5*float64(i))})
+	}
+	if !ok {
+		t.Fatal("estimator not ready")
+	}
+	if math.Abs(v-5) > 1e-9 {
+		t.Errorf("v = %v", v)
+	}
+	if math.Abs(h-math.Pi/2) > 1e-9 {
+		t.Errorf("heading = %v", h)
+	}
+}
+
+func TestEstimatorWarmup(t *testing.T) {
+	est := NewEstimator(4)
+	if _, _, ok := est.Add(Sample{T: 0, Pos: geo.Pt(0, 0)}); ok {
+		t.Error("single sighting should not produce an estimate")
+	}
+	if _, _, ok := est.Add(Sample{T: 1, Pos: geo.Pt(1, 0)}); !ok {
+		t.Error("two sightings should produce an estimate")
+	}
+	est.Reset()
+	if _, _, ok := est.Current(); ok {
+		t.Error("reset should clear the window")
+	}
+}
+
+func TestEstimatorPanicsOnSmallN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewEstimator(1)
+}
+
+func TestEstimatorWindowLag(t *testing.T) {
+	// A step change in direction reaches the n=2 estimator faster than the
+	// n=8 estimator (lag is the cost of the larger window).
+	mkTrace := func() []Sample {
+		var s []Sample
+		for i := 0; i <= 20; i++ {
+			p := geo.Pt(float64(i), 0)
+			if i > 10 {
+				p = geo.Pt(10, float64(i-10))
+			}
+			s = append(s, Sample{T: float64(i), Pos: p})
+		}
+		return s
+	}
+	settle := func(n int) int {
+		est := NewEstimator(n)
+		for i, s := range mkTrace() {
+			_, h, ok := est.Add(s)
+			if ok && i > 10 && math.Abs(geo.AngleDiff(h, math.Pi/2)) < 0.01 {
+				return i
+			}
+		}
+		return 999
+	}
+	if settle(2) >= settle(8) {
+		t.Errorf("n=2 settles at %d, n=8 at %d; expected faster for n=2", settle(2), settle(8))
+	}
+}
+
+func TestEstimatorNoiseSuppression(t *testing.T) {
+	// With noisy positions at walking speed, the n=8 estimator's speed
+	// error is smaller than the n=2 estimator's.
+	mk := func() *Trace {
+		tr := &Trace{}
+		for i := 0; i <= 600; i++ {
+			tr.Samples = append(tr.Samples, Sample{T: float64(i), Pos: geo.Pt(1.3*float64(i), 0)})
+		}
+		return ApplyNoise(tr, NewWhiteNoise(11, 3))
+	}
+	speedErr := func(n int) float64 {
+		est := NewEstimator(n)
+		var sum float64
+		var count int
+		for _, s := range mk().Samples {
+			v, _, ok := est.Add(s)
+			if ok {
+				sum += math.Abs(v - 1.3)
+				count++
+			}
+		}
+		return sum / float64(count)
+	}
+	if speedErr(8) >= speedErr(2) {
+		t.Errorf("speed error n=8 (%v) should beat n=2 (%v) at walking speed",
+			speedErr(8), speedErr(2))
+	}
+}
+
+func TestOptimalSightings(t *testing.T) {
+	if n := OptimalSightings(30); n != 2 { // ~108 km/h
+		t.Errorf("freeway n = %d", n)
+	}
+	if n := OptimalSightings(12); n != 4 { // ~43 km/h
+		t.Errorf("city n = %d", n)
+	}
+	if n := OptimalSightings(1.3); n != 8 { // walking
+		t.Errorf("walking n = %d", n)
+	}
+}
+
+func TestEstimateAll(t *testing.T) {
+	tr := constantSpeedTrace(7, 50)
+	// Strip V/Heading to simulate a position-only sensor.
+	for i := range tr.Samples {
+		tr.Samples[i].V, tr.Samples[i].Heading = 0, 0
+	}
+	out := EstimateAll(tr, 4)
+	if out.Len() != tr.Len() {
+		t.Fatalf("len = %d", out.Len())
+	}
+	last := out.Samples[out.Len()-1]
+	if math.Abs(last.V-7) > 1e-9 || math.Abs(last.Heading) > 1e-9 {
+		t.Errorf("estimated V/H = %v/%v", last.V, last.Heading)
+	}
+}

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"mapdr/internal/geo"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := constantSpeedTrace(12.5, 50)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("len = %d, want %d", got.Len(), tr.Len())
+	}
+	for i := range got.Samples {
+		a, b := got.Samples[i], tr.Samples[i]
+		if math.Abs(a.T-b.T) > 1e-3 || a.Pos.Dist(b.Pos) > 1e-2 || math.Abs(a.V-b.V) > 1e-3 {
+			t.Fatalf("sample %d: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("t,x,y,v,heading\n1,2\n")); err == nil {
+		t.Error("expected field count error")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,notanumber,3\n")); err == nil {
+		t.Error("expected parse error")
+	}
+	// Non-monotonic time fails validation.
+	if _, err := ReadCSV(strings.NewReader("5,0,0\n4,1,1\n")); err == nil {
+		t.Error("expected validation error")
+	}
+}
+
+func TestReadCSVSkipsHeaderAndBlank(t *testing.T) {
+	in := "t,x,y,v,heading\n\n1,2,3\n\n2,3,4\n"
+	tr, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 {
+		t.Errorf("len = %d", tr.Len())
+	}
+}
+
+func TestNMEARoundTrip(t *testing.T) {
+	proj := geo.NewProjection(geo.LatLon{Lat: 48.7758, Lon: 9.1829})
+	tr := &Trace{}
+	for i := 0; i <= 60; i++ {
+		tr.Samples = append(tr.Samples, Sample{
+			T:       float64(i),
+			Pos:     geo.Pt(30*float64(i), 15*float64(i)),
+			V:       33.5,
+			Heading: math.Pi / 3,
+		})
+	}
+	var buf bytes.Buffer
+	if err := WriteNMEA(&buf, tr, proj); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "$GPRMC,") {
+		t.Fatalf("output: %q", out[:40])
+	}
+	got, err := ReadNMEA(strings.NewReader(out), proj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("len = %d, want %d", got.Len(), tr.Len())
+	}
+	for i := range got.Samples {
+		a, b := got.Samples[i], tr.Samples[i]
+		// NMEA ddmm.mmmm has ~0.2 m quantisation at this latitude.
+		if a.Pos.Dist(b.Pos) > 1.0 {
+			t.Fatalf("sample %d position error %v m", i, a.Pos.Dist(b.Pos))
+		}
+		if math.Abs(a.V-b.V) > 0.05 {
+			t.Fatalf("sample %d speed %v vs %v", i, a.V, b.V)
+		}
+		if math.Abs(geo.AngleDiff(a.Heading, b.Heading)) > 0.01 {
+			t.Fatalf("sample %d heading %v vs %v", i, a.Heading, b.Heading)
+		}
+	}
+}
+
+func TestReadNMEAChecksumRejected(t *testing.T) {
+	proj := geo.NewProjection(geo.LatLon{})
+	bad := "$GPRMC,000001.00,A,4846.5480,N,00910.9740,E,65.12,56.31,010100,,*FF\r\n"
+	if _, err := ReadNMEA(strings.NewReader(bad), proj); err == nil {
+		t.Error("expected checksum error")
+	}
+}
+
+func TestReadNMEASkipsOtherSentences(t *testing.T) {
+	proj := geo.NewProjection(geo.LatLon{})
+	in := "$GPGGA,junk\nnoise\n$GPRMC,000001.00,V,,,,,,,010100,,\n"
+	tr, err := ReadNMEA(strings.NewReader(in), proj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 {
+		t.Errorf("len = %d, want 0 (void fix skipped)", tr.Len())
+	}
+}
+
+func TestNMEASouthWestHemispheres(t *testing.T) {
+	proj := geo.NewProjection(geo.LatLon{Lat: -33.9, Lon: -70.7}) // Santiago
+	tr := &Trace{Samples: []Sample{{T: 1, Pos: geo.Pt(100, 200), V: 5, Heading: 1}}}
+	var buf bytes.Buffer
+	if err := WriteNMEA(&buf, tr, proj); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), ",S,") || !strings.Contains(buf.String(), ",W,") {
+		t.Fatalf("hemispheres missing: %q", buf.String())
+	}
+	got, err := ReadNMEA(strings.NewReader(buf.String()), proj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || got.Samples[0].Pos.Dist(tr.Samples[0].Pos) > 1.0 {
+		t.Errorf("round trip = %+v", got.Samples)
+	}
+}

@@ -1,0 +1,95 @@
+package viz
+
+import (
+	"strings"
+
+	"mapdr/internal/geo"
+	"mapdr/internal/roadmap"
+	"mapdr/internal/trace"
+)
+
+// Raster is a character grid for quick terminal rendering.
+type Raster struct {
+	bounds     geo.Rect
+	cols, rows int
+	cells      []byte
+}
+
+// NewRaster returns a raster covering bounds.
+func NewRaster(bounds geo.Rect, cols, rows int) *Raster {
+	if bounds.IsEmpty() || cols <= 0 || rows <= 0 {
+		panic("viz: invalid raster")
+	}
+	cells := make([]byte, cols*rows)
+	for i := range cells {
+		cells[i] = ' '
+	}
+	return &Raster{bounds: bounds, cols: cols, rows: rows, cells: cells}
+}
+
+// Plot sets the character at the cell containing p (later calls win).
+func (r *Raster) Plot(p geo.Point, ch byte) {
+	cx := int(float64(r.cols) * (p.X - r.bounds.Min.X) / r.bounds.Width())
+	cy := int(float64(r.rows) * (r.bounds.Max.Y - p.Y) / r.bounds.Height())
+	if cx < 0 || cx >= r.cols || cy < 0 || cy >= r.rows {
+		return
+	}
+	r.cells[cy*r.cols+cx] = ch
+}
+
+// PlotPolyline draws a polyline with the given character, sampling every
+// half cell.
+func (r *Raster) PlotPolyline(pl geo.Polyline, ch byte) {
+	if len(pl) == 0 {
+		return
+	}
+	step := r.bounds.Width() / float64(r.cols) / 2
+	if step <= 0 {
+		step = 1
+	}
+	for _, p := range pl.Resample(step) {
+		r.Plot(p, ch)
+	}
+}
+
+// String renders the raster.
+func (r *Raster) String() string {
+	var sb strings.Builder
+	for y := 0; y < r.rows; y++ {
+		sb.Write(r.cells[y*r.cols : (y+1)*r.cols])
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// RenderASCII draws a network with a trace and update markers into a
+// cols×rows character grid.
+func RenderASCII(g *roadmap.Graph, tr *trace.Trace, updates []geo.Point, cols, rows int) string {
+	bounds := geo.EmptyRect()
+	if g != nil {
+		bounds = bounds.Union(g.Bounds())
+	}
+	if tr != nil {
+		bounds = bounds.Union(tr.Bounds())
+	}
+	if bounds.IsEmpty() {
+		return ""
+	}
+	r := NewRaster(bounds.Expand(bounds.Width()*0.02+1), cols, rows)
+	if g != nil {
+		for _, l := range g.Links() {
+			r.PlotPolyline(l.Shape, '.')
+		}
+	}
+	if tr != nil {
+		pl := make(geo.Polyline, 0, tr.Len())
+		for _, s := range tr.Samples {
+			pl = append(pl, s.Pos)
+		}
+		r.PlotPolyline(pl, '+')
+	}
+	for _, u := range updates {
+		r.Plot(u, '@')
+	}
+	return r.String()
+}

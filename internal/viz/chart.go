@@ -1,0 +1,132 @@
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Chart renders a simple multi-series line chart as SVG — the artifact
+// class of the paper's Figs. 7-10 (updates per hour vs requested
+// accuracy, one line per protocol).
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []ChartSeries
+	// Width and Height in pixels; defaults 720x480.
+	Width, Height int
+	// YMax forces the Y axis maximum; 0 means automatic.
+	YMax float64
+}
+
+// ChartSeries is one named line.
+type ChartSeries struct {
+	Name string
+	X, Y []float64
+}
+
+// chartPalette holds the series colours.
+var chartPalette = []string{"#d02020", "#2060c0", "#209040", "#c08020", "#8040a0", "#404040"}
+
+// WriteSVG renders the chart.
+func (c Chart) WriteSVG(w io.Writer) error {
+	if len(c.Series) == 0 {
+		return fmt.Errorf("viz: chart has no series")
+	}
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 720
+	}
+	if height <= 0 {
+		height = 480
+	}
+	const (
+		marginL = 70.0
+		marginR = 20.0
+		marginT = 40.0
+		marginB = 55.0
+	)
+	plotW := float64(width) - marginL - marginR
+	plotH := float64(height) - marginT - marginB
+
+	// Axis ranges.
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMax := c.YMax
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("viz: series %q has %d x vs %d y", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			xMin = math.Min(xMin, s.X[i])
+			xMax = math.Max(xMax, s.X[i])
+			if c.YMax == 0 {
+				yMax = math.Max(yMax, s.Y[i])
+			}
+		}
+	}
+	if !(xMax > xMin) || yMax <= 0 {
+		return fmt.Errorf("viz: degenerate chart ranges")
+	}
+	yMax *= 1.05
+
+	px := func(x float64) float64 { return marginL + (x-xMin)/(xMax-xMin)*plotW }
+	py := func(y float64) float64 { return marginT + (1-y/yMax)*plotH }
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`, width, height, width, height)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+
+	// Grid and axis ticks.
+	const ticks = 5
+	for i := 0; i <= ticks; i++ {
+		yv := yMax * float64(i) / ticks
+		y := py(yv)
+		fmt.Fprintf(&sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#e0e0e0"/>`, marginL, y, marginL+plotW, y)
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-size="11" text-anchor="end" font-family="sans-serif">%.0f</text>`, marginL-6, y+4, yv)
+		xv := xMin + (xMax-xMin)*float64(i)/ticks
+		x := px(xv)
+		fmt.Fprintf(&sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#e0e0e0"/>`, x, marginT, x, marginT+plotH)
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-size="11" text-anchor="middle" font-family="sans-serif">%.0f</text>`, x, marginT+plotH+16, xv)
+	}
+	// Axes.
+	fmt.Fprintf(&sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`, marginL, marginT, marginL, marginT+plotH)
+	fmt.Fprintf(&sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`, marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+
+	// Series.
+	for si, s := range c.Series {
+		colour := chartPalette[si%len(chartPalette)]
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i])))
+		}
+		fmt.Fprintf(&sb, `<polyline fill="none" stroke="%s" stroke-width="2" points="%s"/>`, colour, strings.Join(pts, " "))
+		for i := range s.X {
+			fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`, px(s.X[i]), py(s.Y[i]), colour)
+		}
+		// Legend.
+		ly := marginT + 8 + float64(si)*18
+		fmt.Fprintf(&sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="2"/>`,
+			marginL+plotW-150, ly, marginL+plotW-120, ly, colour)
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-size="12" font-family="sans-serif">%s</text>`,
+			marginL+plotW-112, ly+4, escape(s.Name))
+	}
+
+	// Labels.
+	if c.Title != "" {
+		fmt.Fprintf(&sb, `<text x="%.1f" y="20" font-size="14" text-anchor="middle" font-family="sans-serif">%s</text>`,
+			marginL+plotW/2, escape(c.Title))
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-size="12" text-anchor="middle" font-family="sans-serif">%s</text>`,
+			marginL+plotW/2, float64(height)-12, escape(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&sb, `<text x="16" y="%.1f" font-size="12" text-anchor="middle" font-family="sans-serif" transform="rotate(-90 16 %.1f)">%s</text>`,
+			marginT+plotH/2, marginT+plotH/2, escape(c.YLabel))
+	}
+	sb.WriteString(`</svg>`)
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,180 @@
+// Package viz renders road networks, traces and protocol updates as SVG
+// or ASCII. It reproduces the artifact class of the paper's Figs. 3 and 6
+// (simulator screenshots showing the route and the update positions).
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"mapdr/internal/geo"
+	"mapdr/internal/roadmap"
+	"mapdr/internal/trace"
+)
+
+// Canvas accumulates SVG elements in world (metre) coordinates and renders
+// them scaled into a pixel viewport with Y flipped (SVG Y grows down).
+type Canvas struct {
+	bounds  geo.Rect
+	widthPx int
+	els     []string
+}
+
+// NewCanvas returns a canvas covering bounds, widthPx pixels wide; height
+// follows the aspect ratio.
+func NewCanvas(bounds geo.Rect, widthPx int) *Canvas {
+	if bounds.IsEmpty() || widthPx <= 0 {
+		panic("viz: invalid canvas")
+	}
+	return &Canvas{bounds: bounds.Expand(bounds.Width() * 0.02), widthPx: widthPx}
+}
+
+func (c *Canvas) scale() float64 {
+	w := c.bounds.Width()
+	if w == 0 {
+		return 1
+	}
+	return float64(c.widthPx) / w
+}
+
+func (c *Canvas) heightPx() int {
+	h := int(c.bounds.Height() * c.scale())
+	if h < 1 {
+		h = 1
+	}
+	return h
+}
+
+func (c *Canvas) xy(p geo.Point) (float64, float64) {
+	s := c.scale()
+	return (p.X - c.bounds.Min.X) * s, (c.bounds.Max.Y - p.Y) * s
+}
+
+// Polyline draws a path.
+func (c *Canvas) Polyline(pl geo.Polyline, stroke string, width float64) {
+	if len(pl) < 2 {
+		return
+	}
+	var sb strings.Builder
+	sb.WriteString(`<polyline fill="none" stroke="`)
+	sb.WriteString(stroke)
+	fmt.Fprintf(&sb, `" stroke-width="%.1f" points="`, width)
+	for i, p := range pl {
+		x, y := c.xy(p)
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%.1f,%.1f", x, y)
+	}
+	sb.WriteString(`"/>`)
+	c.els = append(c.els, sb.String())
+}
+
+// Circle draws a marker.
+func (c *Canvas) Circle(p geo.Point, rPx float64, fill string) {
+	x, y := c.xy(p)
+	c.els = append(c.els, fmt.Sprintf(`<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"/>`, x, y, rPx, fill))
+}
+
+// Text draws a label at p.
+func (c *Canvas) Text(p geo.Point, s string) {
+	x, y := c.xy(p)
+	c.els = append(c.els, fmt.Sprintf(`<text x="%.1f" y="%.1f" font-size="12" font-family="sans-serif">%s</text>`, x, y, escape(s)))
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// WriteTo renders the SVG document.
+func (c *Canvas) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	write := func(s string) error {
+		n, err := io.WriteString(w, s)
+		total += int64(n)
+		return err
+	}
+	if err := write(fmt.Sprintf(
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		c.widthPx, c.heightPx(), c.widthPx, c.heightPx())); err != nil {
+		return total, err
+	}
+	if err := write(`<rect width="100%" height="100%" fill="white"/>`); err != nil {
+		return total, err
+	}
+	for _, el := range c.els {
+		if err := write(el + "\n"); err != nil {
+			return total, err
+		}
+	}
+	err := write(`</svg>`)
+	return total, err
+}
+
+// classStroke maps road classes to colours.
+func classStroke(c roadmap.RoadClass) (string, float64) {
+	switch c {
+	case roadmap.ClassMotorway:
+		return "#d08020", 3
+	case roadmap.ClassTrunk:
+		return "#c0a030", 2.5
+	case roadmap.ClassSecondary:
+		return "#909090", 2
+	case roadmap.ClassFootpath:
+		return "#70a070", 1
+	default:
+		return "#b0b0b0", 1.5
+	}
+}
+
+// Scene renders a network, an optional trace and update markers — the
+// Fig. 3 / Fig. 6 artifact.
+type Scene struct {
+	Graph   *roadmap.Graph
+	Truth   *trace.Trace
+	Updates []geo.Point
+	Title   string
+	WidthPx int
+}
+
+// WriteSVG renders the scene.
+func (sc Scene) WriteSVG(w io.Writer) error {
+	bounds := geo.EmptyRect()
+	if sc.Graph != nil {
+		bounds = bounds.Union(sc.Graph.Bounds())
+	}
+	if sc.Truth != nil {
+		bounds = bounds.Union(sc.Truth.Bounds())
+	}
+	if bounds.IsEmpty() {
+		return fmt.Errorf("viz: empty scene")
+	}
+	width := sc.WidthPx
+	if width <= 0 {
+		width = 1000
+	}
+	c := NewCanvas(bounds, width)
+	if sc.Graph != nil {
+		for _, l := range sc.Graph.Links() {
+			stroke, sw := classStroke(l.Class)
+			c.Polyline(l.Shape, stroke, sw)
+		}
+	}
+	if sc.Truth != nil {
+		pl := make(geo.Polyline, 0, sc.Truth.Len())
+		for _, s := range sc.Truth.Samples {
+			pl = append(pl, s.Pos)
+		}
+		c.Polyline(pl, "#3060c0", 1.5)
+	}
+	for _, u := range sc.Updates {
+		c.Circle(u, 5, "#d02020")
+	}
+	if sc.Title != "" {
+		c.Text(bounds.Min.Add(geo.Pt(bounds.Width()*0.02, bounds.Height()*0.95)), sc.Title)
+	}
+	_, err := c.WriteTo(w)
+	return err
+}

@@ -1,0 +1,123 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mapdr/internal/geo"
+	"mapdr/internal/roadmap"
+	"mapdr/internal/trace"
+)
+
+func tinyGraph(t *testing.T) *roadmap.Graph {
+	t.Helper()
+	b := roadmap.NewBuilder()
+	n0 := b.AddNode(geo.Pt(0, 0))
+	n1 := b.AddNode(geo.Pt(1000, 0))
+	n2 := b.AddNode(geo.Pt(1000, 500))
+	b.AddLink(roadmap.LinkSpec{From: n0, To: n1, Class: roadmap.ClassMotorway})
+	b.AddLink(roadmap.LinkSpec{From: n1, To: n2, Class: roadmap.ClassFootpath})
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestCanvasSVGStructure(t *testing.T) {
+	c := NewCanvas(geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(100, 50)}, 400)
+	c.Polyline(geo.Polyline{geo.Pt(0, 0), geo.Pt(100, 50)}, "#000", 2)
+	c.Circle(geo.Pt(50, 25), 4, "red")
+	c.Text(geo.Pt(10, 10), "a<b&c")
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "<polyline", "<circle", "<text", "&lt;b&amp;c"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in SVG", want)
+		}
+	}
+}
+
+func TestCanvasYAxisFlip(t *testing.T) {
+	c := NewCanvas(geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(100, 100)}, 100)
+	_, yLow := c.xy(geo.Pt(0, 0))
+	_, yHigh := c.xy(geo.Pt(0, 100))
+	if yHigh >= yLow {
+		t.Errorf("Y not flipped: y(0)=%v y(100)=%v", yLow, yHigh)
+	}
+}
+
+func TestCanvasPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewCanvas(geo.EmptyRect(), 100)
+}
+
+func TestSceneWriteSVG(t *testing.T) {
+	g := tinyGraph(t)
+	tr := &trace.Trace{Samples: []trace.Sample{
+		{T: 0, Pos: geo.Pt(0, 5)}, {T: 1, Pos: geo.Pt(500, 5)}, {T: 2, Pos: geo.Pt(990, 5)},
+	}}
+	var buf bytes.Buffer
+	sc := Scene{
+		Graph:   g,
+		Truth:   tr,
+		Updates: []geo.Point{geo.Pt(0, 5), geo.Pt(800, 5)},
+		Title:   "Fig 3 analogue",
+	}
+	if err := sc.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "<circle") != 2 {
+		t.Errorf("update markers = %d", strings.Count(out, "<circle"))
+	}
+	if !strings.Contains(out, "Fig 3 analogue") {
+		t.Error("title missing")
+	}
+	// Empty scene fails.
+	if err := (Scene{}).WriteSVG(&buf); err == nil {
+		t.Error("empty scene should fail")
+	}
+}
+
+func TestRasterPlot(t *testing.T) {
+	r := NewRaster(geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(10, 10)}, 10, 10)
+	r.Plot(geo.Pt(0.5, 9.5), 'A') // top-left
+	r.Plot(geo.Pt(9.5, 0.5), 'B') // bottom-right
+	r.Plot(geo.Pt(-5, -5), 'X')   // off-grid: ignored
+	lines := strings.Split(strings.TrimRight(r.String(), "\n"), "\n")
+	if len(lines) != 10 {
+		t.Fatalf("rows = %d", len(lines))
+	}
+	if lines[0][0] != 'A' {
+		t.Errorf("top-left = %q", lines[0][0])
+	}
+	if lines[9][9] != 'B' {
+		t.Errorf("bottom-right = %q", lines[9][9])
+	}
+	if strings.Contains(r.String(), "X") {
+		t.Error("off-grid plot leaked")
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	g := tinyGraph(t)
+	tr := &trace.Trace{Samples: []trace.Sample{
+		{T: 0, Pos: geo.Pt(100, 10)}, {T: 1, Pos: geo.Pt(900, 10)},
+	}}
+	out := RenderASCII(g, tr, []geo.Point{geo.Pt(500, 10)}, 60, 20)
+	if !strings.Contains(out, ".") || !strings.Contains(out, "+") || !strings.Contains(out, "@") {
+		t.Errorf("render missing layers:\n%s", out)
+	}
+	if RenderASCII(nil, nil, nil, 10, 10) != "" {
+		t.Error("empty render should be empty")
+	}
+}

@@ -1,0 +1,301 @@
+// Package mapdr is a library for bandwidth-efficient tracking of mobile
+// objects: it implements the map-based dead-reckoning update protocol of
+// Leonhardi, Nicu and Rothermel ("A Map-based Dead-reckoning Protocol for
+// Updating Location Information", Univ. Stuttgart TR 2001/09 / IPPS WPIM
+// 2002) together with the linear-prediction and distance-based baselines,
+// the Wolfson threshold policies, a road-network model with map matching,
+// synthetic map and movement generators, a simulation harness and a
+// queryable location service.
+//
+// The core idea: a mobile device (source) and a location server share a
+// deterministic prediction function. The source transmits an update only
+// when the true position drifts more than the requested accuracy u_s from
+// the shared prediction, so the server can always answer position queries
+// within u_s while the radio stays quiet. The map-based predictor matches
+// the object onto a road network and extrapolates along the road —
+// following curves for free — which cuts update traffic by up to ~60%
+// versus linear extrapolation on freeways, and ~91% overall versus
+// distance-based reporting.
+//
+// Quick start:
+//
+//	cor, _ := mapdr.GenerateFreeway(mapdr.DefaultFreewayConfig(1))
+//	route, _ := mapdr.CorridorRoute(cor.Graph, cor.Main)
+//	drive, _ := mapdr.DriveRoute(cor.Graph, route, mapdr.CarParams(), 1)
+//
+//	cfg := mapdr.SourceConfig{US: 100, UP: 5, Sightings: 2}
+//	src, _ := mapdr.NewMapSource(cfg, mapdr.NewMapPredictor(cor.Graph))
+//	srv := mapdr.NewServer(mapdr.NewMapPredictor(cor.Graph))
+//	for _, s := range drive.Trace.Samples {
+//	    if u, ok := src.OnSample(s); ok {
+//	        srv.Apply(u)
+//	    }
+//	}
+package mapdr
+
+import (
+	"mapdr/internal/core"
+	"mapdr/internal/geo"
+	"mapdr/internal/histmap"
+	"mapdr/internal/locserv"
+	"mapdr/internal/mapgen"
+	"mapdr/internal/roadmap"
+	"mapdr/internal/sim"
+	"mapdr/internal/trace"
+	"mapdr/internal/tracegen"
+)
+
+// Geometry primitives.
+type (
+	// Point is a planar position in metres (X east, Y north).
+	Point = geo.Point
+	// Rect is an axis-aligned rectangle.
+	Rect = geo.Rect
+	// Polyline is a piecewise-linear curve.
+	Polyline = geo.Polyline
+	// LatLon is a WGS84 coordinate.
+	LatLon = geo.LatLon
+	// Projection maps WGS84 to the local plane and back.
+	Projection = geo.Projection
+)
+
+// Pt constructs a Point.
+func Pt(x, y float64) Point { return geo.Pt(x, y) }
+
+// NewProjection returns a local tangent-plane projection centred on origin.
+func NewProjection(origin LatLon) *Projection { return geo.NewProjection(origin) }
+
+// Road network model.
+type (
+	// Graph is an immutable road network.
+	Graph = roadmap.Graph
+	// MapBuilder assembles a Graph.
+	MapBuilder = roadmap.Builder
+	// NodeID identifies an intersection.
+	NodeID = roadmap.NodeID
+	// LinkID identifies a link.
+	LinkID = roadmap.LinkID
+	// Dir is a directed link reference.
+	Dir = roadmap.Dir
+	// LinkSpec describes a link to add to a MapBuilder.
+	LinkSpec = roadmap.LinkSpec
+	// Route is a contiguous sequence of directed links.
+	Route = roadmap.Route
+	// TurnTable stores turn probabilities for the +probabilities variant.
+	TurnTable = roadmap.TurnTable
+	// RoadClass categorises links.
+	RoadClass = roadmap.RoadClass
+)
+
+// Road classes.
+const (
+	ClassMotorway    = roadmap.ClassMotorway
+	ClassTrunk       = roadmap.ClassTrunk
+	ClassSecondary   = roadmap.ClassSecondary
+	ClassResidential = roadmap.ClassResidential
+	ClassFootpath    = roadmap.ClassFootpath
+)
+
+// NewMapBuilder returns an empty road-network builder.
+func NewMapBuilder() *MapBuilder { return roadmap.NewBuilder() }
+
+// ShortestPath computes a minimum-length route between two intersections.
+func ShortestPath(g *Graph, a, b NodeID) (*Route, error) {
+	return roadmap.ShortestPath(g, a, b, roadmap.LengthCost)
+}
+
+// NewRoute builds a route from directed links, validating continuity.
+func NewRoute(g *Graph, dirs []Dir) (*Route, error) { return roadmap.NewRoute(g, dirs) }
+
+// Synthetic map generation.
+type (
+	// Corridor is a generated network plus its main through-route nodes.
+	Corridor = mapgen.Corridor
+	// FreewayConfig parameterises GenerateFreeway.
+	FreewayConfig = mapgen.FreewayConfig
+	// InterUrbanConfig parameterises GenerateInterUrban.
+	InterUrbanConfig = mapgen.InterUrbanConfig
+	// CityConfig parameterises GenerateCity.
+	CityConfig = mapgen.CityConfig
+	// FootpathConfig parameterises GenerateFootpaths.
+	FootpathConfig = mapgen.FootpathConfig
+)
+
+// DefaultFreewayConfig mirrors the paper's 163 km freeway trace scale.
+func DefaultFreewayConfig(seed int64) FreewayConfig { return mapgen.DefaultFreewayConfig(seed) }
+
+// DefaultInterUrbanConfig mirrors the paper's 99 km inter-urban scale.
+func DefaultInterUrbanConfig(seed int64) InterUrbanConfig {
+	return mapgen.DefaultInterUrbanConfig(seed)
+}
+
+// DefaultCityConfig returns a ~10x10 km irregular city grid.
+func DefaultCityConfig(seed int64) CityConfig { return mapgen.DefaultCityConfig(seed) }
+
+// DefaultFootpathConfig returns a ~2x2 km pedestrian path web.
+func DefaultFootpathConfig(seed int64) FootpathConfig { return mapgen.DefaultFootpathConfig(seed) }
+
+// GenerateFreeway generates a curved motorway corridor with exits.
+func GenerateFreeway(cfg FreewayConfig) (*Corridor, error) { return mapgen.Freeway(cfg) }
+
+// GenerateInterUrban generates a winding trunk road through villages.
+func GenerateInterUrban(cfg InterUrbanConfig) (*Corridor, error) { return mapgen.InterUrban(cfg) }
+
+// GenerateCity generates an irregular signalised street grid.
+func GenerateCity(cfg CityConfig) (*Corridor, error) { return mapgen.CityGrid(cfg) }
+
+// GenerateFootpaths generates a dense pedestrian path network.
+func GenerateFootpaths(cfg FootpathConfig) (*Corridor, error) { return mapgen.FootpathWeb(cfg) }
+
+// Movement simulation.
+type (
+	// MoveParams are longitudinal dynamics parameters.
+	MoveParams = tracegen.Params
+	// DriveResult is a simulated drive: ground-truth trace plus route.
+	DriveResult = tracegen.DriveResult
+	// WanderPolicy controls random route selection.
+	WanderPolicy = tracegen.WanderPolicy
+)
+
+// CarParams returns passenger-car dynamics.
+func CarParams() MoveParams { return tracegen.CarParams() }
+
+// CityCarParams returns car dynamics with stop-and-go congestion.
+func CityCarParams() MoveParams { return tracegen.CityCarParams() }
+
+// PedestrianParams returns walking dynamics.
+func PedestrianParams() MoveParams { return tracegen.PedestrianParams() }
+
+// DriveRoute simulates movement along a route at 1 Hz.
+func DriveRoute(g *Graph, route *Route, p MoveParams, seed int64) (*DriveResult, error) {
+	return tracegen.DriveRoute(g, route, p, seed)
+}
+
+// Wander generates a random plausible route of at least minLength metres.
+func Wander(g *Graph, seed int64, start NodeID, minLength float64, pol WanderPolicy) (*Route, error) {
+	return tracegen.Wander(g, seed, start, minLength, pol)
+}
+
+// DefaultWanderPolicy suits urban driving.
+func DefaultWanderPolicy() WanderPolicy { return tracegen.DefaultWanderPolicy() }
+
+// CorridorRoute builds the through-route of a generated corridor.
+func CorridorRoute(g *Graph, main []NodeID) (*Route, error) {
+	return tracegen.CorridorRoute(g, main)
+}
+
+// Traces and sensors.
+type (
+	// Trace is a time-ordered sequence of position samples.
+	Trace = trace.Trace
+	// Sample is one positioning-sensor observation.
+	Sample = trace.Sample
+	// NoiseModel perturbs ground truth into sensor readings.
+	NoiseModel = trace.NoiseModel
+)
+
+// NewGaussMarkovNoise returns temporally correlated GPS-like error.
+func NewGaussMarkovNoise(seed int64, sigma, tau float64) NoiseModel {
+	return trace.NewGaussMarkov(seed, sigma, tau)
+}
+
+// ApplyNoise perturbs every position of a trace.
+func ApplyNoise(tr *Trace, m NoiseModel) *Trace { return trace.ApplyNoise(tr, m) }
+
+// Protocol endpoints.
+type (
+	// Report is the transmitted object state.
+	Report = core.Report
+	// Update is one protocol message.
+	Update = core.Update
+	// Predictor is the shared prediction function.
+	Predictor = core.Predictor
+	// Source is the mobile-side protocol endpoint.
+	Source = core.Source
+	// Server is the location-server protocol replica.
+	Server = core.Server
+	// SourceConfig parameterises a Source.
+	SourceConfig = core.SourceConfig
+	// LinearPredictor extrapolates along the reported heading.
+	LinearPredictor = core.LinearPredictor
+	// StaticPredictor yields distance-based reporting.
+	StaticPredictor = core.StaticPredictor
+	// MapPredictor extrapolates along the road network.
+	MapPredictor = core.MapPredictor
+	// RoutePredictor extrapolates along a pre-known route.
+	RoutePredictor = core.RoutePredictor
+	// CTRVPredictor extrapolates a constant-turn-rate arc (§2's
+	// higher-order prediction variant).
+	CTRVPredictor = core.CTRVPredictor
+	// SpeedCappedMapPredictor is the §6 speed-limit-aware map predictor.
+	SpeedCappedMapPredictor = core.SpeedCappedMapPredictor
+	// GraphPredictor is the map-bound predictor family.
+	GraphPredictor = core.GraphPredictor
+	// ThresholdPolicy varies the deviation threshold (Wolfson adr/dtdr).
+	ThresholdPolicy = core.ThresholdPolicy
+)
+
+// NewSpeedCappedMapPredictor returns the speed-limit-aware map predictor
+// (paper §6 future work). raise additionally assumes objects accelerate
+// back toward the link limit.
+func NewSpeedCappedMapPredictor(g *Graph, raise bool) *SpeedCappedMapPredictor {
+	return core.NewSpeedCappedMapPredictor(g, raise)
+}
+
+// NewMapPredictor returns the paper's map-based prediction function with
+// the smallest-angle turn chooser.
+func NewMapPredictor(g *Graph) *MapPredictor { return core.NewMapPredictor(g) }
+
+// NewSource returns a protocol source with the given predictor.
+func NewSource(cfg SourceConfig, pred Predictor) (*Source, error) {
+	return core.NewSource(cfg, pred)
+}
+
+// NewMapSource returns a map-based dead-reckoning source (a graph-bound
+// predictor plus a map matcher over its network).
+func NewMapSource(cfg SourceConfig, pred GraphPredictor) (*Source, error) {
+	return core.NewMapSource(cfg, pred)
+}
+
+// NewServer returns a server replica for the given predictor.
+func NewServer(pred Predictor) *Server { return core.NewServer(pred) }
+
+// Location service.
+type (
+	// LocationService stores per-object replicas and answers queries.
+	LocationService = locserv.Service
+	// ObjectID identifies a tracked object.
+	ObjectID = locserv.ObjectID
+	// ObjectPos is a location-service query result.
+	ObjectPos = locserv.ObjectPos
+)
+
+// NewLocationService returns an empty location service.
+func NewLocationService() *LocationService { return locserv.New() }
+
+// Fleet simulation.
+type (
+	// Fleet drives many objects against one location service in
+	// simulation-time lockstep.
+	Fleet = sim.Fleet
+	// FleetObject is one tracked object in a Fleet.
+	FleetObject = sim.FleetObject
+	// FleetResult summarises a fleet run.
+	FleetResult = sim.FleetResult
+)
+
+// History-based map learning (paper §2, "history-based dead-reckoning").
+type (
+	// MapLearner learns a road map from past movement traces.
+	MapLearner = histmap.Learner
+	// MapLearnerConfig parameterises a MapLearner.
+	MapLearnerConfig = histmap.Config
+	// LearnedMap is the result of map learning.
+	LearnedMap = histmap.Result
+)
+
+// NewMapLearner returns a learner that builds a road map from traces.
+func NewMapLearner(cfg MapLearnerConfig) *MapLearner { return histmap.New(cfg) }
+
+// DefaultMapLearnerConfig suits urban learning with few-metre GPS noise.
+func DefaultMapLearnerConfig() MapLearnerConfig { return histmap.DefaultConfig() }

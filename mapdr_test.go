@@ -1,0 +1,86 @@
+package mapdr
+
+import (
+	"testing"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as the quickstart
+// documentation shows: generate a map, drive it, run the protocol, query
+// the server.
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := DefaultFreewayConfig(1)
+	cfg.LengthKm = 15
+	cor, err := GenerateFreeway(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	route, err := CorridorRoute(cor.Graph, cor.Main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive, err := DriveRoute(cor.Graph, route, CarParams(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sensor := ApplyNoise(drive.Trace, NewGaussMarkovNoise(2, 3, 30))
+
+	scfg := SourceConfig{US: 100, UP: 5, Sightings: 2}
+	src, err := NewMapSource(scfg, NewMapPredictor(cor.Graph))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(NewMapPredictor(cor.Graph))
+
+	var updates int
+	for i, s := range sensor.Samples {
+		if u, ok := src.OnSample(s); ok {
+			srv.Apply(u)
+			updates++
+		}
+		if p, ok := srv.Position(s.T); ok {
+			if d := p.Dist(drive.Trace.Samples[i].Pos); d > 100+30 {
+				t.Fatalf("t=%v server error %v m", s.T, d)
+			}
+		}
+	}
+	if updates == 0 || updates > sensor.Len()/10 {
+		t.Errorf("updates = %d over %d samples", updates, sensor.Len())
+	}
+}
+
+func TestFacadeLocationService(t *testing.T) {
+	ls := NewLocationService()
+	if err := ls.Register("taxi-1", LinearPredictor{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ls.Apply("taxi-1", Update{Report: Report{Seq: 1, T: 0, Pos: Pt(0, 0), V: 10}}); err != nil {
+		t.Fatal(err)
+	}
+	if p, ok := ls.Position("taxi-1", 10); !ok || p.Dist(Pt(100, 0)) > 1e-9 {
+		t.Errorf("position = %v, %v", p, ok)
+	}
+	hits := ls.Nearest(Pt(0, 0), 1, 0)
+	if len(hits) != 1 || hits[0].ID != "taxi-1" {
+		t.Errorf("nearest = %+v", hits)
+	}
+}
+
+func TestFacadeManualMap(t *testing.T) {
+	b := NewMapBuilder()
+	n0 := b.AddNode(Pt(0, 0))
+	n1 := b.AddNode(Pt(500, 0))
+	n2 := b.AddNode(Pt(500, 500))
+	b.AddLink(LinkSpec{From: n0, To: n1, Class: ClassResidential})
+	b.AddLink(LinkSpec{From: n1, To: n2, Class: ClassResidential})
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := ShortestPath(g, n0, n2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Length() != 1000 {
+		t.Errorf("route length = %v", r.Length())
+	}
+}
