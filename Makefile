@@ -1,0 +1,31 @@
+# Repeatable tier-1 gate: `make check` must pass before every merge.
+
+GO ?= go
+
+.PHONY: check vet build test race bench bench-locserv clean
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark sweep (paper artifacts + micro benchmarks).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Sharded location-store benchmarks: compare shards-1 (single lock)
+# against shards-8/shards-64 at 10k objects.
+bench-locserv:
+	$(GO) test -bench=Service -benchtime=1s ./internal/locserv
+
+clean:
+	$(GO) clean ./...

@@ -11,6 +11,7 @@ package mapdr
 // use cmd/drsim for full paper-scale runs.
 
 import (
+	"fmt"
 	"testing"
 
 	"mapdr/internal/core"
@@ -232,6 +233,55 @@ func BenchmarkDisconnection(b *testing.B) {
 	}
 	for i, p := range dr.Policies {
 		b.ReportMetric(dr.MaxErr[i], "maxerr-"+p)
+	}
+}
+
+// BenchmarkFleetHarness measures the fleet simulation harness feeding
+// the sharded location service through its batched ingestion path, at 1
+// worker vs the full core count. Each op is a complete run of 128
+// linear-prediction objects over 400 samples.
+func BenchmarkFleetHarness(b *testing.B) {
+	const (
+		nObjs    = 128
+		nSamples = 400
+	)
+	for _, workers := range []int{1, 0} { // 0 = GOMAXPROCS
+		name := fmt.Sprintf("workers-%d", workers)
+		if workers == 0 {
+			name = "workers-max"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				svc := NewShardedLocationService(16)
+				objs := make([]FleetObject, nObjs)
+				for j := range objs {
+					id := ObjectID(fmt.Sprintf("obj-%03d", j))
+					if err := svc.Register(id, LinearPredictor{}); err != nil {
+						b.Fatal(err)
+					}
+					src, err := NewSource(SourceConfig{US: 100, UP: 5, Sightings: 2}, LinearPredictor{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					tr := &Trace{}
+					for k := 0; k < nSamples; k++ {
+						// Zig-zag motion so the deviation trigger fires.
+						x := 10 * float64(k)
+						y := 100*float64(j) + 40*float64(k%20)
+						tr.Samples = append(tr.Samples, Sample{T: float64(k), Pos: Pt(x, y)})
+					}
+					objs[j] = FleetObject{ID: id, Truth: tr, Source: src}
+				}
+				fleet := Fleet{Service: svc, Objects: objs, Workers: workers}
+				res, err := fleet.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(res.Samples), "samples/run")
+				}
+			}
+		})
 	}
 }
 

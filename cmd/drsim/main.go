@@ -12,35 +12,101 @@
 //	drsim -exp history              # §2 history-based DR convergence
 //	drsim -exp disconnect           # Wolfson dtdr across a link outage
 //	drsim -exp bandwidth            # bytes/h vs naive 1 Hz reporting
+//	drsim -exp fleet -fleet 100 -shards 16 -workers 8
+//	                                # parallel fleet vs sharded location store
 //
 // -scale 0.1 shrinks the scenarios for quick runs; the defaults reproduce
-// the paper's full trace lengths.
+// the paper's full trace lengths. The fleet experiment drives -fleet
+// vehicles on -workers goroutines against a location store with -shards
+// shards and reports ingestion/accuracy/throughput numbers.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
+	"mapdr/internal/core"
 	"mapdr/internal/experiments"
+	"mapdr/internal/locserv"
+	"mapdr/internal/mapgen"
+	"mapdr/internal/sim"
 	"mapdr/internal/stats"
+	"mapdr/internal/tracegen"
 	"mapdr/internal/viz"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "table1", "experiment id (table1, fig3, fig6, fig7-fig10, headline, ablate-*)")
-		seed  = flag.Int64("seed", 42, "deterministic scenario seed")
-		scale = flag.Float64("scale", 1.0, "scenario scale in (0,1]; 1 = paper scale")
-		csv   = flag.Bool("csv", false, "emit CSV instead of an aligned table")
-		svg   = flag.String("svg", "", "write an SVG rendering to this path (fig3/fig6)")
+		exp     = flag.String("exp", "table1", "experiment id (table1, fig3, fig6, fig7-fig10, headline, fleet, ablate-*)")
+		seed    = flag.Int64("seed", 42, "deterministic scenario seed")
+		scale   = flag.Float64("scale", 1.0, "scenario scale in (0,1]; 1 = paper scale")
+		csv     = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		svg     = flag.String("svg", "", "write an SVG rendering to this path (fig3/fig6)")
+		fleetN  = flag.Int("fleet", 50, "vehicles in the fleet experiment")
+		shards  = flag.Int("shards", locserv.DefaultShards, "location-store shards in the fleet experiment")
+		workers = flag.Int("workers", 0, "fleet worker goroutines (0 = all CPUs)")
 	)
 	flag.Parse()
 	opts := experiments.Options{Seed: *seed, Scale: *scale}
+	if *exp == "fleet" {
+		if err := runFleet(*fleetN, *shards, *workers, *seed, *scale, *csv); err != nil {
+			fmt.Fprintln(os.Stderr, "drsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*exp, opts, *csv, *svg); err != nil {
 		fmt.Fprintln(os.Stderr, "drsim:", err)
 		os.Exit(1)
 	}
+}
+
+// runFleet drives a simulated city fleet through the batched ingestion
+// path of a sharded location store and reports scale metrics: protocol
+// traffic, server accuracy and wall-clock throughput.
+func runFleet(fleetN, shards, workers int, seed int64, scale float64, csv bool) error {
+	if scale <= 0 || scale > 1 {
+		return fmt.Errorf("scale must be in (0,1]")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cor, err := mapgen.CityGrid(mapgen.DefaultCityConfig(seed))
+	if err != nil {
+		return err
+	}
+	g := cor.Graph
+	svc := locserv.NewSharded(shards)
+	objs, err := sim.GenerateFleet(g, svc, sim.FleetSpec{
+		N:        fleetN,
+		Seed:     seed,
+		RouteLen: 15000 * scale,
+		Workers:  workers,
+		IDFormat: "car-%03d",
+		Params:   tracegen.CityCarParams(),
+		Source:   core.SourceConfig{US: 100, UP: 5, Sightings: 4},
+	})
+	if err != nil {
+		return err
+	}
+	fl := sim.Fleet{Service: svc, Objects: objs, Workers: workers}
+	startT := time.Now()
+	res, err := fl.Run()
+	if err != nil {
+		return err
+	}
+	wall := time.Since(startT)
+	var updates int64
+	for _, n := range res.Updates {
+		updates += n
+	}
+	tb := stats.NewTable("vehicles", "shards", "workers", "samples", "updates", "mean err [m]", "wall [ms]", "samples/s")
+	tb.AddRow(fleetN, svc.Shards(), fl.Workers, res.Samples, updates, res.MeanErr,
+		wall.Milliseconds(), float64(res.Samples)/wall.Seconds())
+	return emit(tb, csv)
 }
 
 func run(exp string, opts experiments.Options, csv bool, svgPath string) error {

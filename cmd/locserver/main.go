@@ -5,11 +5,18 @@
 // Usage:
 //
 //	locserver -addr 127.0.0.1:8080 -fleet 10
+//	locserver -fleet 200 -shards 32 -workers 8
 //	curl 'http://127.0.0.1:8080/nearest?x=0&y=0&k=3&t=120'
 //
 // The query parameter t is simulation time in seconds; the simulated
 // fleet drives a pre-computed hour of movement, so any t in [0, 3600]
 // returns meaningful positions.
+//
+// -shards selects the shard count of the location store (object replicas
+// are distributed over independently locked shards, so concurrent
+// queries and updates scale with the core count); -workers selects how
+// many goroutines generate vehicle movement and step the protocol
+// sources, feeding the store through its batched ingestion path.
 package main
 
 import (
@@ -18,72 +25,78 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"runtime"
 	"time"
 
 	"mapdr/internal/core"
 	"mapdr/internal/locserv"
 	"mapdr/internal/mapgen"
-	"mapdr/internal/roadmap"
+	"mapdr/internal/sim"
 	"mapdr/internal/tracegen"
 )
 
 func main() {
 	var (
-		addr  = flag.String("addr", "127.0.0.1:8080", "listen address")
-		fleet = flag.Int("fleet", 10, "number of simulated vehicles")
-		seed  = flag.Int64("seed", 1, "simulation seed")
+		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
+		fleet   = flag.Int("fleet", 10, "number of simulated vehicles")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		shards  = flag.Int("shards", locserv.DefaultShards, "location-store shard count")
+		workers = flag.Int("workers", 0, "simulation worker goroutines (0 = all CPUs)")
 	)
 	flag.Parse()
-	if err := run(*addr, *fleet, *seed); err != nil {
+	if err := run(*addr, *fleet, *seed, *shards, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "locserver:", err)
 		os.Exit(1)
 	}
 }
 
 // buildService simulates the fleet and returns the populated service.
-func buildService(fleet int, seed int64, routeLen float64) (*locserv.Service, error) {
+// Vehicle movement is generated on a pool of workers goroutines and the
+// protocol updates are ingested through the service's batched path.
+func buildService(fleet int, seed int64, routeLen float64, shards, workers int) (*locserv.Service, error) {
 	cor, err := mapgen.CityGrid(mapgen.DefaultCityConfig(seed))
 	if err != nil {
 		return nil, err
 	}
 	g := cor.Graph
-	svc := locserv.New()
-
-	log.Printf("simulating %d vehicles over a %d-link city...", fleet, g.NumLinks())
-	for i := 0; i < fleet; i++ {
-		id := locserv.ObjectID(fmt.Sprintf("car-%02d", i))
-		if err := svc.Register(id, core.NewMapPredictor(g)); err != nil {
-			return nil, err
-		}
-		start := roadmap.NodeID((i * 37) % g.NumNodes())
-		route, err := tracegen.Wander(g, seed+int64(i), start, routeLen, tracegen.DefaultWanderPolicy())
-		if err != nil {
-			return nil, err
-		}
-		res, err := tracegen.DriveRoute(g, route, tracegen.CityCarParams(), seed+int64(100+i))
-		if err != nil {
-			return nil, err
-		}
-		src, err := core.NewMapSource(core.SourceConfig{US: 100, UP: 5, Sightings: 4}, core.NewMapPredictor(g))
-		if err != nil {
-			return nil, err
-		}
-		updates := 0
-		for _, s := range res.Trace.Samples {
-			if u, ok := src.OnSample(s); ok {
-				if err := svc.Apply(id, u); err != nil {
-					return nil, err
-				}
-				updates++
-			}
-		}
-		log.Printf("%s: %d samples -> %d updates", id, res.Trace.Len(), updates)
+	svc := locserv.NewSharded(shards)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
+
+	log.Printf("simulating %d vehicles over a %d-link city (%d shards, %d workers)...",
+		fleet, g.NumLinks(), svc.Shards(), workers)
+	// Movement generation is by far the most expensive part of startup;
+	// GenerateFleet runs it on the worker pool.
+	objs, err := sim.GenerateFleet(g, svc, sim.FleetSpec{
+		N:        fleet,
+		Seed:     seed,
+		RouteLen: routeLen,
+		Workers:  workers,
+		IDFormat: "car-%02d",
+		Params:   tracegen.CityCarParams(),
+		Source:   core.SourceConfig{US: 100, UP: 5, Sightings: 4},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	fl := sim.Fleet{Service: svc, Objects: objs, Workers: workers}
+	res, err := fl.Run()
+	if err != nil {
+		return nil, err
+	}
+	var updates int64
+	for _, n := range res.Updates {
+		updates += n
+	}
+	log.Printf("fleet run: %d samples -> %d updates, mean server error %.1f m",
+		res.Samples, updates, res.MeanErr)
 	return svc, nil
 }
 
-func run(addr string, fleet int, seed int64) error {
-	svc, err := buildService(fleet, seed, 15000)
+func run(addr string, fleet int, seed int64, shards, workers int) error {
+	svc, err := buildService(fleet, seed, 15000, shards, workers)
 	if err != nil {
 		return err
 	}

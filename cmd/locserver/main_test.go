@@ -8,12 +8,15 @@ import (
 )
 
 func TestBuildServiceAndQuery(t *testing.T) {
-	svc, err := buildService(2, 1, 2000)
+	svc, err := buildService(2, 1, 2000, 8, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if svc.Len() != 2 {
 		t.Fatalf("objects = %d", svc.Len())
+	}
+	if svc.Shards() != 8 {
+		t.Fatalf("shards = %d", svc.Shards())
 	}
 	ts := httptest.NewServer(svc.Handler())
 	defer ts.Close()
@@ -38,5 +41,25 @@ func TestBuildServiceAndQuery(t *testing.T) {
 	defer resp2.Body.Close()
 	if resp2.StatusCode != http.StatusOK {
 		t.Errorf("position status = %d", resp2.StatusCode)
+	}
+}
+
+// TestBuildServiceDeterministicAcrossWorkers checks that the parallel
+// startup pipeline yields the same store regardless of worker count.
+func TestBuildServiceDeterministicAcrossWorkers(t *testing.T) {
+	a, err := buildService(3, 7, 1500, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := buildService(3, 7, 1500, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range a.Objects() {
+		pa, okA := a.Position(id, 120)
+		pb, okB := b.Position(id, 120)
+		if okA != okB || (okA && pa.Dist(pb) > 1e-9) {
+			t.Errorf("%s: position %v/%v vs %v/%v", id, pa, okA, pb, okB)
+		}
 	}
 }

@@ -1,0 +1,3 @@
+module mapdr
+
+go 1.24

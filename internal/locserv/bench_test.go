@@ -1,0 +1,344 @@
+package locserv
+
+// Benchmarks for the sharded store.
+//
+// BenchmarkStoreThroughput is the PR gate: it runs the same combined
+// ingestion+query workload against (a) a faithful replica of the seed's
+// single-mutex service — per-update Apply, sort-everything Nearest,
+// scan-everything Within — and (b) the sharded store at 1, 8 and 64
+// shards. The acceptance bar is sharded-8 >= 2x the single-lock
+// baseline at 10k objects. On a single-core machine the gain comes from
+// the algorithmic changes (batched lock acquisition, bounded-heap k-NN,
+// spatial-snapshot range pruning); on multicore machines the per-shard
+// locks and parallel fan-out add contention relief on top, visible in
+// the RunParallel benchmarks below.
+//
+//	go test -bench=Store -benchtime=1s ./internal/locserv
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mapdr/internal/core"
+	"mapdr/internal/geo"
+)
+
+const (
+	benchObjects   = 10000
+	benchBatchSize = 256
+)
+
+var benchShardCounts = []int{1, 8, 64}
+
+func benchReport(i int, seq uint32) core.Report {
+	return core.Report{
+		Seq:     seq,
+		T:       float64(seq),
+		Pos:     geo.Pt(float64(i%100)*100, float64(i/100)*100),
+		V:       10,
+		Heading: float64(i%628) / 100,
+	}
+}
+
+// benchService returns a store of benchObjects linear movers spread over
+// a 10x10 km area, each with an initial report.
+func benchService(b *testing.B, shards int) (*Service, []ObjectID) {
+	b.Helper()
+	s := NewSharded(shards)
+	ids := make([]ObjectID, benchObjects)
+	for i := range ids {
+		id := ObjectID(fmt.Sprintf("veh-%05d", i))
+		ids[i] = id
+		if err := s.Register(id, core.LinearPredictor{}); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Apply(id, core.Update{Report: benchReport(i, 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s, ids
+}
+
+// singleLockStore replicates the seed's Service: one RWMutex around one
+// map, per-update ingestion, sort-based Nearest and scan-based Within.
+// It is the "before" side of BenchmarkStoreThroughput.
+type singleLockStore struct {
+	mu   sync.RWMutex
+	objs map[ObjectID]*core.Server
+}
+
+func newSingleLockStore() *singleLockStore {
+	return &singleLockStore{objs: make(map[ObjectID]*core.Server)}
+}
+
+func (s *singleLockStore) register(id ObjectID, pred core.Predictor) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.objs[id] = core.NewServer(pred)
+}
+
+func (s *singleLockStore) apply(id ObjectID, u core.Update) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if srv, ok := s.objs[id]; ok {
+		srv.Apply(u)
+	}
+}
+
+func (s *singleLockStore) position(id ObjectID, t float64) (geo.Point, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	srv, ok := s.objs[id]
+	if !ok {
+		return geo.Point{}, false
+	}
+	return srv.Position(t)
+}
+
+func (s *singleLockStore) nearest(p geo.Point, k int, t float64) []ObjectPos {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var all []ObjectPos
+	for id, srv := range s.objs {
+		pos, ok := srv.Position(t)
+		if !ok {
+			continue
+		}
+		all = append(all, ObjectPos{ID: id, Pos: pos, Dist: p.Dist(pos)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Dist != all[j].Dist {
+			return all[i].Dist < all[j].Dist
+		}
+		return all[i].ID < all[j].ID
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+func (s *singleLockStore) within(r geo.Rect, t float64) []ObjectPos {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []ObjectPos
+	for id, srv := range s.objs {
+		pos, ok := srv.Position(t)
+		if !ok {
+			continue
+		}
+		if r.Contains(pos) {
+			out = append(out, ObjectPos{ID: id, Pos: pos})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// storeOps abstracts both implementations for the gate workload.
+type storeOps struct {
+	applyBatch func([]Update)
+	position   func(ObjectID, float64) (geo.Point, bool)
+	nearest    func(geo.Point, int, float64) []ObjectPos
+	within     func(geo.Rect, float64) []ObjectPos
+}
+
+// gateWorkload is one benchmark op: a 256-update batch followed by a
+// query mix (32 point, 2 k-NN, 2 range).
+func gateWorkload(b *testing.B, ops storeOps, ids []ObjectID, round int) {
+	seq := uint32(round + 2)
+	batch := make([]Update, benchBatchSize)
+	for j := range batch {
+		i := (round*benchBatchSize + j) % len(ids)
+		batch[j] = Update{ID: ids[i], Update: core.Update{Report: benchReport(i, seq)}}
+	}
+	ops.applyBatch(batch)
+	for q := 0; q < 32; q++ {
+		if _, ok := ops.position(ids[(round*31+q*13)%len(ids)], 0); !ok {
+			b.Fatal("missing position")
+		}
+	}
+	for q := 0; q < 2; q++ {
+		if hits := ops.nearest(geo.Pt(float64((round+q)%100)*100, 5000), 10, 0); len(hits) != 10 {
+			b.Fatalf("nearest hits = %d", len(hits))
+		}
+		x := float64((round+q)%50) * 100
+		ops.within(geo.Rect{Min: geo.Pt(x, 2000), Max: geo.Pt(x+500, 2500)}, 0)
+	}
+}
+
+// BenchmarkStoreThroughput is the gate benchmark (see file comment).
+func BenchmarkStoreThroughput(b *testing.B) {
+	b.Run("baseline-single-lock", func(b *testing.B) {
+		s := newSingleLockStore()
+		ids := make([]ObjectID, benchObjects)
+		for i := range ids {
+			ids[i] = ObjectID(fmt.Sprintf("veh-%05d", i))
+			s.register(ids[i], core.LinearPredictor{})
+			s.apply(ids[i], core.Update{Report: benchReport(i, 1)})
+		}
+		ops := storeOps{
+			// The seed had no batch path: ingestion is one locked Apply
+			// per update.
+			applyBatch: func(batch []Update) {
+				for _, u := range batch {
+					s.apply(u.ID, u.Update)
+				}
+			},
+			position: s.position,
+			nearest:  s.nearest,
+			within:   s.within,
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			gateWorkload(b, ops, ids, i)
+		}
+	})
+	for _, shards := range benchShardCounts {
+		b.Run(fmt.Sprintf("sharded-%d", shards), func(b *testing.B) {
+			s, ids := benchService(b, shards)
+			ops := storeOps{
+				applyBatch: func(batch []Update) {
+					if err := s.ApplyBatch(batch); err != nil {
+						b.Fatal(err)
+					}
+				},
+				position: s.Position,
+				nearest:  s.Nearest,
+				within:   s.Within,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				gateWorkload(b, ops, ids, i)
+			}
+		})
+	}
+}
+
+// --- concurrent per-API benchmarks (contention profile on multicore) ----
+
+// BenchmarkServiceApplyBatch measures concurrent batched ingestion: each
+// op applies one batch of benchBatchSize updates.
+func BenchmarkServiceApplyBatch(b *testing.B) {
+	for _, shards := range benchShardCounts {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			s, ids := benchService(b, shards)
+			var seq atomic.Uint32
+			seq.Store(1)
+			var cursor atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				batch := make([]Update, benchBatchSize)
+				for pb.Next() {
+					sq := seq.Add(1)
+					base := int(cursor.Add(benchBatchSize))
+					for j := range batch {
+						i := (base + j) % len(ids)
+						batch[j] = Update{ID: ids[i], Update: core.Update{Report: benchReport(i, sq)}}
+					}
+					if err := s.ApplyBatch(batch); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.ReportMetric(float64(benchBatchSize), "updates/op")
+		})
+	}
+}
+
+// BenchmarkServicePosition measures concurrent point queries.
+func BenchmarkServicePosition(b *testing.B) {
+	for _, shards := range benchShardCounts {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			s, ids := benchService(b, shards)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if _, ok := s.Position(ids[i%len(ids)], float64(i%600)); !ok {
+						b.Fatal("missing position")
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkServiceNearest measures the fan-out k-NN query (a full
+// predicted-position reduction over every shard).
+func BenchmarkServiceNearest(b *testing.B) {
+	for _, shards := range benchShardCounts {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			s, _ := benchService(b, shards)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if hits := s.Nearest(geo.Pt(float64(i%100)*100, 5000), 10, float64(i%600)); len(hits) != 10 {
+						b.Fatalf("hits = %d", len(hits))
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkServiceWithin measures the range query over the spatial
+// snapshot (queries at t=0 keep the expansion reach tight).
+func BenchmarkServiceWithin(b *testing.B) {
+	for _, shards := range benchShardCounts {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			s, _ := benchService(b, shards)
+			s.Within(geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(1, 1)}, 0) // warm the snapshot
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					x := float64(i%50) * 100
+					s.Within(geo.Rect{Min: geo.Pt(x, 2000), Max: geo.Pt(x+500, 2500)}, 0)
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkServiceMixed interleaves batched writers with point-query
+// readers (1 batch per 8 ops, 32 queries otherwise) — under a single
+// lock every batch stalls all readers; shards let them proceed.
+func BenchmarkServiceMixed(b *testing.B) {
+	for _, shards := range benchShardCounts {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			s, ids := benchService(b, shards)
+			var seq atomic.Uint32
+			seq.Store(1)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				batch := make([]Update, benchBatchSize)
+				i := 0
+				for pb.Next() {
+					if i%8 == 0 {
+						sq := seq.Add(1)
+						for j := range batch {
+							k := (i + j*37) % len(ids)
+							batch[j] = Update{ID: ids[k], Update: core.Update{Report: benchReport(k, sq)}}
+						}
+						if err := s.ApplyBatch(batch); err != nil {
+							b.Fatal(err)
+						}
+					} else {
+						for q := 0; q < 32; q++ {
+							s.Position(ids[(i*31+q)%len(ids)], float64(q))
+						}
+					}
+					i++
+				}
+			})
+		})
+	}
+}

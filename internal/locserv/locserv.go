@@ -3,15 +3,31 @@
 // replicas that answers position, k-nearest and range queries by
 // evaluating each object's shared prediction function — so query answers
 // carry the same accuracy guarantee u_s as the protocol itself.
+//
+// The store is sharded: objects are distributed over N independent
+// shards by an FNV-1a hash of their id, each shard guarded by its own
+// read-write lock. Updates can be ingested one at a time (Apply) or in
+// batches (ApplyBatch) that acquire each shard lock only once; range and
+// k-nearest queries fan out across the shards in parallel and merge
+// their partial answers. Each shard additionally keeps a lazily rebuilt
+// spatial snapshot of the last reported positions (a uniform grid from
+// internal/spatial) that prunes range-query candidates whenever the
+// shard's predictors admit a displacement bound.
 package locserv
 
 import (
+	"container/heap"
+	"errors"
 	"fmt"
+	"math"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"mapdr/internal/core"
 	"mapdr/internal/geo"
+	"mapdr/internal/spatial"
 )
 
 // ObjectID identifies a tracked mobile object.
@@ -25,15 +41,96 @@ type ObjectPos struct {
 	Dist float64
 }
 
-// Service is a thread-safe location service.
-type Service struct {
-	mu   sync.RWMutex
-	objs map[ObjectID]*core.Server
+// Update pairs an object id with a protocol update message, the unit of
+// batched ingestion via ApplyBatch.
+type Update struct {
+	ID     ObjectID
+	Update core.Update
 }
 
-// New returns an empty service.
-func New() *Service {
-	return &Service{objs: make(map[ObjectID]*core.Server)}
+// DefaultShards is the shard count used by New. It trades lock
+// contention against per-query fan-out overhead and suits stores from a
+// few hundred to a few million objects.
+const DefaultShards = 16
+
+// parallelQueryMin is the store size above which fan-out queries spawn
+// one goroutine per shard; below it the per-shard work is too small to
+// pay for the scheduling.
+const parallelQueryMin = 1024
+
+// minIndexObjects is the shard population below which no spatial
+// snapshot is built: a linear scan is cheaper than maintaining the grid.
+const minIndexObjects = 16
+
+// rebuildAfterScans is how many range queries a shard serves from the
+// scan path after a mutation before it pays the O(n) snapshot rebuild.
+// A rebuild costs several scans' worth of work, so rebuilding eagerly
+// would thrash under write-heavy churn; deferring it keeps the amortised
+// overhead small while read-heavy phases still get the indexed path.
+const rebuildAfterScans = 8
+
+// Service is a thread-safe, sharded location service.
+type Service struct {
+	shards []*shard
+	// count tracks the total object count so queries can decide whether
+	// parallel fan-out is worthwhile without locking every shard.
+	count atomic.Int64
+}
+
+// shard is one lock domain of the service: a partition of the object
+// replicas plus a lazily rebuilt spatial snapshot of their last reported
+// positions.
+type shard struct {
+	mu   sync.RWMutex
+	objs map[ObjectID]*core.Server
+
+	// Spatial snapshot for range queries, rebuilt on demand after
+	// mutations. idxIDs maps spatial.Entry.ID back to the object.
+	idx        *spatial.Grid
+	idxIDs     []ObjectID
+	idxCell    float64 // grid cell size of the current snapshot, m
+	idxScans   atomic.Int32
+	idxDirty   bool
+	idxBounded bool    // every indexed predictor admits a displacement bound
+	idxMaxV    float64 // max bound speed across indexed objects, m/s
+	idxMinT    float64 // earliest report timestamp across indexed objects
+}
+
+// New returns an empty service with DefaultShards shards.
+func New() *Service { return NewSharded(DefaultShards) }
+
+// NewSharded returns an empty service with n shards. n < 1 is treated as
+// 1, which degenerates to a single-lock store (the benchmark baseline).
+func NewSharded(n int) *Service {
+	if n < 1 {
+		n = 1
+	}
+	s := &Service{shards: make([]*shard, n)}
+	for i := range s.shards {
+		s.shards[i] = &shard{objs: make(map[ObjectID]*core.Server), idxDirty: true}
+	}
+	return s
+}
+
+// Shards returns the shard count.
+func (s *Service) Shards() int { return len(s.shards) }
+
+// shardIndex hashes id with FNV-1a and reduces it to a shard slot.
+func shardIndex(id ObjectID, n int) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= prime32
+	}
+	return int(h % uint32(n))
+}
+
+func (s *Service) shardFor(id ObjectID) *shard {
+	return s.shards[shardIndex(id, len(s.shards))]
 }
 
 // Register adds an object with its prediction function. The predictor
@@ -42,39 +139,118 @@ func (s *Service) Register(id ObjectID, pred core.Predictor) error {
 	if id == "" {
 		return fmt.Errorf("locserv: empty object id")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, dup := s.objs[id]; dup {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, dup := sh.objs[id]; dup {
 		return fmt.Errorf("locserv: object %q already registered", id)
 	}
-	s.objs[id] = core.NewServer(pred)
+	sh.objs[id] = core.NewServer(pred)
+	sh.idxDirty = true
+	s.count.Add(1)
 	return nil
 }
 
 // Deregister removes an object.
 func (s *Service) Deregister(id ObjectID) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.objs, id)
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.objs[id]; ok {
+		delete(sh.objs, id)
+		sh.idxDirty = true
+		s.count.Add(-1)
+	}
 }
 
-// Apply ingests an update for an object.
+// Apply ingests a single update for an object.
 func (s *Service) Apply(id ObjectID, u core.Update) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	srv, ok := s.objs[id]
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	srv, ok := sh.objs[id]
 	if !ok {
 		return fmt.Errorf("locserv: unknown object %q", id)
 	}
 	srv.Apply(u)
+	sh.idxDirty = true
 	return nil
+}
+
+// ApplyBatch ingests a batch of updates, grouping them by shard so each
+// shard lock is acquired exactly once per call. Updates for unknown
+// objects are skipped and reported in the returned error; all remaining
+// updates are still applied.
+func (s *Service) ApplyBatch(batch []Update) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	var errs []error
+	n := len(s.shards)
+	if n == 1 {
+		errs = s.shards[0].applyIdx(batch, nil, errs)
+		return errors.Join(errs...)
+	}
+	// Counting sort of batch indices by shard: one hash pass, no copies
+	// of the (fairly large) Update values.
+	starts := make([]int32, n+1)
+	shardOf := make([]int32, len(batch))
+	for i := range batch {
+		sh := int32(shardIndex(batch[i].ID, n))
+		shardOf[i] = sh
+		starts[sh+1]++
+	}
+	for i := 0; i < n; i++ {
+		starts[i+1] += starts[i]
+	}
+	order := make([]int32, len(batch))
+	fill := append([]int32(nil), starts[:n]...)
+	for i := range batch {
+		sh := shardOf[i]
+		order[fill[sh]] = int32(i)
+		fill[sh]++
+	}
+	for sh := 0; sh < n; sh++ {
+		if starts[sh] == starts[sh+1] {
+			continue
+		}
+		errs = s.shards[sh].applyIdx(batch, order[starts[sh]:starts[sh+1]], errs)
+	}
+	return errors.Join(errs...)
+}
+
+// applyIdx applies batch[order[...]] (or the whole batch when order is
+// nil) under one lock acquisition, appending an error per unknown object.
+func (sh *shard) applyIdx(batch []Update, order []int32, errs []error) []error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	apply := func(u *Update) {
+		srv, ok := sh.objs[u.ID]
+		if !ok {
+			errs = append(errs, fmt.Errorf("locserv: unknown object %q", u.ID))
+			return
+		}
+		srv.Apply(u.Update)
+	}
+	if order == nil {
+		for i := range batch {
+			apply(&batch[i])
+		}
+	} else {
+		for _, i := range order {
+			apply(&batch[i])
+		}
+	}
+	sh.idxDirty = true
+	return errs
 }
 
 // Position answers a position query for one object at time t.
 func (s *Service) Position(id ObjectID, t float64) (geo.Point, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	srv, ok := s.objs[id]
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	srv, ok := sh.objs[id]
 	if !ok {
 		return geo.Point{}, false
 	}
@@ -82,59 +258,192 @@ func (s *Service) Position(id ObjectID, t float64) (geo.Point, bool) {
 }
 
 // Len returns the number of registered objects.
-func (s *Service) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.objs)
-}
+func (s *Service) Len() int { return int(s.count.Load()) }
 
 // Objects returns the registered ids in sorted order.
 func (s *Service) Objects() []ObjectID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ids := make([]ObjectID, 0, len(s.objs))
-	for id := range s.objs {
-		ids = append(ids, id)
+	ids := make([]ObjectID, 0, s.count.Load())
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for id := range sh.objs {
+			ids = append(ids, id)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 
+// forEachShard runs fn once per shard, in parallel when the store is
+// large enough for the fan-out to pay off.
+func (s *Service) forEachShard(fn func(i int, sh *shard)) {
+	// Cap the fan-out at the machine width: more goroutines than cores
+	// only adds scheduling overhead.
+	width := runtime.GOMAXPROCS(0)
+	if width > len(s.shards) {
+		width = len(s.shards)
+	}
+	if width == 1 || s.count.Load() < parallelQueryMin {
+		for i, sh := range s.shards {
+			fn(i, sh)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(width)
+	for w := 0; w < width; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(s.shards) {
+					return
+				}
+				fn(i, s.shards[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// posLess orders query results by ascending distance, breaking ties by
+// id so answers are deterministic.
+func posLess(a, b ObjectPos) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return a.ID < b.ID
+}
+
+// posHeap is a bounded max-heap of query results: the root is the worst
+// retained hit, so a better candidate replaces it in O(log k).
+type posHeap []ObjectPos
+
+func (h posHeap) Len() int           { return len(h) }
+func (h posHeap) Less(i, j int) bool { return posLess(h[j], h[i]) }
+func (h posHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *posHeap) Push(x any)        { *h = append(*h, x.(ObjectPos)) }
+func (h *posHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
 // Nearest returns up to k objects nearest to p at time t ("find the
-// nearest taxi cab", paper §1). Objects without a report yet are skipped.
+// nearest taxi cab", paper §1). Objects without a report yet are
+// skipped. Each shard reduces its objects to a local top-k via a bounded
+// heap; the partial answers are merged and truncated.
 func (s *Service) Nearest(p geo.Point, k int, t float64) []ObjectPos {
 	if k <= 0 {
 		return nil
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	parts := make([][]ObjectPos, len(s.shards))
+	s.forEachShard(func(i int, sh *shard) { parts[i] = sh.nearest(p, k, t) })
 	var all []ObjectPos
-	for id, srv := range s.objs {
-		pos, ok := srv.Position(t)
-		if !ok {
-			continue
-		}
-		all = append(all, ObjectPos{ID: id, Pos: pos, Dist: p.Dist(pos)})
+	for _, part := range parts {
+		all = append(all, part...)
 	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].Dist != all[j].Dist {
-			return all[i].Dist < all[j].Dist
-		}
-		return all[i].ID < all[j].ID
-	})
+	sort.Slice(all, func(i, j int) bool { return posLess(all[i], all[j]) })
 	if len(all) > k {
 		all = all[:k]
 	}
 	return all
 }
 
+// nearest computes the shard-local top-k, sorted ascending.
+func (sh *shard) nearest(p geo.Point, k int, t float64) []ObjectPos {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	var h posHeap
+	for id, srv := range sh.objs {
+		pos, ok := srv.Position(t)
+		if !ok {
+			continue
+		}
+		op := ObjectPos{ID: id, Pos: pos, Dist: p.Dist(pos)}
+		if len(h) < k {
+			heap.Push(&h, op)
+		} else if posLess(op, h[0]) {
+			h[0] = op
+			heap.Fix(&h, 0)
+		}
+	}
+	out := make([]ObjectPos, len(h))
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&h).(ObjectPos)
+	}
+	return out
+}
+
 // Within returns all objects predicted inside r at time t ("all users
 // currently inside a department of a store", paper §1), sorted by id.
 func (s *Service) Within(r geo.Rect, t float64) []ObjectPos {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	parts := make([][]ObjectPos, len(s.shards))
+	s.forEachShard(func(i int, sh *shard) { parts[i] = sh.within(r, t) })
 	var out []ObjectPos
-	for id, srv := range s.objs {
+	for _, part := range parts {
+		out = append(out, part...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// within answers the shard-local range query, through the spatial
+// snapshot when one is valid and a full scan otherwise.
+func (sh *shard) within(r geo.Rect, t float64) []ObjectPos {
+	sh.maybeRebuildIndex()
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	// A writer may have dirtied the snapshot between ensureIndex and the
+	// read lock; correctness then requires the scan path.
+	if sh.idx == nil || sh.idxDirty || !sh.idxBounded {
+		return sh.withinScanLocked(r, t)
+	}
+	// Every indexed object is within boundSpeed*(t-T) of its last
+	// reported position, so expanding the query window by the shard-wide
+	// worst case cannot miss a hit. The +1 m slack absorbs map-matching
+	// rounding between a report's position and its link offset point.
+	reach := sh.idxMaxV*math.Max(0, t-sh.idxMinT) + 1
+	grown := r.Expand(reach)
+	// When the expanded window dwarfs the indexed extent the grid walk
+	// degenerates to visiting every cell; scanning is cheaper.
+	if !sh.pruneWorthwhileLocked(grown) {
+		return sh.withinScanLocked(r, t)
+	}
+	var out []ObjectPos
+	sh.idx.Search(grown, func(e spatial.Entry) bool {
+		id := sh.idxIDs[e.ID]
+		srv, ok := sh.objs[id]
+		if !ok {
+			return true
+		}
+		pos, ok := srv.Position(t)
+		if ok && r.Contains(pos) {
+			out = append(out, ObjectPos{ID: id, Pos: pos})
+		}
+		return true
+	})
+	return out
+}
+
+// pruneWorthwhileLocked reports whether searching the grid over the
+// expanded window beats a linear scan of the shard.
+func (sh *shard) pruneWorthwhileLocked(grown geo.Rect) bool {
+	cell := sh.idxCellSizeLocked()
+	if cell <= 0 {
+		return false
+	}
+	cells := (grown.Width()/cell + 1) * (grown.Height()/cell + 1)
+	return cells < float64(4*len(sh.idxIDs)+16)
+}
+
+func (sh *shard) idxCellSizeLocked() float64 {
+	if sh.idx == nil || sh.idx.Len() == 0 {
+		return 0
+	}
+	return sh.idxCell
+}
+
+func (sh *shard) withinScanLocked(r geo.Rect, t float64) []ObjectPos {
+	var out []ObjectPos
+	for id, srv := range sh.objs {
 		pos, ok := srv.Position(t)
 		if !ok {
 			continue
@@ -143,6 +452,103 @@ func (s *Service) Within(r geo.Rect, t float64) []ObjectPos {
 			out = append(out, ObjectPos{ID: id, Pos: pos})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
+}
+
+// maybeRebuildIndex rebuilds the shard's spatial snapshot once it is
+// stale and enough range queries have been served from the scan path,
+// upgrading to the write lock only when a rebuild is actually due.
+func (sh *shard) maybeRebuildIndex() {
+	sh.mu.RLock()
+	dirty := sh.idxDirty
+	sh.mu.RUnlock()
+	if !dirty {
+		return
+	}
+	if sh.idxScans.Add(1) < rebuildAfterScans {
+		return
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.idxDirty {
+		sh.rebuildIndexLocked()
+	}
+}
+
+// rebuildIndexLocked re-derives the spatial snapshot from the current
+// replica states. Objects without a report are left out (they cannot
+// answer a range query anyway).
+func (sh *shard) rebuildIndexLocked() {
+	sh.idx = nil
+	sh.idxIDs = sh.idxIDs[:0]
+	sh.idxBounded = true
+	sh.idxMaxV = 0
+	sh.idxMinT = math.Inf(1)
+	sh.idxDirty = false
+	sh.idxScans.Store(0)
+
+	type ent struct {
+		id  ObjectID
+		pos geo.Point
+	}
+	ents := make([]ent, 0, len(sh.objs))
+	bounds := geo.EmptyRect()
+	for id, srv := range sh.objs {
+		rep, ok := srv.LastReport()
+		if !ok {
+			continue
+		}
+		vb := boundSpeed(srv.Predictor(), rep)
+		if math.IsInf(vb, 1) {
+			sh.idxBounded = false
+		} else if vb > sh.idxMaxV {
+			sh.idxMaxV = vb
+		}
+		if rep.T < sh.idxMinT {
+			sh.idxMinT = rep.T
+		}
+		ents = append(ents, ent{id: id, pos: rep.Pos})
+		bounds = bounds.ExtendPoint(rep.Pos)
+	}
+	if len(ents) < minIndexObjects || !sh.idxBounded {
+		return
+	}
+	// Aim for a few objects per cell over the occupied extent.
+	cell := math.Max(bounds.Width(), bounds.Height()) / math.Sqrt(float64(len(ents)))
+	if cell <= 0 || math.IsInf(cell, 0) || math.IsNaN(cell) {
+		cell = 1
+	}
+	g := spatial.NewGrid(cell)
+	for _, e := range ents {
+		g.Insert(spatial.PointEntry(int64(len(sh.idxIDs)), e.pos))
+		sh.idxIDs = append(sh.idxIDs, e.id)
+	}
+	g.Build()
+	sh.idx = g
+	sh.idxCell = cell
+}
+
+// boundSpeed returns an upper bound on how fast pred can move the
+// predicted position away from the reported position, in m/s, or +Inf
+// when no bound is known for the predictor type. The known predictor
+// families advance by at most the reported speed: linear extrapolation
+// and the CTRV arc cover distance V·dt, and the map-based walk spends
+// V·dt of arc length along road polylines, whose euclidean displacement
+// is no larger.
+func boundSpeed(pred core.Predictor, rep core.Report) float64 {
+	switch p := pred.(type) {
+	case core.StaticPredictor:
+		return 0
+	case core.LinearPredictor, core.CTRVPredictor, *core.MapPredictor:
+		return rep.V
+	case *core.SpeedCappedMapPredictor:
+		// With RaiseToLimit the assumed speed can exceed the reported
+		// speed (up to unknown link limits), so no bound is available.
+		if p.RaiseToLimit {
+			return math.Inf(1)
+		}
+		return rep.V
+	default:
+		return math.Inf(1)
+	}
 }

@@ -3,6 +3,8 @@ package sim
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"mapdr/internal/core"
 	"mapdr/internal/locserv"
@@ -30,14 +32,54 @@ type FleetResult struct {
 // service in simulation-time lockstep, so queries issued from the Tick
 // callback see exactly the updates a live service would have received by
 // that time.
+//
+// Within each clock step the objects are partitioned across a pool of
+// Workers goroutines. Each round, every worker consumes at most one due
+// sample per object and collects the triggered updates; the round's
+// updates are ingested through the service's batched ApplyBatch path,
+// and the workers then query the service concurrently for error
+// accounting. Because an object's error query for sample k runs after
+// the round that applied its own update for sample k — and before any
+// later one — the per-object accounting is identical to stepping that
+// object's source and replica alone, for any Step and worker count.
 type Fleet struct {
 	Service *locserv.Service
 	Objects []FleetObject
 	// Tick, when set, is invoked once per simulated second after all due
-	// updates have been applied.
+	// updates have been applied. It runs on the coordinating goroutine.
 	Tick func(t float64)
 	// Step is the clock step in seconds (default 1).
 	Step float64
+	// Workers is the number of goroutines stepping sources and querying
+	// the service. 0 selects runtime.GOMAXPROCS(0); 1 runs sequentially.
+	Workers int
+}
+
+// fleetState is the per-object cursor into its sample stream.
+type fleetState struct {
+	obj    *FleetObject
+	sensor *trace.Trace
+	next   int
+}
+
+// posQuery is a deferred error-accounting query: after the step's batch
+// has been applied, the server's answer at time t is compared to truth.
+type posQuery struct {
+	id    locserv.ObjectID
+	t     float64
+	truth trace.Sample
+}
+
+// fleetWorker owns a partition of the objects plus all per-step scratch
+// state, so the parallel phases run without any shared mutation.
+type fleetWorker struct {
+	states  []*fleetState
+	batch   []locserv.Update
+	queries []posQuery
+	more    bool // a state still has samples due in the current step
+	samples int
+	errSum  float64
+	errN    int
 }
 
 // Run executes the fleet simulation until every object's trace is
@@ -53,12 +95,7 @@ func (f *Fleet) Run() (*FleetResult, error) {
 	if step <= 0 {
 		step = 1
 	}
-	type state struct {
-		obj    *FleetObject
-		sensor *trace.Trace
-		next   int
-	}
-	states := make([]*state, len(f.Objects))
+	states := make([]*fleetState, len(f.Objects))
 	tEnd := math.Inf(-1)
 	for i := range f.Objects {
 		o := &f.Objects[i]
@@ -72,40 +109,127 @@ func (f *Fleet) Run() (*FleetResult, error) {
 		if sensor.Len() != o.Truth.Len() {
 			return nil, fmt.Errorf("sim: object %q sensor/truth misaligned", o.ID)
 		}
-		states[i] = &state{obj: o, sensor: sensor}
+		states[i] = &fleetState{obj: o, sensor: sensor}
 		if last := o.Truth.Samples[o.Truth.Len()-1].T; last > tEnd {
 			tEnd = last
 		}
 	}
 
+	nw := f.Workers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	if nw > len(states) {
+		nw = len(states)
+	}
+	// Round-robin partition: object i belongs to worker i%nw, so the
+	// assignment (and thus the result) is deterministic for a fixed
+	// worker count.
+	workers := make([]*fleetWorker, nw)
+	for w := range workers {
+		workers[w] = &fleetWorker{}
+	}
+	for i, st := range states {
+		w := workers[i%nw]
+		w.states = append(w.states, st)
+	}
+
 	res := &FleetResult{Updates: map[locserv.ObjectID]int64{}}
 	var errSum float64
 	var errN int
-	for t := 0.0; t <= tEnd+1e-9; t += step {
-		for _, st := range states {
-			for st.next < st.sensor.Len() && st.sensor.Samples[st.next].T <= t {
-				s := st.sensor.Samples[st.next]
-				truth := st.obj.Truth.Samples[st.next]
-				st.next++
-				res.Samples++
-				if u, ok := st.obj.Source.OnSample(trace.Sample{T: s.T, Pos: s.Pos}); ok {
-					if err := f.Service.Apply(st.obj.ID, u); err != nil {
-						return nil, err
+	// The clock's final step is clamped to tEnd so the trailing partial
+	// step (when step does not divide tEnd) still consumes every sample.
+	for t := 0.0; ; t = math.Min(t+step, tEnd) {
+		// Sub-step rounds: each round consumes at most one due sample per
+		// object, so an object's error query never observes one of its own
+		// later-in-the-step updates. With samples no denser than the clock
+		// step (the common case) a step is exactly one round.
+		for {
+			// Phase 1: advance every source by one due sample.
+			runOnWorkers(workers, func(w *fleetWorker) {
+				w.batch = w.batch[:0]
+				w.queries = w.queries[:0]
+				w.more = false
+				for _, st := range w.states {
+					if st.next >= st.sensor.Len() || st.sensor.Samples[st.next].T > t {
+						continue
 					}
-					res.Updates[st.obj.ID]++
+					s := st.sensor.Samples[st.next]
+					truth := st.obj.Truth.Samples[st.next]
+					st.next++
+					w.samples++
+					if u, ok := st.obj.Source.OnSample(trace.Sample{T: s.T, Pos: s.Pos}); ok {
+						w.batch = append(w.batch, locserv.Update{ID: st.obj.ID, Update: u})
+					}
+					w.queries = append(w.queries, posQuery{id: st.obj.ID, t: s.T, truth: truth})
+					if st.next < st.sensor.Len() && st.sensor.Samples[st.next].T <= t {
+						w.more = true
+					}
 				}
-				if p, ok := f.Service.Position(st.obj.ID, s.T); ok {
-					errSum += p.Dist(truth.Pos)
-					errN++
+			})
+
+			// Ingest the round's updates through the batched path, one
+			// lock acquisition per shard for the whole round.
+			var batch []locserv.Update
+			more := false
+			for _, w := range workers {
+				batch = append(batch, w.batch...)
+				more = more || w.more
+			}
+			if err := f.Service.ApplyBatch(batch); err != nil {
+				return nil, err
+			}
+			for _, u := range batch {
+				res.Updates[u.ID]++
+			}
+
+			// Phase 2: concurrent error-accounting queries against the
+			// freshly updated service.
+			runOnWorkers(workers, func(w *fleetWorker) {
+				for _, q := range w.queries {
+					if p, ok := f.Service.Position(q.id, q.t); ok {
+						w.errSum += p.Dist(q.truth.Pos)
+						w.errN++
+					}
 				}
+			})
+			if !more {
+				break
 			}
 		}
+
 		if f.Tick != nil {
 			f.Tick(t)
 		}
+		if t >= tEnd-1e-9 {
+			break
+		}
+	}
+	for _, w := range workers {
+		res.Samples += w.samples
+		errSum += w.errSum
+		errN += w.errN
 	}
 	if errN > 0 {
 		res.MeanErr = errSum / float64(errN)
 	}
 	return res, nil
+}
+
+// runOnWorkers executes fn on every worker, concurrently when there is
+// more than one.
+func runOnWorkers(workers []*fleetWorker, fn func(*fleetWorker)) {
+	if len(workers) == 1 {
+		fn(workers[0])
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(workers))
+	for _, w := range workers {
+		go func(w *fleetWorker) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	wg.Wait()
 }

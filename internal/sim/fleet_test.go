@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"testing"
 
 	"mapdr/internal/core"
@@ -83,6 +84,102 @@ func TestFleetQueriesSeeTimeConsistentState(t *testing.T) {
 			}
 			if p.Dist(geo.Pt(1500, 0)) > 50 {
 				panic(fmt.Sprintf("time-travel: query at t=150 saw %v", p))
+			}
+		},
+	}
+	if _, err := fleet.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFleetParallelMatchesSequential runs the same fleet single-threaded
+// and on a worker pool: the sample/update accounting must be identical
+// and the mean error equal up to float summation order.
+func TestFleetParallelMatchesSequential(t *testing.T) {
+	run := func(workers int) *FleetResult {
+		svc, objs := mkFleet(t, 5)
+		res, err := (&Fleet{Service: svc, Objects: objs, Workers: workers}).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq := run(1)
+	for _, workers := range []int{2, 4, 16} {
+		par := run(workers)
+		if par.Samples != seq.Samples {
+			t.Errorf("workers=%d: samples %d != %d", workers, par.Samples, seq.Samples)
+		}
+		if len(par.Updates) != len(seq.Updates) {
+			t.Errorf("workers=%d: updates map %v != %v", workers, par.Updates, seq.Updates)
+		}
+		for id, n := range seq.Updates {
+			if par.Updates[id] != n {
+				t.Errorf("workers=%d %s: %d updates != %d", workers, id, par.Updates[id], n)
+			}
+		}
+		if diff := math.Abs(par.MeanErr - seq.MeanErr); diff > 1e-9 {
+			t.Errorf("workers=%d: mean err %v != %v", workers, par.MeanErr, seq.MeanErr)
+		}
+	}
+}
+
+// TestFleetAccountingIndependentOfStep pins the per-sample semantics:
+// even when one clock step covers many samples per object, each error
+// query must run against exactly that object's updates up to the sample
+// — so the accounting matches a 1x-step run regardless of Step or
+// worker count.
+func TestFleetAccountingIndependentOfStep(t *testing.T) {
+	run := func(step float64, workers int) *FleetResult {
+		svc, objs := mkFleet(t, 4)
+		res, err := (&Fleet{Service: svc, Objects: objs, Step: step, Workers: workers}).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(1, 1)
+	for _, tc := range []struct {
+		step    float64
+		workers int
+	}{{7, 1}, {7, 3}, {50, 4}} {
+		got := run(tc.step, tc.workers)
+		if got.Samples != ref.Samples {
+			t.Errorf("step=%v workers=%d: samples %d != %d", tc.step, tc.workers, got.Samples, ref.Samples)
+		}
+		for id, n := range ref.Updates {
+			if got.Updates[id] != n {
+				t.Errorf("step=%v workers=%d %s: %d updates != %d", tc.step, tc.workers, id, got.Updates[id], n)
+			}
+		}
+		if diff := math.Abs(got.MeanErr - ref.MeanErr); diff > 1e-9 {
+			t.Errorf("step=%v workers=%d: mean err %v != %v", tc.step, tc.workers, got.MeanErr, ref.MeanErr)
+		}
+	}
+}
+
+// TestFleetParallelTickSeesAppliedBatch re-runs the time-consistency
+// check with a worker pool: by the time Tick fires, every update due at
+// that step must have landed in the service.
+func TestFleetParallelTickSeesAppliedBatch(t *testing.T) {
+	svc, objs := mkFleet(t, 4)
+	fleet := Fleet{
+		Service: svc,
+		Objects: objs,
+		Workers: 4,
+		Tick: func(tt float64) {
+			if tt < 1 {
+				return
+			}
+			for i := range objs {
+				p, ok := svc.Position(objs[i].ID, tt)
+				if !ok {
+					t.Fatalf("t=%v: %s unreported after first step", tt, objs[i].ID)
+				}
+				want := geo.Pt(10*tt, 100*float64(i))
+				if p.Dist(want) > 50 {
+					t.Fatalf("t=%v %s: saw %v, want near %v", tt, objs[i].ID, p, want)
+				}
 			}
 		},
 	}

@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mapdr/internal/core"
+	"mapdr/internal/locserv"
+	"mapdr/internal/roadmap"
+	"mapdr/internal/tracegen"
+)
+
+// FleetSpec parameterises GenerateFleet: n vehicles wandering a road
+// network with map-based dead-reckoning sources.
+type FleetSpec struct {
+	// N is the number of vehicles.
+	N int
+	// Seed derives each vehicle's deterministic route and drive seeds.
+	Seed int64
+	// RouteLen is the minimum wander route length in metres.
+	RouteLen float64
+	// Workers bounds the generation goroutines (0 = all CPUs).
+	Workers int
+	// IDFormat must contain one integer verb, e.g. "car-%02d".
+	IDFormat string
+	// Params are the longitudinal movement dynamics.
+	Params tracegen.Params
+	// Source configures every vehicle's protocol source.
+	Source core.SourceConfig
+}
+
+// GenerateFleet registers spec.N map-predicted vehicles with svc and
+// generates their routes, ground-truth traces and protocol sources on a
+// pool of worker goroutines. Every vehicle is seeded independently, so
+// the result does not depend on the worker count. On error the
+// registrations are rolled back, leaving svc as it was. The returned
+// objects plug straight into Fleet.
+func GenerateFleet(g *roadmap.Graph, svc *locserv.Service, spec FleetSpec) ([]FleetObject, error) {
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	objs := make([]FleetObject, spec.N)
+	for i := range objs {
+		id := locserv.ObjectID(fmt.Sprintf(spec.IDFormat, i))
+		if err := svc.Register(id, core.NewMapPredictor(g)); err != nil {
+			for _, o := range objs[:i] {
+				svc.Deregister(o.ID)
+			}
+			return nil, err
+		}
+		objs[i].ID = id
+	}
+
+	genVehicle := func(i int) error {
+		start := roadmap.NodeID((i * 37) % g.NumNodes())
+		route, err := tracegen.Wander(g, spec.Seed+int64(i), start, spec.RouteLen, tracegen.DefaultWanderPolicy())
+		if err != nil {
+			return err
+		}
+		res, err := tracegen.DriveRoute(g, route, spec.Params, spec.Seed+int64(100+i))
+		if err != nil {
+			return err
+		}
+		src, err := core.NewMapSource(spec.Source, core.NewMapPredictor(g))
+		if err != nil {
+			return err
+		}
+		objs[i].Truth = res.Trace
+		objs[i].Source = src
+		return nil
+	}
+
+	// Workers pull vehicle indices from a shared counter and stop as
+	// soon as any of them records an error, so a failure does not burn
+	// through the rest of a large fleet.
+	var (
+		wg       sync.WaitGroup
+		next     atomic.Int64
+		failed   atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= spec.N {
+					return
+				}
+				if err := genVehicle(i); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		for _, o := range objs {
+			svc.Deregister(o.ID)
+		}
+		return nil, firstErr
+	}
+	return objs, nil
+}

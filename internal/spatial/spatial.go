@@ -24,6 +24,13 @@ type Entry struct {
 // Bounds returns the bounding rectangle of the entry's segment.
 func (e Entry) Bounds() geo.Rect { return e.Seg.Bounds() }
 
+// PointEntry returns an entry for a point location, encoded as a
+// degenerate segment. The location service indexes object positions this
+// way to reuse the segment indexes unchanged.
+func PointEntry(id int64, p geo.Point) Entry {
+	return Entry{ID: id, Seg: geo.Seg(p, p)}
+}
+
 // Hit is a query result: an entry and its distance to the query point.
 type Hit struct {
 	Entry Entry

@@ -17,6 +17,15 @@
 // versus linear extrapolation on freeways, and ~91% overall versus
 // distance-based reporting.
 //
+// The location service scales past a single lock: objects are hashed
+// over independently locked shards (NewShardedLocationService), updates
+// can be ingested in per-shard batches (LocationService.ApplyBatch with
+// BatchUpdate values), and k-nearest/range queries fan out across the
+// shards in parallel. The Fleet simulation harness drives many protocol
+// sources on a worker pool (Fleet.Workers) and feeds the service through
+// the batched path, so large fleets exercise the store the way a live
+// deployment would.
+//
 // Quick start:
 //
 //	cor, _ := mapdr.GenerateFreeway(mapdr.DefaultFreewayConfig(1))
@@ -268,10 +277,21 @@ type (
 	ObjectID = locserv.ObjectID
 	// ObjectPos is a location-service query result.
 	ObjectPos = locserv.ObjectPos
+	// BatchUpdate pairs an object id with an update message for
+	// LocationService.ApplyBatch.
+	BatchUpdate = locserv.Update
 )
 
-// NewLocationService returns an empty location service.
+// DefaultLocationShards is the shard count used by NewLocationService.
+const DefaultLocationShards = locserv.DefaultShards
+
+// NewLocationService returns an empty location service with the default
+// shard count.
 func NewLocationService() *LocationService { return locserv.New() }
+
+// NewShardedLocationService returns an empty location service with n
+// independently locked shards; n = 1 degenerates to a single-lock store.
+func NewShardedLocationService(n int) *LocationService { return locserv.NewSharded(n) }
 
 // Fleet simulation.
 type (
