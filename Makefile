@@ -2,7 +2,15 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-locserv clean
+.PHONY: check vet build test race bench bench-all bench-locserv clean
+
+# BENCH_JSON is where `make bench` writes the machine-readable gate
+# numbers; bump the index with the PR that changes the tracked set.
+BENCH_JSON ?= BENCH_2.json
+# The gate benchmarks: the prediction-walk/cursor pair, the end-to-end
+# source+server quiet-period pair, the 10k-object fleet step and the
+# query-heavy map-predictor store mix.
+BENCH_GATE = PredictLongQuiet|SourceServerQuiet|ServerQueryFanout|FleetSteps10k|MapQueryMix
 
 check: vet build race
 
@@ -18,8 +26,21 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Full benchmark sweep (paper artifacts + micro benchmarks).
+# Gate benchmarks with allocation tracking, emitted as $(BENCH_JSON)
+# (ns/op, ns/sample, B/op, allocs/op per benchmark) so the perf
+# trajectory of the hot paths is tracked from PR to PR. The raw output
+# is staged in a temp file so a benchmark failure fails the target
+# instead of being masked by the parse pipe.
 bench:
+	$(GO) test -run '^$$' -bench '$(BENCH_GATE)' -benchmem \
+		./internal/core ./internal/locserv ./internal/sim > $(BENCH_JSON).raw \
+		|| { cat $(BENCH_JSON).raw; rm -f $(BENCH_JSON).raw; exit 1; }
+	cat $(BENCH_JSON).raw
+	$(GO) run ./cmd/benchjson < $(BENCH_JSON).raw > $(BENCH_JSON)
+	rm -f $(BENCH_JSON).raw
+
+# Full benchmark sweep (paper artifacts + micro benchmarks).
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # Sharded location-store benchmarks: compare shards-1 (single lock)

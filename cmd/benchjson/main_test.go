@@ -1,0 +1,53 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkPredictLongQuiet/cursor-8   \t   37036\t     32465 ns/op\t        36.07 ns/sample\t      64 B/op\t       1 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if r.Name != "BenchmarkPredictLongQuiet/cursor" {
+		t.Errorf("name = %q", r.Name)
+	}
+	if r.Runs != 37036 {
+		t.Errorf("runs = %d", r.Runs)
+	}
+	for unit, want := range map[string]float64{"ns/op": 32465, "ns/sample": 36.07, "B/op": 64, "allocs/op": 1} {
+		if got := r.Metrics[unit]; got != want {
+			t.Errorf("%s = %v, want %v", unit, got, want)
+		}
+	}
+}
+
+func TestParseBenchLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  \tmapdr/internal/core\t5.892s",
+		"goos: linux",
+		"BenchmarkBroken-8\tnot-a-number\t12 ns/op",
+		"BenchmarkNoMetrics-8\t100",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("parsed noise line %q", line)
+		}
+	}
+}
+
+func TestTrimProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkX-8":               "BenchmarkX",
+		"BenchmarkX-128":             "BenchmarkX",
+		"BenchmarkX":                 "BenchmarkX",
+		"BenchmarkFleetSteps10k-4":   "BenchmarkFleetSteps10k",
+		"BenchmarkMix/shards-64":     "BenchmarkMix/shards",
+		"BenchmarkX/cursor-t5-8":     "BenchmarkX/cursor-t5",
+		"BenchmarkTrailingDash-":     "BenchmarkTrailingDash-",
+		"BenchmarkX/sub-case-name-2": "BenchmarkX/sub-case-name",
+	}
+	for in, want := range cases {
+		if got := trimProcSuffix(in); got != want {
+			t.Errorf("trimProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"mapdr/internal/core"
@@ -48,20 +49,67 @@ func main() {
 		fleetN  = flag.Int("fleet", 50, "vehicles in the fleet experiment")
 		shards  = flag.Int("shards", locserv.DefaultShards, "location-store shards in the fleet experiment")
 		workers = flag.Int("workers", 0, "fleet worker goroutines (0 = all CPUs)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile taken after the experiment to this file")
 	)
 	flag.Parse()
-	opts := experiments.Options{Seed: *seed, Scale: *scale}
-	if *exp == "fleet" {
-		if err := runFleet(*fleetN, *shards, *workers, *seed, *scale, *csv); err != nil {
-			fmt.Fprintln(os.Stderr, "drsim:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if err := run(*exp, opts, *csv, *svg); err != nil {
+	stopProf, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "drsim:", err)
 		os.Exit(1)
 	}
+	opts := experiments.Options{Seed: *seed, Scale: *scale}
+	if *exp == "fleet" {
+		err = runFleet(*fleetN, *shards, *workers, *seed, *scale, *csv)
+	} else {
+		err = run(*exp, opts, *csv, *svg)
+	}
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "drsim:", err)
+		os.Exit(1)
+	}
+}
+
+// startProfiles enables CPU profiling and arranges the heap snapshot;
+// the returned stop function finishes both so hot-path hunts over any
+// experiment need no ad-hoc instrumentation:
+//
+//	drsim -exp fleet -fleet 10000 -cpuprofile cpu.pprof -memprofile mem.pprof
+func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err = pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects so the snapshot is meaningful
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
 }
 
 // runFleet drives a simulated city fleet through the batched ingestion

@@ -96,3 +96,36 @@ func TestFacadeConstructors(t *testing.T) {
 		t.Error("CTRV produced non-finite point")
 	}
 }
+
+// TestFacadeCursor exercises the prediction-cursor surface: cursors
+// minted through the facade must match the stateless Predict bit for
+// bit, and PredictedState must agree with the cursor's AtState.
+func TestFacadeCursor(t *testing.T) {
+	cfg := DefaultCityConfig(4)
+	cfg.Rows, cfg.Cols = 4, 4
+	cor, err := GenerateCity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp := NewMapPredictor(cor.Graph)
+	link := cor.Graph.Link(0)
+	rep := Report{Seq: 1, T: 0, Pos: link.Shape[0], V: 12,
+		Link: Dir{Link: link.ID, Forward: true}, Offset: 0}
+	var sp StepPredictor = mp // every built-in predictor can mint cursors
+	c := NewCursor(sp, rep)
+	if c.Report() != rep {
+		t.Error("cursor not bound to the report")
+	}
+	for _, qt := range []float64{1, 30, 12, 300, 90} {
+		if got, want := c.At(qt), mp.Predict(rep, qt); got != want {
+			t.Fatalf("t=%v: cursor %v != stateless %v", qt, got, want)
+		}
+	}
+	pos, heading := PredictedState(mp, rep, 45)
+	if pos != mp.Predict(rep, 45) {
+		t.Error("PredictedState position diverged from Predict")
+	}
+	if math.IsNaN(heading) {
+		t.Error("PredictedState heading is NaN")
+	}
+}

@@ -68,7 +68,11 @@ func NewMapPredictor(g *roadmap.Graph) *MapPredictor {
 	return &MapPredictor{G: g, Chooser: roadmap.SmallestAngleChooser{}}
 }
 
-// Predict implements Predictor.
+// Predict implements Predictor. It runs the same walk a cursor advances
+// incrementally (see NewCursor), restarted from the report, so stateless
+// and cursor predictions are bit-identical by construction. The walk
+// buffers intersection alternatives in one stack scratch slice instead
+// of allocating per intersection.
 func (mp *MapPredictor) Predict(rep Report, t float64) geo.Point {
 	if !rep.Link.IsValid() {
 		return (LinearPredictor{}).Predict(rep, t)
@@ -77,32 +81,10 @@ func (mp *MapPredictor) Predict(rep Report, t float64) geo.Point {
 	if dt <= 0 {
 		return rep.Pos
 	}
-	remainingDist := rep.V * dt
-	cur := rep.Link
-	offset := rep.Offset
-
-	// Walk links until the travel distance is consumed. The iteration
-	// bound guards against degenerate zero-length cycles.
-	for iter := 0; iter < 10000; iter++ {
-		link := mp.G.Link(cur.Link)
-		left := link.Length() - offset
-		if remainingDist <= left {
-			p, _ := link.PointAtDirected(offset+remainingDist, cur.Forward)
-			return p
-		}
-		remainingDist -= left
-		node := link.EndNode(cur.Forward)
-		exitHeading := link.ExitHeading(cur.Forward)
-		alts := mp.G.Outgoing(node, cur)
-		next := mp.Chooser.Choose(mp.G, cur, exitHeading, alts)
-		if !next.IsValid() {
-			// Dead end: assume the object waits at the intersection.
-			return mp.G.Node(node).Pt
-		}
-		cur = next
-		offset = 0
-	}
-	p, _ := mp.G.Link(cur.Link).PointAtDirected(offset, cur.Forward)
+	var buf [8]roadmap.Dir
+	scratch := buf[:0]
+	w := startWalk(rep)
+	p, _ := w.advanceDist(mp.G, mp.Chooser, rep.V*dt, &scratch)
 	return p
 }
 
@@ -137,11 +119,23 @@ func (rp *RoutePredictor) Predict(rep Report, t float64) geo.Point {
 // Name implements Predictor.
 func (rp *RoutePredictor) Name() string { return "known-route" }
 
-// PredictedState returns both position and heading for predictors that can
-// supply it; used by the location server to answer richer queries.
+// PredictedState returns both position and heading for predictors that
+// can supply it; used by the location server to answer richer queries.
+// StepPredictor implementations derive the heading from the walk state
+// of a single advance (the travel heading on the predicted link);
+// other predictors fall back to a two-walk finite difference.
 func PredictedState(p Predictor, rep Report, t float64) (geo.Point, float64) {
+	if sp, ok := p.(StepPredictor); ok {
+		return sp.NewCursor(rep).AtState(t)
+	}
+	return finiteDiffState(p, rep, t)
+}
+
+// finiteDiffState estimates the heading by a finite difference over a
+// short horizon — two full stateless walks. Only predictors outside the
+// StepPredictor family pay this cost.
+func finiteDiffState(p Predictor, rep Report, t float64) (geo.Point, float64) {
 	pos := p.Predict(rep, t)
-	// Heading: finite difference over a short horizon.
 	const h = 0.5
 	next := p.Predict(rep, t+h)
 	d := next.Sub(pos)

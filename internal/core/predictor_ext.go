@@ -84,44 +84,22 @@ func (sp *SpeedCappedMapPredictor) assumedSpeed(repV float64, l *roadmap.Link) f
 	return repV
 }
 
-// Predict implements Predictor. It advances by *time*, spending it on each
-// link according to the assumed speed there.
+// Predict implements Predictor. It advances by *time*, spending it on
+// each link according to the assumed speed there. Like
+// MapPredictor.Predict it shares the walk engine with its cursors, so
+// stateless and cursor predictions are bit-identical by construction.
 func (sp *SpeedCappedMapPredictor) Predict(rep Report, t float64) geo.Point {
 	if !rep.Link.IsValid() {
 		return (LinearPredictor{}).Predict(rep, t)
 	}
-	remaining := t - rep.T
-	if remaining <= 0 {
+	total := t - rep.T
+	if total <= 0 {
 		return rep.Pos
 	}
-	cur := rep.Link
-	offset := rep.Offset
-	for iter := 0; iter < 10000; iter++ {
-		link := sp.G.Link(cur.Link)
-		v := sp.assumedSpeed(rep.V, link)
-		if v <= 0 {
-			// Standing still: the prediction stays at the offset.
-			p, _ := link.PointAtDirected(offset, cur.Forward)
-			return p
-		}
-		left := link.Length() - offset
-		timeOnLink := left / v
-		if remaining <= timeOnLink {
-			p, _ := link.PointAtDirected(offset+remaining*v, cur.Forward)
-			return p
-		}
-		remaining -= timeOnLink
-		node := link.EndNode(cur.Forward)
-		exitHeading := link.ExitHeading(cur.Forward)
-		alts := sp.G.Outgoing(node, cur)
-		next := sp.Chooser.Choose(sp.G, cur, exitHeading, alts)
-		if !next.IsValid() {
-			return sp.G.Node(node).Pt
-		}
-		cur = next
-		offset = 0
-	}
-	p, _ := sp.G.Link(cur.Link).PointAtDirected(offset, cur.Forward)
+	var buf [8]roadmap.Dir
+	scratch := buf[:0]
+	w := startWalk(rep)
+	p, _ := w.advanceTime(sp, rep.V, total, &scratch)
 	return p
 }
 

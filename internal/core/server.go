@@ -1,12 +1,23 @@
 package core
 
 import (
+	"sync"
+
 	"mapdr/internal/geo"
 )
 
 // Server is the location-server side of the protocol: it stores the last
 // reported object state and answers position queries by evaluating the
 // same prediction function as the source (paper Fig. 1, posQuery).
+//
+// For predictors whose evaluation walks state forward (the map-based
+// family and known-route), the server caches a prediction cursor over
+// the last report, so query streams at advancing times cost O(time
+// delta) instead of O(time since the report) each. The cursor is guarded
+// by a mutex: Position/State may be called concurrently with each other
+// (the location service's query fan-outs do), while Apply requires
+// external synchronisation against queries, as before (the location
+// service's shard lock provides it).
 type Server struct {
 	pred Predictor
 
@@ -15,11 +26,19 @@ type Server struct {
 
 	updates int64
 	bytes   int64
+
+	// useCursor is fixed at construction: closed-form predictors answer
+	// any t in O(1), so for them the cursor cache would be pure overhead.
+	useCursor bool
+	curMu     sync.Mutex
+	cursor    Cursor
 }
 
 // NewServer returns a server replica driven by the given predictor, which
 // must be configured identically to the source's.
-func NewServer(pred Predictor) *Server { return &Server{pred: pred} }
+func NewServer(pred Predictor) *Server {
+	return &Server{pred: pred, useCursor: cursorPays(pred)}
+}
 
 // Apply ingests an update message.
 func (sv *Server) Apply(u Update) {
@@ -32,6 +51,11 @@ func (sv *Server) Apply(u Update) {
 	sv.hasReport = true
 	sv.updates++
 	sv.bytes += int64(EncodedSize())
+	if sv.useCursor {
+		sv.curMu.Lock()
+		sv.cursor = nil
+		sv.curMu.Unlock()
+	}
 }
 
 // Position answers a position query at time t. ok is false before the
@@ -40,6 +64,15 @@ func (sv *Server) Position(t float64) (geo.Point, bool) {
 	if !sv.hasReport {
 		return geo.Point{}, false
 	}
+	if sv.useCursor {
+		sv.curMu.Lock()
+		if sv.cursor == nil {
+			sv.cursor = NewCursor(sv.pred, sv.last)
+		}
+		p := sv.cursor.At(t)
+		sv.curMu.Unlock()
+		return p, true
+	}
 	return sv.pred.Predict(sv.last, t), true
 }
 
@@ -47,6 +80,15 @@ func (sv *Server) Position(t float64) (geo.Point, bool) {
 func (sv *Server) State(t float64) (geo.Point, float64, bool) {
 	if !sv.hasReport {
 		return geo.Point{}, 0, false
+	}
+	if sv.useCursor {
+		sv.curMu.Lock()
+		if sv.cursor == nil {
+			sv.cursor = NewCursor(sv.pred, sv.last)
+		}
+		p, h := sv.cursor.AtState(t)
+		sv.curMu.Unlock()
+		return p, h, true
 	}
 	p, h := PredictedState(sv.pred, sv.last, t)
 	return p, h, true

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"mapdr/internal/geo"
 	"mapdr/internal/mapmatch"
 	"mapdr/internal/roadmap"
 	"mapdr/internal/trace"
@@ -62,6 +63,16 @@ type Source struct {
 	hasSample  bool
 	movedSince float64
 	wasMatched bool
+
+	// cursor memoizes the prediction walk over the last report for the
+	// per-sample deviation check: sample times are monotone, so each
+	// check costs O(time since the previous sample) instead of O(time
+	// since the last update) — constant per sample instead of a full
+	// re-walk that grows with the protocol's quiet period. Nil until
+	// first use and after every new report; only kept for predictors
+	// where the memoized state pays (cursorPays).
+	cursor    Cursor
+	useCursor bool
 }
 
 // NewSource returns a source using the given prediction function. The
@@ -73,7 +84,7 @@ func NewSource(cfg SourceConfig, pred Predictor) (*Source, error) {
 	if cfg.Threshold == nil {
 		cfg.Threshold = FixedThreshold{US: cfg.US}
 	}
-	s := &Source{cfg: cfg, pred: pred, est: trace.NewEstimator(cfg.Sightings)}
+	s := &Source{cfg: cfg, pred: pred, est: trace.NewEstimator(cfg.Sightings), useCursor: cursorPays(pred)}
 	if rp, ok := pred.(*RoutePredictor); ok {
 		s.route = rp.Route
 	}
@@ -145,7 +156,7 @@ func (s *Source) OnSample(sample trace.Sample) (Update, bool) {
 		// Returned to the map: re-enter map-based prediction.
 		reason = ReasonRematch
 	default:
-		predicted := s.pred.Predict(s.last, sample.T)
+		predicted := s.predictLast(sample.T)
 		deviation := sample.Pos.Dist(predicted)
 		th := s.cfg.Threshold.Threshold(sample.T, s.last.T, v)
 		if deviation+s.cfg.UP > th {
@@ -162,9 +173,24 @@ func (s *Source) OnSample(sample trace.Sample) (Update, bool) {
 	rep := s.buildReport(sample, v, heading, match)
 	s.last = rep
 	s.hasReport = true
+	s.cursor = nil // the cursor is bound to the replaced report
 	s.movedSince = 0
 	s.cfg.Threshold.OnUpdate(sample.T, 0)
 	return Update{Report: rep, Reason: reason}, true
+}
+
+// predictLast evaluates the shared prediction function over the last
+// report, through the memoized cursor when the predictor benefits. The
+// cursor result is bit-identical to the stateless Predict, so the
+// deviation trigger fires on exactly the same samples either way.
+func (s *Source) predictLast(t float64) geo.Point {
+	if !s.useCursor {
+		return s.pred.Predict(s.last, t)
+	}
+	if s.cursor == nil {
+		s.cursor = NewCursor(s.pred, s.last)
+	}
+	return s.cursor.At(t)
 }
 
 // buildReport assembles the report for the current state.

@@ -13,6 +13,14 @@
 // spatial snapshot of the last reported positions (a uniform grid from
 // internal/spatial) that prunes range-query candidates whenever the
 // shard's predictors admit a displacement bound.
+//
+// Per-object prediction is incremental: each core.Server replica caches
+// a prediction cursor over its last report (invalidated automatically by
+// Apply/ApplyBatch, shared safely across concurrent query fan-outs), so
+// a stream of Nearest/Within/Position calls at advancing times costs
+// O(time delta) per object instead of a road-graph re-walk from each
+// object's report — the dominant cost for map-predicted fleets in the
+// protocol's long quiet periods.
 package locserv
 
 import (

@@ -258,6 +258,22 @@ func (g *Graph) Outgoing(id NodeID, exclude Dir) []Dir {
 	return filtered
 }
 
+// OutgoingAppend appends the directed links usable to leave node id to
+// dst and returns the extended slice, applying the same U-turn filter as
+// Outgoing. It is the allocation-free variant for hot walk loops: the
+// caller owns dst (typically a scratch buffer re-sliced to length 0) and
+// reuses it across intersections, so the steady-state walk performs no
+// heap allocations.
+func (g *Graph) OutgoingAppend(dst []Dir, id NodeID, exclude Dir) []Dir {
+	for _, d := range g.nodes[id].out {
+		if exclude.IsValid() && d.Link == exclude.Link {
+			continue
+		}
+		dst = append(dst, d)
+	}
+	return dst
+}
+
 // encodeSegID packs a (link, segment) pair into a spatial entry ID.
 func encodeSegID(link LinkID, seg int) int64 { return int64(link)<<20 | int64(seg) }
 

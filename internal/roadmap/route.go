@@ -74,6 +74,43 @@ func (r *Route) PointAt(s float64) (geo.Point, float64) {
 	return r.g.Link(d.Link).PointAtDirected(s-r.cum[lo], d.Forward)
 }
 
+// PointAtHint is PointAt with a memoized starting index: it returns the
+// point and travel heading at route offset s plus the index of the link
+// containing s, scanning neighbouring links from hint instead of binary
+// searching. Successive calls with slowly moving offsets are amortised
+// O(1); the result is identical to PointAt for any s and any hint. Used
+// by the known-route prediction cursor.
+func (r *Route) PointAtHint(s float64, hint int) (geo.Point, float64, int) {
+	if s <= 0 {
+		d := r.dirs[0]
+		p, h := r.g.Link(d.Link).PointAtDirected(0, d.Forward)
+		return p, h, 0
+	}
+	if s >= r.Length() {
+		i := len(r.dirs) - 1
+		d := r.dirs[i]
+		l := r.g.Link(d.Link)
+		p, h := l.PointAtDirected(l.Length(), d.Forward)
+		return p, h, i
+	}
+	lo := hint
+	if lo < 0 {
+		lo = 0
+	}
+	if lo > len(r.dirs)-1 {
+		lo = len(r.dirs) - 1
+	}
+	for lo+1 < len(r.dirs) && r.cum[lo+1] <= s {
+		lo++
+	}
+	for lo > 0 && r.cum[lo] > s {
+		lo--
+	}
+	d := r.dirs[lo]
+	p, h := r.g.Link(d.Link).PointAtDirected(s-r.cum[lo], d.Forward)
+	return p, h, lo
+}
+
 // LinkAt returns the directed link containing route offset s and the
 // offset within that link (along travel direction).
 func (r *Route) LinkAt(s float64) (Dir, float64) {

@@ -42,6 +42,13 @@ type FleetResult struct {
 // the round that applied its own update for sample k — and before any
 // later one — the per-object accounting is identical to stepping that
 // object's source and replica alone, for any Step and worker count.
+//
+// Both prediction evaluations a step performs — the source-side
+// deviation check inside OnSample and the service Position query for
+// error accounting — advance monotonically in simulation time, so they
+// ride the prediction cursors (core.Cursor) memoized in each source and
+// server replica: per-sample cost stays O(1) however long the protocol
+// keeps an object's radio quiet.
 type Fleet struct {
 	Service *locserv.Service
 	Objects []FleetObject
