@@ -6,11 +6,13 @@ GO ?= go
 
 # BENCH_JSON is where `make bench` writes the machine-readable gate
 # numbers; bump the index with the PR that changes the tracked set.
-BENCH_JSON ?= BENCH_2.json
+BENCH_JSON ?= BENCH_3.json
 # The gate benchmarks: the prediction-walk/cursor pair, the end-to-end
-# source+server quiet-period pair, the 10k-object fleet step and the
-# query-heavy map-predictor store mix.
-BENCH_GATE = PredictLongQuiet|SourceServerQuiet|ServerQueryFanout|FleetSteps10k|MapQueryMix
+# source+server quiet-period pair, the 10k-object fleet step, the
+# query-heavy map-predictor store mix, and the networked ingest
+# pipeline (wire frames -> HTTP POST /updates -> ApplyBatch -> query
+# fan-out; gate: >= 100k updates/s).
+BENCH_GATE = PredictLongQuiet|SourceServerQuiet|ServerQueryFanout|FleetSteps10k|MapQueryMix|IngestHTTP
 
 check: vet build race
 

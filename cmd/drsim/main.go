@@ -14,16 +14,27 @@
 //	drsim -exp bandwidth            # bytes/h vs naive 1 Hz reporting
 //	drsim -exp fleet -fleet 100 -shards 16 -workers 8
 //	                                # parallel fleet vs sharded location store
+//	drsim -exp fleet -transport http
+//	                                # end-to-end: wire frames over loopback TCP
+//	drsim -exp fleet -transport lossy -loss 0.2 -latency 3
+//	                                # updates through the netsim lossy link
 //
 // -scale 0.1 shrinks the scenarios for quick runs; the defaults reproduce
 // the paper's full trace lengths. The fleet experiment drives -fleet
 // vehicles on -workers goroutines against a location store with -shards
-// shards and reports ingestion/accuracy/throughput numbers.
+// shards and reports ingestion/accuracy/throughput numbers. -transport
+// selects how updates reach the store: inproc (loopback, the default),
+// lossy (internal/netsim latency/jitter/loss; see -loss, -latency,
+// -jitter), or http (binary wire frames POSTed to a real locserv ingest
+// endpoint on a loopback TCP listener — the full networked client/server
+// path).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -33,24 +44,30 @@ import (
 	"mapdr/internal/experiments"
 	"mapdr/internal/locserv"
 	"mapdr/internal/mapgen"
+	"mapdr/internal/netsim"
 	"mapdr/internal/sim"
 	"mapdr/internal/stats"
 	"mapdr/internal/tracegen"
 	"mapdr/internal/viz"
+	"mapdr/internal/wire"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "table1", "experiment id (table1, fig3, fig6, fig7-fig10, headline, fleet, ablate-*)")
-		seed    = flag.Int64("seed", 42, "deterministic scenario seed")
-		scale   = flag.Float64("scale", 1.0, "scenario scale in (0,1]; 1 = paper scale")
-		csv     = flag.Bool("csv", false, "emit CSV instead of an aligned table")
-		svg     = flag.String("svg", "", "write an SVG rendering to this path (fig3/fig6)")
-		fleetN  = flag.Int("fleet", 50, "vehicles in the fleet experiment")
-		shards  = flag.Int("shards", locserv.DefaultShards, "location-store shards in the fleet experiment")
-		workers = flag.Int("workers", 0, "fleet worker goroutines (0 = all CPUs)")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile taken after the experiment to this file")
+		exp       = flag.String("exp", "table1", "experiment id (table1, fig3, fig6, fig7-fig10, headline, fleet, ablate-*)")
+		seed      = flag.Int64("seed", 42, "deterministic scenario seed")
+		scale     = flag.Float64("scale", 1.0, "scenario scale in (0,1]; 1 = paper scale")
+		csv       = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		svg       = flag.String("svg", "", "write an SVG rendering to this path (fig3/fig6)")
+		fleetN    = flag.Int("fleet", 50, "vehicles in the fleet experiment")
+		shards    = flag.Int("shards", locserv.DefaultShards, "location-store shards in the fleet experiment")
+		workers   = flag.Int("workers", 0, "fleet worker goroutines (0 = all CPUs)")
+		transport = flag.String("transport", "inproc", "fleet update transport: inproc, lossy or http")
+		loss      = flag.Float64("loss", 0, "lossy transport: per-message loss probability")
+		latency   = flag.Float64("latency", 0, "lossy transport: one-way delay, s")
+		jitter    = flag.Float64("jitter", 0, "lossy transport: max additional random delay, s")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile taken after the experiment to this file")
 	)
 	flag.Parse()
 	stopProf, err := startProfiles(*cpuProf, *memProf)
@@ -60,7 +77,10 @@ func main() {
 	}
 	opts := experiments.Options{Seed: *seed, Scale: *scale}
 	if *exp == "fleet" {
-		err = runFleet(*fleetN, *shards, *workers, *seed, *scale, *csv)
+		err = runFleet(fleetConfig{
+			n: *fleetN, shards: *shards, workers: *workers, seed: *seed, scale: *scale,
+			transport: *transport, loss: *loss, latency: *latency, jitter: *jitter,
+		}, *csv)
 	} else {
 		err = run(*exp, opts, *csv, *svg)
 	}
@@ -112,27 +132,59 @@ func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
 	}, nil
 }
 
-// runFleet drives a simulated city fleet through the batched ingestion
-// path of a sharded location store and reports scale metrics: protocol
-// traffic, server accuracy and wall-clock throughput.
-func runFleet(fleetN, shards, workers int, seed int64, scale float64, csv bool) error {
-	if scale <= 0 || scale > 1 {
+// fleetConfig parameterises the fleet experiment.
+type fleetConfig struct {
+	n, shards, workers    int
+	seed                  int64
+	scale                 float64
+	transport             string
+	loss, latency, jitter float64
+}
+
+// runFleet drives a simulated city fleet against a sharded location
+// store and reports scale metrics: protocol traffic, server accuracy
+// and wall-clock throughput. The update path is selectable: in-process
+// loopback, the netsim lossy link, or the full networked stack — wire
+// frames POSTed over loopback TCP into the store's HTTP ingest
+// endpoint.
+func runFleet(cfg fleetConfig, csv bool) error {
+	if cfg.scale <= 0 || cfg.scale > 1 {
 		return fmt.Errorf("scale must be in (0,1]")
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if cfg.workers <= 0 {
+		cfg.workers = runtime.GOMAXPROCS(0)
 	}
-	cor, err := mapgen.CityGrid(mapgen.DefaultCityConfig(seed))
+	// Set up the transport before the expensive map/fleet generation so
+	// a bad -transport flag fails instantly.
+	svc := locserv.NewSharded(cfg.shards)
+	var tr wire.Transport
+	switch cfg.transport {
+	case "inproc", "":
+		// nil: Fleet uses the in-process loopback.
+	case "lossy":
+		tr = wire.NewSimLink(netsim.NewLink(cfg.seed, cfg.latency, cfg.jitter, cfg.loss), svc.Sink(nil))
+	case "http":
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		hs := &http.Server{Handler: svc.HandlerWithIngest(nil), ReadHeaderTimeout: 5 * time.Second}
+		go hs.Serve(ln)
+		defer hs.Close()
+		tr = wire.NewClient("http://"+ln.Addr().String(), nil)
+	default:
+		return fmt.Errorf("unknown transport %q (inproc, lossy, http)", cfg.transport)
+	}
+
+	cor, err := mapgen.CityGrid(mapgen.DefaultCityConfig(cfg.seed))
 	if err != nil {
 		return err
 	}
-	g := cor.Graph
-	svc := locserv.NewSharded(shards)
-	objs, err := sim.GenerateFleet(g, svc, sim.FleetSpec{
-		N:        fleetN,
-		Seed:     seed,
-		RouteLen: 15000 * scale,
-		Workers:  workers,
+	objs, err := sim.GenerateFleet(cor.Graph, svc, sim.FleetSpec{
+		N:        cfg.n,
+		Seed:     cfg.seed,
+		RouteLen: 15000 * cfg.scale,
+		Workers:  cfg.workers,
 		IDFormat: "car-%03d",
 		Params:   tracegen.CityCarParams(),
 		Source:   core.SourceConfig{US: 100, UP: 5, Sightings: 4},
@@ -140,7 +192,8 @@ func runFleet(fleetN, shards, workers int, seed int64, scale float64, csv bool) 
 	if err != nil {
 		return err
 	}
-	fl := sim.Fleet{Service: svc, Objects: objs, Workers: workers}
+
+	fl := sim.Fleet{Service: svc, Objects: objs, Workers: cfg.workers, Transport: tr}
 	startT := time.Now()
 	res, err := fl.Run()
 	if err != nil {
@@ -151,8 +204,17 @@ func runFleet(fleetN, shards, workers int, seed int64, scale float64, csv bool) 
 	for _, n := range res.Updates {
 		updates += n
 	}
-	tb := stats.NewTable("vehicles", "shards", "workers", "samples", "updates", "mean err [m]", "wall [ms]", "samples/s")
-	tb.AddRow(fleetN, svc.Shards(), fl.Workers, res.Samples, updates, res.MeanErr,
+	// "sent bytes" is the encoded record traffic offered to the
+	// transport (wire.Stats.BytesSent: id + reason + report per update);
+	// the server-side /stats wire_bytes counts applied reports only.
+	tb := stats.NewTable("vehicles", "shards", "workers", "transport", "samples", "updates",
+		"dropped", "sent bytes", "mean err [m]", "wall [ms]", "samples/s")
+	name := cfg.transport
+	if name == "" {
+		name = "inproc"
+	}
+	tb.AddRow(cfg.n, svc.Shards(), fl.Workers, name, res.Samples, updates,
+		res.Wire.Dropped, res.Wire.BytesSent, res.MeanErr,
 		wall.Milliseconds(), float64(res.Samples)/wall.Seconds())
 	return emit(tb, csv)
 }

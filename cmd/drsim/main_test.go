@@ -71,3 +71,26 @@ func TestRunUnknownExperiment(t *testing.T) {
 		t.Error("unknown experiment should fail")
 	}
 }
+
+// TestRunFleetTransports executes the fleet experiment over every
+// transport at tiny scale: in-process, the lossy netsim link, and the
+// full HTTP loopback-network path.
+func TestRunFleetTransports(t *testing.T) {
+	base := fleetConfig{n: 3, shards: 4, workers: 2, seed: 42, scale: 0.05}
+	for _, tr := range []string{"inproc", "lossy", "http"} {
+		cfg := base
+		cfg.transport = tr
+		if tr == "lossy" {
+			cfg.loss = 0.2
+			cfg.latency = 1
+		}
+		if err := runFleet(cfg, true); err != nil {
+			t.Errorf("transport %q: %v", tr, err)
+		}
+	}
+	bad := base
+	bad.transport = "carrier-pigeon"
+	if err := runFleet(bad, true); err == nil {
+		t.Error("unknown transport should fail")
+	}
+}

@@ -1,12 +1,15 @@
-// Command locserver runs the location service with a simulated fleet of
-// vehicles feeding it map-based dead-reckoning updates, and serves
-// position/nearest/range queries over HTTP.
+// Command locserver runs the location service as a real end-to-end
+// ingest server: it accepts binary update frames on POST /updates and
+// serves position/nearest/range queries, health and stats over HTTP. A
+// simulated fleet of vehicles can pre-populate the store.
 //
 // Usage:
 //
 //	locserver -addr 127.0.0.1:8080 -fleet 10
 //	locserver -fleet 200 -shards 32 -workers 8
+//	locserver -fleet 0 -ingest-auto          # empty store, sources POST updates
 //	curl 'http://127.0.0.1:8080/nearest?x=0&y=0&k=3&t=120'
+//	curl 'http://127.0.0.1:8080/stats'
 //
 // The query parameter t is simulation time in seconds; the simulated
 // fleet drives a pre-computed hour of movement, so any t in [0, 3600]
@@ -17,6 +20,12 @@
 // queries and updates scale with the core count); -workers selects how
 // many goroutines generate vehicle movement and step the protocol
 // sources, feeding the store through its batched ingestion path.
+//
+// -ingest mounts the POST /updates endpoint (internal/wire frames,
+// Content-Type application/x-mapdr-frame); -ingest-auto additionally
+// registers unknown object ids on first contact with a map-based
+// predictor over the server's road network, so external sources can
+// stream updates without a registration step.
 package main
 
 import (
@@ -31,37 +40,46 @@ import (
 	"mapdr/internal/core"
 	"mapdr/internal/locserv"
 	"mapdr/internal/mapgen"
+	"mapdr/internal/roadmap"
 	"mapdr/internal/sim"
 	"mapdr/internal/tracegen"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
-		fleet   = flag.Int("fleet", 10, "number of simulated vehicles")
-		seed    = flag.Int64("seed", 1, "simulation seed")
-		shards  = flag.Int("shards", locserv.DefaultShards, "location-store shard count")
-		workers = flag.Int("workers", 0, "simulation worker goroutines (0 = all CPUs)")
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
+		fleet      = flag.Int("fleet", 10, "number of simulated vehicles (0: start empty)")
+		seed       = flag.Int64("seed", 1, "simulation seed")
+		shards     = flag.Int("shards", locserv.DefaultShards, "location-store shard count")
+		workers    = flag.Int("workers", 0, "simulation worker goroutines (0 = all CPUs)")
+		ingest     = flag.Bool("ingest", true, "serve the POST /updates binary ingest endpoint")
+		ingestAuto = flag.Bool("ingest-auto", false, "auto-register unknown objects arriving on /updates")
 	)
 	flag.Parse()
-	if err := run(*addr, *fleet, *seed, *shards, *workers); err != nil {
+	if err := run(*addr, *fleet, *seed, *shards, *workers, *ingest, *ingestAuto); err != nil {
 		fmt.Fprintln(os.Stderr, "locserver:", err)
 		os.Exit(1)
 	}
 }
 
-// buildService simulates the fleet and returns the populated service.
-// Vehicle movement is generated on a pool of workers goroutines and the
-// protocol updates are ingested through the service's batched path.
-func buildService(fleet int, seed int64, routeLen float64, shards, workers int) (*locserv.Service, error) {
+// buildService simulates the fleet and returns the populated service
+// plus the road network it drives on. Vehicle movement is generated on
+// a pool of workers goroutines and the protocol updates are ingested
+// through the service's batched path. fleet == 0 skips the simulation
+// and returns an empty store over the generated network.
+func buildService(fleet int, seed int64, routeLen float64, shards, workers int) (*locserv.Service, *roadmap.Graph, error) {
 	cor, err := mapgen.CityGrid(mapgen.DefaultCityConfig(seed))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	g := cor.Graph
 	svc := locserv.NewSharded(shards)
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if fleet == 0 {
+		log.Printf("starting with an empty %d-shard store over a %d-link city", svc.Shards(), g.NumLinks())
+		return svc, g, nil
 	}
 
 	log.Printf("simulating %d vehicles over a %d-link city (%d shards, %d workers)...",
@@ -78,33 +96,50 @@ func buildService(fleet int, seed int64, routeLen float64, shards, workers int) 
 		Source:   core.SourceConfig{US: 100, UP: 5, Sightings: 4},
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	fl := sim.Fleet{Service: svc, Objects: objs, Workers: workers}
 	res, err := fl.Run()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var updates int64
 	for _, n := range res.Updates {
 		updates += n
 	}
-	log.Printf("fleet run: %d samples -> %d updates, mean server error %.1f m",
-		res.Samples, updates, res.MeanErr)
-	return svc, nil
+	log.Printf("fleet run: %d samples -> %d updates (%d record bytes sent), mean server error %.1f m",
+		res.Samples, updates, res.Wire.BytesSent, res.MeanErr)
+	return svc, g, nil
 }
 
-func run(addr string, fleet int, seed int64, shards, workers int) error {
-	svc, err := buildService(fleet, seed, 15000, shards, workers)
+// handler mounts the query API, optionally with the binary ingest
+// endpoint and on-first-contact registration.
+func handler(svc *locserv.Service, g *roadmap.Graph, ingest, ingestAuto bool) http.Handler {
+	if !ingest {
+		return svc.Handler()
+	}
+	var auto locserv.AutoRegister
+	if ingestAuto {
+		auto = func(locserv.ObjectID) core.Predictor { return core.NewMapPredictor(g) }
+	}
+	return svc.HandlerWithIngest(auto)
+}
+
+func run(addr string, fleet int, seed int64, shards, workers int, ingest, ingestAuto bool) error {
+	svc, g, err := buildService(fleet, seed, 15000, shards, workers)
 	if err != nil {
 		return err
 	}
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           svc.Handler(),
+		Handler:           handler(svc, g, ingest, ingestAuto),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("location service listening on http://%s (try /objects, /position, /nearest, /within)", addr)
+	endpoints := "/objects, /position, /nearest, /within, /healthz, /stats"
+	if ingest {
+		endpoints += ", POST /updates"
+	}
+	log.Printf("location service listening on http://%s (%s)", addr, endpoints)
 	return srv.ListenAndServe()
 }

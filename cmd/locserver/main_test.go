@@ -1,16 +1,24 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"testing"
+
+	"mapdr/internal/core"
+	"mapdr/internal/geo"
+	"mapdr/internal/wire"
 )
 
 func TestBuildServiceAndQuery(t *testing.T) {
-	svc, err := buildService(2, 1, 2000, 8, 2)
+	svc, g, err := buildService(2, 1, 2000, 8, 2)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if g == nil {
+		t.Fatal("no graph returned")
 	}
 	if svc.Len() != 2 {
 		t.Fatalf("objects = %d", svc.Len())
@@ -18,7 +26,7 @@ func TestBuildServiceAndQuery(t *testing.T) {
 	if svc.Shards() != 8 {
 		t.Fatalf("shards = %d", svc.Shards())
 	}
-	ts := httptest.NewServer(svc.Handler())
+	ts := httptest.NewServer(handler(svc, g, false, false))
 	defer ts.Close()
 
 	resp, err := http.Get(ts.URL + "/objects")
@@ -42,16 +50,27 @@ func TestBuildServiceAndQuery(t *testing.T) {
 	if resp2.StatusCode != http.StatusOK {
 		t.Errorf("position status = %d", resp2.StatusCode)
 	}
+
+	// Ingest disabled: POST /updates must not be routed.
+	frame, _ := wire.EncodeFrame(nil)
+	resp3, err := http.Post(ts.URL+"/updates", wire.ContentType, bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode == http.StatusOK {
+		t.Errorf("ingest-disabled server accepted POST /updates: %d", resp3.StatusCode)
+	}
 }
 
 // TestBuildServiceDeterministicAcrossWorkers checks that the parallel
 // startup pipeline yields the same store regardless of worker count.
 func TestBuildServiceDeterministicAcrossWorkers(t *testing.T) {
-	a, err := buildService(3, 7, 1500, 1, 1)
+	a, _, err := buildService(3, 7, 1500, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := buildService(3, 7, 1500, 4, 4)
+	b, _, err := buildService(3, 7, 1500, 4, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,5 +80,49 @@ func TestBuildServiceDeterministicAcrossWorkers(t *testing.T) {
 		if okA != okB || (okA && pa.Dist(pb) > 1e-9) {
 			t.Errorf("%s: position %v/%v vs %v/%v", id, pa, okA, pb, okB)
 		}
+	}
+}
+
+// TestEmptyServerIngestEndToEnd boots an empty server with auto-register
+// ingest and streams updates to it over the wire transport — the
+// locserver zero-to-serving path with no simulated fleet at all.
+func TestEmptyServerIngestEndToEnd(t *testing.T) {
+	svc, g, err := buildService(0, 1, 2000, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.Len() != 0 {
+		t.Fatalf("empty store has %d objects", svc.Len())
+	}
+	ts := httptest.NewServer(handler(svc, g, true, true))
+	defer ts.Close()
+
+	cl := wire.NewClient(ts.URL, ts.Client())
+	err = cl.Send(0, []wire.Record{
+		{ID: "ext-1", Update: core.Update{Reason: core.ReasonInit, Report: core.Report{Seq: 1, T: 0, Pos: geo.Pt(10, 20), V: 5}}},
+		{ID: "ext-2", Update: core.Update{Reason: core.ReasonInit, Report: core.Report{Seq: 1, T: 0, Pos: geo.Pt(30, 40), V: 5}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.Len() != 2 {
+		t.Fatalf("auto-register produced %d objects", svc.Len())
+	}
+	resp, err := http.Get(ts.URL + "/position?id=ext-1&t=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("position after ingest = %d", resp.StatusCode)
+	}
+	var pos struct {
+		X, Y float64
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&pos); err != nil {
+		t.Fatal(err)
+	}
+	if pos.X != 10 || pos.Y != 20 {
+		t.Errorf("position = (%v, %v)", pos.X, pos.Y)
 	}
 }

@@ -2,6 +2,7 @@ package mapdr
 
 import (
 	"math"
+	"net/http/httptest"
 	"testing"
 )
 
@@ -127,5 +128,73 @@ func TestFacadeCursor(t *testing.T) {
 	}
 	if math.IsNaN(heading) {
 		t.Error("PredictedState heading is NaN")
+	}
+}
+
+// TestFacadeTransport drives the full exported transport surface: a
+// source streaming through the loopback, the lossy network link, and
+// an HTTP ingest client against a live location service handler.
+func TestFacadeTransport(t *testing.T) {
+	// Loopback into a location service sink, via frame codec round trip.
+	svc := NewShardedLocationService(4)
+	if err := svc.Register("cab-1", LinearPredictor{}); err != nil {
+		t.Fatal(err)
+	}
+	rec := TransportRecord{ID: "cab-1", Update: Update{
+		Report: Report{Seq: 1, T: 0, Pos: Pt(5, 6), V: 3},
+	}}
+	frame, err := EncodeUpdateFrame([]TransportRecord{rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, n, err := DecodeUpdateFrame(frame)
+	if err != nil || n != len(frame) || len(recs) != 1 || recs[0].ID != "cab-1" {
+		t.Fatalf("frame round trip: %v n=%d recs=%v", err, n, recs)
+	}
+
+	lb := NewLoopbackTransport(svc.Sink(nil))
+	if err := lb.Send(0, recs); err != nil {
+		t.Fatal(err)
+	}
+	if pos, ok := svc.Position("cab-1", 0); !ok || pos != Pt(5, 6) {
+		t.Fatalf("loopback delivery: %v %v", pos, ok)
+	}
+	if st := lb.Stats(); st.Delivered != 1 || st.BytesSent == 0 {
+		t.Fatalf("loopback stats: %+v", st)
+	}
+
+	// SimLink transport delays delivery on a latency link.
+	var got []TransportRecord
+	sink := TransportSinkFunc(func(batch []TransportRecord) error {
+		got = append(got, batch...)
+		return nil
+	})
+	sl := NewSimLinkTransport(NewNetworkLink(1, 10, 0, 0), sink)
+	sl.Send(0, recs)
+	sl.Flush(5)
+	if len(got) != 0 {
+		t.Fatal("delivered before latency elapsed")
+	}
+	sl.Flush(10)
+	if len(got) != 1 {
+		t.Fatalf("delivered %d records after latency", len(got))
+	}
+
+	// HTTP ingest client against the service's ingest handler.
+	ts := httptest.NewServer(svc.HandlerWithIngest(func(ObjectID) Predictor {
+		return LinearPredictor{}
+	}))
+	defer ts.Close()
+	cl := NewIngestClient(ts.URL, ts.Client())
+	next := rec
+	next.ID = "cab-2"
+	if err := cl.Send(0, []TransportRecord{next}); err != nil {
+		t.Fatal(err)
+	}
+	if pos, ok := svc.Position("cab-2", 0); !ok || pos != Pt(5, 6) {
+		t.Fatalf("HTTP ingest delivery: %v %v", pos, ok)
+	}
+	if st := cl.Stats(); st.Frames != 1 || st.Delivered != 1 {
+		t.Fatalf("client stats: %+v", st)
 	}
 }

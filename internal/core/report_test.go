@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"math"
 	"testing"
 	"testing/quick"
@@ -24,8 +25,8 @@ func TestReportRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(data) != EncodedSize() {
-		t.Fatalf("size = %d, want %d", len(data), EncodedSize())
+	if len(data) != in.EncodedSize() {
+		t.Fatalf("size = %d, want %d", len(data), in.EncodedSize())
 	}
 	var out Report
 	if err := out.UnmarshalBinary(data); err != nil {
@@ -58,18 +59,91 @@ func TestReportRoundTripNoLink(t *testing.T) {
 	}
 }
 
-func TestReportUnmarshalErrors(t *testing.T) {
-	var r Report
-	if err := r.UnmarshalBinary(make([]byte, 3)); err == nil {
-		t.Error("expected size error")
+// TestReportSizeDifferentiatesProtocols is the point of the variable
+// encoding: a linear-prediction update must be strictly smaller than a
+// map-based one, which must be smaller than a known-route + CTRV one,
+// so BytesPerH separates the protocol families as in the paper.
+func TestReportSizeDifferentiatesProtocols(t *testing.T) {
+	linear := Report{Seq: 9, T: 1, Pos: geo.Pt(1, 2), V: 30, Heading: 1}
+	mapped := linear
+	mapped.Link = roadmap.Dir{Link: 1234, Forward: true}
+	mapped.Offset = 55
+	full := mapped
+	full.RouteOffset = 8000
+	full.Omega = 0.1
+	if !(linear.EncodedSize() < mapped.EncodedSize() && mapped.EncodedSize() < full.EncodedSize()) {
+		t.Fatalf("sizes: linear %d, map %d, full %d", linear.EncodedSize(), mapped.EncodedSize(), full.EncodedSize())
 	}
-	if err := r.UnmarshalBinary(make([]byte, EncodedSize()+1)); err == nil {
-		t.Error("expected size error")
+	if linear.EncodedSize() < MinEncodedSize {
+		t.Fatalf("linear %d below MinEncodedSize %d", linear.EncodedSize(), MinEncodedSize)
+	}
+	// The old fixed-size codec charged every protocol 53 bytes.
+	if linear.EncodedSize() >= 53 {
+		t.Fatalf("linear update costs %d bytes, no cheaper than the fixed codec", linear.EncodedSize())
 	}
 }
 
+func TestReportSelfDelimiting(t *testing.T) {
+	a := Report{Seq: 7, T: 2, Pos: geo.Pt(3, 4), V: 5, Link: roadmap.Dir{Link: 3, Forward: true}, Offset: 9}
+	b := Report{Seq: 8, T: 3, Pos: geo.Pt(5, 6), V: 7}
+	buf := a.AppendBinary(nil)
+	buf = b.AppendBinary(buf)
+	outA, n, err := DecodeReport(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outA.Seq != a.Seq || outA.Link != a.Link {
+		t.Errorf("first record: %+v", outA)
+	}
+	outB, m, err := DecodeReport(buf[n:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outB.Seq != b.Seq || n+m != len(buf) {
+		t.Errorf("second record: %+v, consumed %d+%d of %d", outB, n, m, len(buf))
+	}
+}
+
+func TestReportDecodeErrors(t *testing.T) {
+	valid, _ := Report{Seq: 300, Link: roadmap.Dir{Link: 2, Forward: true}, RouteOffset: 5, Omega: 1}.MarshalBinary()
+	cases := map[string][]byte{
+		"empty":             {},
+		"short":             make([]byte, 3),
+		"unknown flags":     {0xF0, 1, 0, 0, 0, 0, 0, 0, 0},
+		"forward no link":   append([]byte{flagLinkForward}, valid[1:]...),
+		"trailing bytes":    append(append([]byte{}, valid...), 0),
+		"truncated mid":     valid[:len(valid)-5],
+		"truncated offsets": valid[:len(valid)-1],
+		"bad seq varint":    {0x00, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80},
+		"seq over uint32":   append([]byte{0x00, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}, make([]byte, 32)...),
+	}
+	var r Report
+	for name, data := range cases {
+		if err := r.UnmarshalBinary(data); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+// TestReportDecodeRejectsSentinelLink: an on-wire link field carrying
+// the NoLink sentinel is non-canonical and must be rejected.
+func TestReportDecodeRejectsSentinelLink(t *testing.T) {
+	data := []byte{flagLink, 0x01} // seq=1
+	le := binary32pad(data)
+	// varint(-1) = 0x01 zig-zag; then 4 bytes offset
+	le = append(le, 0x01, 0, 0, 0, 0)
+	if _, _, err := DecodeReport(le); err == nil {
+		t.Fatal("sentinel link accepted")
+	}
+}
+
+// binary32pad appends the 32 fixed payload bytes (t, x, y, v, heading).
+func binary32pad(head []byte) []byte {
+	return append(append([]byte{}, head...), make([]byte, 32)...)
+}
+
 func TestReportRoundTripProperty(t *testing.T) {
-	f := func(seq uint32, tt, x, y float64, v, h float32, link int32, fwd bool) bool {
+	f := func(seq uint32, tt, x, y float64, v, h float32, link int32, fwd bool, off, roff, omega float32) bool {
 		clamp := func(f float64) float64 {
 			if math.IsNaN(f) || math.IsInf(f, 0) {
 				return 0
@@ -78,28 +152,97 @@ func TestReportRoundTripProperty(t *testing.T) {
 		}
 		in := Report{
 			Seq: seq, T: clamp(tt),
-			Pos:     geo.Pt(clamp(x), clamp(y)),
-			V:       math.Abs(float64(v)),
-			Heading: float64(h),
-			Link:    roadmap.Dir{Link: roadmap.LinkID(link), Forward: fwd},
+			Pos:         geo.Pt(clamp(x), clamp(y)),
+			V:           math.Abs(float64(v)),
+			Heading:     float64(h),
+			Link:        roadmap.Dir{Link: roadmap.LinkID(link), Forward: fwd},
+			Offset:      float64(off),
+			RouteOffset: float64(roff),
+			Omega:       float64(omega),
 		}
 		if math.IsNaN(in.V) || math.IsInf(in.V, 0) || math.IsNaN(in.Heading) || math.IsInf(in.Heading, 0) {
 			return true
 		}
 		data, err := in.MarshalBinary()
-		if err != nil {
+		if err != nil || len(data) != in.EncodedSize() {
 			return false
 		}
 		var out Report
 		if err := out.UnmarshalBinary(data); err != nil {
 			return false
 		}
+		// An invalid link canonicalizes to NoDir (the direction bit is
+		// meaningless without a link).
+		wantLink := in.Link
+		if !wantLink.IsValid() {
+			wantLink = roadmap.NoDir
+		}
 		return out.Seq == in.Seq && out.T == in.T && out.Pos == in.Pos &&
-			out.Link.Link == in.Link.Link && out.Link.Forward == in.Link.Forward
+			out.Link == wantLink
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
 	}
+}
+
+// reportsEqual compares reports fieldwise, treating NaN equal to NaN
+// (fuzzed inputs legitimately decode to NaN floats).
+func reportsEqual(a, b Report) bool {
+	feq := func(x, y float64) bool {
+		return x == y || (math.IsNaN(x) && math.IsNaN(y))
+	}
+	return a.Seq == b.Seq && feq(a.T, b.T) &&
+		feq(a.Pos.X, b.Pos.X) && feq(a.Pos.Y, b.Pos.Y) &&
+		feq(a.V, b.V) && feq(a.Heading, b.Heading) &&
+		a.Link == b.Link && feq(a.Offset, b.Offset) &&
+		feq(a.RouteOffset, b.RouteOffset) && feq(a.Omega, b.Omega)
+}
+
+// FuzzReportRoundTrip feeds arbitrary bytes to the decoder: it must
+// error or decode cleanly — never panic — and whatever decodes must
+// re-encode into a form that decodes to the same report.
+func FuzzReportRoundTrip(f *testing.F) {
+	seedReports := []Report{
+		{},
+		{Seq: 1, T: 10, Pos: geo.Pt(3, 4), V: 30, Heading: 1.5},
+		{Seq: math.MaxUint32, Link: roadmap.Dir{Link: 77, Forward: true}, Offset: 9},
+		{Seq: 300, RouteOffset: 12000.5, Omega: -0.25},
+	}
+	for _, r := range seedReports {
+		data, _ := r.MarshalBinary()
+		f.Add(data)
+	}
+	f.Add([]byte{0xFF})
+	f.Add([]byte{flagLink, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, n, err := DecodeReport(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d", n, len(data))
+		}
+		enc := rep.AppendBinary(nil)
+		if len(enc) != rep.EncodedSize() {
+			t.Fatalf("EncodedSize %d, encoded %d", rep.EncodedSize(), len(enc))
+		}
+		rep2, n2, err := DecodeReport(enc)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded report failed: %v", err)
+		}
+		if n2 != len(enc) {
+			t.Fatalf("re-decode consumed %d of %d", n2, len(enc))
+		}
+		// Struct-level idempotence (the input may use a non-minimal
+		// varint, so the bytes can shrink once; after one round trip the
+		// encoding is a fixed point).
+		if !reportsEqual(rep2, rep) {
+			t.Fatalf("round trip changed report: %+v vs %+v", rep2, rep)
+		}
+		if enc2 := rep2.AppendBinary(nil); !bytes.Equal(enc, enc2) {
+			t.Fatalf("re-encoding is not a fixed point")
+		}
+	})
 }
 
 func TestReasonString(t *testing.T) {
@@ -107,8 +250,14 @@ func TestReasonString(t *testing.T) {
 		if r.String() == "" || r.String() == "unknown" {
 			t.Errorf("reason %d unnamed", r)
 		}
+		if !r.Valid() {
+			t.Errorf("reason %d invalid", r)
+		}
 	}
 	if Reason(99).String() != "unknown" {
 		t.Error("out of range reason")
+	}
+	if Reason(99).Valid() {
+		t.Error("out of range reason valid")
 	}
 }

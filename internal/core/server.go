@@ -40,22 +40,24 @@ func NewServer(pred Predictor) *Server {
 	return &Server{pred: pred, useCursor: cursorPays(pred)}
 }
 
-// Apply ingests an update message.
-func (sv *Server) Apply(u Update) {
+// Apply ingests an update message and reports whether it advanced the
+// replica (false for stale or duplicated deliveries).
+func (sv *Server) Apply(u Update) bool {
 	// Stale or duplicated messages (out-of-order delivery) are ignored:
 	// sequence numbers only move forward.
 	if sv.hasReport && u.Report.Seq <= sv.last.Seq {
-		return
+		return false
 	}
 	sv.last = u.Report
 	sv.hasReport = true
 	sv.updates++
-	sv.bytes += int64(EncodedSize())
+	sv.bytes += int64(u.Report.EncodedSize())
 	if sv.useCursor {
 		sv.curMu.Lock()
 		sv.cursor = nil
 		sv.curMu.Unlock()
 	}
+	return true
 }
 
 // Position answers a position query at time t. ok is false before the
@@ -100,7 +102,8 @@ func (sv *Server) LastReport() (Report, bool) { return sv.last, sv.hasReport }
 // Updates returns the number of updates applied.
 func (sv *Server) Updates() int64 { return sv.updates }
 
-// Bytes returns the total wire bytes of applied updates.
+// Bytes returns the total wire bytes of applied updates, summing each
+// report's actual variable-length encoded size.
 func (sv *Server) Bytes() int64 { return sv.bytes }
 
 // Predictor returns the server's prediction function.

@@ -336,8 +336,8 @@ func TestServerIgnoresStaleUpdates(t *testing.T) {
 	if srv.Updates() != 1 {
 		t.Errorf("updates = %d", srv.Updates())
 	}
-	if srv.Bytes() != int64(EncodedSize()) {
-		t.Errorf("bytes = %d", srv.Bytes())
+	if want := int64((Report{Seq: 5, T: 10, Pos: geo.Pt(1, 1)}).EncodedSize()); srv.Bytes() != want {
+		t.Errorf("bytes = %d, want %d", srv.Bytes(), want)
 	}
 }
 

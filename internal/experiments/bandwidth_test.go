@@ -1,6 +1,10 @@
 package experiments
 
-import "testing"
+import (
+	"testing"
+
+	"mapdr/internal/core"
+)
 
 func TestRunBandwidth(t *testing.T) {
 	rows, err := RunBandwidth(testOpts)
@@ -10,6 +14,9 @@ func TestRunBandwidth(t *testing.T) {
 	if len(rows) != 4*3 {
 		t.Fatalf("rows = %d", len(rows))
 	}
+	// Mean per-message wire size by protocol, to check that the
+	// variable-length encoding differentiates the families.
+	meanSize := map[string]float64{}
 	for _, r := range rows {
 		if r.BytesPerH < 0 || r.PctOfNaive < 0 {
 			t.Errorf("%s/%s: negative cost", r.Scenario, r.Protocol)
@@ -19,11 +26,22 @@ func TestRunBandwidth(t *testing.T) {
 			t.Errorf("%s/%s: %.1f%% of naive — protocol not paying off",
 				r.Scenario, r.Protocol, r.PctOfNaive)
 		}
-		// Bytes and updates are consistent (fixed-size messages).
-		wantBytes := r.UpdatesPerH * 53
-		if r.BytesPerH < wantBytes*0.99 || r.BytesPerH > wantBytes*1.01 {
-			t.Errorf("%s/%s: bytes %v vs updates %v inconsistent",
-				r.Scenario, r.Protocol, r.BytesPerH, r.UpdatesPerH)
+		// Bytes and updates are consistent with the variable-length
+		// encoding: every message costs at least the minimal report and
+		// less than the old 53-byte fixed codec.
+		if r.UpdatesPerH > 0 {
+			per := r.BytesPerH / r.UpdatesPerH
+			if per < float64(core.MinEncodedSize) || per >= 53 {
+				t.Errorf("%s/%s: %.1f bytes/update out of range [%d, 53)",
+					r.Scenario, r.Protocol, per, core.MinEncodedSize)
+			}
+			meanSize[r.Protocol] += per
 		}
+	}
+	// Map-based messages carry the link fields, so each costs more than
+	// a linear-prediction message — while sending far fewer of them.
+	if meanSize["map-based"] <= meanSize["linear-pred"] {
+		t.Errorf("map-based per-message cost %.1f not above linear %.1f — encoding not differentiating protocols",
+			meanSize["map-based"]/4, meanSize["linear-pred"]/4)
 	}
 }

@@ -145,7 +145,11 @@ type BandwidthRow struct {
 // wireless WAN communication is still scarce and expensive", §1).
 func RunBandwidth(opts Options) ([]BandwidthRow, error) {
 	const us = 100.0
-	naiveBytesPerH := 3600 * float64(core.EncodedSize())
+	// The naive baseline reports one linear-family fix per second; its
+	// per-message cost is the variable-length encoding of such a report
+	// (position + speed + heading, no map-bound fields).
+	naiveReport := core.Report{Seq: 3600, T: 3600, V: 30, Heading: 1}
+	naiveBytesPerH := 3600 * float64(naiveReport.EncodedSize())
 	var out []BandwidthRow
 	for _, kind := range Kinds() {
 		sc, err := Cached(kind, opts)

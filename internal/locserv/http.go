@@ -2,35 +2,133 @@ package locserv
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"strconv"
 
 	"mapdr/internal/geo"
+	"mapdr/internal/wire"
 )
 
-// Handler exposes the service as a small JSON HTTP API:
+// maxIngestBody bounds one /updates request body: a few frames of the
+// largest permitted size.
+const maxIngestBody = 4 * (wire.MaxFrameBody + 4)
+
+// Handler exposes the service as a query-only HTTP API:
 //
-//	GET /objects                         -> ["id", ...]
-//	GET /position?id=car1&t=120          -> {"id":"car1","x":..,"y":..}
-//	GET /nearest?x=0&y=0&k=3&t=120       -> [{"id":..,"x":..,"y":..,"dist":..}]
+//	GET /healthz                           -> {"ok":true,"objects":n}
+//	GET /stats                             -> object/shard/update/byte counters
+//	GET /objects                           -> ["id", ...]
+//	GET /position?id=car1&t=120            -> {"id":"car1","x":..,"y":..}
+//	GET /nearest?x=0&y=0&k=3&t=120         -> [{"id":..,"x":..,"y":..,"dist":..}]
 //	GET /within?minx=&miny=&maxx=&maxy=&t= -> [{"id":..,"x":..,"y":..}]
+//
+// HandlerWithIngest additionally accepts protocol updates.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
+	s.routeQueries(mux)
+	return mux
+}
+
+// HandlerWithIngest is Handler plus the binary ingest endpoint:
+//
+//	POST /updates  (application/x-mapdr-frame)
+//
+// The body is a stream of wire frames; the decoded records feed the
+// sharded store through ApplyBatch. auto controls whether updates for
+// unknown objects register them on the fly (nil: they are rejected).
+// The response is a wire.IngestResponse JSON body.
+func (s *Service) HandlerWithIngest(auto AutoRegister) http.Handler {
+	mux := http.NewServeMux()
+	s.routeQueries(mux)
+	mux.HandleFunc("POST /updates", func(w http.ResponseWriter, r *http.Request) {
+		s.handleIngest(w, r, auto)
+	})
+	return mux
+}
+
+func (s *Service) routeQueries(mux *http.ServeMux) {
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /objects", s.handleObjects)
 	mux.HandleFunc("GET /position", s.handlePosition)
 	mux.HandleFunc("GET /nearest", s.handleNearest)
 	mux.HandleFunc("GET /within", s.handleWithin)
-	return mux
 }
 
+// writeJSON marshals v before touching the ResponseWriter, so an
+// encoding failure still yields a well-formed 500 instead of a torn
+// body with a 200 status.
 func writeJSON(w http.ResponseWriter, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, "encoding response: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(v)
+	data = append(data, '\n')
+	if _, err := w.Write(data); err != nil {
+		// The client went away mid-response; nothing useful remains to
+		// be done, but the error is not silently discarded by contract:
+		// Write errors after headers cannot change the response.
+		return
+	}
 }
 
 func queryFloat(r *http.Request, key string) (float64, bool) {
 	v, err := strconv.ParseFloat(r.URL.Query().Get(key), 64)
 	return v, err == nil
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{"ok": true, "objects": s.Len()})
+}
+
+// statsJSON is the GET /stats body. wire_bytes counts applied report
+// encodings only (Service.WireBytes) — record ids and frame headers are
+// transport overhead, visible in the client's wire.Stats instead.
+type statsJSON struct {
+	Objects        int   `json:"objects"`
+	Shards         int   `json:"shards"`
+	UpdatesApplied int64 `json:"updates_applied"`
+	WireBytes      int64 `json:"wire_bytes"`
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, statsJSON{
+		Objects:        s.Len(),
+		Shards:         s.Shards(),
+		UpdatesApplied: s.UpdatesApplied(),
+		WireBytes:      s.WireBytes(),
+	})
+}
+
+func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request, auto AutoRegister) {
+	if ct := r.Header.Get("Content-Type"); ct != "" && ct != wire.ContentType {
+		http.Error(w, "want "+wire.ContentType, http.StatusUnsupportedMediaType)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, maxIngestBody)
+	var resp wire.IngestResponse
+	for {
+		recs, err := wire.ReadFrame(body)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Frames already ingested stay ingested (the store has no
+			// transactions and the protocol is idempotent per Seq); the
+			// client learns how far we got.
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp.Records += len(recs)
+		applied, err := s.DeliverRecords(recs, auto)
+		resp.Applied += applied
+		resp.Errors += len(recs) - applied
+		_ = err // per-record failures are reflected in the counts
+	}
+	writeJSON(w, resp)
 }
 
 func (s *Service) handleObjects(w http.ResponseWriter, _ *http.Request) {

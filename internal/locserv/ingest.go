@@ -1,0 +1,81 @@
+package locserv
+
+import (
+	"errors"
+	"fmt"
+
+	"mapdr/internal/core"
+	"mapdr/internal/wire"
+)
+
+// AutoRegister decides the prediction function for an object that shows
+// up on the ingest path before being registered. Returning nil rejects
+// the object.
+type AutoRegister func(id ObjectID) core.Predictor
+
+// DeliverRecords ingests transport records through the batched apply
+// path. When auto is non-nil, unknown object ids are registered first
+// with the predictor it returns; otherwise (or when auto returns nil)
+// their records are skipped and reported in the error. applied is the
+// number of records belonging to a registered object — whether each
+// advanced the replica or was a stale duplicate is the replica's
+// (seq-gated) decision, visible in UpdatesApplied.
+func (s *Service) DeliverRecords(recs []wire.Record, auto AutoRegister) (applied int, err error) {
+	if len(recs) == 0 {
+		return 0, nil
+	}
+	batch := make([]Update, 0, len(recs))
+	var errs []error
+	for i := range recs {
+		id := ObjectID(recs[i].ID)
+		if id == "" {
+			errs = append(errs, fmt.Errorf("locserv: record %d has no object id", i))
+			continue
+		}
+		if auto != nil && !s.Contains(id) {
+			pred := auto(id)
+			if pred == nil {
+				errs = append(errs, fmt.Errorf("locserv: object %q rejected by auto-register", id))
+				continue
+			}
+			// A concurrent ingest may have won the registration race;
+			// that duplicate is fine.
+			if rerr := s.Register(id, pred); rerr != nil && !s.Contains(id) {
+				errs = append(errs, rerr)
+				continue
+			}
+		}
+		batch = append(batch, Update{ID: id, Update: recs[i].Update})
+	}
+	aerr := s.ApplyBatch(batch)
+	applied = len(batch) - joinedLen(aerr)
+	if aerr != nil {
+		errs = append(errs, aerr)
+	}
+	return applied, errors.Join(errs...)
+}
+
+// joinedLen counts the leaves of an errors.Join error.
+func joinedLen(err error) int {
+	if err == nil {
+		return 0
+	}
+	if mu, ok := err.(interface{ Unwrap() []error }); ok {
+		n := 0
+		for _, e := range mu.Unwrap() {
+			n += joinedLen(e)
+		}
+		return n
+	}
+	return 1
+}
+
+// Sink adapts the service to wire.Sink so transports (the simulation
+// loopback, the netsim link, HTTP ingest) can deliver straight into the
+// sharded store.
+func (s *Service) Sink(auto AutoRegister) wire.Sink {
+	return wire.SinkFunc(func(batch []wire.Record) error {
+		_, err := s.DeliverRecords(batch, auto)
+		return err
+	})
+}

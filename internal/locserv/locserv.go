@@ -14,6 +14,11 @@
 // internal/spatial) that prunes range-query candidates whenever the
 // shard's predictors admit a displacement bound.
 //
+// The service is a real ingest server, not only a query store: updates
+// arrive through the internal/wire transport layer — in-process, over a
+// simulated lossy link, or as binary frames POSTed to the /updates HTTP
+// endpoint (HandlerWithIngest) — and land in ApplyBatch either way.
+//
 // Per-object prediction is incremental: each core.Server replica caches
 // a prediction cursor over its last report (invalidated automatically by
 // Apply/ApplyBatch, shared safely across concurrent query fan-outs), so
@@ -83,6 +88,11 @@ type Service struct {
 	// count tracks the total object count so queries can decide whether
 	// parallel fan-out is worthwhile without locking every shard.
 	count atomic.Int64
+	// applied counts updates that advanced an object replica and
+	// appliedBytes their total encoded wire size, for /stats and
+	// capacity monitoring.
+	applied      atomic.Int64
+	appliedBytes atomic.Int64
 }
 
 // shard is one lock domain of the service: a partition of the object
@@ -175,13 +185,18 @@ func (s *Service) Deregister(id ObjectID) {
 func (s *Service) Apply(id ObjectID, u core.Update) error {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	srv, ok := sh.objs[id]
 	if !ok {
+		sh.mu.Unlock()
 		return fmt.Errorf("locserv: unknown object %q", id)
 	}
-	srv.Apply(u)
+	accepted := srv.Apply(u)
 	sh.idxDirty = true
+	sh.mu.Unlock()
+	if accepted {
+		s.applied.Add(1)
+		s.appliedBytes.Add(int64(u.Report.EncodedSize()))
+	}
 	return nil
 }
 
@@ -196,7 +211,10 @@ func (s *Service) ApplyBatch(batch []Update) error {
 	var errs []error
 	n := len(s.shards)
 	if n == 1 {
-		errs = s.shards[0].applyIdx(batch, nil, errs)
+		var applied, bytes int64
+		errs, applied, bytes = s.shards[0].applyIdx(batch, nil, errs)
+		s.applied.Add(applied)
+		s.appliedBytes.Add(bytes)
 		return errors.Join(errs...)
 	}
 	// Counting sort of batch indices by shard: one hash pass, no copies
@@ -218,18 +236,25 @@ func (s *Service) ApplyBatch(batch []Update) error {
 		order[fill[sh]] = int32(i)
 		fill[sh]++
 	}
+	var applied, bytes int64
 	for sh := 0; sh < n; sh++ {
 		if starts[sh] == starts[sh+1] {
 			continue
 		}
-		errs = s.shards[sh].applyIdx(batch, order[starts[sh]:starts[sh+1]], errs)
+		var a, b int64
+		errs, a, b = s.shards[sh].applyIdx(batch, order[starts[sh]:starts[sh+1]], errs)
+		applied += a
+		bytes += b
 	}
+	s.applied.Add(applied)
+	s.appliedBytes.Add(bytes)
 	return errors.Join(errs...)
 }
 
 // applyIdx applies batch[order[...]] (or the whole batch when order is
-// nil) under one lock acquisition, appending an error per unknown object.
-func (sh *shard) applyIdx(batch []Update, order []int32, errs []error) []error {
+// nil) under one lock acquisition, appending an error per unknown
+// object and counting accepted updates and their wire bytes.
+func (sh *shard) applyIdx(batch []Update, order []int32, errs []error) (_ []error, applied, bytes int64) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	apply := func(u *Update) {
@@ -238,7 +263,10 @@ func (sh *shard) applyIdx(batch []Update, order []int32, errs []error) []error {
 			errs = append(errs, fmt.Errorf("locserv: unknown object %q", u.ID))
 			return
 		}
-		srv.Apply(u.Update)
+		if srv.Apply(u.Update) {
+			applied++
+			bytes += int64(u.Update.Report.EncodedSize())
+		}
 	}
 	if order == nil {
 		for i := range batch {
@@ -250,7 +278,7 @@ func (sh *shard) applyIdx(batch []Update, order []int32, errs []error) []error {
 		}
 	}
 	sh.idxDirty = true
-	return errs
+	return errs, applied, bytes
 }
 
 // Position answers a position query for one object at time t.
@@ -267,6 +295,25 @@ func (s *Service) Position(id ObjectID, t float64) (geo.Point, bool) {
 
 // Len returns the number of registered objects.
 func (s *Service) Len() int { return int(s.count.Load()) }
+
+// Contains reports whether id is registered.
+func (s *Service) Contains(id ObjectID) bool {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	_, ok := sh.objs[id]
+	sh.mu.RUnlock()
+	return ok
+}
+
+// UpdatesApplied returns the number of updates that advanced an object
+// replica (stale and duplicate deliveries excluded).
+func (s *Service) UpdatesApplied() int64 { return s.applied.Load() }
+
+// WireBytes returns the total variable-length encoded size of the
+// applied update *reports* — the paper's message-cost metric. It
+// deliberately excludes per-record (id, reason) and per-frame framing
+// overhead; transports report those in their wire.Stats.
+func (s *Service) WireBytes() int64 { return s.appliedBytes.Load() }
 
 // Objects returns the registered ids in sorted order.
 func (s *Service) Objects() []ObjectID {

@@ -9,6 +9,7 @@ import (
 	"mapdr/internal/core"
 	"mapdr/internal/locserv"
 	"mapdr/internal/trace"
+	"mapdr/internal/wire"
 )
 
 // FleetObject is one tracked mobile object in a fleet simulation.
@@ -26,6 +27,9 @@ type FleetResult struct {
 	// MeanErr is the time-averaged server error vs ground truth across
 	// all objects.
 	MeanErr float64
+	// Wire is the transport's traffic accounting: records and encoded
+	// bytes sent, delivered and dropped on the way to the service.
+	Wire wire.Stats
 }
 
 // Fleet drives many objects' protocol sources against one location
@@ -33,10 +37,18 @@ type FleetResult struct {
 // callback see exactly the updates a live service would have received by
 // that time.
 //
+// Updates travel through a wire.Transport. The default is the
+// in-process loopback into the service's batched ApplyBatch path —
+// bit-identical to applying the batches directly. A SimLink transport
+// adds latency/loss between the fleet and the service; an HTTP client
+// transport drives a real location server over the network (the
+// service is then queried remotely too, but error accounting still
+// reads f.Service directly, so point it at the same store).
+//
 // Within each clock step the objects are partitioned across a pool of
 // Workers goroutines. Each round, every worker consumes at most one due
 // sample per object and collects the triggered updates; the round's
-// updates are ingested through the service's batched ApplyBatch path,
+// updates are sent through the transport and flushed at the round time,
 // and the workers then query the service concurrently for error
 // accounting. Because an object's error query for sample k runs after
 // the round that applied its own update for sample k — and before any
@@ -60,6 +72,9 @@ type Fleet struct {
 	// Workers is the number of goroutines stepping sources and querying
 	// the service. 0 selects runtime.GOMAXPROCS(0); 1 runs sequentially.
 	Workers int
+	// Transport carries each round's update batch to the location
+	// service; nil uses the in-process loopback into Service.
+	Transport wire.Transport
 }
 
 // fleetState is the per-object cursor into its sample stream.
@@ -81,7 +96,7 @@ type posQuery struct {
 // state, so the parallel phases run without any shared mutation.
 type fleetWorker struct {
 	states  []*fleetState
-	batch   []locserv.Update
+	batch   []wire.Record
 	queries []posQuery
 	more    bool // a state still has samples due in the current step
 	samples int
@@ -101,6 +116,10 @@ func (f *Fleet) Run() (*FleetResult, error) {
 	step := f.Step
 	if step <= 0 {
 		step = 1
+	}
+	tr := f.Transport
+	if tr == nil {
+		tr = wire.NewLoopback(f.Service.Sink(nil))
 	}
 	states := make([]*fleetState, len(f.Objects))
 	tEnd := math.Inf(-1)
@@ -166,7 +185,7 @@ func (f *Fleet) Run() (*FleetResult, error) {
 					st.next++
 					w.samples++
 					if u, ok := st.obj.Source.OnSample(trace.Sample{T: s.T, Pos: s.Pos}); ok {
-						w.batch = append(w.batch, locserv.Update{ID: st.obj.ID, Update: u})
+						w.batch = append(w.batch, wire.Record{ID: string(st.obj.ID), Update: u})
 					}
 					w.queries = append(w.queries, posQuery{id: st.obj.ID, t: s.T, truth: truth})
 					if st.next < st.sensor.Len() && st.sensor.Samples[st.next].T <= t {
@@ -175,19 +194,24 @@ func (f *Fleet) Run() (*FleetResult, error) {
 				}
 			})
 
-			// Ingest the round's updates through the batched path, one
-			// lock acquisition per shard for the whole round.
-			var batch []locserv.Update
+			// Ship the round's updates through the transport and deliver
+			// everything due by the round time; for the loopback default
+			// this is one batched ApplyBatch, one lock acquisition per
+			// shard for the whole round.
+			var batch []wire.Record
 			more := false
 			for _, w := range workers {
 				batch = append(batch, w.batch...)
 				more = more || w.more
 			}
-			if err := f.Service.ApplyBatch(batch); err != nil {
+			if err := tr.Send(t, batch); err != nil {
 				return nil, err
 			}
-			for _, u := range batch {
-				res.Updates[u.ID]++
+			if err := tr.Flush(t); err != nil {
+				return nil, err
+			}
+			for i := range batch {
+				res.Updates[locserv.ObjectID(batch[i].ID)]++
 			}
 
 			// Phase 2: concurrent error-accounting queries against the
@@ -220,6 +244,7 @@ func (f *Fleet) Run() (*FleetResult, error) {
 	if errN > 0 {
 		res.MeanErr = errSum / float64(errN)
 	}
+	res.Wire = tr.Stats()
 	return res, nil
 }
 

@@ -1,8 +1,9 @@
 // Package sim is the simulation harness of the paper's evaluation (§4):
 // it feeds sensor samples into a protocol source, carries updates over a
-// (possibly imperfect) link to the server replica, and measures the number
-// of update messages and the accuracy of the location information at the
-// server against ground truth.
+// transport (in-process, simulated lossy link, or real HTTP) to the
+// server replica, and measures the number of update messages and the
+// accuracy of the location information at the server against ground
+// truth.
 package sim
 
 import (
@@ -12,6 +13,7 @@ import (
 	"mapdr/internal/netsim"
 	"mapdr/internal/stats"
 	"mapdr/internal/trace"
+	"mapdr/internal/wire"
 )
 
 // Run drives one protocol over one trace.
@@ -25,8 +27,13 @@ type Run struct {
 	// be configured identically.
 	Source *core.Source
 	Server *core.Server
-	// Link carries the updates; nil means a perfect link.
+	// Link carries the updates over internal/netsim's latency/loss model;
+	// nil means in-process delivery. Ignored when Transport is set.
 	Link *netsim.Link
+	// Transport overrides the update path entirely (e.g. an HTTP client
+	// posting to a live location server). It must ultimately deliver to
+	// Server, which the run still queries for error accounting.
+	Transport wire.Transport
 }
 
 // Result aggregates one run's measurements.
@@ -37,7 +44,8 @@ type Result struct {
 	Updates       int64   // updates sent by the source
 	Delivered     int64   // updates applied at the server
 	UpdatesPerH   float64 // sent updates per hour (the paper's metric)
-	BytesPerH     float64
+	BytesSent     int64   // actual encoded bytes of the sent updates
+	BytesPerH     float64 // BytesSent per hour
 	ReasonCounts  map[core.Reason]int64
 	ErrTruth      stats.Welford // server prediction vs ground truth, m
 	ErrSensor     stats.Welford // server prediction vs sensor position, m
@@ -45,6 +53,17 @@ type Result struct {
 	ErrSensorP95  float64
 	WithinBound   float64 // fraction of samples with sensor error <= u_s
 	usedThreshold float64
+}
+
+// serverSink delivers transport records to a single server replica.
+type serverSink struct{ sv *core.Server }
+
+// Deliver implements wire.Sink.
+func (s serverSink) Deliver(batch []wire.Record) error {
+	for i := range batch {
+		s.sv.Apply(batch[i].Update)
+	}
+	return nil
 }
 
 // Execute runs the simulation to completion.
@@ -59,9 +78,13 @@ func (r *Run) Execute(us float64) (*Result, error) {
 	if sensor.Len() != r.Truth.Len() {
 		return nil, fmt.Errorf("sim: sensor (%d) and truth (%d) not aligned", sensor.Len(), r.Truth.Len())
 	}
-	link := r.Link
-	if link == nil {
-		link = netsim.NewPerfect()
+	tr := r.Transport
+	if tr == nil {
+		if r.Link != nil {
+			tr = wire.NewSimLink(r.Link, serverSink{r.Server})
+		} else {
+			tr = wire.NewLoopback(serverSink{r.Server})
+		}
 	}
 
 	res := &Result{
@@ -71,24 +94,30 @@ func (r *Run) Execute(us float64) (*Result, error) {
 	}
 	var truthSample, sensorSample stats.Sample
 	var inBound int
+	// one-record scratch batch, reused across sends
+	var outbox [1]wire.Record
 
 	for i := 0; i < r.Truth.Len(); i++ {
 		tt := r.Truth.Samples[i]
 		ss := sensor.Samples[i]
 
-		// Deliver link messages due before (or at) this sample time.
-		for _, m := range link.Deliverable(ss.T) {
-			r.Server.Apply(m.Payload.(core.Update))
+		// Deliver transport messages due before (or at) this sample time.
+		if err := tr.Flush(ss.T); err != nil {
+			return nil, fmt.Errorf("sim: transport flush: %w", err)
 		}
 
 		// Source observes the sensor sample.
 		if u, ok := r.Source.OnSample(trace.Sample{T: ss.T, Pos: ss.Pos}); ok {
 			res.Updates++
 			res.ReasonCounts[u.Reason]++
-			link.Send(ss.T, core.EncodedSize(), u)
+			res.BytesSent += int64(u.Report.EncodedSize())
+			outbox[0] = wire.Record{Update: u}
+			if err := tr.Send(ss.T, outbox[:]); err != nil {
+				return nil, fmt.Errorf("sim: transport send: %w", err)
+			}
 			// Messages with zero latency are applied immediately.
-			for _, m := range link.Deliverable(ss.T) {
-				r.Server.Apply(m.Payload.(core.Update))
+			if err := tr.Flush(ss.T); err != nil {
+				return nil, fmt.Errorf("sim: transport flush: %w", err)
 			}
 		}
 
@@ -110,7 +139,7 @@ func (r *Run) Execute(us float64) (*Result, error) {
 	res.DurationH = r.Truth.Duration() / 3600
 	if res.DurationH > 0 {
 		res.UpdatesPerH = float64(res.Updates) / res.DurationH
-		res.BytesPerH = float64(res.Updates*int64(core.EncodedSize())) / res.DurationH
+		res.BytesPerH = float64(res.BytesSent) / res.DurationH
 	}
 	if truthSample.Len() > 0 {
 		res.ErrTruthP95 = truthSample.Quantile(0.95)

@@ -1,0 +1,142 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// ContentType is the media type of binary update frames on HTTP.
+const ContentType = "application/x-mapdr-frame"
+
+// maxRecordsPerFrame caps the records per POSTed frame; batches are
+// additionally chunked by encoded size (maxFrameFill) so a frame can
+// never exceed MaxFrameBody whatever the id lengths.
+const maxRecordsPerFrame = 4096
+
+// maxFrameFill is the record-byte budget per frame: MaxFrameBody minus
+// headroom for the version byte and the count varint.
+const maxFrameFill = MaxFrameBody - 16
+
+// IngestResponse is the JSON body a location server's /updates endpoint
+// answers with.
+type IngestResponse struct {
+	// Records is the number of records decoded from the request.
+	Records int `json:"records"`
+	// Applied is how many were accepted for a registered object. Whether
+	// each actually advanced the replica is the replica's seq-gated
+	// decision (stale duplicates do not); the server's /stats
+	// updates_applied counter reports that stricter number.
+	Applied int `json:"applied"`
+	// Errors counts records that could not be delivered at all (unknown
+	// or rejected object, missing id).
+	Errors int `json:"errors,omitempty"`
+}
+
+// Client is the HTTP transport: Send encodes batches into binary frames
+// and POSTs them to a location server's /updates endpoint. Delivery is
+// synchronous per call; Flush is a no-op. Safe for concurrent use —
+// each Send encodes into its own buffer and the counters are atomic,
+// so parallel senders overlap their round trips.
+type Client struct {
+	url string
+	hc  *http.Client
+	c   counters
+}
+
+// NewClient returns an HTTP transport posting to baseURL+"/updates".
+// hc may be nil for http.DefaultClient.
+func NewClient(baseURL string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{url: strings.TrimSuffix(baseURL, "/") + "/updates", hc: hc}
+}
+
+// URL returns the ingest endpoint the client posts to.
+func (t *Client) URL() string { return t.url }
+
+// Send implements Transport: the batch is chunked into frames of at
+// most maxRecordsPerFrame records and maxFrameFill encoded bytes, each
+// POSTed as one request.
+func (t *Client) Send(_ float64, batch []Record) error {
+	for len(batch) > 0 {
+		n, fill := 0, 0
+		for n < len(batch) && n < maxRecordsPerFrame {
+			size := RecordSize(batch[n])
+			if n > 0 && fill+size > maxFrameFill {
+				break
+			}
+			fill += size
+			n++
+		}
+		if err := t.post(batch[:n]); err != nil {
+			return err
+		}
+		batch = batch[n:]
+	}
+	return nil
+}
+
+func (t *Client) post(chunk []Record) error {
+	size := BatchSize(chunk)
+	buf := AppendFrame(make([]byte, 0, 4+16+size), chunk)
+	if len(buf)-4 > MaxFrameBody {
+		return fmt.Errorf("wire: frame body %d exceeds %d bytes", len(buf)-4, MaxFrameBody)
+	}
+	t.c.sent.Add(int64(len(chunk)))
+	t.c.bytesSent.Add(int64(size))
+
+	resp, err := t.hc.Post(t.url, ContentType, bytes.NewReader(buf))
+	if err != nil {
+		return fmt.Errorf("wire: ingest POST: %w", err)
+	}
+	defer resp.Body.Close()
+	t.c.frames.Add(1)
+	t.c.frameBytes.Add(int64(len(buf)))
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("wire: ingest status %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	// Delivered counts records handed to the server — the same
+	// transport-level semantics as the other transports' handed-to-sink
+	// counting. Application-level acceptance (unknown objects, stale
+	// seqs) is the server's business: IngestResponse / GET /stats.
+	t.c.delivered.Add(int64(len(chunk)))
+	t.c.bytesDelivered.Add(int64(size))
+	// Drain the response so the connection is reused.
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	return nil
+}
+
+// Flush implements Transport; HTTP delivery is synchronous.
+func (t *Client) Flush(float64) error { return nil }
+
+// Stats implements Transport.
+func (t *Client) Stats() Stats { return t.c.snapshot() }
+
+// ReadFrame reads one length-prefixed frame from r, enforcing the same
+// bounds as DecodeFrame. It returns io.EOF at a clean end of stream and
+// io.ErrUnexpectedEOF for a frame cut short, so ingest handlers can
+// loop over a request body of back-to-back frames.
+func ReadFrame(r io.Reader) ([]Record, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("wire: truncated frame header")
+		}
+		return nil, err // io.EOF: clean end of stream
+	}
+	// Bound-check as u32 before the int conversion (32-bit safety).
+	bodyLen32 := uint32(hdr[0]) | uint32(hdr[1])<<8 | uint32(hdr[2])<<16 | uint32(hdr[3])<<24
+	if bodyLen32 > MaxFrameBody {
+		return nil, fmt.Errorf("wire: frame body %d exceeds %d bytes", bodyLen32, MaxFrameBody)
+	}
+	body := make([]byte, int(bodyLen32))
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("wire: frame body truncated: %w", err)
+	}
+	return decodeFrameBody(body)
+}

@@ -26,6 +26,14 @@
 // the batched path, so large fleets exercise the store the way a live
 // deployment would.
 //
+// Updates cross an explicit wire/transport layer: sources and server
+// share a variable-length binary codec (EncodeUpdateFrame /
+// DecodeUpdateFrame) and a Transport interface with in-process
+// (NewLoopbackTransport), simulated-lossy-link (NewSimLinkTransport)
+// and real HTTP (NewIngestClient) implementations, so the same
+// protocol code runs in simulation and as a networked client/server
+// system, and measured bytes reflect real per-protocol message sizes.
+//
 // Prediction is incremental where it matters: the protocol's whole point
 // is that updates are rare, so between updates both the source's
 // per-sample deviation check and every server-side query evaluate the
@@ -55,15 +63,19 @@
 package mapdr
 
 import (
+	"net/http"
+
 	"mapdr/internal/core"
 	"mapdr/internal/geo"
 	"mapdr/internal/histmap"
 	"mapdr/internal/locserv"
 	"mapdr/internal/mapgen"
+	"mapdr/internal/netsim"
 	"mapdr/internal/roadmap"
 	"mapdr/internal/sim"
 	"mapdr/internal/trace"
 	"mapdr/internal/tracegen"
+	"mapdr/internal/wire"
 )
 
 // Geometry primitives.
@@ -320,6 +332,62 @@ func NewLocationService() *LocationService { return locserv.New() }
 // NewShardedLocationService returns an empty location service with n
 // independently locked shards; n = 1 degenerates to a single-lock store.
 func NewShardedLocationService(n int) *LocationService { return locserv.NewSharded(n) }
+
+// Wire transport: the explicit source->server update path. Updates
+// travel as variable-length binary records (cheap for linear updates,
+// map-bound fields flags-gated) in length-prefixed frames; the same
+// codec and Transport interface run in-process (NewLoopbackTransport),
+// through the simulated lossy link (NewSimLinkTransport over a
+// NetworkLink) and over real HTTP (NewIngestClient posting to a
+// location service's /updates endpoint).
+type (
+	// Transport carries update batches from sources toward a sink.
+	Transport = wire.Transport
+	// TransportRecord is one addressed update, the unit transports carry.
+	TransportRecord = wire.Record
+	// TransportSink receives delivered record batches.
+	TransportSink = wire.Sink
+	// TransportSinkFunc adapts a function to TransportSink.
+	TransportSinkFunc = wire.SinkFunc
+	// TransportStats counts a transport's records, bytes and drops.
+	TransportStats = wire.Stats
+	// NetworkLink is the simulated wireless link: latency, jitter, loss
+	// and disconnection windows.
+	NetworkLink = netsim.Link
+	// IngestClient is the HTTP transport posting binary frames.
+	IngestClient = wire.Client
+	// AutoRegister admits unknown objects on a service's ingest path.
+	AutoRegister = locserv.AutoRegister
+)
+
+// NewLoopbackTransport returns the synchronous in-process transport —
+// bit-identical to applying updates directly, with byte accounting.
+func NewLoopbackTransport(sink TransportSink) *wire.Loopback { return wire.NewLoopback(sink) }
+
+// NewNetworkLink returns a simulated wireless link.
+func NewNetworkLink(seed int64, latency, jitter, lossProb float64) *NetworkLink {
+	return netsim.NewLink(seed, latency, jitter, lossProb)
+}
+
+// NewSimLinkTransport returns a transport routing updates through the
+// given simulated link.
+func NewSimLinkTransport(l *NetworkLink, sink TransportSink) *wire.SimLink {
+	return wire.NewSimLink(l, sink)
+}
+
+// NewIngestClient returns an HTTP transport posting wire frames to
+// baseURL+"/updates" (a LocationService.HandlerWithIngest endpoint).
+// hc may be nil for http.DefaultClient.
+func NewIngestClient(baseURL string, hc *http.Client) *IngestClient {
+	return wire.NewClient(baseURL, hc)
+}
+
+// EncodeUpdateFrame encodes a batch of records as one binary wire frame.
+func EncodeUpdateFrame(batch []TransportRecord) ([]byte, error) { return wire.EncodeFrame(batch) }
+
+// DecodeUpdateFrame decodes one frame from the front of data, returning
+// the records and the bytes consumed.
+func DecodeUpdateFrame(data []byte) ([]TransportRecord, int, error) { return wire.DecodeFrame(data) }
 
 // Fleet simulation.
 type (
