@@ -2,22 +2,34 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-all bench-locserv clean
+.PHONY: check vet staticcheck build test race bench bench-all bench-locserv clean
 
 # BENCH_JSON is where `make bench` writes the machine-readable gate
 # numbers; bump the index with the PR that changes the tracked set.
-BENCH_JSON ?= BENCH_3.json
+BENCH_JSON ?= BENCH_4.json
 # The gate benchmarks: the prediction-walk/cursor pair, the end-to-end
 # source+server quiet-period pair, the 10k-object fleet step, the
-# query-heavy map-predictor store mix, and the networked ingest
-# pipeline (wire frames -> HTTP POST /updates -> ApplyBatch -> query
-# fan-out; gate: >= 100k updates/s).
-BENCH_GATE = PredictLongQuiet|SourceServerQuiet|ServerQueryFanout|FleetSteps10k|MapQueryMix|IngestHTTP
+# query-heavy map-predictor store mix, the networked ingest pipeline
+# (wire frames -> HTTP POST /updates -> ApplyBatch -> query fan-out;
+# gate: >= 100k updates/s), and the 4-node cluster scatter-gather
+# pipeline (ring-routed ingest + merged 10-NN; gate: >= 100k updates/s).
+BENCH_GATE = PredictLongQuiet|SourceServerQuiet|ServerQueryFanout|FleetSteps10k|MapQueryMix|IngestHTTP|ClusterIngestQuery
+BENCH_PKGS = ./internal/core ./internal/locserv ./internal/sim ./internal/cluster
 
-check: vet build race
+check: vet staticcheck build race
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck runs when installed (CI installs it; locally:
+# go install honnef.co/go/tools/cmd/staticcheck@latest). The gate stays
+# green without it so an offline checkout can still `make check`.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... ; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -35,7 +47,7 @@ race:
 # instead of being masked by the parse pipe.
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_GATE)' -benchmem \
-		./internal/core ./internal/locserv ./internal/sim > $(BENCH_JSON).raw \
+		$(BENCH_PKGS) > $(BENCH_JSON).raw \
 		|| { cat $(BENCH_JSON).raw; rm -f $(BENCH_JSON).raw; exit 1; }
 	cat $(BENCH_JSON).raw
 	$(GO) run ./cmd/benchjson < $(BENCH_JSON).raw > $(BENCH_JSON)

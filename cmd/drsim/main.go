@@ -18,6 +18,10 @@
 //	                                # end-to-end: wire frames over loopback TCP
 //	drsim -exp fleet -transport lossy -loss 0.2 -latency 3
 //	                                # updates through the netsim lossy link
+//	drsim -exp cluster -nodes 4 -fleet 200
+//	                                # partition-aware cluster: consistent-hash
+//	                                # routed ingest + scatter-gather queries,
+//	                                # per-node throughput and query tail latency
 //
 // -scale 0.1 shrinks the scenarios for quick runs; the defaults reproduce
 // the paper's full trace lengths. The fleet experiment drives -fleet
@@ -40,8 +44,10 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"mapdr/internal/cluster"
 	"mapdr/internal/core"
 	"mapdr/internal/experiments"
+	"mapdr/internal/geo"
 	"mapdr/internal/locserv"
 	"mapdr/internal/mapgen"
 	"mapdr/internal/netsim"
@@ -60,6 +66,7 @@ func main() {
 		csv       = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 		svg       = flag.String("svg", "", "write an SVG rendering to this path (fig3/fig6)")
 		fleetN    = flag.Int("fleet", 50, "vehicles in the fleet experiment")
+		nodes     = flag.Int("nodes", 4, "cluster experiment: member node count")
 		shards    = flag.Int("shards", locserv.DefaultShards, "location-store shards in the fleet experiment")
 		workers   = flag.Int("workers", 0, "fleet worker goroutines (0 = all CPUs)")
 		transport = flag.String("transport", "inproc", "fleet update transport: inproc, lossy or http")
@@ -80,6 +87,11 @@ func main() {
 		err = runFleet(fleetConfig{
 			n: *fleetN, shards: *shards, workers: *workers, seed: *seed, scale: *scale,
 			transport: *transport, loss: *loss, latency: *latency, jitter: *jitter,
+		}, *csv)
+	} else if *exp == "cluster" {
+		err = runCluster(fleetConfig{
+			n: *fleetN, nodes: *nodes, shards: *shards, workers: *workers,
+			seed: *seed, scale: *scale,
 		}, *csv)
 	} else {
 		err = run(*exp, opts, *csv, *svg)
@@ -132,9 +144,10 @@ func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
 	}, nil
 }
 
-// fleetConfig parameterises the fleet experiment.
+// fleetConfig parameterises the fleet and cluster experiments.
 type fleetConfig struct {
 	n, shards, workers    int
+	nodes                 int
 	seed                  int64
 	scale                 float64
 	transport             string
@@ -217,6 +230,99 @@ func runFleet(cfg fleetConfig, csv bool) error {
 		res.Wire.Dropped, res.Wire.BytesSent, res.MeanErr,
 		wall.Milliseconds(), float64(res.Samples)/wall.Seconds())
 	return emit(tb, csv)
+}
+
+// runCluster drives the fleet against a partition-aware cluster: N
+// in-process location-service nodes behind a consistent-hash
+// coordinator that routes each ingest batch per partition and
+// scatter-gathers the queries. While the fleet runs, every simulated
+// second issues a 10-NN scatter-gather query whose wall-clock latency
+// feeds the tail-latency report; per-node routed records and applied
+// updates show the partition balance.
+func runCluster(cfg fleetConfig, csv bool) error {
+	if cfg.scale <= 0 || cfg.scale > 1 {
+		return fmt.Errorf("scale must be in (0,1]")
+	}
+	if cfg.nodes < 1 {
+		return fmt.Errorf("need at least one cluster node")
+	}
+	if cfg.workers <= 0 {
+		cfg.workers = runtime.GOMAXPROCS(0)
+	}
+	cor, err := mapgen.CityGrid(mapgen.DefaultCityConfig(cfg.seed))
+	if err != nil {
+		return err
+	}
+	g := cor.Graph
+	members := make([]*cluster.Member, cfg.nodes)
+	for i := range members {
+		node := locserv.NewNodeService(locserv.NewSharded(cfg.shards),
+			func(locserv.ObjectID) core.Predictor { return core.NewMapPredictor(g) })
+		members[i] = cluster.NewLocalMember(fmt.Sprintf("node-%02d", i), node)
+	}
+	coord, err := cluster.New(0, members...)
+	if err != nil {
+		return err
+	}
+
+	objs, err := sim.GenerateFleet(g, coord, sim.FleetSpec{
+		N:        cfg.n,
+		Seed:     cfg.seed,
+		RouteLen: 15000 * cfg.scale,
+		Workers:  cfg.workers,
+		IDFormat: "car-%03d",
+		Params:   tracegen.CityCarParams(),
+		Source:   core.SourceConfig{US: 100, UP: 5, Sightings: 4},
+	})
+	if err != nil {
+		return err
+	}
+
+	// Query mix riding along: one 10-NN scatter-gather per simulated
+	// second, cycling over deterministic city points. Every query's
+	// wall-clock cost is recorded — an empty answer still paid for the
+	// scatter and the merge.
+	var qLat stats.Sample
+	qPoints := []geo.Point{geo.Pt(2500, 2500), geo.Pt(5000, 5000), geo.Pt(7500, 2500), geo.Pt(2500, 7500)}
+	fl := sim.Fleet{
+		Objects:   objs,
+		Workers:   cfg.workers,
+		Transport: coord,
+		Query:     coord,
+		Tick: func(t float64) {
+			p := qPoints[int(t)%len(qPoints)]
+			q0 := time.Now()
+			coord.Nearest(p, 10, t)
+			qLat.Add(time.Since(q0).Seconds() * 1e6)
+		},
+	}
+	startT := time.Now()
+	res, err := fl.Run()
+	if err != nil {
+		return err
+	}
+	wall := time.Since(startT)
+	var updates int64
+	for _, n := range res.Updates {
+		updates += n
+	}
+
+	tb := stats.NewTable("nodes", "vehicles", "shards/node", "workers", "samples", "updates",
+		"mean err [m]", "wall [ms]", "samples/s", "10NN p50 [us]", "p95 [us]", "p99 [us]")
+	tb.AddRow(cfg.nodes, cfg.n, cfg.shards, fl.Workers, res.Samples, updates,
+		res.MeanErr, wall.Milliseconds(), float64(res.Samples)/wall.Seconds(),
+		qLat.Quantile(0.50), qLat.Quantile(0.95), qLat.Quantile(0.99))
+	if err := emit(tb, csv); err != nil {
+		return err
+	}
+
+	// Partition balance: records the coordinator routed to each node and
+	// what the node's store actually applied.
+	nt := stats.NewTable("node", "objects", "routed records", "batches", "applied", "errors")
+	for _, ms := range coord.MemberStats() {
+		nt.AddRow(ms.Name, ms.Node.Objects, ms.Records, ms.Batches, ms.Node.UpdatesApplied, ms.Errors)
+	}
+	return emit(nt, csv)
 }
 
 func run(exp string, opts experiments.Options, csv bool, svgPath string) error {

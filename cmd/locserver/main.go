@@ -26,6 +26,28 @@
 // registers unknown object ids on first contact with a map-based
 // predictor over the server's road network, so external sources can
 // stream updates without a registration step.
+//
+// # Cluster modes
+//
+// A set of locservers scales out as a partition-aware cluster: N node
+// servers each own a consistent-hash partition of the object ids, and a
+// coordinator routes ingest and scatter-gathers queries across them
+// over the binary wire protocols.
+//
+//	locserver -cluster node -addr :8081 -fleet 0   # partition servers
+//	locserver -cluster node -addr :8082 -fleet 0
+//	locserver -cluster coordinator -addr :8080 \
+//	    -peers n1=http://127.0.0.1:8081,n2=http://127.0.0.1:8082
+//	curl 'http://127.0.0.1:8080/nearest?x=0&y=0&k=3&t=120'  # merged across nodes
+//	curl 'http://127.0.0.1:8080/cluster'                    # per-node stats
+//
+// A node serves the regular API plus POST /query (the binary query
+// protocol the coordinator speaks) and always auto-registers unknown
+// ids with a map predictor over its road network (all nodes and
+// sources must be configured with the same -seed so they share the
+// prediction function). The coordinator serves the same query API as a
+// single server — clients cannot tell the difference — plus GET
+// /cluster for per-node routing and store stats.
 package main
 
 import (
@@ -35,8 +57,10 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
+	"mapdr/internal/cluster"
 	"mapdr/internal/core"
 	"mapdr/internal/locserv"
 	"mapdr/internal/mapgen"
@@ -54,12 +78,29 @@ func main() {
 		workers    = flag.Int("workers", 0, "simulation worker goroutines (0 = all CPUs)")
 		ingest     = flag.Bool("ingest", true, "serve the POST /updates binary ingest endpoint")
 		ingestAuto = flag.Bool("ingest-auto", false, "auto-register unknown objects arriving on /updates")
+		mode       = flag.String("cluster", "", "cluster role: \"\" (standalone), \"node\" or \"coordinator\"")
+		peers      = flag.String("peers", "", "coordinator mode: comma-separated name=baseURL node list")
 	)
 	flag.Parse()
-	if err := run(*addr, *fleet, *seed, *shards, *workers, *ingest, *ingestAuto); err != nil {
+	cfg := config{
+		addr: *addr, fleet: *fleet, seed: *seed, shards: *shards, workers: *workers,
+		ingest: *ingest, ingestAuto: *ingestAuto, mode: *mode, peers: *peers,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "locserver:", err)
 		os.Exit(1)
 	}
+}
+
+type config struct {
+	addr            string
+	fleet           int
+	seed            int64
+	shards, workers int
+	ingest          bool
+	ingestAuto      bool
+	mode            string
+	peers           string
 }
 
 // buildService simulates the fleet and returns the populated service
@@ -126,20 +167,85 @@ func handler(svc *locserv.Service, g *roadmap.Graph, ingest, ingestAuto bool) ht
 	return svc.HandlerWithIngest(auto)
 }
 
-func run(addr string, fleet int, seed int64, shards, workers int, ingest, ingestAuto bool) error {
-	svc, g, err := buildService(fleet, seed, 15000, shards, workers)
-	if err != nil {
-		return err
+// parsePeers parses the -peers list into HTTP cluster members.
+func parsePeers(list string) ([]*cluster.Member, error) {
+	if strings.TrimSpace(list) == "" {
+		return nil, fmt.Errorf("coordinator mode needs -peers name=baseURL[,name=baseURL...]")
 	}
+	var members []*cluster.Member
+	for _, item := range strings.Split(list, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(item, "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("bad peer %q (want name=baseURL)", item)
+		}
+		members = append(members, cluster.NewHTTPMember(name, url, nil))
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("no peers in %q", list)
+	}
+	return members, nil
+}
+
+func run(cfg config) error {
+	var h http.Handler
+	var endpoints string
+	switch cfg.mode {
+	case "", "standalone":
+		svc, g, err := buildService(cfg.fleet, cfg.seed, 15000, cfg.shards, cfg.workers)
+		if err != nil {
+			return err
+		}
+		h = handler(svc, g, cfg.ingest, cfg.ingestAuto)
+		endpoints = "/objects, /position, /nearest, /within, /healthz, /stats"
+		if cfg.ingest {
+			endpoints += ", POST /updates"
+		}
+
+	case "node":
+		// A cluster node: its partition of the store plus the binary
+		// query-protocol endpoint the coordinator speaks. The factory
+		// auto-registers unknown ids (routed ingest and handoff imports),
+		// sharing the prediction function through the common seed.
+		svc, g, err := buildService(cfg.fleet, cfg.seed, 15000, cfg.shards, cfg.workers)
+		if err != nil {
+			return err
+		}
+		node := locserv.NewNodeService(svc, func(locserv.ObjectID) core.Predictor {
+			return core.NewMapPredictor(g)
+		})
+		h = node.Handler()
+		endpoints = "/objects, /position, /nearest, /within, /healthz, /stats, POST /updates, POST /query"
+
+	case "coordinator":
+		members, err := parsePeers(cfg.peers)
+		if err != nil {
+			return err
+		}
+		coord, err := cluster.New(0, members...)
+		if err != nil {
+			return err
+		}
+		h = cluster.Handler(coord)
+		log.Printf("coordinating %d nodes: %s", len(members), strings.Join(coord.Nodes(), ", "))
+		endpoints = "/position, /nearest, /within, /healthz, /stats, /cluster, POST /updates"
+
+	default:
+		return fmt.Errorf("unknown -cluster mode %q (want node or coordinator)", cfg.mode)
+	}
+
 	srv := &http.Server{
-		Addr:              addr,
-		Handler:           handler(svc, g, ingest, ingestAuto),
+		Addr:              cfg.addr,
+		Handler:           h,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	endpoints := "/objects, /position, /nearest, /within, /healthz, /stats"
-	if ingest {
-		endpoints += ", POST /updates"
+	role := cfg.mode
+	if role == "" {
+		role = "standalone"
 	}
-	log.Printf("location service listening on http://%s (%s)", addr, endpoints)
+	log.Printf("location service (%s) listening on http://%s (%s)", role, cfg.addr, endpoints)
 	return srv.ListenAndServe()
 }

@@ -1,14 +1,18 @@
 package main
 
 import (
+	"fmt"
+
 	"bytes"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"testing"
 
+	"mapdr/internal/cluster"
 	"mapdr/internal/core"
 	"mapdr/internal/geo"
+	"mapdr/internal/locserv"
 	"mapdr/internal/wire"
 )
 
@@ -124,5 +128,109 @@ func TestEmptyServerIngestEndToEnd(t *testing.T) {
 	}
 	if pos.X != 10 || pos.Y != 20 {
 		t.Errorf("position = (%v, %v)", pos.X, pos.Y)
+	}
+}
+
+// TestParsePeers covers the coordinator flag parsing.
+func TestParsePeers(t *testing.T) {
+	members, err := parsePeers("n1=http://a:1, n2=http://b:2 ,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 2 || members[0].Name != "n1" || members[1].Name != "n2" {
+		t.Fatalf("members %v", members)
+	}
+	for _, bad := range []string{"", "   ", "justname", "=http://x", "n="} {
+		if _, err := parsePeers(bad); err == nil {
+			t.Errorf("parsePeers(%q) accepted", bad)
+		}
+	}
+}
+
+// TestClusterModeEndToEnd wires two locserver node handlers and a
+// coordinator handler together over real HTTP: frames POSTed to the
+// coordinator land on the owning nodes and queries merge across them.
+func TestClusterModeEndToEnd(t *testing.T) {
+	var peers string
+	for i, name := range []string{"n1", "n2"} {
+		svc, g, err := buildService(0, 1, 2000, 4, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node := locserv.NewNodeService(svc, func(locserv.ObjectID) core.Predictor {
+			return core.NewMapPredictor(g)
+		})
+		ts := httptest.NewServer(node.Handler())
+		defer ts.Close()
+		if i > 0 {
+			peers += ","
+		}
+		peers += name + "=" + ts.URL
+	}
+	members, err := parsePeers(peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := cluster.New(0, members...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(cluster.Handler(coord))
+	defer front.Close()
+
+	// Stream updates through the coordinator's ingest front door.
+	cl := wire.NewClient(front.URL, front.Client())
+	var recs []wire.Record
+	for i := 0; i < 20; i++ {
+		recs = append(recs, wire.Record{
+			ID: fmt.Sprintf("ext-%02d", i),
+			Update: core.Update{Reason: core.ReasonInit, Report: core.Report{
+				Seq: 1, T: 0, Pos: geo.Pt(float64(i)*50, 100), V: 5,
+			}},
+		})
+	}
+	if err := cl.Send(0, recs); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every node got a share (20 ids over 2 nodes virtually never land
+	// one-sided with a mixed ring) and the merged query sees them all.
+	var clusterStats struct {
+		Nodes []struct {
+			Name    string `json:"name"`
+			Objects int    `json:"objects"`
+		} `json:"nodes"`
+		TotalObjects int `json:"total_objects"`
+	}
+	resp, err := http.Get(front.URL + "/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&clusterStats); err != nil {
+		t.Fatal(err)
+	}
+	if clusterStats.TotalObjects != 20 {
+		t.Fatalf("cluster holds %d objects, want 20: %+v", clusterStats.TotalObjects, clusterStats)
+	}
+	for _, n := range clusterStats.Nodes {
+		if n.Objects == 20 {
+			t.Errorf("node %s holds everything — not partitioned", n.Name)
+		}
+	}
+
+	resp2, err := http.Get(front.URL + "/nearest?x=500&y=100&k=20&t=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var hits []struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&hits); err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 20 {
+		t.Fatalf("merged nearest returned %d of 20", len(hits))
 	}
 }

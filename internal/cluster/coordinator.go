@@ -1,0 +1,709 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"mapdr/internal/core"
+	"mapdr/internal/geo"
+	"mapdr/internal/locserv"
+	"mapdr/internal/wire"
+)
+
+// Member is one cluster node: a name (its ring identity), its Node API
+// and the update transport ingest batches ride on. Ingest may be nil,
+// in which case the coordinator delivers through Node.Deliver directly
+// (an in-process loopback).
+type Member struct {
+	Name   string
+	Node   locserv.Node
+	Ingest wire.Transport
+}
+
+// NewLocalMember returns a member over an in-process node: queries are
+// direct method calls, ingest is the loopback transport into the
+// node's batched delivery path.
+func NewLocalMember(name string, node *locserv.NodeService) *Member {
+	return &Member{
+		Name: name,
+		Node: node,
+		Ingest: wire.NewLoopback(wire.SinkFunc(func(batch []wire.Record) error {
+			_, err := node.Deliver(batch)
+			return err
+		})),
+	}
+}
+
+// NewLoopbackMember returns a member whose queries and admin calls
+// round-trip through the full wire query codec in-process — the
+// configuration the cluster-vs-single-process equivalence proof runs
+// on: wire-level behaviour, deterministic delivery. The node's Deliver
+// (handoff imports) shares the loopback ingest transport; its sink
+// propagates per-record errors, so a clean send means every record
+// landed.
+func NewLoopbackMember(name string, node *locserv.NodeService) *Member {
+	ingest := wire.NewLoopback(wire.SinkFunc(func(batch []wire.Record) error {
+		_, err := node.Deliver(batch)
+		return err
+	}))
+	return &Member{
+		Name:   name,
+		Node:   NewRemoteNode(wire.NewQueryLoopback(node.QueryServer()), ingest),
+		Ingest: ingest,
+	}
+}
+
+// NewHTTPMember returns a member reached over HTTP: queries POST binary
+// frames to baseURL/query, ingest batches to baseURL/updates. hc may be
+// nil for http.DefaultClient.
+func NewHTTPMember(name, baseURL string, hc *http.Client) *Member {
+	client := wire.NewClient(baseURL, hc)
+	return &Member{
+		Name:   name,
+		Node:   NewRemoteNode(wire.NewQueryClient(baseURL, hc), client),
+		Ingest: client,
+	}
+}
+
+// memberState pairs a member with the coordinator's routing counters.
+type memberState struct {
+	*Member
+	records atomic.Int64 // update records routed to this member
+	batches atomic.Int64 // Send calls that included this member
+	queries atomic.Int64 // scatter/route calls against this member's node
+	errors  atomic.Int64 // failed node calls
+}
+
+// MemberStats is a per-member snapshot of the coordinator's routing
+// counters plus the member node's own stats (zero NodeStats if the
+// node was unreachable at snapshot time).
+type MemberStats struct {
+	Name    string
+	Records int64
+	Batches int64
+	Queries int64
+	Errors  int64
+	Node    locserv.NodeStats
+}
+
+// Coordinator fronts a cluster of location-service nodes: it implements
+// the same ingest (wire.Transport), query (locserv.Querier) and
+// registration (locserv.Registry) surfaces as a single sharded store,
+// so simulations, benchmarks and the HTTP API run unchanged on top of
+// either.
+//
+// Ingest batches are partitioned per member by the consistent-hash ring
+// and shipped in parallel over each member's update transport. Nearest
+// queries scatter to every member — each node reduces its partition to
+// a local top-k with a bounded heap, exactly like an in-process shard —
+// and gather-merge with the same (Dist, ID) total order, truncated to
+// k; Within scatters and merges by id; Position routes to the owner.
+//
+// Membership changes (AddNode, RemoveNode) rebalance by key-range
+// handoff: the ring reports which (Lo, Hi] hash ranges changed owner,
+// the old owner exports those replicas (reports with their sequence
+// numbers, so protocol gating survives the move) and the new owner
+// imports them. The coordinator's write lock holds routing still during
+// a move, so queries never observe a half-moved partition.
+type Coordinator struct {
+	mu      sync.RWMutex
+	ring    *Ring
+	members map[string]*memberState
+	order   []string // sorted member names: deterministic scatter order
+
+	queries     atomic.Int64
+	queryErrors atomic.Int64
+}
+
+// New returns a coordinator over the given members. vnodes is the
+// virtual-node count per member (<= 0 selects DefaultVnodes).
+func New(vnodes int, members ...*Member) (*Coordinator, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("cluster: need at least one member")
+	}
+	names := make([]string, len(members))
+	for i, m := range members {
+		if m == nil || m.Node == nil {
+			return nil, fmt.Errorf("cluster: nil member")
+		}
+		names[i] = m.Name
+	}
+	ring, err := NewRing(vnodes, names...)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{ring: ring, members: make(map[string]*memberState, len(members))}
+	for _, m := range members {
+		if _, dup := c.members[m.Name]; dup {
+			return nil, fmt.Errorf("cluster: duplicate member %q", m.Name)
+		}
+		c.members[m.Name] = &memberState{Member: m}
+	}
+	c.reorder()
+	return c, nil
+}
+
+// reorder re-derives the deterministic scatter order; callers hold the
+// write lock.
+func (c *Coordinator) reorder() {
+	c.order = c.order[:0]
+	for name := range c.members {
+		c.order = append(c.order, name)
+	}
+	sort.Strings(c.order)
+}
+
+// Nodes returns the member names in scatter order.
+func (c *Coordinator) Nodes() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]string(nil), c.order...)
+}
+
+// Owner returns the member owning id.
+func (c *Coordinator) Owner(id locserv.ObjectID) string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ring.Owner(string(id))
+}
+
+// ownerState returns the owning member of id; callers hold a lock.
+func (c *Coordinator) ownerState(id locserv.ObjectID) (*memberState, error) {
+	name := c.ring.Owner(string(id))
+	m, ok := c.members[name]
+	if !ok {
+		return nil, fmt.Errorf("cluster: no member owns %q", id)
+	}
+	return m, nil
+}
+
+// predictorRegistrar is the optional in-process fast path: a node that
+// can register with an explicit predictor (locserv.NodeService).
+type predictorRegistrar interface {
+	RegisterWith(id locserv.ObjectID, pred core.Predictor) error
+}
+
+// Register implements locserv.Registry: the object is registered on its
+// ring owner. In-process nodes take the explicit predictor; remote
+// nodes mint an equivalent one from their own factory (the cluster's
+// shared-prediction-function contract).
+func (c *Coordinator) Register(id locserv.ObjectID, pred core.Predictor) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	m, err := c.ownerState(id)
+	if err != nil {
+		return err
+	}
+	if pr, ok := m.Node.(predictorRegistrar); ok && pred != nil {
+		err = pr.RegisterWith(id, pred)
+	} else {
+		err = m.Node.Register(id)
+	}
+	if err != nil {
+		m.errors.Add(1)
+	}
+	return err
+}
+
+// Deregister implements locserv.Registry.
+func (c *Coordinator) Deregister(id locserv.ObjectID) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	m, err := c.ownerState(id)
+	if err != nil {
+		return
+	}
+	if err := m.Node.Deregister(id); err != nil {
+		m.errors.Add(1)
+	}
+}
+
+// route partitions a batch per owning member, preserving each record's
+// relative order; callers hold a lock.
+func (c *Coordinator) route(batch []wire.Record) (map[string][]wire.Record, error) {
+	parts := make(map[string][]wire.Record, len(c.members))
+	for i := range batch {
+		if batch[i].ID == "" {
+			return nil, fmt.Errorf("cluster: record %d has no object id", i)
+		}
+		name := c.ring.Owner(batch[i].ID)
+		if _, ok := c.members[name]; !ok {
+			return nil, fmt.Errorf("cluster: no member owns %q", batch[i].ID)
+		}
+		parts[name] = append(parts[name], batch[i])
+	}
+	return parts, nil
+}
+
+// Send implements wire.Transport: the batch is partitioned per member
+// and shipped in parallel over each member's update transport.
+func (c *Coordinator) Send(now float64, batch []wire.Record) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	parts, err := c.route(batch)
+	if err != nil {
+		return err
+	}
+	errs := make([]error, len(c.order))
+	var wg sync.WaitGroup
+	for i, name := range c.order {
+		part := parts[name]
+		if len(part) == 0 {
+			continue
+		}
+		m := c.members[name]
+		m.records.Add(int64(len(part)))
+		m.batches.Add(1)
+		wg.Add(1)
+		go func(i int, m *memberState, part []wire.Record) {
+			defer wg.Done()
+			var err error
+			if m.Ingest != nil {
+				err = m.Ingest.Send(now, part)
+			} else {
+				_, err = m.Node.Deliver(part)
+			}
+			if err != nil {
+				m.errors.Add(1)
+				errs[i] = fmt.Errorf("cluster: send to %s: %w", m.Name, err)
+			}
+		}(i, m, part)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Flush implements wire.Transport: every member transport delivers what
+// is due at now.
+func (c *Coordinator) Flush(now float64) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var errs []error
+	for _, name := range c.order {
+		m := c.members[name]
+		if m.Ingest == nil {
+			continue
+		}
+		if err := m.Ingest.Flush(now); err != nil {
+			m.errors.Add(1)
+			errs = append(errs, fmt.Errorf("cluster: flush %s: %w", m.Name, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Stats implements wire.Transport: the members' transport counters,
+// summed.
+func (c *Coordinator) Stats() wire.Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var total wire.Stats
+	for _, name := range c.order {
+		m := c.members[name]
+		if m.Ingest == nil {
+			continue
+		}
+		st := m.Ingest.Stats()
+		total.Sent += st.Sent
+		total.Delivered += st.Delivered
+		total.Dropped += st.Dropped
+		total.BytesSent += st.BytesSent
+		total.BytesDelivered += st.BytesDelivered
+		total.Frames += st.Frames
+		total.FrameBytes += st.FrameBytes
+		total.Errors += st.Errors
+		total.Retries += st.Retries
+	}
+	return total
+}
+
+// DeliverRecords routes records to their owners through the Node API
+// (not the update transports), returning how many were accepted — the
+// coordinator-side RecordSink for a cluster's HTTP ingest front door.
+func (c *Coordinator) DeliverRecords(recs []wire.Record) (applied int, err error) {
+	if len(recs) == 0 {
+		return 0, nil
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	parts, err := c.route(recs)
+	if err != nil {
+		return 0, err
+	}
+	type result struct {
+		applied int
+		err     error
+	}
+	results := make([]result, len(c.order))
+	var wg sync.WaitGroup
+	for i, name := range c.order {
+		part := parts[name]
+		if len(part) == 0 {
+			continue
+		}
+		m := c.members[name]
+		m.records.Add(int64(len(part)))
+		m.batches.Add(1)
+		wg.Add(1)
+		go func(i int, m *memberState, part []wire.Record) {
+			defer wg.Done()
+			n, err := m.Node.Deliver(part)
+			if err != nil {
+				m.errors.Add(1)
+			}
+			results[i] = result{applied: n, err: err}
+		}(i, m, part)
+	}
+	wg.Wait()
+	var errs []error
+	for _, r := range results {
+		applied += r.applied
+		if r.err != nil {
+			errs = append(errs, r.err)
+		}
+	}
+	return applied, errors.Join(errs...)
+}
+
+// scatter runs fn against every member concurrently and returns the
+// per-member results in scatter order. Failed members yield nil parts
+// and count toward the error counters.
+func (c *Coordinator) scatter(fn func(n locserv.Node) ([]locserv.ObjectPos, error)) ([][]locserv.ObjectPos, error) {
+	parts := make([][]locserv.ObjectPos, len(c.order))
+	errs := make([]error, len(c.order))
+	var wg sync.WaitGroup
+	for i, name := range c.order {
+		m := c.members[name]
+		m.queries.Add(1)
+		wg.Add(1)
+		go func(i int, m *memberState) {
+			defer wg.Done()
+			part, err := fn(m.Node)
+			if err != nil {
+				m.errors.Add(1)
+				errs[i] = fmt.Errorf("cluster: query %s: %w", m.Name, err)
+				return
+			}
+			parts[i] = part
+		}(i, m)
+	}
+	wg.Wait()
+	return parts, errors.Join(errs...)
+}
+
+// NearestE scatters a k-nearest query to every member and merges the
+// local top-k answers with the same (Dist, ID) order the in-process
+// shard merge uses. When members fail, the surviving members' merged
+// answer is still returned alongside the error, so callers choose
+// between strictness and degraded availability.
+func (c *Coordinator) NearestE(p geo.Point, k int, t float64) ([]locserv.ObjectPos, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.queries.Add(1)
+	parts, err := c.scatter(func(n locserv.Node) ([]locserv.ObjectPos, error) {
+		return n.Nearest(p, k, t)
+	})
+	if err != nil {
+		c.queryErrors.Add(1)
+	}
+	var all []locserv.ObjectPos
+	for _, part := range parts {
+		all = append(all, part...)
+	}
+	sort.Slice(all, func(i, j int) bool { return locserv.PosLess(all[i], all[j]) })
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all, err
+}
+
+// WithinE scatters a range query to every member and merges by id.
+// Like NearestE, member failures yield the surviving partial answer
+// plus the error.
+func (c *Coordinator) WithinE(r geo.Rect, t float64) ([]locserv.ObjectPos, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.queries.Add(1)
+	parts, err := c.scatter(func(n locserv.Node) ([]locserv.ObjectPos, error) {
+		return n.Within(r, t)
+	})
+	if err != nil {
+		c.queryErrors.Add(1)
+	}
+	var out []locserv.ObjectPos
+	for _, part := range parts {
+		out = append(out, part...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, err
+}
+
+// PositionE routes a position query to the owning member.
+func (c *Coordinator) PositionE(id locserv.ObjectID, t float64) (geo.Point, bool, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.queries.Add(1)
+	m, err := c.ownerState(id)
+	if err != nil {
+		c.queryErrors.Add(1)
+		return geo.Point{}, false, err
+	}
+	m.queries.Add(1)
+	p, ok, err := m.Node.Position(id, t)
+	if err != nil {
+		m.errors.Add(1)
+		c.queryErrors.Add(1)
+		return geo.Point{}, false, err
+	}
+	return p, ok, nil
+}
+
+// Nearest implements locserv.Querier; member failures degrade to the
+// surviving members' merged answer (the error is counted — see
+// QueryErrors — and surfaced by NearestE).
+func (c *Coordinator) Nearest(p geo.Point, k int, t float64) []locserv.ObjectPos {
+	hits, _ := c.NearestE(p, k, t)
+	return hits
+}
+
+// Within implements locserv.Querier.
+func (c *Coordinator) Within(r geo.Rect, t float64) []locserv.ObjectPos {
+	hits, _ := c.WithinE(r, t)
+	return hits
+}
+
+// Position implements locserv.Querier.
+func (c *Coordinator) Position(id locserv.ObjectID, t float64) (geo.Point, bool) {
+	p, ok, _ := c.PositionE(id, t)
+	return p, ok
+}
+
+// QueryErrors returns how many scatter/route queries failed.
+func (c *Coordinator) QueryErrors() int64 { return c.queryErrors.Load() }
+
+// Queries returns how many queries the coordinator served.
+func (c *Coordinator) Queries() int64 { return c.queries.Load() }
+
+// NodeStats aggregates the members' node stats. Unreachable members
+// contribute nothing (their error counters advance).
+func (c *Coordinator) NodeStats() locserv.NodeStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var total locserv.NodeStats
+	for _, name := range c.order {
+		m := c.members[name]
+		st, err := m.Node.NodeStats()
+		if err != nil {
+			m.errors.Add(1)
+			continue
+		}
+		total.Objects += st.Objects
+		total.Shards += st.Shards
+		total.UpdatesApplied += st.UpdatesApplied
+		total.WireBytes += st.WireBytes
+		total.Index.Rebuilds += st.Index.Rebuilds
+		total.Index.IndexedQueries += st.Index.IndexedQueries
+		total.Index.ScanFallbacks += st.Index.ScanFallbacks
+		total.Index.DeferredRebuilds += st.Index.DeferredRebuilds
+	}
+	return total
+}
+
+// MemberStats snapshots the coordinator's per-member routing counters
+// and each member's node stats, in scatter order.
+func (c *Coordinator) MemberStats() []MemberStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]MemberStats, 0, len(c.order))
+	for _, name := range c.order {
+		m := c.members[name]
+		ms := MemberStats{
+			Name:    name,
+			Records: m.records.Load(),
+			Batches: m.batches.Load(),
+			Queries: m.queries.Load(),
+			Errors:  m.errors.Load(),
+		}
+		if st, err := m.Node.NodeStats(); err == nil {
+			ms.Node = st
+		} else {
+			m.errors.Add(1)
+			ms.Errors++
+		}
+		out = append(out, ms)
+	}
+	return out
+}
+
+// AddNode joins a member to the cluster and rebalances: every key
+// range the ring reassigns to it is exported from its previous owner
+// (ids plus reports with their protocol sequence numbers) and imported
+// on the new member; only once every import has succeeded are the
+// moved objects deregistered from their old owners and the new ring
+// committed. A failure mid-rebalance therefore leaves routing exactly
+// as it was — nothing has been deregistered yet — and the partial
+// imports on the joining member (not yet part of the ring) are cleaned
+// up best-effort. Routing is held still for the duration, so queries
+// never see a half-moved partition.
+func (c *Coordinator) AddNode(m *Member) error {
+	if m == nil || m.Node == nil {
+		return fmt.Errorf("cluster: nil member")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.members[m.Name]; dup {
+		return fmt.Errorf("cluster: duplicate member %q", m.Name)
+	}
+	next := c.ring.clone()
+	movs, err := next.Add(m.Name)
+	if err != nil {
+		return err
+	}
+	st := &memberState{Member: m}
+	extra := map[string]*memberState{m.Name: st}
+	moved, err := c.importMovements(movs, extra)
+	if err != nil {
+		c.cleanupImports(extra, moved)
+		return err
+	}
+	// All data is on the new member; dropping the old copies and
+	// committing the ring cannot fail routing anymore (deregistration
+	// failures only leak a stale copy on the source, never lose data).
+	c.deregisterMoved(moved)
+	c.ring = next
+	c.members[m.Name] = st
+	c.reorder()
+	return nil
+}
+
+// RemoveNode drains a member and removes it: every key range it owned
+// is exported to its new ring owner first; the member (and the ring
+// change) is only committed once all imports succeeded, so a failed
+// drain leaves the cluster routing as before.
+func (c *Coordinator) RemoveNode(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.members[name]; !ok {
+		return fmt.Errorf("cluster: unknown member %q", name)
+	}
+	if len(c.members) == 1 {
+		return fmt.Errorf("cluster: cannot remove the last member %q", name)
+	}
+	next := c.ring.clone()
+	movs, err := next.Remove(name)
+	if err != nil {
+		return err
+	}
+	moved, err := c.importMovements(movs, nil)
+	if err != nil {
+		// The leaving member still owns its ranges (ring unchanged); the
+		// imports already landed on other members would answer scatter
+		// queries as duplicates, so undo them.
+		c.cleanupImports(nil, moved)
+		return err
+	}
+	c.ring = next
+	delete(c.members, name)
+	c.reorder()
+	return nil
+}
+
+// importMovements runs the import half of a rebalance: for every
+// movement, export the range from its current owner and land it on the
+// target (extra contains targets not yet in the member map, e.g. a
+// joining node). It returns the ids imported per target so a failure
+// can be cleaned up and a success can deregister the sources. Nothing
+// is removed from any source here.
+func (c *Coordinator) importMovements(movs []Movement, extra map[string]*memberState) (map[string][]locserv.ObjectID, error) {
+	moved := make(map[string][]locserv.ObjectID)
+	member := func(name string) *memberState {
+		if m, ok := c.members[name]; ok {
+			return m
+		}
+		return extra[name]
+	}
+	for _, mov := range movs {
+		from, to := member(mov.From), member(mov.To)
+		if from == nil || to == nil {
+			return moved, fmt.Errorf("cluster: handoff (%x,%x]: unknown member %q/%q", mov.Lo, mov.Hi, mov.From, mov.To)
+		}
+		recs, ids, err := from.Node.Export(mov.Lo, mov.Hi)
+		if err != nil {
+			from.errors.Add(1)
+			return moved, fmt.Errorf("cluster: export (%x,%x] from %s: %w", mov.Lo, mov.Hi, mov.From, err)
+		}
+		for _, id := range ids {
+			if err := to.Node.Register(id); err != nil {
+				to.errors.Add(1)
+				return moved, fmt.Errorf("cluster: register %q on %s: %w", id, mov.To, err)
+			}
+			moved[mov.To] = append(moved[mov.To], id)
+		}
+		if len(recs) > 0 {
+			applied, err := to.Node.Deliver(recs)
+			if err == nil && applied != len(recs) {
+				err = fmt.Errorf("target applied %d of %d records", applied, len(recs))
+			}
+			if err != nil {
+				to.errors.Add(1)
+				// The batch may have partially landed; treat every record
+				// as possibly-imported for cleanup purposes.
+				for i := range recs {
+					moved[mov.To] = append(moved[mov.To], locserv.ObjectID(recs[i].ID))
+				}
+				return moved, fmt.Errorf("cluster: import (%x,%x] into %s: %w", mov.Lo, mov.Hi, mov.To, err)
+			}
+			to.records.Add(int64(len(recs)))
+			for i := range recs {
+				moved[mov.To] = append(moved[mov.To], locserv.ObjectID(recs[i].ID))
+			}
+		}
+	}
+	return moved, nil
+}
+
+// deregisterMoved drops the moved objects from their old owners after
+// a committed rebalance. The source copies are already superseded, so
+// failures only leak a stale replica (counted, not fatal).
+func (c *Coordinator) deregisterMoved(moved map[string][]locserv.ObjectID) {
+	for _, ids := range moved {
+		for _, id := range ids {
+			name := c.ring.Owner(string(id)) // pre-commit ring: the old owner
+			if from, ok := c.members[name]; ok {
+				if err := from.Node.Deregister(id); err != nil {
+					from.errors.Add(1)
+				}
+			}
+		}
+	}
+}
+
+// cleanupImports best-effort removes partially imported objects from
+// their targets after a failed rebalance, so an off-ring or duplicate
+// copy does not linger (duplicates would surface in scatter answers).
+func (c *Coordinator) cleanupImports(extra map[string]*memberState, moved map[string][]locserv.ObjectID) {
+	for name, ids := range moved {
+		target, ok := c.members[name]
+		if !ok {
+			target = extra[name]
+		}
+		if target == nil {
+			continue
+		}
+		for _, id := range ids {
+			if err := target.Node.Deregister(id); err != nil {
+				target.errors.Add(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"mapdr/internal/core"
+	"mapdr/internal/geo"
+	"mapdr/internal/locserv"
+	"mapdr/internal/mapgen"
+	"mapdr/internal/roadmap"
+	"mapdr/internal/sim"
+	"mapdr/internal/tracegen"
+)
+
+// equivFleetSpec is the shared scenario of the equivalence proofs: a
+// small city fleet whose sources/traces are deterministic in the seed,
+// so two independently generated copies produce bit-identical update
+// streams.
+func equivFleetSpec(n int) sim.FleetSpec {
+	return sim.FleetSpec{
+		N: n, Seed: 7, RouteLen: 900, Workers: 2, IDFormat: "car-%03d",
+		Params: tracegen.CityCarParams(),
+		Source: core.SourceConfig{US: 100, UP: 5, Sightings: 4},
+	}
+}
+
+func equivGraph(t *testing.T) *roadmap.Graph {
+	t.Helper()
+	cor, err := mapgen.CityGrid(mapgen.DefaultCityConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cor.Graph
+}
+
+// buildLoopbackCluster returns a coordinator over n wire-loopback
+// members: every query, registration and handoff round-trips through
+// the full binary query codec, and ingest goes through the loopback
+// update transport — the wire-level behaviour of a real cluster with
+// deterministic, synchronous delivery.
+func buildLoopbackCluster(t *testing.T, g *roadmap.Graph, n, shardsPerNode int) *Coordinator {
+	t.Helper()
+	members := make([]*Member, n)
+	for i := range members {
+		node := locserv.NewNodeService(locserv.NewSharded(shardsPerNode),
+			func(locserv.ObjectID) core.Predictor { return core.NewMapPredictor(g) })
+		members[i] = NewLoopbackMember(fmt.Sprintf("node-%d", i), node)
+	}
+	coord, err := New(0, members...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coord
+}
+
+// TestClusterEquivalence is the scatter-gather correctness proof: a
+// 4-node loopback cluster (updates routed per partition, queries
+// through the binary query protocol, answers merged at the
+// coordinator) returns bit-identical Nearest/Within/Position results
+// and identical fleet error statistics to a single-process sharded
+// store driven by the same simulation.
+func TestClusterEquivalence(t *testing.T) {
+	g := equivGraph(t)
+	spec := equivFleetSpec(6)
+
+	// Reference: the single-process sharded store.
+	svc := locserv.NewSharded(16)
+	objsA, err := sim.GenerateFleet(g, svc, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resA, err := (&sim.Fleet{Service: svc, Objects: objsA, Workers: spec.Workers}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cluster: same simulation, updates and queries through the
+	// coordinator.
+	coord := buildLoopbackCluster(t, g, 4, 4)
+	objsB, err := sim.GenerateFleet(g, coord, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := (&sim.Fleet{
+		Objects: objsB, Workers: spec.Workers,
+		Transport: coord, Query: coord,
+	}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical fleet error statistics: same samples, same per-object
+	// update counts, bit-identical mean server error.
+	if resA.Samples != resB.Samples {
+		t.Fatalf("samples: single %d, cluster %d", resA.Samples, resB.Samples)
+	}
+	if !reflect.DeepEqual(resA.Updates, resB.Updates) {
+		t.Fatalf("update counts differ:\nsingle  %v\ncluster %v", resA.Updates, resB.Updates)
+	}
+	if resA.MeanErr != resB.MeanErr {
+		t.Fatalf("mean error: single %v, cluster %v (diff %g)",
+			resA.MeanErr, resB.MeanErr, math.Abs(resA.MeanErr-resB.MeanErr))
+	}
+	if resA.Wire.Sent != resB.Wire.Sent || resA.Wire.Delivered != resB.Wire.Delivered {
+		t.Fatalf("wire stats differ: single %+v, cluster %+v", resA.Wire, resB.Wire)
+	}
+
+	// The cluster really is partitioned: no node holds everything.
+	nodeObjs := 0
+	for _, ms := range coord.MemberStats() {
+		if ms.Node.Objects == spec.N {
+			t.Errorf("member %s holds the whole fleet — not partitioned", ms.Name)
+		}
+		nodeObjs += ms.Node.Objects
+	}
+	if nodeObjs != spec.N {
+		t.Fatalf("nodes hold %d objects in total, want %d", nodeObjs, spec.N)
+	}
+
+	assertQueriesEqual(t, svc, coord, objsA)
+}
+
+// assertQueriesEqual compares the full query surface bit-for-bit at a
+// sweep of times, query points and result bounds.
+func assertQueriesEqual(t *testing.T, svc *locserv.Service, coord *Coordinator, objs []sim.FleetObject) {
+	t.Helper()
+	tEnd := 0.0
+	for i := range objs {
+		if last := objs[i].Truth.Samples[objs[i].Truth.Len()-1].T; last > tEnd {
+			tEnd = last
+		}
+	}
+	times := []float64{0, 1, tEnd * 0.25, tEnd * 0.5, tEnd * 0.75, tEnd, tEnd + 30}
+	points := []geo.Point{geo.Pt(0, 0), geo.Pt(2500, 2500), geo.Pt(5000, 5000), geo.Pt(-1000, 8000)}
+
+	for _, tt := range times {
+		// Position: every object, routed to its owner.
+		for i := range objs {
+			pA, okA := svc.Position(objs[i].ID, tt)
+			pB, okB := coord.Position(objs[i].ID, tt)
+			if okA != okB || pA != pB {
+				t.Fatalf("Position(%s, %v): single (%v,%v) cluster (%v,%v)",
+					objs[i].ID, tt, pA, okA, pB, okB)
+			}
+		}
+		// Nearest: several k including over-ask, merged across nodes.
+		for _, p := range points {
+			for _, k := range []int{1, 3, len(objs), len(objs) + 5} {
+				hitsA := svc.Nearest(p, k, tt)
+				hitsB := coord.Nearest(p, k, tt)
+				if !reflect.DeepEqual(hitsA, hitsB) {
+					t.Fatalf("Nearest(%v, %d, %v):\nsingle  %v\ncluster %v", p, k, tt, hitsA, hitsB)
+				}
+			}
+		}
+		// Within: from tiny windows to the whole city.
+		for _, r := range []geo.Rect{
+			{Min: geo.Pt(4000, 4000), Max: geo.Pt(6000, 6000)},
+			{Min: geo.Pt(0, 0), Max: geo.Pt(10000, 10000)},
+			{Min: geo.Pt(-1e6, -1e6), Max: geo.Pt(1e6, 1e6)},
+			{Min: geo.Pt(100, 100), Max: geo.Pt(101, 101)},
+		} {
+			hitsA := svc.Within(r, tt)
+			hitsB := coord.Within(r, tt)
+			if !reflect.DeepEqual(hitsA, hitsB) {
+				t.Fatalf("Within(%v, %v):\nsingle  %v\ncluster %v", r, tt, hitsA, hitsB)
+			}
+		}
+	}
+
+	// Unknown object answers the same through both.
+	if _, ok := coord.Position("ghost", 0); ok {
+		t.Error("cluster answered a position for an unknown object")
+	}
+}

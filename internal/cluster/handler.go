@@ -1,0 +1,60 @@
+package cluster
+
+import (
+	"net/http"
+
+	"mapdr/internal/locserv"
+	"mapdr/internal/wire"
+)
+
+// Handler exposes the coordinator over HTTP with the same JSON query
+// API a single location server serves (GET /position, /nearest,
+// /within, /healthz, /stats — answers scatter-gathered across the
+// cluster) plus:
+//
+//	POST /updates   binary update frames, routed per partition
+//	GET  /cluster   per-member routing and node stats
+//
+// so clients cannot tell a coordinator from a single node, except by
+// asking /cluster.
+func Handler(c *Coordinator) http.Handler {
+	mux := http.NewServeMux()
+	locserv.RouteQueryAPI(mux, c)
+	mux.HandleFunc("POST /updates", locserv.IngestHandler(func(recs []wire.Record) (int, error) {
+		return c.DeliverRecords(recs)
+	}))
+	mux.HandleFunc("GET /cluster", func(w http.ResponseWriter, _ *http.Request) {
+		type memberJSON struct {
+			Name    string `json:"name"`
+			Records int64  `json:"records"`
+			Batches int64  `json:"batches"`
+			Queries int64  `json:"queries"`
+			Errors  int64  `json:"errors"`
+			Objects int    `json:"objects"`
+			Shards  int    `json:"shards"`
+			Applied int64  `json:"updates_applied"`
+		}
+		stats := c.MemberStats()
+		out := struct {
+			Nodes        []memberJSON `json:"nodes"`
+			Queries      int64        `json:"queries"`
+			QueryErrors  int64        `json:"query_errors"`
+			TotalObjects int          `json:"total_objects"`
+		}{Queries: c.Queries(), QueryErrors: c.QueryErrors()}
+		for _, ms := range stats {
+			out.Nodes = append(out.Nodes, memberJSON{
+				Name:    ms.Name,
+				Records: ms.Records,
+				Batches: ms.Batches,
+				Queries: ms.Queries,
+				Errors:  ms.Errors,
+				Objects: ms.Node.Objects,
+				Shards:  ms.Node.Shards,
+				Applied: ms.Node.UpdatesApplied,
+			})
+			out.TotalObjects += ms.Node.Objects
+		}
+		locserv.WriteJSON(w, out)
+	})
+	return mux
+}

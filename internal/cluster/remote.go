@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"mapdr/internal/geo"
+	"mapdr/internal/locserv"
+	"mapdr/internal/wire"
+)
+
+// RemoteNode implements locserv.Node over the wire query protocol:
+// every call becomes one request/response frame exchange through a
+// wire.QueryTransport (HTTP, in-process loopback, or the lossy sim
+// link). Deliver rides the separate update transport when one is
+// configured, keeping bulk ingest on the update path's chunked frames.
+type RemoteNode struct {
+	q      wire.QueryTransport
+	ingest wire.Transport
+}
+
+// NewRemoteNode returns a node speaking the query protocol over q.
+// ingest may be nil, which leaves Deliver unsupported (the coordinator
+// then must ship updates over a Member.Ingest transport instead).
+func NewRemoteNode(q wire.QueryTransport, ingest wire.Transport) *RemoteNode {
+	return &RemoteNode{q: q, ingest: ingest}
+}
+
+// call runs one request/response exchange, converting in-band error
+// responses to errors.
+func (r *RemoteNode) call(req wire.QueryRequest) (wire.QueryResponse, error) {
+	resp, err := r.q.Query(req)
+	if err != nil {
+		return wire.QueryResponse{}, err
+	}
+	if resp.Err != "" {
+		return wire.QueryResponse{}, errors.New(resp.Err)
+	}
+	if resp.Op != req.Op {
+		return wire.QueryResponse{}, fmt.Errorf("cluster: response op %v for request %v", resp.Op, req.Op)
+	}
+	return resp, nil
+}
+
+// Register implements locserv.Node; the remote node's predictor
+// factory mints the predictor.
+func (r *RemoteNode) Register(id locserv.ObjectID) error {
+	_, err := r.call(wire.QueryRequest{Op: wire.OpRegister, ID: string(id)})
+	return err
+}
+
+// Deregister implements locserv.Node.
+func (r *RemoteNode) Deregister(id locserv.ObjectID) error {
+	_, err := r.call(wire.QueryRequest{Op: wire.OpDeregister, ID: string(id)})
+	return err
+}
+
+// countedSender is an update transport that reports the server's
+// application-level applied count (wire.Client via IngestResponse).
+type countedSender interface {
+	SendCounted(now float64, batch []wire.Record) (int, error)
+}
+
+// Deliver implements locserv.Node over the update transport. When the
+// transport reports the server's application-level accounting
+// (wire.Client parsing IngestResponse), the returned count is exact;
+// otherwise a successful send counts every record as applied — for the
+// loopback transports that is accurate too, because their sinks
+// propagate per-record delivery errors.
+func (r *RemoteNode) Deliver(recs []wire.Record) (int, error) {
+	if r.ingest == nil {
+		return 0, fmt.Errorf("cluster: remote node has no ingest transport")
+	}
+	if cs, ok := r.ingest.(countedSender); ok {
+		return cs.SendCounted(0, recs)
+	}
+	if err := r.ingest.Send(0, recs); err != nil {
+		return 0, err
+	}
+	return len(recs), nil
+}
+
+// Position implements locserv.Node.
+func (r *RemoteNode) Position(id locserv.ObjectID, t float64) (geo.Point, bool, error) {
+	resp, err := r.call(wire.QueryRequest{Op: wire.OpPosition, ID: string(id), T: t})
+	if err != nil {
+		return geo.Point{}, false, err
+	}
+	if !resp.Found || len(resp.Hits) != 1 {
+		return geo.Point{}, false, nil
+	}
+	return geo.Pt(resp.Hits[0].X, resp.Hits[0].Y), true, nil
+}
+
+// Nearest implements locserv.Node.
+func (r *RemoteNode) Nearest(p geo.Point, k int, t float64) ([]locserv.ObjectPos, error) {
+	resp, err := r.call(wire.QueryRequest{Op: wire.OpNearest, X: p.X, Y: p.Y, K: k, T: t})
+	if err != nil {
+		return nil, err
+	}
+	return locserv.FromWireHits(resp.Hits), nil
+}
+
+// Within implements locserv.Node.
+func (r *RemoteNode) Within(rect geo.Rect, t float64) ([]locserv.ObjectPos, error) {
+	resp, err := r.call(wire.QueryRequest{
+		Op:   wire.OpWithin,
+		MinX: rect.Min.X, MinY: rect.Min.Y,
+		MaxX: rect.Max.X, MaxY: rect.Max.Y,
+		T: t,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return locserv.FromWireHits(resp.Hits), nil
+}
+
+// Export implements locserv.Node.
+func (r *RemoteNode) Export(lo, hi uint64) ([]wire.Record, []locserv.ObjectID, error) {
+	resp, err := r.call(wire.QueryRequest{Op: wire.OpExport, Lo: lo, Hi: hi})
+	if err != nil {
+		return nil, nil, err
+	}
+	ids := make([]locserv.ObjectID, len(resp.IDs))
+	for i, id := range resp.IDs {
+		ids[i] = locserv.ObjectID(id)
+	}
+	return resp.Records, ids, nil
+}
+
+// NodeStats implements locserv.Node.
+func (r *RemoteNode) NodeStats() (locserv.NodeStats, error) {
+	resp, err := r.call(wire.QueryRequest{Op: wire.OpStats})
+	if err != nil {
+		return locserv.NodeStats{}, err
+	}
+	return locserv.StatsFromPayload(resp.Stats), nil
+}

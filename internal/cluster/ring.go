@@ -1,0 +1,227 @@
+// Package cluster scales the location service past one process: a
+// consistent-hash ring partitions object ids over N member nodes, a
+// coordinator routes ingest batches per partition over the
+// internal/wire update transports and scatter-gathers k-NN/range
+// queries over the wire query protocol, and membership changes
+// rebalance by key-range handoff.
+//
+// The coordinator's merged answers are bit-identical to a
+// single-process sharded store holding the same objects: every node
+// reduces its partition to a local top-k with the same bounded-heap
+// order the in-process shards use, coordinates travel as f64 on the
+// wire, and the coordinator merges with the same (Dist, ID) total
+// order — exactly the shard merge, one level up.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"mapdr/internal/wire"
+)
+
+// DefaultVnodes is the number of virtual nodes each member projects
+// onto the ring. More vnodes smooth the partition sizes (the classic
+// consistent-hashing variance argument) at the cost of slightly larger
+// handoff movement lists.
+const DefaultVnodes = 64
+
+// vnode is one virtual node: a ring position owned by a member.
+type vnode struct {
+	pos  uint64
+	node string
+}
+
+// Ring is a consistent-hash partitioner: object ids hash onto a
+// uint64 ring (wire.KeyHash, the wire-contract hash all nodes share),
+// and each id belongs to the member owning the first virtual node at or
+// after its hash. Add and Remove report exactly which key ranges change
+// owner, so membership changes hand off only the moved partitions.
+//
+// Ring is not safe for concurrent use; the Coordinator guards it.
+type Ring struct {
+	vnodes   []vnode
+	replicas int
+	names    map[string]bool
+}
+
+// Movement is one key range (Lo, Hi] (half-open, wrapping; see
+// wire.InKeyRange) whose owner changed in a membership update.
+type Movement struct {
+	Lo, Hi   uint64
+	From, To string
+}
+
+// NewRing returns a ring with the given members, each projected to
+// replicas virtual nodes (<= 0 selects DefaultVnodes).
+func NewRing(replicas int, names ...string) (*Ring, error) {
+	if replicas <= 0 {
+		replicas = DefaultVnodes
+	}
+	r := &Ring{replicas: replicas, names: make(map[string]bool, len(names))}
+	for _, name := range names {
+		if err := r.insert(name); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// vnodePos is the ring position of a member's i-th virtual node.
+func vnodePos(name string, i int) uint64 {
+	return wire.KeyHash(name + "#" + strconv.Itoa(i))
+}
+
+// insert adds a member's vnodes, keeping the ring sorted.
+func (r *Ring) insert(name string) error {
+	if name == "" {
+		return fmt.Errorf("cluster: empty node name")
+	}
+	if r.names[name] {
+		return fmt.Errorf("cluster: node %q already in ring", name)
+	}
+	r.names[name] = true
+	for i := 0; i < r.replicas; i++ {
+		r.vnodes = append(r.vnodes, vnode{pos: vnodePos(name, i), node: name})
+	}
+	r.sortVnodes()
+	return nil
+}
+
+// sortVnodes orders by position, breaking (astronomically unlikely)
+// position collisions by name so every coordinator agrees.
+func (r *Ring) sortVnodes() {
+	sort.Slice(r.vnodes, func(i, j int) bool {
+		if r.vnodes[i].pos != r.vnodes[j].pos {
+			return r.vnodes[i].pos < r.vnodes[j].pos
+		}
+		return r.vnodes[i].node < r.vnodes[j].node
+	})
+}
+
+// Len returns the number of members.
+func (r *Ring) Len() int { return len(r.names) }
+
+// Nodes returns the member names in sorted order.
+func (r *Ring) Nodes() []string {
+	out := make([]string, 0, len(r.names))
+	for name := range r.names {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Has reports whether name is a member.
+func (r *Ring) Has(name string) bool { return r.names[name] }
+
+// Owner returns the member owning id, or "" on an empty ring.
+func (r *Ring) Owner(id string) string { return r.ownerAt(wire.KeyHash(id)) }
+
+// ownerAt returns the owner of ring position h: the first vnode at or
+// after h, wrapping to the lowest.
+func (r *Ring) ownerAt(h uint64) string {
+	if len(r.vnodes) == 0 {
+		return ""
+	}
+	i := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].pos >= h })
+	if i == len(r.vnodes) {
+		i = 0
+	}
+	return r.vnodes[i].node
+}
+
+// prevPos returns the position of the vnode preceding index i,
+// wrapping.
+func (r *Ring) prevPos(i int) uint64 {
+	if i == 0 {
+		return r.vnodes[len(r.vnodes)-1].pos
+	}
+	return r.vnodes[i-1].pos
+}
+
+// Add inserts a member and returns the key ranges that move to it,
+// each annotated with its previous owner. On the first member the list
+// is empty (there is nobody to move keys from).
+func (r *Ring) Add(name string) ([]Movement, error) {
+	if r.names[name] {
+		return nil, fmt.Errorf("cluster: node %q already in ring", name)
+	}
+	old := r.clone()
+	if err := r.insert(name); err != nil {
+		return nil, err
+	}
+	if len(old.vnodes) == 0 {
+		return nil, nil
+	}
+	var movs []Movement
+	for i, v := range r.vnodes {
+		if v.node != name {
+			continue
+		}
+		lo := r.prevPos(i)
+		if lo == v.pos {
+			// A full-collision range would select the whole ring; with
+			// >1 vnodes it is actually empty. Skip it.
+			continue
+		}
+		movs = append(movs, Movement{Lo: lo, Hi: v.pos, From: old.ownerAt(v.pos), To: name})
+	}
+	return movs, nil
+}
+
+// Remove deletes a member and returns the key ranges it gives up, each
+// annotated with its new owner. Removing the last member returns no
+// movements (there is nobody to move keys to).
+func (r *Ring) Remove(name string) ([]Movement, error) {
+	if !r.names[name] {
+		return nil, fmt.Errorf("cluster: node %q not in ring", name)
+	}
+	old := r.clone()
+	delete(r.names, name)
+	kept := r.vnodes[:0]
+	for _, v := range r.vnodes {
+		if v.node != name {
+			kept = append(kept, v)
+		}
+	}
+	r.vnodes = kept
+	if len(r.vnodes) == 0 {
+		return nil, nil
+	}
+	// Walk the old ring and emit one movement per maximal run of the
+	// removed member's vnodes: the run's keys flow to the surviving
+	// successor of its last vnode.
+	n := len(old.vnodes)
+	var movs []Movement
+	for i := 0; i < n; i++ {
+		if old.vnodes[i].node != name || old.vnodes[(i+n-1)%n].node == name {
+			continue // not a run start
+		}
+		lo := old.prevPos(i)
+		j := i
+		for old.vnodes[(j+1)%n].node == name {
+			j = (j + 1) % n
+		}
+		hi := old.vnodes[j].pos
+		if lo == hi {
+			continue
+		}
+		movs = append(movs, Movement{Lo: lo, Hi: hi, From: name, To: r.ownerAt(hi)})
+	}
+	return movs, nil
+}
+
+// clone copies the ring (for before/after ownership comparison).
+func (r *Ring) clone() *Ring {
+	c := &Ring{
+		vnodes:   append([]vnode(nil), r.vnodes...),
+		replicas: r.replicas,
+		names:    make(map[string]bool, len(r.names)),
+	}
+	for n := range r.names {
+		c.names[n] = true
+	}
+	return c
+}

@@ -1,0 +1,189 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"mapdr/internal/wire"
+)
+
+func ringIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("car-%05d", i)
+	}
+	return ids
+}
+
+func TestRingBalance(t *testing.T) {
+	r, err := NewRing(0, "a", "b", "c", "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, id := range ringIDs(20000) {
+		counts[r.Owner(id)]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("only %d of 4 members own keys: %v", len(counts), counts)
+	}
+	for name, n := range counts {
+		// With 64 vnodes per member the shares should be within a factor
+		// of ~2 of fair; a violation signals a broken ring hash (e.g.
+		// sequential ids clumping).
+		if n < 2500 || n > 10000 {
+			t.Errorf("member %s owns %d of 20000 keys — unbalanced ring: %v", name, n, counts)
+		}
+	}
+}
+
+func TestRingOwnerDeterministic(t *testing.T) {
+	r1, _ := NewRing(16, "x", "y", "z")
+	r2, _ := NewRing(16, "z", "y", "x") // construction order must not matter
+	for _, id := range ringIDs(500) {
+		if r1.Owner(id) != r2.Owner(id) {
+			t.Fatalf("owner of %q depends on construction order", id)
+		}
+	}
+}
+
+// TestRingAddMovements proves the movement list is exactly the
+// ownership diff: every key whose owner changed is covered by a
+// movement with the right From/To, and every key inside a movement
+// range actually moved that way.
+func TestRingAddMovements(t *testing.T) {
+	r, _ := NewRing(32, "a", "b", "c")
+	ids := ringIDs(20000)
+	before := make(map[string]string, len(ids))
+	for _, id := range ids {
+		before[id] = r.Owner(id)
+	}
+	movs, err := r.Add("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(movs) == 0 {
+		t.Fatal("adding a member to a populated ring must move keys")
+	}
+	for _, mov := range movs {
+		if mov.To != "d" {
+			t.Fatalf("movement to %q, want new member d", mov.To)
+		}
+		if mov.From == "d" || mov.From == "" {
+			t.Fatalf("movement from %q", mov.From)
+		}
+	}
+	moved := 0
+	for _, id := range ids {
+		after := r.Owner(id)
+		h := wire.KeyHash(id)
+		var mov *Movement
+		for i := range movs {
+			if wire.InKeyRange(h, movs[i].Lo, movs[i].Hi) {
+				mov = &movs[i]
+				break
+			}
+		}
+		switch {
+		case mov == nil:
+			if after != before[id] {
+				t.Fatalf("%s changed owner %s->%s outside any movement", id, before[id], after)
+			}
+		default:
+			moved++
+			if before[id] != mov.From || after != mov.To {
+				t.Fatalf("%s: movement says %s->%s, owners were %s->%s",
+					id, mov.From, mov.To, before[id], after)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no sampled key moved — movement ranges empty?")
+	}
+	// Consistent hashing: roughly 1/4 of keys should move to the new
+	// member, never the majority.
+	if moved > len(ids)/2 {
+		t.Errorf("%d of %d keys moved on one join — too much churn", moved, len(ids))
+	}
+}
+
+func TestRingRemoveMovements(t *testing.T) {
+	r, _ := NewRing(32, "a", "b", "c", "d")
+	ids := ringIDs(20000)
+	before := make(map[string]string, len(ids))
+	for _, id := range ids {
+		before[id] = r.Owner(id)
+	}
+	movs, err := r.Remove("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mov := range movs {
+		if mov.From != "b" || mov.To == "b" || mov.To == "" {
+			t.Fatalf("bad movement %+v", mov)
+		}
+	}
+	for _, id := range ids {
+		after := r.Owner(id)
+		if after == "b" {
+			t.Fatalf("%s still owned by removed member", id)
+		}
+		if before[id] != "b" {
+			if after != before[id] {
+				t.Fatalf("%s changed owner %s->%s though b never owned it", id, before[id], after)
+			}
+			continue
+		}
+		h := wire.KeyHash(id)
+		found := false
+		for _, mov := range movs {
+			if wire.InKeyRange(h, mov.Lo, mov.Hi) {
+				if after != mov.To {
+					t.Fatalf("%s: movement says ->%s, owner is %s", id, mov.To, after)
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("%s left b but is covered by no movement", id)
+		}
+	}
+}
+
+func TestRingErrors(t *testing.T) {
+	if _, err := NewRing(8, "a", "a"); err == nil {
+		t.Error("duplicate member accepted")
+	}
+	if _, err := NewRing(8, ""); err == nil {
+		t.Error("empty member name accepted")
+	}
+	r, _ := NewRing(8, "a")
+	if _, err := r.Add("a"); err == nil {
+		t.Error("duplicate Add accepted")
+	}
+	if _, err := r.Remove("ghost"); err == nil {
+		t.Error("removing unknown member accepted")
+	}
+	if movs, err := r.Add("b"); err != nil || len(movs) == 0 {
+		t.Errorf("Add(b) = %v, %v", movs, err)
+	}
+	if owner := r.Owner("anything"); owner != "a" && owner != "b" {
+		t.Errorf("owner %q", owner)
+	}
+	// Removing down to one member keeps everything owned.
+	if _, err := r.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if owner := r.Owner("anything"); owner != "b" {
+		t.Errorf("owner after removal %q, want b", owner)
+	}
+	// Removing the last member empties the ring without movements.
+	movs, err := r.Remove("b")
+	if err != nil || movs != nil {
+		t.Errorf("last removal: %v, %v", movs, err)
+	}
+	if owner := r.Owner("anything"); owner != "" {
+		t.Errorf("empty ring owner %q", owner)
+	}
+}

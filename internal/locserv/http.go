@@ -14,19 +14,29 @@ import (
 // largest permitted size.
 const maxIngestBody = 4 * (wire.MaxFrameBody + 4)
 
+// maxQueryBody bounds one /query request body: a single request frame.
+const maxQueryBody = wire.MaxFrameBody + 4
+
+// RecordSink ingests decoded update records; the HTTP ingest handler is
+// generic over it so the same endpoint fronts a single service or a
+// cluster coordinator.
+type RecordSink func(recs []wire.Record) (applied int, err error)
+
 // Handler exposes the service as a query-only HTTP API:
 //
 //	GET /healthz                           -> {"ok":true,"objects":n}
-//	GET /stats                             -> object/shard/update/byte counters
+//	GET /stats                             -> object/shard/update/byte/index counters
 //	GET /objects                           -> ["id", ...]
 //	GET /position?id=car1&t=120            -> {"id":"car1","x":..,"y":..}
 //	GET /nearest?x=0&y=0&k=3&t=120         -> [{"id":..,"x":..,"y":..,"dist":..}]
 //	GET /within?minx=&miny=&maxx=&maxy=&t= -> [{"id":..,"x":..,"y":..}]
 //
-// HandlerWithIngest additionally accepts protocol updates.
+// HandlerWithIngest additionally accepts protocol updates; a cluster
+// coordinator mounts the same API over its scatter-gather Querier via
+// QueryAPIHandler.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	s.routeQueries(mux)
+	RouteQueryAPI(mux, s)
 	return mux
 }
 
@@ -40,26 +50,81 @@ func (s *Service) Handler() http.Handler {
 // The response is a wire.IngestResponse JSON body.
 func (s *Service) HandlerWithIngest(auto AutoRegister) http.Handler {
 	mux := http.NewServeMux()
-	s.routeQueries(mux)
-	mux.HandleFunc("POST /updates", func(w http.ResponseWriter, r *http.Request) {
-		s.handleIngest(w, r, auto)
-	})
+	RouteQueryAPI(mux, s)
+	mux.HandleFunc("POST /updates", IngestHandler(func(recs []wire.Record) (int, error) {
+		return s.DeliverRecords(recs, auto)
+	}))
 	return mux
 }
 
-func (s *Service) routeQueries(mux *http.ServeMux) {
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /objects", s.handleObjects)
-	mux.HandleFunc("GET /position", s.handlePosition)
-	mux.HandleFunc("GET /nearest", s.handleNearest)
-	mux.HandleFunc("GET /within", s.handleWithin)
+// Handler mounts the full node API: queries, binary ingest (with the
+// node's factory auto-registering unknown objects) and the binary
+// query-protocol endpoint:
+//
+//	POST /query  (application/x-mapdr-query)
+//
+// This is what a cluster member serves.
+func (n *NodeService) Handler() http.Handler {
+	mux := http.NewServeMux()
+	RouteQueryAPI(mux, n.s)
+	mux.HandleFunc("POST /updates", IngestHandler(func(recs []wire.Record) (int, error) {
+		return n.Deliver(recs)
+	}))
+	mux.HandleFunc("POST /query", QueryProtocolHandler(n))
+	return mux
 }
 
-// writeJSON marshals v before touching the ResponseWriter, so an
+// QueryAPIHandler mounts the JSON query API over any Querier — the
+// sharded store or a cluster coordinator. Optional capabilities are
+// detected: /stats requires NodeStats(), /objects requires Objects().
+func QueryAPIHandler(q Querier) http.Handler {
+	mux := http.NewServeMux()
+	RouteQueryAPI(mux, q)
+	return mux
+}
+
+// statser, lener and objectser are the optional capabilities of a
+// Querier behind the HTTP API.
+type statser interface{ NodeStats() NodeStats }
+type lener interface{ Len() int }
+type objectser interface{ Objects() []ObjectID }
+
+func RouteQueryAPI(mux *http.ServeMux, q Querier) {
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		// A liveness probe must stay cheap: report a local object count
+		// when one exists (Service.Len), but never fan out to remote
+		// members the way /stats aggregation does.
+		body := map[string]any{"ok": true}
+		if l, ok := q.(lener); ok {
+			body["objects"] = l.Len()
+		}
+		WriteJSON(w, body)
+	})
+	if st, ok := q.(statser); ok {
+		mux.HandleFunc("GET /stats", func(w http.ResponseWriter, _ *http.Request) {
+			WriteJSON(w, statsToJSON(st.NodeStats()))
+		})
+	}
+	if ob, ok := q.(objectser); ok {
+		mux.HandleFunc("GET /objects", func(w http.ResponseWriter, _ *http.Request) {
+			WriteJSON(w, ob.Objects())
+		})
+	}
+	mux.HandleFunc("GET /position", func(w http.ResponseWriter, r *http.Request) {
+		handlePosition(w, r, q)
+	})
+	mux.HandleFunc("GET /nearest", func(w http.ResponseWriter, r *http.Request) {
+		handleNearest(w, r, q)
+	})
+	mux.HandleFunc("GET /within", func(w http.ResponseWriter, r *http.Request) {
+		handleWithin(w, r, q)
+	})
+}
+
+// WriteJSON marshals v before touching the ResponseWriter, so an
 // encoding failure still yields a well-formed 500 instead of a torn
 // body with a 200 status.
-func writeJSON(w http.ResponseWriter, v any) {
+func WriteJSON(w http.ResponseWriter, v any) {
 	data, err := json.Marshal(v)
 	if err != nil {
 		http.Error(w, "encoding response: "+err.Error(), http.StatusInternalServerError)
@@ -80,59 +145,101 @@ func queryFloat(r *http.Request, key string) (float64, bool) {
 	return v, err == nil
 }
 
-func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, map[string]any{"ok": true, "objects": s.Len()})
-}
-
 // statsJSON is the GET /stats body. wire_bytes counts applied report
 // encodings only (Service.WireBytes) — record ids and frame headers are
-// transport overhead, visible in the client's wire.Stats instead.
+// transport overhead, visible in the client's wire.Stats instead. The
+// index_* counters expose the spatial snapshots' health: rebuild costs
+// paid, grid-vs-scan query mix, and rebuilds deferred under the churn
+// budget.
 type statsJSON struct {
-	Objects        int   `json:"objects"`
-	Shards         int   `json:"shards"`
-	UpdatesApplied int64 `json:"updates_applied"`
-	WireBytes      int64 `json:"wire_bytes"`
+	Objects               int   `json:"objects"`
+	Shards                int   `json:"shards"`
+	UpdatesApplied        int64 `json:"updates_applied"`
+	WireBytes             int64 `json:"wire_bytes"`
+	IndexRebuilds         int64 `json:"index_rebuilds"`
+	IndexedQueries        int64 `json:"index_queries"`
+	IndexScanFallbacks    int64 `json:"index_scan_fallbacks"`
+	IndexDeferredRebuilds int64 `json:"index_deferred_rebuilds"`
 }
 
-func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, statsJSON{
-		Objects:        s.Len(),
-		Shards:         s.Shards(),
-		UpdatesApplied: s.UpdatesApplied(),
-		WireBytes:      s.WireBytes(),
-	})
-}
-
-func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request, auto AutoRegister) {
-	if ct := r.Header.Get("Content-Type"); ct != "" && ct != wire.ContentType {
-		http.Error(w, "want "+wire.ContentType, http.StatusUnsupportedMediaType)
-		return
+func statsToJSON(st NodeStats) statsJSON {
+	return statsJSON{
+		Objects:               st.Objects,
+		Shards:                st.Shards,
+		UpdatesApplied:        st.UpdatesApplied,
+		WireBytes:             st.WireBytes,
+		IndexRebuilds:         st.Index.Rebuilds,
+		IndexedQueries:        st.Index.IndexedQueries,
+		IndexScanFallbacks:    st.Index.ScanFallbacks,
+		IndexDeferredRebuilds: st.Index.DeferredRebuilds,
 	}
-	body := http.MaxBytesReader(w, r.Body, maxIngestBody)
-	var resp wire.IngestResponse
-	for {
-		recs, err := wire.ReadFrame(body)
-		if err == io.EOF {
-			break
+}
+
+// IngestHandler returns the POST /updates handler over any record sink
+// (a single store's DeliverRecords or a cluster coordinator's routed
+// delivery).
+func IngestHandler(sink RecordSink) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if ct := r.Header.Get("Content-Type"); ct != "" && ct != wire.ContentType {
+			http.Error(w, "want "+wire.ContentType, http.StatusUnsupportedMediaType)
+			return
 		}
+		body := http.MaxBytesReader(w, r.Body, maxIngestBody)
+		var resp wire.IngestResponse
+		for {
+			recs, err := wire.ReadFrame(body)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				// Frames already ingested stay ingested (the store has no
+				// transactions and the protocol is idempotent per Seq); the
+				// client learns how far we got.
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			resp.Records += len(recs)
+			applied, err := sink(recs)
+			resp.Applied += applied
+			resp.Errors += len(recs) - applied
+			_ = err // per-record failures are reflected in the counts
+		}
+		WriteJSON(w, resp)
+	}
+}
+
+// QueryProtocolHandler returns the POST /query handler: one binary
+// query-request frame in, one response frame out. Malformed frames are
+// a 400; node-level failures travel in-band as error responses.
+func QueryProtocolHandler(n Node) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if ct := r.Header.Get("Content-Type"); ct != "" && ct != wire.QueryContentType {
+			http.Error(w, "want "+wire.QueryContentType, http.StatusUnsupportedMediaType)
+			return
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxQueryBody))
 		if err != nil {
-			// Frames already ingested stay ingested (the store has no
-			// transactions and the protocol is idempotent per Seq); the
-			// client learns how far we got.
+			http.Error(w, "reading request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		req, _, err := wire.DecodeQueryRequest(body)
+		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		resp.Records += len(recs)
-		applied, err := s.DeliverRecords(recs, auto)
-		resp.Applied += applied
-		resp.Errors += len(recs) - applied
-		_ = err // per-record failures are reflected in the counts
+		frame, err := wire.EncodeQueryResponse(ServeQuery(n, req))
+		if err != nil {
+			// The answer outgrew a frame (a Within over a huge store);
+			// report in-band-style as an encodable error response.
+			frame, err = wire.EncodeQueryResponse(wire.QueryResponse{Op: req.Op, Err: err.Error()})
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", wire.QueryContentType)
+		_, _ = w.Write(frame)
 	}
-	writeJSON(w, resp)
-}
-
-func (s *Service) handleObjects(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, s.Objects())
 }
 
 type posJSON struct {
@@ -142,22 +249,22 @@ type posJSON struct {
 	Dist float64  `json:"dist,omitempty"`
 }
 
-func (s *Service) handlePosition(w http.ResponseWriter, r *http.Request) {
+func handlePosition(w http.ResponseWriter, r *http.Request, q Querier) {
 	id := ObjectID(r.URL.Query().Get("id"))
 	t, okT := queryFloat(r, "t")
 	if id == "" || !okT {
 		http.Error(w, "need id and t", http.StatusBadRequest)
 		return
 	}
-	pos, ok := s.Position(id, t)
+	pos, ok := q.Position(id, t)
 	if !ok {
 		http.Error(w, "unknown object or no report", http.StatusNotFound)
 		return
 	}
-	writeJSON(w, posJSON{ID: id, X: pos.X, Y: pos.Y})
+	WriteJSON(w, posJSON{ID: id, X: pos.X, Y: pos.Y})
 }
 
-func (s *Service) handleNearest(w http.ResponseWriter, r *http.Request) {
+func handleNearest(w http.ResponseWriter, r *http.Request, q Querier) {
 	x, okX := queryFloat(r, "x")
 	y, okY := queryFloat(r, "y")
 	t, okT := queryFloat(r, "t")
@@ -166,15 +273,15 @@ func (s *Service) handleNearest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "need x, y, t and positive k", http.StatusBadRequest)
 		return
 	}
-	hits := s.Nearest(geo.Pt(x, y), k, t)
+	hits := q.Nearest(geo.Pt(x, y), k, t)
 	out := make([]posJSON, 0, len(hits))
 	for _, h := range hits {
 		out = append(out, posJSON{ID: h.ID, X: h.Pos.X, Y: h.Pos.Y, Dist: h.Dist})
 	}
-	writeJSON(w, out)
+	WriteJSON(w, out)
 }
 
-func (s *Service) handleWithin(w http.ResponseWriter, r *http.Request) {
+func handleWithin(w http.ResponseWriter, r *http.Request, q Querier) {
 	minx, ok1 := queryFloat(r, "minx")
 	miny, ok2 := queryFloat(r, "miny")
 	maxx, ok3 := queryFloat(r, "maxx")
@@ -184,10 +291,10 @@ func (s *Service) handleWithin(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "need minx, miny, maxx, maxy, t", http.StatusBadRequest)
 		return
 	}
-	hits := s.Within(geo.Rect{Min: geo.Pt(minx, miny), Max: geo.Pt(maxx, maxy)}, t)
+	hits := q.Within(geo.Rect{Min: geo.Pt(minx, miny), Max: geo.Pt(maxx, maxy)}, t)
 	out := make([]posJSON, 0, len(hits))
 	for _, h := range hits {
 		out = append(out, posJSON{ID: h.ID, X: h.Pos.X, Y: h.Pos.Y})
 	}
-	writeJSON(w, out)
+	WriteJSON(w, out)
 }

@@ -93,6 +93,43 @@ type Service struct {
 	// capacity monitoring.
 	applied      atomic.Int64
 	appliedBytes atomic.Int64
+	// health aggregates spatial-index behaviour across the shards, for
+	// /stats and capacity monitoring.
+	health IndexHealth
+}
+
+// IndexHealth counts the spatial snapshots' behaviour across all
+// shards: how often range queries could use the grid versus falling
+// back to a scan, and how the deferred-rebuild policy is pacing. A
+// rising ScanFallbacks share signals write churn outrunning the
+// rebuild budget; Rebuilds tracks the O(n) snapshot costs actually
+// paid.
+type IndexHealth struct {
+	// Rebuilds counts completed snapshot re-derivations.
+	Rebuilds atomic.Int64
+	// IndexedQueries counts range queries answered through the grid.
+	IndexedQueries atomic.Int64
+	// ScanFallbacks counts range queries answered by a linear scan
+	// (snapshot dirty, unbounded predictors, or pruning not worthwhile).
+	ScanFallbacks atomic.Int64
+	// DeferredRebuilds counts range queries that saw a stale snapshot
+	// but deferred the rebuild under the rebuildAfterScans budget.
+	DeferredRebuilds atomic.Int64
+}
+
+// IndexStats is a point-in-time copy of the index health counters.
+type IndexStats struct {
+	Rebuilds, IndexedQueries, ScanFallbacks, DeferredRebuilds int64
+}
+
+// IndexStats returns a snapshot of the spatial-index health counters.
+func (s *Service) IndexStats() IndexStats {
+	return IndexStats{
+		Rebuilds:         s.health.Rebuilds.Load(),
+		IndexedQueries:   s.health.IndexedQueries.Load(),
+		ScanFallbacks:    s.health.ScanFallbacks.Load(),
+		DeferredRebuilds: s.health.DeferredRebuilds.Load(),
+	}
 }
 
 // shard is one lock domain of the service: a partition of the object
@@ -101,6 +138,9 @@ type Service struct {
 type shard struct {
 	mu   sync.RWMutex
 	objs map[ObjectID]*core.Server
+
+	// health points at the service-wide index health counters.
+	health *IndexHealth
 
 	// Spatial snapshot for range queries, rebuilt on demand after
 	// mutations. idxIDs maps spatial.Entry.ID back to the object.
@@ -125,7 +165,7 @@ func NewSharded(n int) *Service {
 	}
 	s := &Service{shards: make([]*shard, n)}
 	for i := range s.shards {
-		s.shards[i] = &shard{objs: make(map[ObjectID]*core.Server), idxDirty: true}
+		s.shards[i] = &shard{objs: make(map[ObjectID]*core.Server), idxDirty: true, health: &s.health}
 	}
 	return s
 }
@@ -362,9 +402,9 @@ func (s *Service) forEachShard(fn func(i int, sh *shard)) {
 	wg.Wait()
 }
 
-// posLess orders query results by ascending distance, breaking ties by
+// PosLess orders query results by ascending distance, breaking ties by
 // id so answers are deterministic.
-func posLess(a, b ObjectPos) bool {
+func PosLess(a, b ObjectPos) bool {
 	if a.Dist != b.Dist {
 		return a.Dist < b.Dist
 	}
@@ -376,7 +416,7 @@ func posLess(a, b ObjectPos) bool {
 type posHeap []ObjectPos
 
 func (h posHeap) Len() int           { return len(h) }
-func (h posHeap) Less(i, j int) bool { return posLess(h[j], h[i]) }
+func (h posHeap) Less(i, j int) bool { return PosLess(h[j], h[i]) }
 func (h posHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
 func (h *posHeap) Push(x any)        { *h = append(*h, x.(ObjectPos)) }
 func (h *posHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
@@ -395,7 +435,7 @@ func (s *Service) Nearest(p geo.Point, k int, t float64) []ObjectPos {
 	for _, part := range parts {
 		all = append(all, part...)
 	}
-	sort.Slice(all, func(i, j int) bool { return posLess(all[i], all[j]) })
+	sort.Slice(all, func(i, j int) bool { return PosLess(all[i], all[j]) })
 	if len(all) > k {
 		all = all[:k]
 	}
@@ -415,7 +455,7 @@ func (sh *shard) nearest(p geo.Point, k int, t float64) []ObjectPos {
 		op := ObjectPos{ID: id, Pos: pos, Dist: p.Dist(pos)}
 		if len(h) < k {
 			heap.Push(&h, op)
-		} else if posLess(op, h[0]) {
+		} else if PosLess(op, h[0]) {
 			h[0] = op
 			heap.Fix(&h, 0)
 		}
@@ -449,6 +489,7 @@ func (sh *shard) within(r geo.Rect, t float64) []ObjectPos {
 	// A writer may have dirtied the snapshot between ensureIndex and the
 	// read lock; correctness then requires the scan path.
 	if sh.idx == nil || sh.idxDirty || !sh.idxBounded {
+		sh.health.ScanFallbacks.Add(1)
 		return sh.withinScanLocked(r, t)
 	}
 	// Every indexed object is within boundSpeed*(t-T) of its last
@@ -460,8 +501,10 @@ func (sh *shard) within(r geo.Rect, t float64) []ObjectPos {
 	// When the expanded window dwarfs the indexed extent the grid walk
 	// degenerates to visiting every cell; scanning is cheaper.
 	if !sh.pruneWorthwhileLocked(grown) {
+		sh.health.ScanFallbacks.Add(1)
 		return sh.withinScanLocked(r, t)
 	}
+	sh.health.IndexedQueries.Add(1)
 	var out []ObjectPos
 	sh.idx.Search(grown, func(e spatial.Entry) bool {
 		id := sh.idxIDs[e.ID]
@@ -521,6 +564,7 @@ func (sh *shard) maybeRebuildIndex() {
 		return
 	}
 	if sh.idxScans.Add(1) < rebuildAfterScans {
+		sh.health.DeferredRebuilds.Add(1)
 		return
 	}
 	sh.mu.Lock()
@@ -534,6 +578,7 @@ func (sh *shard) maybeRebuildIndex() {
 // replica states. Objects without a report are left out (they cannot
 // answer a range query anyway).
 func (sh *shard) rebuildIndexLocked() {
+	sh.health.Rebuilds.Add(1)
 	sh.idx = nil
 	sh.idxIDs = sh.idxIDs[:0]
 	sh.idxBounded = true

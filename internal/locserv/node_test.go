@@ -1,0 +1,324 @@
+package locserv
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mapdr/internal/core"
+	"mapdr/internal/geo"
+	"mapdr/internal/wire"
+)
+
+func newLinearNode(shards int) *NodeService {
+	return NewNodeService(NewSharded(shards),
+		func(ObjectID) core.Predictor { return core.LinearPredictor{} })
+}
+
+func seedNode(t *testing.T, n *NodeService, count int) {
+	t.Helper()
+	recs := make([]wire.Record, 0, count)
+	for i := 0; i < count; i++ {
+		recs = append(recs, wire.Record{
+			ID: fmt.Sprintf("obj-%03d", i),
+			Update: core.Update{
+				Reason: core.ReasonInit,
+				Report: core.Report{Seq: 1, Pos: geo.Pt(float64(i)*10, float64(i%7)), V: 3, Heading: 0.5},
+			},
+		})
+	}
+	applied, err := n.Deliver(recs) // factory auto-registers
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != count {
+		t.Fatalf("applied %d of %d", applied, count)
+	}
+}
+
+func TestNodeServiceRegisterUsesFactory(t *testing.T) {
+	n := newLinearNode(4)
+	if err := n.Register("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Register("a"); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if !n.Service().Contains("a") {
+		t.Error("factory registration did not land in the store")
+	}
+	if err := n.Deregister("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Deregister("ghost"); err != nil {
+		t.Errorf("deregistering unknown id: %v", err)
+	}
+
+	bare := NewNodeService(NewSharded(2), nil)
+	if err := bare.Register("x"); err == nil {
+		t.Error("factory-less node accepted a registration")
+	}
+	reject := NewNodeService(NewSharded(2), func(ObjectID) core.Predictor { return nil })
+	if err := reject.Register("x"); err == nil {
+		t.Error("nil predictor accepted")
+	}
+}
+
+// TestServeQueryMatchesDirectCalls proves the query-protocol server
+// side answers bit-identically to direct service calls, through the
+// full codec (loopback query transport).
+func TestServeQueryMatchesDirectCalls(t *testing.T) {
+	n := newLinearNode(4)
+	seedNode(t, n, 40)
+	lb := wire.NewQueryLoopback(n.QueryServer())
+
+	for _, tt := range []float64{0, 12.5, 100} {
+		resp, err := lb.Query(wire.QueryRequest{Op: wire.OpNearest, X: 150, Y: 3, K: 7, T: tt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(FromWireHits(resp.Hits), n.Service().Nearest(geo.Pt(150, 3), 7, tt)) {
+			t.Fatalf("nearest@%v differs through the codec", tt)
+		}
+
+		resp, err = lb.Query(wire.QueryRequest{
+			Op: wire.OpWithin, MinX: 0, MinY: -5, MaxX: 200, MaxY: 10, T: tt,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(FromWireHits(resp.Hits),
+			n.Service().Within(geo.Rect{Min: geo.Pt(0, -5), Max: geo.Pt(200, 10)}, tt)) {
+			t.Fatalf("within@%v differs through the codec", tt)
+		}
+
+		resp, err = lb.Query(wire.QueryRequest{Op: wire.OpPosition, ID: "obj-005", T: tt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, ok := n.Service().Position("obj-005", tt)
+		if resp.Found != ok || geo.Pt(resp.Hits[0].X, resp.Hits[0].Y) != want {
+			t.Fatalf("position@%v: %+v want %v %v", tt, resp, want, ok)
+		}
+	}
+
+	// Unknown object: found=false, no error.
+	resp, err := lb.Query(wire.QueryRequest{Op: wire.OpPosition, ID: "nope", T: 0})
+	if err != nil || resp.Found {
+		t.Fatalf("unknown object: %+v, %v", resp, err)
+	}
+	// Stats round-trips the full counter set.
+	resp, err = lb.Query(wire.QueryRequest{Op: wire.OpStats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := StatsFromPayload(resp.Stats); got != n.Service().NodeStats() {
+		t.Fatalf("stats %+v != %+v", got, n.Service().NodeStats())
+	}
+	// Register errors arrive in-band.
+	if resp, err = lb.Query(wire.QueryRequest{Op: wire.OpRegister, ID: "obj-001"}); err != nil {
+		t.Fatal(err)
+	} else if resp.Err == "" {
+		t.Error("duplicate register produced no in-band error")
+	}
+}
+
+func TestServiceExportRanges(t *testing.T) {
+	n := newLinearNode(4)
+	seedNode(t, n, 30)
+	if err := n.Register("silent"); err != nil { // registered, never reported
+		t.Fatal(err)
+	}
+
+	// Whole-ring export: everything, ids sorted.
+	recs, ids, err := n.Export(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 30 || len(ids) != 1 || ids[0] != "silent" {
+		t.Fatalf("export all: %d recs, ids %v", len(recs), ids)
+	}
+	if !sortedRecords(recs) {
+		t.Error("exported records not sorted by id")
+	}
+	for i := range recs {
+		if recs[i].Update.Report.Seq != 1 {
+			t.Fatalf("export lost the sequence number: %+v", recs[i].Update.Report)
+		}
+	}
+
+	// A split at an arbitrary boundary partitions the objects exactly.
+	const mid = 1 << 63
+	recsA, idsA, _ := n.Export(0, mid)
+	recsB, idsB, _ := n.Export(mid, 0)
+	if len(recsA)+len(recsB) != 30 || len(idsA)+len(idsB) != 1 {
+		t.Fatalf("split export: %d+%d recs, %d+%d ids", len(recsA), len(recsB), len(idsA), len(idsB))
+	}
+	for _, r := range recsA {
+		if !wire.InKeyRange(wire.KeyHash(r.ID), 0, mid) {
+			t.Fatalf("%s exported outside its range", r.ID)
+		}
+	}
+}
+
+func sortedRecords(recs []wire.Record) bool {
+	for i := 1; i < len(recs); i++ {
+		if recs[i].ID < recs[i-1].ID {
+			return false
+		}
+	}
+	return true
+}
+
+// TestNodeHandlerQueryEndpoint drives POST /query over real HTTP with
+// the query client.
+func TestNodeHandlerQueryEndpoint(t *testing.T) {
+	n := newLinearNode(4)
+	seedNode(t, n, 10)
+	ts := httptest.NewServer(n.Handler())
+	defer ts.Close()
+	qc := wire.NewQueryClient(ts.URL, ts.Client())
+
+	resp, err := qc.Query(wire.QueryRequest{Op: wire.OpNearest, X: 0, Y: 0, K: 3, T: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Hits) != 3 {
+		t.Fatalf("hits %v", resp.Hits)
+	}
+	if !reflect.DeepEqual(FromWireHits(resp.Hits), n.Service().Nearest(geo.Pt(0, 0), 3, 1)) {
+		t.Fatal("HTTP query answer differs from direct call")
+	}
+
+	// Negative paths: wrong content type, garbage frame, wrong method.
+	r, err := http.Post(ts.URL+"/query", "text/plain", strings.NewReader("hi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusUnsupportedMediaType {
+		t.Errorf("wrong content type -> %d", r.StatusCode)
+	}
+	r, err = http.Post(ts.URL+"/query", wire.QueryContentType, bytes.NewReader([]byte{1, 2, 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage frame -> %d", r.StatusCode)
+	}
+	r, err = http.Get(ts.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /query -> %d", r.StatusCode)
+	}
+}
+
+// TestStatsEndpointHealthCounters checks GET /stats carries the
+// spatial-index health counters and that they actually move.
+func TestStatsEndpointHealthCounters(t *testing.T) {
+	s := NewSharded(1)
+	// Enough bounded objects in one shard to build a snapshot.
+	for i := 0; i < 64; i++ {
+		id := ObjectID(fmt.Sprintf("obj-%03d", i))
+		if err := s.Register(id, core.LinearPredictor{}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Apply(id, core.Update{Reason: core.ReasonInit, Report: core.Report{
+			Seq: 1, Pos: geo.Pt(float64(i%8)*100, float64(i/8)*100), V: 1,
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(250, 250)}
+	// Scans while the snapshot is dirty (deferred), then the rebuild,
+	// then indexed queries.
+	for i := 0; i < 20; i++ {
+		s.Within(r, 1)
+	}
+	st := s.IndexStats()
+	if st.Rebuilds == 0 || st.ScanFallbacks == 0 || st.DeferredRebuilds == 0 || st.IndexedQueries == 0 {
+		t.Fatalf("index counters did not move: %+v", st)
+	}
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]int64
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"objects", "shards", "updates_applied", "wire_bytes",
+		"index_rebuilds", "index_queries", "index_scan_fallbacks", "index_deferred_rebuilds",
+	} {
+		if _, ok := body[key]; !ok {
+			t.Errorf("/stats missing %q: %v", key, body)
+		}
+	}
+	if body["index_rebuilds"] != st.Rebuilds || body["index_scan_fallbacks"] != st.ScanFallbacks {
+		t.Errorf("/stats counters diverge from IndexStats: %v vs %+v", body, st)
+	}
+}
+
+// TestStatsHealthzNegativePaths covers the handlers' method and route
+// mismatches.
+func TestStatsHealthzNegativePaths(t *testing.T) {
+	n := newLinearNode(2)
+	ts := httptest.NewServer(n.Handler())
+	defer ts.Close()
+
+	for _, tc := range []struct {
+		method, path string
+		body         string
+		want         int
+	}{
+		{http.MethodPost, "/healthz", "{}", http.StatusMethodNotAllowed},
+		{http.MethodPost, "/stats", "{}", http.StatusMethodNotAllowed},
+		{http.MethodDelete, "/stats", "", http.StatusMethodNotAllowed},
+		{http.MethodGet, "/updates", "", http.StatusMethodNotAllowed},
+		{http.MethodGet, "/statsz", "", http.StatusNotFound},
+	} {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s %s -> %d, want %d", tc.method, tc.path, resp.StatusCode, tc.want)
+		}
+	}
+
+	// Healthy paths still fine on an empty node.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hz struct {
+		OK      bool `json:"ok"`
+		Objects int  `json:"objects"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	if !hz.OK || hz.Objects != 0 {
+		t.Errorf("healthz %+v", hz)
+	}
+}

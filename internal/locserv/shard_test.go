@@ -162,7 +162,7 @@ func TestNearestMerge(t *testing.T) {
 				if hits[i].ID != id {
 					t.Errorf("hit[%d] = %s, want %s (all: %+v)", i, hits[i].ID, id, hits)
 				}
-				if i > 0 && posLess(hits[i], hits[i-1]) {
+				if i > 0 && PosLess(hits[i], hits[i-1]) {
 					t.Errorf("hits not ordered at %d: %+v", i, hits)
 				}
 			}

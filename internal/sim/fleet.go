@@ -62,7 +62,16 @@ type FleetResult struct {
 // server replica: per-sample cost stays O(1) however long the protocol
 // keeps an object's radio quiet.
 type Fleet struct {
+	// Service is the in-process location store. It may be nil when both
+	// Transport and Query are set — the cluster configuration, where
+	// updates and error-accounting queries go through a coordinator
+	// instead of a local store.
 	Service *locserv.Service
+	// Query answers the per-sample error-accounting Position queries;
+	// nil uses Service. Point it at a cluster coordinator (with
+	// Transport set to the same coordinator) to drive a scatter-gather
+	// cluster with the identical simulation.
+	Query   locserv.Querier
 	Objects []FleetObject
 	// Tick, when set, is invoked once per simulated second after all due
 	// updates have been applied. It runs on the coordinating goroutine.
@@ -107,8 +116,12 @@ type fleetWorker struct {
 // Run executes the fleet simulation until every object's trace is
 // exhausted.
 func (f *Fleet) Run() (*FleetResult, error) {
-	if f.Service == nil {
-		return nil, fmt.Errorf("sim: fleet needs a service")
+	query := f.Query
+	if query == nil {
+		if f.Service == nil {
+			return nil, fmt.Errorf("sim: fleet needs a service or a query target")
+		}
+		query = f.Service
 	}
 	if len(f.Objects) == 0 {
 		return nil, fmt.Errorf("sim: fleet has no objects")
@@ -119,6 +132,9 @@ func (f *Fleet) Run() (*FleetResult, error) {
 	}
 	tr := f.Transport
 	if tr == nil {
+		if f.Service == nil {
+			return nil, fmt.Errorf("sim: fleet needs a service or a transport")
+		}
 		tr = wire.NewLoopback(f.Service.Sink(nil))
 	}
 	states := make([]*fleetState, len(f.Objects))
@@ -218,7 +234,7 @@ func (f *Fleet) Run() (*FleetResult, error) {
 			// freshly updated service.
 			runOnWorkers(workers, func(w *fleetWorker) {
 				for _, q := range w.queries {
-					if p, ok := f.Service.Position(q.id, q.t); ok {
+					if p, ok := query.Position(q.id, q.t); ok {
 						w.errSum += p.Dist(q.truth.Pos)
 						w.errN++
 					}

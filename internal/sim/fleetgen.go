@@ -31,13 +31,15 @@ type FleetSpec struct {
 	Source core.SourceConfig
 }
 
-// GenerateFleet registers spec.N map-predicted vehicles with svc and
-// generates their routes, ground-truth traces and protocol sources on a
-// pool of worker goroutines. Every vehicle is seeded independently, so
-// the result does not depend on the worker count. On error the
-// registrations are rolled back, leaving svc as it was. The returned
-// objects plug straight into Fleet.
-func GenerateFleet(g *roadmap.Graph, svc *locserv.Service, spec FleetSpec) ([]FleetObject, error) {
+// GenerateFleet registers spec.N map-predicted vehicles with reg — an
+// in-process store or a cluster coordinator routing each registration
+// to its partition owner — and generates their routes, ground-truth
+// traces and protocol sources on a pool of worker goroutines. Every
+// vehicle is seeded independently, so the result does not depend on
+// the worker count. On error the registrations are rolled back,
+// leaving reg as it was. The returned objects plug straight into
+// Fleet.
+func GenerateFleet(g *roadmap.Graph, reg locserv.Registry, spec FleetSpec) ([]FleetObject, error) {
 	workers := spec.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -45,9 +47,9 @@ func GenerateFleet(g *roadmap.Graph, svc *locserv.Service, spec FleetSpec) ([]Fl
 	objs := make([]FleetObject, spec.N)
 	for i := range objs {
 		id := locserv.ObjectID(fmt.Sprintf(spec.IDFormat, i))
-		if err := svc.Register(id, core.NewMapPredictor(g)); err != nil {
+		if err := reg.Register(id, core.NewMapPredictor(g)); err != nil {
 			for _, o := range objs[:i] {
-				svc.Deregister(o.ID)
+				reg.Deregister(o.ID)
 			}
 			return nil, err
 		}
@@ -103,7 +105,7 @@ func GenerateFleet(g *roadmap.Graph, svc *locserv.Service, spec FleetSpec) ([]Fl
 	wg.Wait()
 	if firstErr != nil {
 		for _, o := range objs {
-			svc.Deregister(o.ID)
+			reg.Deregister(o.ID)
 		}
 		return nil, firstErr
 	}

@@ -2,10 +2,13 @@ package wire
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"time"
 )
 
 // ContentType is the media type of binary update frames on HTTP.
@@ -19,6 +22,18 @@ const maxRecordsPerFrame = 4096
 // maxFrameFill is the record-byte budget per frame: MaxFrameBody minus
 // headroom for the version byte and the count varint.
 const maxFrameFill = MaxFrameBody - 16
+
+// Default request policy for the HTTP transports. Retrying a POSTed
+// update frame is safe — replicas are idempotent per (id, Seq) — and
+// queries are read-only, so both clients retry transient failures.
+const (
+	// DefaultTimeout bounds one HTTP attempt (connect + response).
+	DefaultTimeout = 10 * time.Second
+	// DefaultRetries is how many re-attempts follow a transient failure.
+	DefaultRetries = 2
+	// DefaultBackoff is the first retry delay; it doubles per attempt.
+	DefaultBackoff = 50 * time.Millisecond
+)
 
 // IngestResponse is the JSON body a location server's /updates endpoint
 // answers with.
@@ -35,24 +50,121 @@ type IngestResponse struct {
 	Errors int `json:"errors,omitempty"`
 }
 
+// retryPolicy is the shared HTTP request discipline of the ingest and
+// query clients: per-attempt context timeout, bounded retries with
+// exponential backoff on transient failures (network errors, 5xx and
+// 429), permanent failure on other status codes.
+type retryPolicy struct {
+	timeout time.Duration
+	retries int
+	backoff time.Duration
+}
+
+func defaultRetryPolicy() retryPolicy {
+	return retryPolicy{timeout: DefaultTimeout, retries: DefaultRetries, backoff: DefaultBackoff}
+}
+
+// retryable reports whether an HTTP status is worth another attempt.
+func retryable(status int) bool {
+	return status/100 == 5 || status == http.StatusTooManyRequests
+}
+
+// do POSTs body to url with the policy's timeout/retry discipline,
+// returning the (2xx) response body. onRetry is invoked before each
+// re-attempt so callers can count retries.
+func (p retryPolicy) do(hc *http.Client, url, contentType string, body []byte, onRetry func()) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if attempt > p.retries {
+				return nil, lastErr
+			}
+			onRetry()
+			time.Sleep(p.backoff << (attempt - 1))
+		}
+		data, retry, err := p.attempt(hc, url, contentType, body)
+		if err == nil {
+			return data, nil
+		}
+		lastErr = err
+		if !retry {
+			return nil, err
+		}
+	}
+}
+
+// attempt runs one bounded-time POST. retry reports whether the failure
+// is transient.
+func (p retryPolicy) attempt(hc *http.Client, url, contentType string, body []byte) (data []byte, retry bool, err error) {
+	ctx := context.Background()
+	if p.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, false, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	resp, err := hc.Do(req)
+	if err != nil {
+		// Network-level failures (refused, reset, timeout) are transient.
+		return nil, true, fmt.Errorf("wire: POST %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, retryable(resp.StatusCode),
+			fmt.Errorf("wire: %s status %d: %s", url, resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	data, err = io.ReadAll(io.LimitReader(resp.Body, MaxFrameBody+4+1))
+	if err != nil {
+		return nil, true, fmt.Errorf("wire: reading %s response: %w", url, err)
+	}
+	return data, false, nil
+}
+
 // Client is the HTTP transport: Send encodes batches into binary frames
 // and POSTs them to a location server's /updates endpoint. Delivery is
 // synchronous per call; Flush is a no-op. Safe for concurrent use —
 // each Send encodes into its own buffer and the counters are atomic,
 // so parallel senders overlap their round trips.
+//
+// Each POST is bounded by a per-attempt context timeout and retried
+// with exponential backoff on transient failures (network errors, 5xx,
+// 429); re-delivery is safe because replicas are idempotent per (id,
+// Seq). Stats reports the error and retry counts.
 type Client struct {
-	url string
-	hc  *http.Client
-	c   counters
+	url    string
+	hc     *http.Client
+	policy retryPolicy
+	c      counters
 }
 
-// NewClient returns an HTTP transport posting to baseURL+"/updates".
-// hc may be nil for http.DefaultClient.
+// NewClient returns an HTTP transport posting to baseURL+"/updates"
+// with the default timeout/retry policy. hc may be nil for
+// http.DefaultClient.
 func NewClient(baseURL string, hc *http.Client) *Client {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	return &Client{url: strings.TrimSuffix(baseURL, "/") + "/updates", hc: hc}
+	return &Client{
+		url:    strings.TrimSuffix(baseURL, "/") + "/updates",
+		hc:     hc,
+		policy: defaultRetryPolicy(),
+	}
+}
+
+// SetRetry overrides the request policy: timeout bounds one attempt
+// (0 disables the bound), retries is the number of re-attempts after a
+// transient failure (0 fails fast), and backoff is the first retry
+// delay, doubling per attempt.
+func (t *Client) SetRetry(timeout time.Duration, retries int, backoff time.Duration) {
+	if retries < 0 {
+		retries = 0
+	}
+	t.policy = retryPolicy{timeout: timeout, retries: retries, backoff: backoff}
 }
 
 // URL returns the ingest endpoint the client posts to.
@@ -62,6 +174,15 @@ func (t *Client) URL() string { return t.url }
 // most maxRecordsPerFrame records and maxFrameFill encoded bytes, each
 // POSTed as one request.
 func (t *Client) Send(_ float64, batch []Record) error {
+	_, err := t.SendCounted(0, batch)
+	return err
+}
+
+// SendCounted is Send plus the server's application-level accounting:
+// it sums the IngestResponse applied counts across the POSTed chunks,
+// so callers that must know whether every record was accepted (cluster
+// rebalancing handoff) do not have to equate a 2xx with acceptance.
+func (t *Client) SendCounted(_ float64, batch []Record) (applied int, err error) {
 	for len(batch) > 0 {
 		n, fill := 0, 0
 		for n < len(batch) && n < maxRecordsPerFrame {
@@ -72,43 +193,50 @@ func (t *Client) Send(_ float64, batch []Record) error {
 			fill += size
 			n++
 		}
-		if err := t.post(batch[:n]); err != nil {
-			return err
+		a, err := t.post(batch[:n])
+		applied += a
+		if err != nil {
+			return applied, err
 		}
 		batch = batch[n:]
 	}
-	return nil
+	return applied, nil
 }
 
-func (t *Client) post(chunk []Record) error {
+func (t *Client) post(chunk []Record) (applied int, err error) {
 	size := BatchSize(chunk)
 	buf := AppendFrame(make([]byte, 0, 4+16+size), chunk)
 	if len(buf)-4 > MaxFrameBody {
-		return fmt.Errorf("wire: frame body %d exceeds %d bytes", len(buf)-4, MaxFrameBody)
+		return 0, fmt.Errorf("wire: frame body %d exceeds %d bytes", len(buf)-4, MaxFrameBody)
 	}
 	t.c.sent.Add(int64(len(chunk)))
 	t.c.bytesSent.Add(int64(size))
-
-	resp, err := t.hc.Post(t.url, ContentType, bytes.NewReader(buf))
-	if err != nil {
-		return fmt.Errorf("wire: ingest POST: %w", err)
-	}
-	defer resp.Body.Close()
 	t.c.frames.Add(1)
 	t.c.frameBytes.Add(int64(len(buf)))
-	if resp.StatusCode/100 != 2 {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
-		return fmt.Errorf("wire: ingest status %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+
+	data, err := t.policy.do(t.hc, t.url, ContentType, buf, func() {
+		t.c.retries.Add(1)
+		t.c.frames.Add(1)
+		t.c.frameBytes.Add(int64(len(buf)))
+	})
+	if err != nil {
+		t.c.errors.Add(1)
+		return 0, fmt.Errorf("wire: ingest: %w", err)
 	}
 	// Delivered counts records handed to the server — the same
 	// transport-level semantics as the other transports' handed-to-sink
 	// counting. Application-level acceptance (unknown objects, stale
-	// seqs) is the server's business: IngestResponse / GET /stats.
+	// seqs) is the server's business; its IngestResponse carries it for
+	// SendCounted callers.
 	t.c.delivered.Add(int64(len(chunk)))
 	t.c.bytesDelivered.Add(int64(size))
-	// Drain the response so the connection is reused.
-	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
-	return nil
+	var resp IngestResponse
+	if jerr := json.Unmarshal(data, &resp); jerr != nil {
+		// A non-locserv sink may answer with a different body; treat the
+		// chunk as applied rather than failing a successful POST.
+		return len(chunk), nil
+	}
+	return resp.Applied, nil
 }
 
 // Flush implements Transport; HTTP delivery is synchronous.
@@ -116,6 +244,68 @@ func (t *Client) Flush(float64) error { return nil }
 
 // Stats implements Transport.
 func (t *Client) Stats() Stats { return t.c.snapshot() }
+
+// QueryClient is the HTTP query transport: requests are encoded as
+// binary query frames and POSTed to baseURL+"/query"; the response body
+// is one response frame. It shares the ingest client's timeout/retry
+// policy — queries are read-only, so re-attempts are always safe.
+type QueryClient struct {
+	url    string
+	hc     *http.Client
+	policy retryPolicy
+	c      queryCounters
+}
+
+// NewQueryClient returns an HTTP query transport posting to
+// baseURL+"/query" with the default timeout/retry policy. hc may be
+// nil for http.DefaultClient.
+func NewQueryClient(baseURL string, hc *http.Client) *QueryClient {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &QueryClient{
+		url:    strings.TrimSuffix(baseURL, "/") + "/query",
+		hc:     hc,
+		policy: defaultRetryPolicy(),
+	}
+}
+
+// SetRetry overrides the request policy (see Client.SetRetry).
+func (t *QueryClient) SetRetry(timeout time.Duration, retries int, backoff time.Duration) {
+	if retries < 0 {
+		retries = 0
+	}
+	t.policy = retryPolicy{timeout: timeout, retries: retries, backoff: backoff}
+}
+
+// URL returns the query endpoint the client posts to.
+func (t *QueryClient) URL() string { return t.url }
+
+// Query implements QueryTransport.
+func (t *QueryClient) Query(req QueryRequest) (QueryResponse, error) {
+	t.c.queries.Add(1)
+	frame, err := EncodeQueryRequest(req)
+	if err != nil {
+		t.c.errors.Add(1)
+		return QueryResponse{}, err
+	}
+	t.c.bytesSent.Add(int64(len(frame)))
+	data, err := t.policy.do(t.hc, t.url, QueryContentType, frame, func() { t.c.retries.Add(1) })
+	if err != nil {
+		t.c.errors.Add(1)
+		return QueryResponse{}, fmt.Errorf("wire: query: %w", err)
+	}
+	t.c.bytesReceived.Add(int64(len(data)))
+	resp, _, err := DecodeQueryResponse(data)
+	if err != nil {
+		t.c.errors.Add(1)
+		return QueryResponse{}, err
+	}
+	return resp, nil
+}
+
+// Stats returns the transport's traffic counters so far.
+func (t *QueryClient) Stats() QueryStats { return t.c.snapshot() }
 
 // ReadFrame reads one length-prefixed frame from r, enforcing the same
 // bounds as DecodeFrame. It returns io.EOF at a clean end of stream and

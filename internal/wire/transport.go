@@ -46,9 +46,13 @@ type Stats struct {
 	// BytesSent and BytesDelivered are the encoded sizes of those
 	// records.
 	BytesSent, BytesDelivered int64
-	// Frames and FrameBytes count transmitted frames (HTTP requests);
-	// zero for unframed transports.
+	// Frames and FrameBytes count transmitted frames (HTTP requests,
+	// including retried ones); zero for unframed transports.
 	Frames, FrameBytes int64
+	// Errors counts Sends that ultimately failed and Retries the extra
+	// attempts made before success or giving up (the HTTP client's
+	// timeout/backoff policy); zero for in-process transports.
+	Errors, Retries int64
 }
 
 // counters is the atomic backing store shared by the implementations.
@@ -56,6 +60,7 @@ type counters struct {
 	sent, delivered, dropped  atomic.Int64
 	bytesSent, bytesDelivered atomic.Int64
 	frames, frameBytes        atomic.Int64
+	errors, retries           atomic.Int64
 }
 
 func (c *counters) snapshot() Stats {
@@ -67,6 +72,8 @@ func (c *counters) snapshot() Stats {
 		BytesDelivered: c.bytesDelivered.Load(),
 		Frames:         c.frames.Load(),
 		FrameBytes:     c.frameBytes.Load(),
+		Errors:         c.errors.Load(),
+		Retries:        c.retries.Load(),
 	}
 }
 

@@ -33,6 +33,12 @@
 // and real HTTP (NewIngestClient) implementations, so the same
 // protocol code runs in simulation and as a networked client/server
 // system, and measured bytes reflect real per-protocol message sizes.
+// Queries share that stack: a binary query protocol (QueryRequest /
+// QueryResponse over a QueryTransport) lets a ClusterCoordinator
+// partition objects over many location-service nodes by consistent
+// hashing, route ingest per partition and scatter-gather
+// nearest/within answers that are bit-identical to a single-process
+// store's (NewCluster, NewLocationNode, NewHTTPClusterMember).
 //
 // Prediction is incremental where it matters: the protocol's whole point
 // is that updates are rare, so between updates both the source's
@@ -65,6 +71,7 @@ package mapdr
 import (
 	"net/http"
 
+	"mapdr/internal/cluster"
 	"mapdr/internal/core"
 	"mapdr/internal/geo"
 	"mapdr/internal/histmap"
@@ -320,6 +327,24 @@ type (
 	// BatchUpdate pairs an object id with an update message for
 	// LocationService.ApplyBatch.
 	BatchUpdate = locserv.Update
+	// LocationQuerier answers position/nearest/within queries — a
+	// LocationService or a ClusterCoordinator.
+	LocationQuerier = locserv.Querier
+	// LocationRegistry registers and removes tracked objects — a
+	// LocationService or a ClusterCoordinator.
+	LocationRegistry = locserv.Registry
+	// LocationNode is the minimal API one location-service node exposes
+	// to a cluster (register/deliver/queries/export/stats).
+	LocationNode = locserv.Node
+	// NodeService binds a LocationService to a predictor factory,
+	// implementing LocationNode in-process.
+	NodeService = locserv.NodeService
+	// NodeStats is a node's counter snapshot, including the
+	// spatial-index health counters.
+	NodeStats = locserv.NodeStats
+	// IndexStats counts spatial-snapshot rebuilds, indexed vs scan
+	// range queries and deferred rebuilds.
+	IndexStats = locserv.IndexStats
 )
 
 // DefaultLocationShards is the shard count used by NewLocationService.
@@ -388,6 +413,65 @@ func EncodeUpdateFrame(batch []TransportRecord) ([]byte, error) { return wire.En
 // DecodeUpdateFrame decodes one frame from the front of data, returning
 // the records and the bytes consumed.
 func DecodeUpdateFrame(data []byte) ([]TransportRecord, int, error) { return wire.DecodeFrame(data) }
+
+// Cluster: the location service scaled past one process. A
+// consistent-hash ring partitions object ids over member nodes; a
+// coordinator routes ingest batches per partition over the update
+// transports and scatter-gathers nearest/within queries over the
+// binary query protocol, merging with the same order the in-process
+// shard merge uses — answers are bit-identical to a single sharded
+// store holding the same objects. Membership changes rebalance by
+// key-range handoff (Coordinator.AddNode / RemoveNode).
+type (
+	// ClusterCoordinator fronts a cluster of location-service nodes; it
+	// implements Transport, LocationQuerier and LocationRegistry, so
+	// fleets and HTTP handlers run unchanged on top of it.
+	ClusterCoordinator = cluster.Coordinator
+	// ClusterMember is one cluster node: name, Node API, ingest path.
+	ClusterMember = cluster.Member
+	// ClusterRing is the consistent-hash partitioner.
+	ClusterRing = cluster.Ring
+	// ClusterMovement is one key range whose owner changed.
+	ClusterMovement = cluster.Movement
+	// RemoteNode speaks the wire query protocol to a remote node.
+	RemoteNode = cluster.RemoteNode
+	// QueryTransport carries binary query frames to a node.
+	QueryTransport = wire.QueryTransport
+	// QueryRequest and QueryResponse are the wire query frames.
+	QueryRequest  = wire.QueryRequest
+	QueryResponse = wire.QueryResponse
+)
+
+// NewLocationNode binds a service to a predictor factory, making it a
+// cluster-capable node. factory may be nil (Register and
+// unknown-object delivery are then rejected).
+func NewLocationNode(svc *LocationService, factory AutoRegister) *NodeService {
+	return locserv.NewNodeService(svc, factory)
+}
+
+// NewCluster returns a coordinator over the given members. vnodes is
+// the virtual-node count per member (<= 0 selects a sensible default).
+func NewCluster(vnodes int, members ...*ClusterMember) (*ClusterCoordinator, error) {
+	return cluster.New(vnodes, members...)
+}
+
+// NewLocalClusterMember wraps an in-process node as a cluster member.
+func NewLocalClusterMember(name string, node *NodeService) *ClusterMember {
+	return cluster.NewLocalMember(name, node)
+}
+
+// NewHTTPClusterMember wraps a remote location server (its /query and
+// /updates endpoints) as a cluster member. hc may be nil for
+// http.DefaultClient.
+func NewHTTPClusterMember(name, baseURL string, hc *http.Client) *ClusterMember {
+	return cluster.NewHTTPMember(name, baseURL, hc)
+}
+
+// NewQueryClient returns an HTTP query transport posting binary query
+// frames to baseURL+"/query". hc may be nil for http.DefaultClient.
+func NewQueryClient(baseURL string, hc *http.Client) *wire.QueryClient {
+	return wire.NewQueryClient(baseURL, hc)
+}
 
 // Fleet simulation.
 type (
