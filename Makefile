@@ -6,14 +6,16 @@ GO ?= go
 
 # BENCH_JSON is where `make bench` writes the machine-readable gate
 # numbers; bump the index with the PR that changes the tracked set.
-BENCH_JSON ?= BENCH_4.json
+BENCH_JSON ?= BENCH_5.json
 # The gate benchmarks: the prediction-walk/cursor pair, the end-to-end
 # source+server quiet-period pair, the 10k-object fleet step, the
 # query-heavy map-predictor store mix, the networked ingest pipeline
 # (wire frames -> HTTP POST /updates -> ApplyBatch -> query fan-out;
-# gate: >= 100k updates/s), and the 4-node cluster scatter-gather
-# pipeline (ring-routed ingest + merged 10-NN; gate: >= 100k updates/s).
-BENCH_GATE = PredictLongQuiet|SourceServerQuiet|ServerQueryFanout|FleetSteps10k|MapQueryMix|IngestHTTP|ClusterIngestQuery
+# gate: >= 100k updates/s), the 4-node cluster scatter-gather pipeline
+# (ring-routed ingest + merged 10-NN; gate: >= 100k updates/s), and the
+# same pipeline at replication factor 2 (each batch delivered to both
+# owners, queries merged on freshest Seq; gate: >= 100k updates/s).
+BENCH_GATE = PredictLongQuiet|SourceServerQuiet|ServerQueryFanout|FleetSteps10k|MapQueryMix|IngestHTTP|ClusterIngestQuery|ReplicatedIngestQuery
 BENCH_PKGS = ./internal/core ./internal/locserv ./internal/sim ./internal/cluster
 
 check: vet staticcheck build race

@@ -22,6 +22,12 @@
 //	                                # partition-aware cluster: consistent-hash
 //	                                # routed ingest + scatter-gather queries,
 //	                                # per-node throughput and query tail latency
+//	drsim -exp cluster -nodes 4 -replicas 2
+//	                                # same, with every key range on R=2 members
+//	drsim -exp failover -nodes 4 -replicas 2 -fleet 100
+//	                                # kill a node mid-fleet: answer availability
+//	                                # and staleness vs a no-failure reference,
+//	                                # hinted-handoff and read-repair accounting
 //
 // -scale 0.1 shrinks the scenarios for quick runs; the defaults reproduce
 // the paper's full trace lengths. The fleet experiment drives -fleet
@@ -67,6 +73,7 @@ func main() {
 		svg       = flag.String("svg", "", "write an SVG rendering to this path (fig3/fig6)")
 		fleetN    = flag.Int("fleet", 50, "vehicles in the fleet experiment")
 		nodes     = flag.Int("nodes", 4, "cluster experiment: member node count")
+		replicas  = flag.Int("replicas", 0, "cluster/failover: replicas per key range (0 = experiment default)")
 		shards    = flag.Int("shards", locserv.DefaultShards, "location-store shards in the fleet experiment")
 		workers   = flag.Int("workers", 0, "fleet worker goroutines (0 = all CPUs)")
 		transport = flag.String("transport", "inproc", "fleet update transport: inproc, lossy or http")
@@ -90,7 +97,12 @@ func main() {
 		}, *csv)
 	} else if *exp == "cluster" {
 		err = runCluster(fleetConfig{
-			n: *fleetN, nodes: *nodes, shards: *shards, workers: *workers,
+			n: *fleetN, nodes: *nodes, replicas: *replicas, shards: *shards, workers: *workers,
+			seed: *seed, scale: *scale,
+		}, *csv)
+	} else if *exp == "failover" {
+		err = runFailover(fleetConfig{
+			n: *fleetN, nodes: *nodes, replicas: *replicas, shards: *shards, workers: *workers,
 			seed: *seed, scale: *scale,
 		}, *csv)
 	} else {
@@ -144,10 +156,11 @@ func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
 	}, nil
 }
 
-// fleetConfig parameterises the fleet and cluster experiments.
+// fleetConfig parameterises the fleet, cluster and failover
+// experiments.
 type fleetConfig struct {
 	n, shards, workers    int
-	nodes                 int
+	nodes, replicas       int
 	seed                  int64
 	scale                 float64
 	transport             string
@@ -249,6 +262,9 @@ func runCluster(cfg fleetConfig, csv bool) error {
 	if cfg.workers <= 0 {
 		cfg.workers = runtime.GOMAXPROCS(0)
 	}
+	if cfg.replicas <= 0 {
+		cfg.replicas = 1
+	}
 	cor, err := mapgen.CityGrid(mapgen.DefaultCityConfig(cfg.seed))
 	if err != nil {
 		return err
@@ -260,7 +276,7 @@ func runCluster(cfg fleetConfig, csv bool) error {
 			func(locserv.ObjectID) core.Predictor { return core.NewMapPredictor(g) })
 		members[i] = cluster.NewLocalMember(fmt.Sprintf("node-%02d", i), node)
 	}
-	coord, err := cluster.New(0, members...)
+	coord, err := cluster.NewReplicated(0, cfg.replicas, members...)
 	if err != nil {
 		return err
 	}
@@ -307,9 +323,9 @@ func runCluster(cfg fleetConfig, csv bool) error {
 		updates += n
 	}
 
-	tb := stats.NewTable("nodes", "vehicles", "shards/node", "workers", "samples", "updates",
+	tb := stats.NewTable("nodes", "R", "vehicles", "shards/node", "workers", "samples", "updates",
 		"mean err [m]", "wall [ms]", "samples/s", "10NN p50 [us]", "p95 [us]", "p99 [us]")
-	tb.AddRow(cfg.nodes, cfg.n, cfg.shards, fl.Workers, res.Samples, updates,
+	tb.AddRow(cfg.nodes, cfg.replicas, cfg.n, cfg.shards, fl.Workers, res.Samples, updates,
 		res.MeanErr, wall.Milliseconds(), float64(res.Samples)/wall.Seconds(),
 		qLat.Quantile(0.50), qLat.Quantile(0.95), qLat.Quantile(0.99))
 	if err := emit(tb, csv); err != nil {
@@ -321,6 +337,210 @@ func runCluster(cfg fleetConfig, csv bool) error {
 	nt := stats.NewTable("node", "objects", "routed records", "batches", "applied", "errors")
 	for _, ms := range coord.MemberStats() {
 		nt.AddRow(ms.Name, ms.Node.Objects, ms.Records, ms.Batches, ms.Node.UpdatesApplied, ms.Errors)
+	}
+	return emit(nt, csv)
+}
+
+// multiRegistry registers fleet objects with both the cluster under
+// test and the no-failure reference store.
+type multiRegistry struct{ regs []locserv.Registry }
+
+func (m multiRegistry) Register(id locserv.ObjectID, pred core.Predictor) error {
+	for _, r := range m.regs {
+		if err := r.Register(id, pred); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m multiRegistry) Deregister(id locserv.ObjectID) {
+	for _, r := range m.regs {
+		r.Deregister(id)
+	}
+}
+
+// teeTransport delivers every update batch to the cluster under test
+// and to the no-failure reference store, so the reference always holds
+// what a healthy cluster would.
+type teeTransport struct{ main, ref wire.Transport }
+
+func (t teeTransport) Send(now float64, batch []wire.Record) error {
+	if err := t.ref.Send(now, batch); err != nil {
+		return err
+	}
+	return t.main.Send(now, batch)
+}
+
+func (t teeTransport) Flush(now float64) error {
+	if err := t.ref.Flush(now); err != nil {
+		return err
+	}
+	return t.main.Flush(now)
+}
+
+func (t teeTransport) Stats() wire.Stats { return t.main.Stats() }
+
+// failoverPhases labels the three measurement windows of the failover
+// experiment.
+var failoverPhases = [3]string{"healthy", "node down", "recovered"}
+
+// runFailover measures what a node crash costs an R-replicated cluster:
+// a fleet streams updates into faulty in-process members while every
+// simulated second issues a probe mix (sampled Position queries, one
+// 10-NN, one Within). At 40% of the run one member is killed; at 75%
+// it recovers and is probed back up, draining its hinted updates. Every
+// query answer is compared against a no-failure reference store fed by
+// the identical update stream (a tee transport), so the report gives
+// answer availability and staleness-in-metres per phase, plus the
+// hinted-handoff and read-repair accounting.
+func runFailover(cfg fleetConfig, csv bool) error {
+	if cfg.scale <= 0 || cfg.scale > 1 {
+		return fmt.Errorf("scale must be in (0,1]")
+	}
+	if cfg.nodes < 2 {
+		return fmt.Errorf("failover needs at least two cluster nodes")
+	}
+	if cfg.replicas <= 0 {
+		cfg.replicas = 2
+	}
+	if cfg.replicas < 2 {
+		return fmt.Errorf("failover needs -replicas >= 2 (a lost R=1 partition cannot answer)")
+	}
+	if cfg.workers <= 0 {
+		cfg.workers = runtime.GOMAXPROCS(0)
+	}
+	cor, err := mapgen.CityGrid(mapgen.DefaultCityConfig(cfg.seed))
+	if err != nil {
+		return err
+	}
+	g := cor.Graph
+	members := make([]*cluster.Member, cfg.nodes)
+	injectors := make([]*cluster.FaultInjector, cfg.nodes)
+	for i := range members {
+		node := locserv.NewNodeService(locserv.NewSharded(cfg.shards),
+			func(locserv.ObjectID) core.Predictor { return core.NewMapPredictor(g) })
+		members[i], injectors[i] = cluster.NewFaultyMember(fmt.Sprintf("node-%02d", i), node)
+	}
+	coord, err := cluster.NewReplicated(0, cfg.replicas, members...)
+	if err != nil {
+		return err
+	}
+	ref := locserv.NewSharded(cfg.shards)
+
+	objs, err := sim.GenerateFleet(g, multiRegistry{regs: []locserv.Registry{coord, ref}}, sim.FleetSpec{
+		N:        cfg.n,
+		Seed:     cfg.seed,
+		RouteLen: 15000 * cfg.scale,
+		Workers:  cfg.workers,
+		IDFormat: "car-%03d",
+		Params:   tracegen.CityCarParams(),
+		Source:   core.SourceConfig{US: 100, UP: 5, Sightings: 4},
+	})
+	if err != nil {
+		return err
+	}
+	tEnd := 0.0
+	for i := range objs {
+		if last := objs[i].Truth.Samples[objs[i].Truth.Len()-1].T; last > tEnd {
+			tEnd = last
+		}
+	}
+	killT, reviveT := 0.4*tEnd, 0.75*tEnd
+	victim := injectors[cfg.nodes-1]
+	victimName := members[cfg.nodes-1].Name
+
+	// Per-phase probe-query accounting.
+	var queries, answered [3]int
+	var staleSum, staleMax [3]float64
+	var staleN [3]int
+	phase := 0
+	stride := len(objs)/16 + 1
+	count := func(err error) {
+		queries[phase]++
+		if err == nil {
+			answered[phase]++
+		}
+	}
+	fl := sim.Fleet{
+		Objects:   objs,
+		Workers:   cfg.workers,
+		Transport: teeTransport{main: coord, ref: wire.NewLoopback(ref.Sink(nil))},
+		Query:     coord,
+		Tick: func(t float64) {
+			if phase == 0 && t >= killT {
+				victim.Fail()
+				phase = 1
+			}
+			if phase == 1 && t >= reviveT {
+				victim.Recover()
+				coord.ProbeDown() // verified recovery + hint drain
+				phase = 2
+			}
+			for i := 0; i < len(objs); i += stride {
+				p, ok, err := coord.PositionE(objs[i].ID, t)
+				count(err)
+				if err != nil || !ok {
+					continue
+				}
+				if rp, rok := ref.Position(objs[i].ID, t); rok {
+					d := p.Dist(rp)
+					staleSum[phase] += d
+					staleN[phase]++
+					if d > staleMax[phase] {
+						staleMax[phase] = d
+					}
+				}
+			}
+			_, err := coord.NearestE(geo.Pt(5000, 5000), 10, t)
+			count(err)
+			_, err = coord.WithinE(geo.Rect{Min: geo.Pt(2000, 2000), Max: geo.Pt(8000, 8000)}, t)
+			count(err)
+		},
+	}
+	startT := time.Now()
+	res, err := fl.Run()
+	if err != nil {
+		return err
+	}
+	wall := time.Since(startT)
+	coord.ProbeDown()
+	coord.WaitRepairs()
+
+	var updates int64
+	for _, n := range res.Updates {
+		updates += n
+	}
+	fmt.Printf("# failover: %d nodes, R=%d, victim %s down over t=[%.0f,%.0f) of %.0f s\n",
+		cfg.nodes, cfg.replicas, victimName, killT, reviveT, tEnd)
+	tb := stats.NewTable("phase", "queries", "answered", "avail [%]", "mean stale [m]", "max stale [m]")
+	for ph, name := range failoverPhases {
+		avail, mean := 0.0, 0.0
+		if queries[ph] > 0 {
+			avail = 100 * float64(answered[ph]) / float64(queries[ph])
+		}
+		if staleN[ph] > 0 {
+			mean = staleSum[ph] / float64(staleN[ph])
+		}
+		tb.AddRow(name, queries[ph], answered[ph], avail, mean, staleMax[ph])
+	}
+	if err := emit(tb, csv); err != nil {
+		return err
+	}
+
+	st := stats.NewTable("vehicles", "samples", "updates", "mean err [m]", "wall [ms]",
+		"degraded queries", "read repairs")
+	st.AddRow(cfg.n, res.Samples, updates, res.MeanErr, wall.Milliseconds(),
+		coord.DegradedQueries(), coord.Repairs())
+	if err := emit(st, csv); err != nil {
+		return err
+	}
+
+	nt := stats.NewTable("node", "objects", "routed records", "errors", "down",
+		"hinted", "drained", "hints pending")
+	for _, ms := range coord.MemberStats() {
+		nt.AddRow(ms.Name, ms.Node.Objects, ms.Records, ms.Errors, ms.Down,
+			ms.Hints.Hinted, ms.Hints.Drained, ms.Hints.Buffered)
 	}
 	return emit(nt, csv)
 }

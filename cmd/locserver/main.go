@@ -36,10 +36,16 @@
 //
 //	locserver -cluster node -addr :8081 -fleet 0   # partition servers
 //	locserver -cluster node -addr :8082 -fleet 0
-//	locserver -cluster coordinator -addr :8080 \
+//	locserver -cluster coordinator -addr :8080 -replicas 2 \
 //	    -peers n1=http://127.0.0.1:8081,n2=http://127.0.0.1:8082
 //	curl 'http://127.0.0.1:8080/nearest?x=0&y=0&k=3&t=120'  # merged across nodes
-//	curl 'http://127.0.0.1:8080/cluster'                    # per-node stats
+//	curl 'http://127.0.0.1:8080/cluster'                    # per-node, breaker and hint stats
+//
+// -replicas R places every key range on R distinct nodes: ingest fans
+// out to all owners (replicas are idempotent per Seq), queries merge
+// the owners' answers on the freshest sequence number, and a node that
+// stops answering is circuit-broken — queries degrade to the surviving
+// replicas and its updates buffer as hints that drain on recovery.
 //
 // A node serves the regular API plus POST /query (the binary query
 // protocol the coordinator speaks) and always auto-registers unknown
@@ -80,11 +86,12 @@ func main() {
 		ingestAuto = flag.Bool("ingest-auto", false, "auto-register unknown objects arriving on /updates")
 		mode       = flag.String("cluster", "", "cluster role: \"\" (standalone), \"node\" or \"coordinator\"")
 		peers      = flag.String("peers", "", "coordinator mode: comma-separated name=baseURL node list")
+		replicas   = flag.Int("replicas", 1, "coordinator mode: replicas per key range (R)")
 	)
 	flag.Parse()
 	cfg := config{
 		addr: *addr, fleet: *fleet, seed: *seed, shards: *shards, workers: *workers,
-		ingest: *ingest, ingestAuto: *ingestAuto, mode: *mode, peers: *peers,
+		ingest: *ingest, ingestAuto: *ingestAuto, mode: *mode, peers: *peers, replicas: *replicas,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "locserver:", err)
@@ -101,6 +108,7 @@ type config struct {
 	ingestAuto      bool
 	mode            string
 	peers           string
+	replicas        int
 }
 
 // buildService simulates the fleet and returns the populated service
@@ -225,12 +233,13 @@ func run(cfg config) error {
 		if err != nil {
 			return err
 		}
-		coord, err := cluster.New(0, members...)
+		coord, err := cluster.NewReplicated(0, cfg.replicas, members...)
 		if err != nil {
 			return err
 		}
 		h = cluster.Handler(coord)
-		log.Printf("coordinating %d nodes: %s", len(members), strings.Join(coord.Nodes(), ", "))
+		log.Printf("coordinating %d nodes (R=%d): %s",
+			len(members), coord.Replicas(), strings.Join(coord.Nodes(), ", "))
 		endpoints = "/position, /nearest, /within, /healthz, /stats, /cluster, POST /updates"
 
 	default:

@@ -26,10 +26,11 @@ const (
 	clusterBenchBatch   = 1024
 )
 
-// clusterBenchSetup builds a 4-node cluster, registers the fleet
-// through the coordinator and pre-generates record batches; the caller
-// advances Seq per round so every delivery replaces replica state.
-func clusterBenchSetup(b *testing.B) (*Coordinator, [][]wire.Record) {
+// clusterBenchSetup builds a 4-node cluster replicating rf-fold,
+// registers the fleet through the coordinator and pre-generates record
+// batches; the caller advances Seq per round so every delivery replaces
+// replica state.
+func clusterBenchSetup(b *testing.B, rf int) (*Coordinator, [][]wire.Record) {
 	b.Helper()
 	members := make([]*Member, clusterBenchNodes)
 	for i := range members {
@@ -37,7 +38,7 @@ func clusterBenchSetup(b *testing.B) (*Coordinator, [][]wire.Record) {
 			func(locserv.ObjectID) core.Predictor { return core.LinearPredictor{} })
 		members[i] = NewLocalMember(fmt.Sprintf("node-%d", i), node)
 	}
-	coord, err := New(0, members...)
+	coord, err := NewReplicated(0, rf, members...)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -72,7 +73,20 @@ func clusterBenchSetup(b *testing.B) (*Coordinator, [][]wire.Record) {
 // partitioned and delivered across the 4 nodes plus one k=10 Nearest
 // merged at the coordinator.
 func BenchmarkClusterIngestQuery(b *testing.B) {
-	coord, batches := clusterBenchSetup(b)
+	benchClusterIngestQuery(b, 1)
+}
+
+// BenchmarkReplicatedIngestQuery is the replication gate: the same
+// pipeline with every key range on R=2 members — each batch is
+// delivered twice (once per owner) and every query merges duplicate
+// answers on freshest Seq. The acceptance bar stays >= 100k logical
+// updates/s.
+func BenchmarkReplicatedIngestQuery(b *testing.B) {
+	benchClusterIngestQuery(b, 2)
+}
+
+func benchClusterIngestQuery(b *testing.B, rf int) {
+	coord, batches := clusterBenchSetup(b, rf)
 
 	var records int64
 	b.ResetTimer()

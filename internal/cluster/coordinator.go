@@ -69,13 +69,25 @@ func NewHTTPMember(name, baseURL string, hc *http.Client) *Member {
 	}
 }
 
-// memberState pairs a member with the coordinator's routing counters.
+// memberState pairs a member with the coordinator's routing counters
+// and its replication health state: the consecutive-failure circuit
+// breaker and the hint buffer that holds updates while the member is
+// unreachable.
 type memberState struct {
 	*Member
 	records atomic.Int64 // update records routed to this member
 	batches atomic.Int64 // Send calls that included this member
 	queries atomic.Int64 // scatter/route calls against this member's node
 	errors  atomic.Int64 // failed node calls
+
+	consecFails atomic.Int32     // breaker input: consecutive transport failures
+	down        atomic.Bool      // breaker state: skip this member, hint its updates
+	probing     atomic.Bool      // a recovery probe is in flight
+	hints       *wire.HintBuffer // updates awaiting the member's recovery
+}
+
+func newMemberState(m *Member) *memberState {
+	return &memberState{Member: m, hints: wire.NewHintBuffer(0)}
 }
 
 // MemberStats is a per-member snapshot of the coordinator's routing
@@ -87,7 +99,11 @@ type MemberStats struct {
 	Batches int64
 	Queries int64
 	Errors  int64
-	Node    locserv.NodeStats
+	// Down reports whether the member's circuit breaker is open.
+	Down bool
+	// Hints is the member's hinted-handoff buffer accounting.
+	Hints wire.HintStats
+	Node  locserv.NodeStats
 }
 
 // Coordinator fronts a cluster of location-service nodes: it implements
@@ -96,34 +112,66 @@ type MemberStats struct {
 // so simulations, benchmarks and the HTTP API run unchanged on top of
 // either.
 //
-// Ingest batches are partitioned per member by the consistent-hash ring
-// and shipped in parallel over each member's update transport. Nearest
-// queries scatter to every member — each node reduces its partition to
-// a local top-k with a bounded heap, exactly like an in-process shard —
-// and gather-merge with the same (Dist, ID) total order, truncated to
-// k; Within scatters and merges by id; Position routes to the owner.
+// Each key range is owned by a preference list of R distinct members
+// (NewReplicated; New selects R = 1). Ingest batches are partitioned
+// per member by the consistent-hash ring — every record is shipped to
+// all R owners, safe because replicas are idempotent per (id, Seq) —
+// and delivered in parallel over each member's update transport; a
+// record is durable once any owner accepted it, so a single-node
+// failure does not fail the batch. Nearest queries scatter to every
+// live member — each node reduces its partition to a local top-k with
+// a bounded heap, exactly like an in-process shard — and gather-merge
+// on freshest Seq per object, then the (Dist, ID) total order,
+// truncated to k; Within scatters and merges freshest-then-id; Position
+// asks the owners in preference order and the highest Seq answers.
+// Replicas observed answering stale are read-repaired in the
+// background.
 //
-// Membership changes (AddNode, RemoveNode) rebalance by key-range
-// handoff: the ring reports which (Lo, Hi] hash ranges changed owner,
-// the old owner exports those replicas (reports with their sequence
-// numbers, so protocol gating survives the move) and the new owner
-// imports them. The coordinator's write lock holds routing still during
-// a move, so queries never observe a half-moved partition.
+// Per-member health is a consecutive-failure circuit breaker: after
+// breakerThreshold transport failures a member is marked down, queries
+// degrade to the surviving replicas without error, and its updates park
+// in a hint buffer that drains when a recovery probe reaches it again.
+//
+// Membership changes (AddNode, RemoveNode, Reweight) rebalance by
+// key-range handoff between preference lists: for every elementary ring
+// arc whose owner list changed, the new owners import the range from a
+// surviving previous owner before the new ring commits, so queries
+// never observe a half-moved partition.
 type Coordinator struct {
 	mu      sync.RWMutex
 	ring    *Ring
+	rf      int
 	members map[string]*memberState
 	order   []string // sorted member names: deterministic scatter order
 
 	queries     atomic.Int64
 	queryErrors atomic.Int64
+	degraded    atomic.Int64 // queries served with a down member skipped
+	repairs     atomic.Int64 // read-repair deliveries that landed
+	flushes     atomic.Int64 // ingest operations, the probe pacing clock
+
+	repairWG  sync.WaitGroup
+	repairMu  sync.Mutex
+	repairing map[locserv.ObjectID]bool
 }
 
-// New returns a coordinator over the given members. vnodes is the
-// virtual-node count per member (<= 0 selects DefaultVnodes).
+// New returns an unreplicated coordinator (replication factor 1) over
+// the given members. vnodes is the virtual-node count per member (<= 0
+// selects DefaultVnodes).
 func New(vnodes int, members ...*Member) (*Coordinator, error) {
+	return NewReplicated(vnodes, 1, members...)
+}
+
+// NewReplicated returns a coordinator replicating every key range to
+// replicas distinct members (capped at the member count; <= 0 selects
+// 1). vnodes is the virtual-node count per member (<= 0 selects
+// DefaultVnodes).
+func NewReplicated(vnodes, replicas int, members ...*Member) (*Coordinator, error) {
 	if len(members) == 0 {
 		return nil, fmt.Errorf("cluster: need at least one member")
+	}
+	if replicas <= 0 {
+		replicas = 1
 	}
 	names := make([]string, len(members))
 	for i, m := range members {
@@ -136,16 +184,25 @@ func New(vnodes int, members ...*Member) (*Coordinator, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Coordinator{ring: ring, members: make(map[string]*memberState, len(members))}
+	c := &Coordinator{
+		ring:      ring,
+		rf:        replicas,
+		members:   make(map[string]*memberState, len(members)),
+		repairing: make(map[locserv.ObjectID]bool),
+	}
 	for _, m := range members {
 		if _, dup := c.members[m.Name]; dup {
 			return nil, fmt.Errorf("cluster: duplicate member %q", m.Name)
 		}
-		c.members[m.Name] = &memberState{Member: m}
+		c.members[m.Name] = newMemberState(m)
 	}
 	c.reorder()
 	return c, nil
 }
+
+// Replicas returns the replication factor R. The effective copy count
+// of a key range is min(R, live members).
+func (c *Coordinator) Replicas() int { return c.rf }
 
 // reorder re-derives the deterministic scatter order; callers hold the
 // write lock.
@@ -164,21 +221,19 @@ func (c *Coordinator) Nodes() []string {
 	return append([]string(nil), c.order...)
 }
 
-// Owner returns the member owning id.
+// Owner returns the member owning id (the head of its preference list).
 func (c *Coordinator) Owner(id locserv.ObjectID) string {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.ring.Owner(string(id))
 }
 
-// ownerState returns the owning member of id; callers hold a lock.
-func (c *Coordinator) ownerState(id locserv.ObjectID) (*memberState, error) {
-	name := c.ring.Owner(string(id))
-	m, ok := c.members[name]
-	if !ok {
-		return nil, fmt.Errorf("cluster: no member owns %q", id)
-	}
-	return m, nil
+// Owners returns id's full preference list: the R members holding its
+// replicas.
+func (c *Coordinator) Owners(id locserv.ObjectID) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ring.Owners(string(id), c.rf)
 }
 
 // predictorRegistrar is the optional in-process fast path: a node that
@@ -187,60 +242,121 @@ type predictorRegistrar interface {
 	RegisterWith(id locserv.ObjectID, pred core.Predictor) error
 }
 
-// Register implements locserv.Registry: the object is registered on its
-// ring owner. In-process nodes take the explicit predictor; remote
-// nodes mint an equivalent one from their own factory (the cluster's
-// shared-prediction-function contract).
+// Register implements locserv.Registry: the object is registered on
+// every member of its preference list. In-process nodes take the
+// explicit predictor; remote nodes mint an equivalent one from their
+// own factory (the cluster's shared-prediction-function contract).
+// Registration succeeds when any replica accepted it — down or failing
+// members catch up through hinted records and read repair (their
+// factories auto-register on delivery).
 func (c *Coordinator) Register(id locserv.ObjectID, pred core.Predictor) error {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	m, err := c.ownerState(id)
-	if err != nil {
-		return err
+	owners := c.ring.Owners(string(id), c.rf)
+	if len(owners) == 0 {
+		return fmt.Errorf("cluster: no member owns %q", id)
 	}
-	if pr, ok := m.Node.(predictorRegistrar); ok && pred != nil {
-		err = pr.RegisterWith(id, pred)
-	} else {
-		err = m.Node.Register(id)
+	var errs []error
+	registered := 0
+	for _, name := range owners {
+		m, ok := c.members[name]
+		if !ok {
+			return fmt.Errorf("cluster: no member owns %q", id)
+		}
+		if m.down.Load() {
+			continue
+		}
+		var err error
+		if pr, ok := m.Node.(predictorRegistrar); ok && pred != nil {
+			err = pr.RegisterWith(id, pred)
+		} else {
+			err = m.Node.Register(id)
+		}
+		if err != nil {
+			m.errors.Add(1)
+			errs = append(errs, fmt.Errorf("cluster: register %q on %s: %w", id, name, err))
+			continue
+		}
+		registered++
 	}
-	if err != nil {
-		m.errors.Add(1)
+	if registered == 0 {
+		if len(errs) == 0 {
+			return fmt.Errorf("cluster: no live replica for %q", id)
+		}
+		return errors.Join(errs...)
 	}
-	return err
+	return nil
 }
 
-// Deregister implements locserv.Registry.
+// Deregister implements locserv.Registry: the object is removed from
+// every replica.
 func (c *Coordinator) Deregister(id locserv.ObjectID) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	m, err := c.ownerState(id)
-	if err != nil {
-		return
-	}
-	if err := m.Node.Deregister(id); err != nil {
-		m.errors.Add(1)
+	for _, name := range c.ring.Owners(string(id), c.rf) {
+		m, ok := c.members[name]
+		if !ok || m.down.Load() {
+			continue
+		}
+		if err := m.Node.Deregister(id); err != nil {
+			m.errors.Add(1)
+		}
 	}
 }
 
-// route partitions a batch per owning member, preserving each record's
-// relative order; callers hold a lock.
+// route partitions a batch per member of each record's preference list,
+// preserving each record's relative order; callers hold a lock. Every
+// record appears in all R owners' partitions.
 func (c *Coordinator) route(batch []wire.Record) (map[string][]wire.Record, error) {
 	parts := make(map[string][]wire.Record, len(c.members))
+	owners := make([]string, 0, c.rf)
 	for i := range batch {
 		if batch[i].ID == "" {
 			return nil, fmt.Errorf("cluster: record %d has no object id", i)
 		}
-		name := c.ring.Owner(batch[i].ID)
-		if _, ok := c.members[name]; !ok {
+		owners = c.ring.OwnersAppend(owners, batch[i].ID, c.rf)
+		if len(owners) == 0 {
 			return nil, fmt.Errorf("cluster: no member owns %q", batch[i].ID)
 		}
-		parts[name] = append(parts[name], batch[i])
+		for _, name := range owners {
+			if _, ok := c.members[name]; !ok {
+				return nil, fmt.Errorf("cluster: no member owns %q", batch[i].ID)
+			}
+			parts[name] = append(parts[name], batch[i])
+		}
 	}
 	return parts, nil
 }
 
-// Send implements wire.Transport: the batch is partitioned per member
-// and shipped in parallel over each member's update transport.
+// lostRecords counts the batch records none of whose owners accepted
+// delivery (failed names the members that did not take their
+// partition); callers hold a lock. Those records exist only as hints
+// until a replica recovers.
+func (c *Coordinator) lostRecords(batch []wire.Record, failed map[string]bool) int {
+	lost := 0
+	owners := make([]string, 0, c.rf)
+	for i := range batch {
+		owners = c.ring.OwnersAppend(owners, batch[i].ID, c.rf)
+		alive := false
+		for _, name := range owners {
+			if !failed[name] {
+				alive = true
+				break
+			}
+		}
+		if !alive {
+			lost++
+		}
+	}
+	return lost
+}
+
+// Send implements wire.Transport: the batch is partitioned per
+// preference list and shipped in parallel over each owner's update
+// transport. Partitions for down members park in their hint buffers; a
+// member failing its delivery is counted against its breaker and its
+// partition is hinted too. Send fails only when some record reached no
+// live replica at all.
 func (c *Coordinator) Send(now float64, batch []wire.Record) error {
 	if len(batch) == 0 {
 		return nil
@@ -252,6 +368,13 @@ func (c *Coordinator) Send(now float64, batch []wire.Record) error {
 		return err
 	}
 	errs := make([]error, len(c.order))
+	failed := make(map[string]bool)
+	var failedMu sync.Mutex
+	noteFailed := func(name string) {
+		failedMu.Lock()
+		failed[name] = true
+		failedMu.Unlock()
+	}
 	var wg sync.WaitGroup
 	for i, name := range c.order {
 		part := parts[name]
@@ -259,10 +382,17 @@ func (c *Coordinator) Send(now float64, batch []wire.Record) error {
 			continue
 		}
 		m := c.members[name]
+		if m.down.Load() {
+			m.hints.Add(part)
+			// Delivery goroutines of earlier members may already be
+			// writing failed; take the lock here too.
+			noteFailed(name)
+			continue
+		}
 		m.records.Add(int64(len(part)))
 		m.batches.Add(1)
 		wg.Add(1)
-		go func(i int, m *memberState, part []wire.Record) {
+		go func(i int, name string, m *memberState, part []wire.Record) {
 			defer wg.Done()
 			var err error
 			if m.Ingest != nil {
@@ -271,24 +401,39 @@ func (c *Coordinator) Send(now float64, batch []wire.Record) error {
 				_, err = m.Node.Deliver(part)
 			}
 			if err != nil {
-				m.errors.Add(1)
+				m.noteFail()
+				m.hints.Add(part)
+				noteFailed(name)
 				errs[i] = fmt.Errorf("cluster: send to %s: %w", m.Name, err)
+				return
 			}
-		}(i, m, part)
+			m.noteOK()
+		}(i, name, m, part)
 	}
 	wg.Wait()
-	return errors.Join(errs...)
+	c.maybeProbe()
+	if len(failed) == 0 {
+		return nil
+	}
+	if lost := c.lostRecords(batch, failed); lost > 0 {
+		errs = append(errs, fmt.Errorf(
+			"cluster: %d of %d records reached no live replica (hinted for recovery)", lost, len(batch)))
+		return errors.Join(errs...)
+	}
+	// Every record landed on at least one replica; the failed members'
+	// copies are hinted and will converge on recovery.
+	return nil
 }
 
-// Flush implements wire.Transport: every member transport delivers what
-// is due at now.
+// Flush implements wire.Transport: every live member transport delivers
+// what is due at now. Flush also paces the recovery probes for tripped
+// members (see ProbeDown).
 func (c *Coordinator) Flush(now float64) error {
 	c.mu.RLock()
-	defer c.mu.RUnlock()
 	var errs []error
 	for _, name := range c.order {
 		m := c.members[name]
-		if m.Ingest == nil {
+		if m.Ingest == nil || m.down.Load() {
 			continue
 		}
 		if err := m.Ingest.Flush(now); err != nil {
@@ -296,7 +441,20 @@ func (c *Coordinator) Flush(now float64) error {
 			errs = append(errs, fmt.Errorf("cluster: flush %s: %w", m.Name, err))
 		}
 	}
+	c.mu.RUnlock()
+	c.maybeProbe()
 	return errors.Join(errs...)
+}
+
+// maybeProbe schedules a background recovery probe every
+// probeEveryFlushes ingest operations (Send, DeliverRecords or Flush —
+// whichever clock the deployment actually ticks). Probes can block on
+// network timeouts, so the ingest path never waits on them.
+func (c *Coordinator) maybeProbe() {
+	if c.flushes.Add(1)%probeEveryFlushes != 0 {
+		return
+	}
+	go c.ProbeDown()
 }
 
 // Stats implements wire.Transport: the members' transport counters,
@@ -324,9 +482,11 @@ func (c *Coordinator) Stats() wire.Stats {
 	return total
 }
 
-// DeliverRecords routes records to their owners through the Node API
+// DeliverRecords routes records to every owner through the Node API
 // (not the update transports), returning how many were accepted — the
 // coordinator-side RecordSink for a cluster's HTTP ingest front door.
+// Like Send, partitions for down or failing members are hinted, and
+// only records with no live replica fail.
 func (c *Coordinator) DeliverRecords(recs []wire.Record) (applied int, err error) {
 	if len(recs) == 0 {
 		return 0, nil
@@ -337,11 +497,15 @@ func (c *Coordinator) DeliverRecords(recs []wire.Record) (applied int, err error
 	if err != nil {
 		return 0, err
 	}
-	type result struct {
-		applied int
-		err     error
+	appliedBy := make([]int, len(c.order))
+	errs := make([]error, len(c.order))
+	failed := make(map[string]bool)
+	var failedMu sync.Mutex
+	noteFailed := func(name string) {
+		failedMu.Lock()
+		failed[name] = true
+		failedMu.Unlock()
 	}
-	results := make([]result, len(c.order))
 	var wg sync.WaitGroup
 	for i, name := range c.order {
 		part := parts[name]
@@ -349,60 +513,101 @@ func (c *Coordinator) DeliverRecords(recs []wire.Record) (applied int, err error
 			continue
 		}
 		m := c.members[name]
+		if m.down.Load() {
+			m.hints.Add(part)
+			noteFailed(name)
+			continue
+		}
 		m.records.Add(int64(len(part)))
 		m.batches.Add(1)
 		wg.Add(1)
-		go func(i int, m *memberState, part []wire.Record) {
+		go func(i int, name string, m *memberState, part []wire.Record) {
 			defer wg.Done()
 			n, err := m.Node.Deliver(part)
 			if err != nil {
-				m.errors.Add(1)
+				m.noteFail()
+				m.hints.Add(part)
+				noteFailed(name)
+				errs[i] = err
+				return
 			}
-			results[i] = result{applied: n, err: err}
-		}(i, m, part)
+			m.noteOK()
+			appliedBy[i] = n
+		}(i, name, m, part)
 	}
 	wg.Wait()
-	var errs []error
-	for _, r := range results {
-		applied += r.applied
-		if r.err != nil {
-			errs = append(errs, r.err)
+	c.maybeProbe()
+	if c.rf == 1 {
+		// Unreplicated partitions are disjoint: the per-member counts sum
+		// to the exact record-level accounting (records belonging to a
+		// registered or registrable object; Seq gating is the replica's
+		// decision either way — see locserv.Service.DeliverRecords).
+		for _, n := range appliedBy {
+			applied += n
+		}
+		return applied, errors.Join(errs...)
+	}
+	// Replicated partitions overlap, so per-member counts cannot be
+	// summed per record; the count reported is transport-level
+	// durability — records that reached at least one live replica. The
+	// strict seq-gated number stays on the nodes' updates_applied
+	// counters (GET /stats, /cluster).
+	applied = len(recs)
+	if len(failed) > 0 {
+		lost := c.lostRecords(recs, failed)
+		applied -= lost
+		if lost > 0 {
+			errs = append(errs, fmt.Errorf(
+				"cluster: %d of %d records reached no live replica (hinted for recovery)", lost, len(recs)))
 		}
 	}
 	return applied, errors.Join(errs...)
 }
 
-// scatter runs fn against every member concurrently and returns the
-// per-member results in scatter order. Failed members yield nil parts
-// and count toward the error counters.
+// scatter runs fn against every live member concurrently and returns
+// the per-member results in scatter order. Down members are skipped —
+// their partitions answer from the surviving replicas — and failing
+// members yield nil parts, count toward their breaker and surface in
+// the joined error.
 func (c *Coordinator) scatter(fn func(n locserv.Node) ([]locserv.ObjectPos, error)) ([][]locserv.ObjectPos, error) {
 	parts := make([][]locserv.ObjectPos, len(c.order))
 	errs := make([]error, len(c.order))
+	skipped := false
 	var wg sync.WaitGroup
 	for i, name := range c.order {
 		m := c.members[name]
+		if m.down.Load() {
+			skipped = true
+			continue
+		}
 		m.queries.Add(1)
 		wg.Add(1)
 		go func(i int, m *memberState) {
 			defer wg.Done()
 			part, err := fn(m.Node)
 			if err != nil {
-				m.errors.Add(1)
+				m.noteFail()
 				errs[i] = fmt.Errorf("cluster: query %s: %w", m.Name, err)
 				return
 			}
+			m.noteOK()
 			parts[i] = part
 		}(i, m)
 	}
 	wg.Wait()
+	if skipped {
+		c.degraded.Add(1)
+	}
 	return parts, errors.Join(errs...)
 }
 
-// NearestE scatters a k-nearest query to every member and merges the
-// local top-k answers with the same (Dist, ID) order the in-process
-// shard merge uses. When members fail, the surviving members' merged
-// answer is still returned alongside the error, so callers choose
-// between strictness and degraded availability.
+// NearestE scatters a k-nearest query to every live member and merges:
+// freshest Seq per object first (replicas can answer in duplicate),
+// then the same (Dist, ID) order the in-process shard merge uses.
+// When members fail, the surviving members' merged answer is still
+// returned alongside the error, so callers choose between strictness
+// and degraded availability. Stale replicas observed in the merge are
+// read-repaired in the background.
 func (c *Coordinator) NearestE(p geo.Point, k int, t float64) ([]locserv.ObjectPos, error) {
 	if k <= 0 {
 		return nil, nil
@@ -416,20 +621,14 @@ func (c *Coordinator) NearestE(p geo.Point, k int, t float64) ([]locserv.ObjectP
 	if err != nil {
 		c.queryErrors.Add(1)
 	}
-	var all []locserv.ObjectPos
-	for _, part := range parts {
-		all = append(all, part...)
-	}
-	sort.Slice(all, func(i, j int) bool { return locserv.PosLess(all[i], all[j]) })
-	if len(all) > k {
-		all = all[:k]
-	}
-	return all, err
+	hits, stale := locserv.MergeNearest(parts, k)
+	c.scheduleRepairs(stale)
+	return hits, err
 }
 
-// WithinE scatters a range query to every member and merges by id.
-// Like NearestE, member failures yield the surviving partial answer
-// plus the error.
+// WithinE scatters a range query to every live member and merges by
+// freshest Seq, then id. Like NearestE, member failures yield the
+// surviving partial answer plus the error.
 func (c *Coordinator) WithinE(r geo.Rect, t float64) ([]locserv.ObjectPos, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -440,32 +639,100 @@ func (c *Coordinator) WithinE(r geo.Rect, t float64) ([]locserv.ObjectPos, error
 	if err != nil {
 		c.queryErrors.Add(1)
 	}
-	var out []locserv.ObjectPos
-	for _, part := range parts {
-		out = append(out, part...)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out, err
+	hits, stale := locserv.MergeWithin(parts)
+	c.scheduleRepairs(stale)
+	return hits, err
 }
 
-// PositionE routes a position query to the owning member.
+// PositionE asks id's owners concurrently and answers with the
+// freshest replica (highest Seq; ties go to the earliest owner in
+// preference order, so the merge is deterministic). Down members are
+// skipped; members failing the call count toward their breaker and
+// another owner answers instead, so a single-replica failure never
+// fails the query. The error is non-nil only when every owner was
+// unreachable.
 func (c *Coordinator) PositionE(id locserv.ObjectID, t float64) (geo.Point, bool, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	c.queries.Add(1)
-	m, err := c.ownerState(id)
-	if err != nil {
+	owners := c.ring.Owners(string(id), c.rf)
+	if len(owners) == 0 {
 		c.queryErrors.Add(1)
-		return geo.Point{}, false, err
+		return geo.Point{}, false, fmt.Errorf("cluster: no member owns %q", id)
 	}
-	m.queries.Add(1)
-	p, ok, err := m.Node.Position(id, t)
-	if err != nil {
-		m.errors.Add(1)
+	type answer struct {
+		m    *memberState
+		pos  geo.Point
+		seq  uint32
+		ok   bool // object known and reported
+		live bool // the call succeeded
+	}
+	answers := make([]answer, len(owners))
+	errs := make([]error, len(owners))
+	skipped := false
+	var wg sync.WaitGroup
+	for oi, name := range owners {
+		m, ok := c.members[name]
+		if !ok {
+			c.queryErrors.Add(1)
+			return geo.Point{}, false, fmt.Errorf("cluster: no member owns %q", id)
+		}
+		if m.down.Load() {
+			skipped = true
+			continue
+		}
+		m.queries.Add(1)
+		wg.Add(1)
+		go func(oi int, name string, m *memberState) {
+			defer wg.Done()
+			p, seq, found, err := m.Node.Position(id, t)
+			if err != nil {
+				m.noteFail()
+				errs[oi] = fmt.Errorf("cluster: query %s: %w", name, err)
+				return
+			}
+			m.noteOK()
+			answers[oi] = answer{m: m, pos: p, seq: seq, ok: found, live: true}
+		}(oi, name, m)
+	}
+	wg.Wait()
+	if skipped {
+		c.degraded.Add(1)
+	}
+	best := -1
+	anyLive := false
+	for i, a := range answers {
+		if !a.live {
+			continue
+		}
+		anyLive = true
+		if a.ok && (best < 0 || a.seq > answers[best].seq) {
+			best = i
+		}
+	}
+	if !anyLive {
 		c.queryErrors.Add(1)
-		return geo.Point{}, false, err
+		if err := errors.Join(errs...); err != nil {
+			return geo.Point{}, false, err
+		}
+		return geo.Point{}, false, fmt.Errorf("cluster: no live replica for %q", id)
 	}
-	return p, ok, nil
+	if best < 0 {
+		return geo.Point{}, false, nil
+	}
+	var staleMembers []*memberState
+	for i, a := range answers {
+		if i == best || !a.live {
+			continue
+		}
+		if !a.ok || a.seq < answers[best].seq {
+			staleMembers = append(staleMembers, a.m)
+		}
+	}
+	if len(staleMembers) > 0 {
+		c.spawnRepair(id, answers[best].m, staleMembers)
+	}
+	return answers[best].pos, true, nil
 }
 
 // Nearest implements locserv.Querier; member failures degrade to the
@@ -494,14 +761,26 @@ func (c *Coordinator) QueryErrors() int64 { return c.queryErrors.Load() }
 // Queries returns how many queries the coordinator served.
 func (c *Coordinator) Queries() int64 { return c.queries.Load() }
 
-// NodeStats aggregates the members' node stats. Unreachable members
-// contribute nothing (their error counters advance).
+// DegradedQueries returns how many queries were answered with at least
+// one down member skipped (the surviving replicas carried them).
+func (c *Coordinator) DegradedQueries() int64 { return c.degraded.Load() }
+
+// Repairs returns how many read-repair deliveries landed on stale
+// replicas.
+func (c *Coordinator) Repairs() int64 { return c.repairs.Load() }
+
+// NodeStats aggregates the live members' node stats. Down and
+// unreachable members contribute nothing (the latter advance their
+// error counters).
 func (c *Coordinator) NodeStats() locserv.NodeStats {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	var total locserv.NodeStats
 	for _, name := range c.order {
 		m := c.members[name]
+		if m.down.Load() {
+			continue
+		}
 		st, err := m.Node.NodeStats()
 		if err != nil {
 			m.errors.Add(1)
@@ -520,7 +799,8 @@ func (c *Coordinator) NodeStats() locserv.NodeStats {
 }
 
 // MemberStats snapshots the coordinator's per-member routing counters
-// and each member's node stats, in scatter order.
+// and each member's node stats, in scatter order. Down members keep a
+// zero NodeStats (they are not probed here).
 func (c *Coordinator) MemberStats() []MemberStats {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -533,28 +813,32 @@ func (c *Coordinator) MemberStats() []MemberStats {
 			Batches: m.batches.Load(),
 			Queries: m.queries.Load(),
 			Errors:  m.errors.Load(),
+			Down:    m.down.Load(),
+			Hints:   m.hints.Stats(),
 		}
-		if st, err := m.Node.NodeStats(); err == nil {
-			ms.Node = st
-		} else {
-			m.errors.Add(1)
-			ms.Errors++
+		if !ms.Down {
+			if st, err := m.Node.NodeStats(); err == nil {
+				ms.Node = st
+			} else {
+				m.errors.Add(1)
+				ms.Errors++
+			}
 		}
 		out = append(out, ms)
 	}
 	return out
 }
 
-// AddNode joins a member to the cluster and rebalances: every key
-// range the ring reassigns to it is exported from its previous owner
-// (ids plus reports with their protocol sequence numbers) and imported
-// on the new member; only once every import has succeeded are the
-// moved objects deregistered from their old owners and the new ring
-// committed. A failure mid-rebalance therefore leaves routing exactly
-// as it was — nothing has been deregistered yet — and the partial
-// imports on the joining member (not yet part of the ring) are cleaned
-// up best-effort. Routing is held still for the duration, so queries
-// never see a half-moved partition.
+// AddNode joins a member to the cluster and rebalances: every ring arc
+// whose preference list gains the member is exported from a surviving
+// previous owner (ids plus reports with their protocol sequence
+// numbers) and imported on it; only once every import has succeeded
+// does the new ring commit, after which the members that left the arcs'
+// preference lists drop their superseded copies. A failure mid-handoff
+// therefore leaves routing exactly as it was, and the partial imports
+// on the joining member (not yet part of the ring) are cleaned up
+// best-effort. Routing is held still for the duration, so queries never
+// see a half-moved partition.
 func (c *Coordinator) AddNode(m *Member) error {
 	if m == nil || m.Node == nil {
 		return fmt.Errorf("cluster: nil member")
@@ -565,31 +849,33 @@ func (c *Coordinator) AddNode(m *Member) error {
 		return fmt.Errorf("cluster: duplicate member %q", m.Name)
 	}
 	next := c.ring.clone()
-	movs, err := next.Add(m.Name)
-	if err != nil {
+	if _, err := next.Add(m.Name); err != nil {
 		return err
 	}
-	st := &memberState{Member: m}
+	st := newMemberState(m)
 	extra := map[string]*memberState{m.Name: st}
-	moved, err := c.importMovements(movs, extra)
+	moves, imported, err := c.migrate(next, extra)
 	if err != nil {
-		c.cleanupImports(extra, moved)
+		c.cleanupImports(extra, imported)
 		return err
 	}
-	// All data is on the new member; dropping the old copies and
-	// committing the ring cannot fail routing anymore (deregistration
-	// failures only leak a stale copy on the source, never lose data).
-	c.deregisterMoved(moved)
+	// All data is on the new owner set; committing the ring and dropping
+	// the superseded copies cannot fail routing anymore (a failed drop
+	// only leaks a stale replica, counted on its member).
 	c.ring = next
 	c.members[m.Name] = st
 	c.reorder()
+	c.dropMoved(moves)
 	return nil
 }
 
-// RemoveNode drains a member and removes it: every key range it owned
-// is exported to its new ring owner first; the member (and the ring
-// change) is only committed once all imports succeeded, so a failed
-// drain leaves the cluster routing as before.
+// RemoveNode drains a member and removes it: every ring arc it owned a
+// replica of gains a new member, which imports the range from a
+// surviving owner — preferably the leaving member itself, but any other
+// replica serves when it is down (how a crashed node leaves an R >= 2
+// cluster without data loss). The ring change commits only once all
+// imports succeeded, so a failed drain leaves the cluster routing as
+// before.
 func (c *Coordinator) RemoveNode(name string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -600,92 +886,22 @@ func (c *Coordinator) RemoveNode(name string) error {
 		return fmt.Errorf("cluster: cannot remove the last member %q", name)
 	}
 	next := c.ring.clone()
-	movs, err := next.Remove(name)
-	if err != nil {
+	if _, err := next.Remove(name); err != nil {
 		return err
 	}
-	moved, err := c.importMovements(movs, nil)
+	moves, imported, err := c.migrate(next, nil)
 	if err != nil {
 		// The leaving member still owns its ranges (ring unchanged); the
 		// imports already landed on other members would answer scatter
 		// queries as duplicates, so undo them.
-		c.cleanupImports(nil, moved)
+		c.cleanupImports(nil, imported)
 		return err
 	}
 	c.ring = next
 	delete(c.members, name)
 	c.reorder()
+	c.dropMoved(moves)
 	return nil
-}
-
-// importMovements runs the import half of a rebalance: for every
-// movement, export the range from its current owner and land it on the
-// target (extra contains targets not yet in the member map, e.g. a
-// joining node). It returns the ids imported per target so a failure
-// can be cleaned up and a success can deregister the sources. Nothing
-// is removed from any source here.
-func (c *Coordinator) importMovements(movs []Movement, extra map[string]*memberState) (map[string][]locserv.ObjectID, error) {
-	moved := make(map[string][]locserv.ObjectID)
-	member := func(name string) *memberState {
-		if m, ok := c.members[name]; ok {
-			return m
-		}
-		return extra[name]
-	}
-	for _, mov := range movs {
-		from, to := member(mov.From), member(mov.To)
-		if from == nil || to == nil {
-			return moved, fmt.Errorf("cluster: handoff (%x,%x]: unknown member %q/%q", mov.Lo, mov.Hi, mov.From, mov.To)
-		}
-		recs, ids, err := from.Node.Export(mov.Lo, mov.Hi)
-		if err != nil {
-			from.errors.Add(1)
-			return moved, fmt.Errorf("cluster: export (%x,%x] from %s: %w", mov.Lo, mov.Hi, mov.From, err)
-		}
-		for _, id := range ids {
-			if err := to.Node.Register(id); err != nil {
-				to.errors.Add(1)
-				return moved, fmt.Errorf("cluster: register %q on %s: %w", id, mov.To, err)
-			}
-			moved[mov.To] = append(moved[mov.To], id)
-		}
-		if len(recs) > 0 {
-			applied, err := to.Node.Deliver(recs)
-			if err == nil && applied != len(recs) {
-				err = fmt.Errorf("target applied %d of %d records", applied, len(recs))
-			}
-			if err != nil {
-				to.errors.Add(1)
-				// The batch may have partially landed; treat every record
-				// as possibly-imported for cleanup purposes.
-				for i := range recs {
-					moved[mov.To] = append(moved[mov.To], locserv.ObjectID(recs[i].ID))
-				}
-				return moved, fmt.Errorf("cluster: import (%x,%x] into %s: %w", mov.Lo, mov.Hi, mov.To, err)
-			}
-			to.records.Add(int64(len(recs)))
-			for i := range recs {
-				moved[mov.To] = append(moved[mov.To], locserv.ObjectID(recs[i].ID))
-			}
-		}
-	}
-	return moved, nil
-}
-
-// deregisterMoved drops the moved objects from their old owners after
-// a committed rebalance. The source copies are already superseded, so
-// failures only leak a stale replica (counted, not fatal).
-func (c *Coordinator) deregisterMoved(moved map[string][]locserv.ObjectID) {
-	for _, ids := range moved {
-		for _, id := range ids {
-			name := c.ring.Owner(string(id)) // pre-commit ring: the old owner
-			if from, ok := c.members[name]; ok {
-				if err := from.Node.Deregister(id); err != nil {
-					from.errors.Add(1)
-				}
-			}
-		}
-	}
 }
 
 // cleanupImports best-effort removes partially imported objects from

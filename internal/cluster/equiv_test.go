@@ -37,11 +37,12 @@ func equivGraph(t *testing.T) *roadmap.Graph {
 }
 
 // buildLoopbackCluster returns a coordinator over n wire-loopback
-// members: every query, registration and handoff round-trips through
-// the full binary query codec, and ingest goes through the loopback
-// update transport — the wire-level behaviour of a real cluster with
-// deterministic, synchronous delivery.
-func buildLoopbackCluster(t *testing.T, g *roadmap.Graph, n, shardsPerNode int) *Coordinator {
+// members replicating every key range rf-fold: every query,
+// registration and handoff round-trips through the full binary query
+// codec, and ingest goes through the loopback update transport — the
+// wire-level behaviour of a real cluster with deterministic,
+// synchronous delivery.
+func buildLoopbackCluster(t *testing.T, g *roadmap.Graph, n, shardsPerNode, rf int) *Coordinator {
 	t.Helper()
 	members := make([]*Member, n)
 	for i := range members {
@@ -49,7 +50,7 @@ func buildLoopbackCluster(t *testing.T, g *roadmap.Graph, n, shardsPerNode int) 
 			func(locserv.ObjectID) core.Predictor { return core.NewMapPredictor(g) })
 		members[i] = NewLoopbackMember(fmt.Sprintf("node-%d", i), node)
 	}
-	coord, err := New(0, members...)
+	coord, err := NewReplicated(0, rf, members...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,9 @@ func buildLoopbackCluster(t *testing.T, g *roadmap.Graph, n, shardsPerNode int) 
 // through the binary query protocol, answers merged at the
 // coordinator) returns bit-identical Nearest/Within/Position results
 // and identical fleet error statistics to a single-process sharded
-// store driven by the same simulation.
+// store driven by the same simulation — unreplicated and with every
+// key range on R=2 members (ingest fanned out to both, reads merged on
+// freshest Seq).
 func TestClusterEquivalence(t *testing.T) {
 	g := equivGraph(t)
 	spec := equivFleetSpec(6)
@@ -77,50 +80,61 @@ func TestClusterEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Cluster: same simulation, updates and queries through the
-	// coordinator.
-	coord := buildLoopbackCluster(t, g, 4, 4)
-	objsB, err := sim.GenerateFleet(g, coord, spec)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resB, err := (&sim.Fleet{
-		Objects: objsB, Workers: spec.Workers,
-		Transport: coord, Query: coord,
-	}).Run()
-	if err != nil {
-		t.Fatal(err)
-	}
+	for _, rf := range []int{1, 2} {
+		t.Run(fmt.Sprintf("R%d", rf), func(t *testing.T) {
+			// Cluster: same simulation, updates and queries through the
+			// coordinator.
+			coord := buildLoopbackCluster(t, g, 4, 4, rf)
+			objsB, err := sim.GenerateFleet(g, coord, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resB, err := (&sim.Fleet{
+				Objects: objsB, Workers: spec.Workers,
+				Transport: coord, Query: coord,
+			}).Run()
+			if err != nil {
+				t.Fatal(err)
+			}
 
-	// Identical fleet error statistics: same samples, same per-object
-	// update counts, bit-identical mean server error.
-	if resA.Samples != resB.Samples {
-		t.Fatalf("samples: single %d, cluster %d", resA.Samples, resB.Samples)
-	}
-	if !reflect.DeepEqual(resA.Updates, resB.Updates) {
-		t.Fatalf("update counts differ:\nsingle  %v\ncluster %v", resA.Updates, resB.Updates)
-	}
-	if resA.MeanErr != resB.MeanErr {
-		t.Fatalf("mean error: single %v, cluster %v (diff %g)",
-			resA.MeanErr, resB.MeanErr, math.Abs(resA.MeanErr-resB.MeanErr))
-	}
-	if resA.Wire.Sent != resB.Wire.Sent || resA.Wire.Delivered != resB.Wire.Delivered {
-		t.Fatalf("wire stats differ: single %+v, cluster %+v", resA.Wire, resB.Wire)
-	}
+			// Identical fleet error statistics: same samples, same per-object
+			// update counts, bit-identical mean server error.
+			if resA.Samples != resB.Samples {
+				t.Fatalf("samples: single %d, cluster %d", resA.Samples, resB.Samples)
+			}
+			if !reflect.DeepEqual(resA.Updates, resB.Updates) {
+				t.Fatalf("update counts differ:\nsingle  %v\ncluster %v", resA.Updates, resB.Updates)
+			}
+			if resA.MeanErr != resB.MeanErr {
+				t.Fatalf("mean error: single %v, cluster %v (diff %g)",
+					resA.MeanErr, resB.MeanErr, math.Abs(resA.MeanErr-resB.MeanErr))
+			}
+			// The transport really replicates: every record reaches rf
+			// members.
+			wantSent := resA.Wire.Sent * int64(rf)
+			if resB.Wire.Sent != wantSent || resB.Wire.Delivered != wantSent {
+				t.Fatalf("wire stats: cluster %+v, want sent=delivered=%d (R=%d)", resB.Wire, wantSent, rf)
+			}
 
-	// The cluster really is partitioned: no node holds everything.
-	nodeObjs := 0
-	for _, ms := range coord.MemberStats() {
-		if ms.Node.Objects == spec.N {
-			t.Errorf("member %s holds the whole fleet — not partitioned", ms.Name)
-		}
-		nodeObjs += ms.Node.Objects
-	}
-	if nodeObjs != spec.N {
-		t.Fatalf("nodes hold %d objects in total, want %d", nodeObjs, spec.N)
-	}
+			// The cluster really is partitioned: no node holds everything,
+			// and the copies sum to R per object.
+			nodeObjs := 0
+			for _, ms := range coord.MemberStats() {
+				if ms.Node.Objects == spec.N && rf < 4 {
+					t.Errorf("member %s holds the whole fleet — not partitioned", ms.Name)
+				}
+				nodeObjs += ms.Node.Objects
+			}
+			if nodeObjs != spec.N*rf {
+				t.Fatalf("nodes hold %d object copies in total, want %d", nodeObjs, spec.N*rf)
+			}
 
-	assertQueriesEqual(t, svc, coord, objsA)
+			assertQueriesEqual(t, svc, coord, objsA)
+			if got := coord.QueryErrors(); got != 0 {
+				t.Fatalf("%d query errors on a healthy cluster", got)
+			}
+		})
+	}
 }
 
 // assertQueriesEqual compares the full query surface bit-for-bit at a

@@ -1,0 +1,133 @@
+// Fault injection for failure-tolerance tests and the drsim failover
+// experiment: an in-process member with a kill switch. While tripped,
+// every node call and ingest send fails the way an unreachable network
+// peer would, so the coordinator's breaker, hinted handoff and read
+// repair exercise their real paths deterministically.
+
+package cluster
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"mapdr/internal/geo"
+	"mapdr/internal/locserv"
+	"mapdr/internal/wire"
+)
+
+// ErrInjectedFault is what a killed member's calls fail with.
+var ErrInjectedFault = errors.New("cluster: injected fault: member unreachable")
+
+// FaultInjector toggles a faulty member between reachable and dead.
+type FaultInjector struct{ down atomic.Bool }
+
+// Fail makes the member unreachable: every call errors until Recover.
+func (f *FaultInjector) Fail() { f.down.Store(true) }
+
+// Recover makes the member reachable again (the coordinator still has
+// to probe it back up — see Coordinator.ProbeDown).
+func (f *FaultInjector) Recover() { f.down.Store(false) }
+
+// Down reports whether the member is currently unreachable.
+func (f *FaultInjector) Down() bool { return f.down.Load() }
+
+// NewFaultyMember returns an in-process member wired through inj: while
+// inj is failed, its queries, admin calls and ingest sends all error.
+func NewFaultyMember(name string, node *locserv.NodeService) (*Member, *FaultInjector) {
+	inj := &FaultInjector{}
+	ingest := wire.NewLoopback(wire.SinkFunc(func(batch []wire.Record) error {
+		_, err := node.Deliver(batch)
+		return err
+	}))
+	return &Member{
+		Name:   name,
+		Node:   faultyNode{n: node, inj: inj},
+		Ingest: faultyTransport{tr: ingest, inj: inj},
+	}, inj
+}
+
+// faultyNode fails every Node call while the injector is down.
+type faultyNode struct {
+	n   locserv.Node
+	inj *FaultInjector
+}
+
+func (x faultyNode) Register(id locserv.ObjectID) error {
+	if x.inj.Down() {
+		return ErrInjectedFault
+	}
+	return x.n.Register(id)
+}
+
+func (x faultyNode) Deregister(id locserv.ObjectID) error {
+	if x.inj.Down() {
+		return ErrInjectedFault
+	}
+	return x.n.Deregister(id)
+}
+
+func (x faultyNode) Deliver(recs []wire.Record) (int, error) {
+	if x.inj.Down() {
+		return 0, ErrInjectedFault
+	}
+	return x.n.Deliver(recs)
+}
+
+func (x faultyNode) Position(id locserv.ObjectID, t float64) (geo.Point, uint32, bool, error) {
+	if x.inj.Down() {
+		return geo.Point{}, 0, false, ErrInjectedFault
+	}
+	return x.n.Position(id, t)
+}
+
+func (x faultyNode) Nearest(p geo.Point, k int, t float64) ([]locserv.ObjectPos, error) {
+	if x.inj.Down() {
+		return nil, ErrInjectedFault
+	}
+	return x.n.Nearest(p, k, t)
+}
+
+func (x faultyNode) Within(r geo.Rect, t float64) ([]locserv.ObjectPos, error) {
+	if x.inj.Down() {
+		return nil, ErrInjectedFault
+	}
+	return x.n.Within(r, t)
+}
+
+func (x faultyNode) Export(lo, hi uint64) ([]wire.Record, []locserv.ObjectID, error) {
+	if x.inj.Down() {
+		return nil, nil, ErrInjectedFault
+	}
+	return x.n.Export(lo, hi)
+}
+
+func (x faultyNode) NodeStats() (locserv.NodeStats, error) {
+	if x.inj.Down() {
+		return locserv.NodeStats{}, ErrInjectedFault
+	}
+	return x.n.NodeStats()
+}
+
+// faultyTransport fails Send while the injector is down. Flush stays a
+// no-op (the loopback has nothing in flight), so a dead member never
+// blocks the cluster-wide flush.
+type faultyTransport struct {
+	tr  wire.Transport
+	inj *FaultInjector
+}
+
+func (x faultyTransport) Send(now float64, batch []wire.Record) error {
+	if x.inj.Down() {
+		return ErrInjectedFault
+	}
+	return x.tr.Send(now, batch)
+}
+
+func (x faultyTransport) Flush(now float64) error {
+	if x.inj.Down() {
+		return nil
+	}
+	return x.tr.Flush(now)
+}
+
+func (x faultyTransport) Stats() wire.Stats { return x.tr.Stats() }

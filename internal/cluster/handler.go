@@ -30,17 +30,27 @@ func Handler(c *Coordinator) http.Handler {
 			Batches int64  `json:"batches"`
 			Queries int64  `json:"queries"`
 			Errors  int64  `json:"errors"`
+			Down    bool   `json:"down"`
+			Hinted  int64  `json:"hinted"`
+			Drained int64  `json:"hints_drained"`
+			Pending int    `json:"hints_pending"`
 			Objects int    `json:"objects"`
 			Shards  int    `json:"shards"`
 			Applied int64  `json:"updates_applied"`
 		}
 		stats := c.MemberStats()
 		out := struct {
+			Replicas     int          `json:"replicas"`
 			Nodes        []memberJSON `json:"nodes"`
 			Queries      int64        `json:"queries"`
 			QueryErrors  int64        `json:"query_errors"`
+			Degraded     int64        `json:"degraded_queries"`
+			Repairs      int64        `json:"read_repairs"`
 			TotalObjects int          `json:"total_objects"`
-		}{Queries: c.Queries(), QueryErrors: c.QueryErrors()}
+		}{
+			Replicas: c.Replicas(), Queries: c.Queries(), QueryErrors: c.QueryErrors(),
+			Degraded: c.DegradedQueries(), Repairs: c.Repairs(),
+		}
 		for _, ms := range stats {
 			out.Nodes = append(out.Nodes, memberJSON{
 				Name:    ms.Name,
@@ -48,6 +58,10 @@ func Handler(c *Coordinator) http.Handler {
 				Batches: ms.Batches,
 				Queries: ms.Queries,
 				Errors:  ms.Errors,
+				Down:    ms.Down,
+				Hinted:  ms.Hints.Hinted,
+				Drained: ms.Hints.Drained,
+				Pending: ms.Hints.Buffered,
 				Objects: ms.Node.Objects,
 				Shards:  ms.Node.Shards,
 				Applied: ms.Node.UpdatesApplied,

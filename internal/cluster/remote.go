@@ -81,15 +81,15 @@ func (r *RemoteNode) Deliver(recs []wire.Record) (int, error) {
 }
 
 // Position implements locserv.Node.
-func (r *RemoteNode) Position(id locserv.ObjectID, t float64) (geo.Point, bool, error) {
+func (r *RemoteNode) Position(id locserv.ObjectID, t float64) (geo.Point, uint32, bool, error) {
 	resp, err := r.call(wire.QueryRequest{Op: wire.OpPosition, ID: string(id), T: t})
 	if err != nil {
-		return geo.Point{}, false, err
+		return geo.Point{}, 0, false, err
 	}
 	if !resp.Found || len(resp.Hits) != 1 {
-		return geo.Point{}, false, nil
+		return geo.Point{}, 0, false, nil
 	}
-	return geo.Pt(resp.Hits[0].X, resp.Hits[0].Y), true, nil
+	return geo.Pt(resp.Hits[0].X, resp.Hits[0].Y), uint32(resp.Hits[0].Seq), true, nil
 }
 
 // Nearest implements locserv.Node.
@@ -101,18 +101,33 @@ func (r *RemoteNode) Nearest(p geo.Point, k int, t float64) ([]locserv.ObjectPos
 	return locserv.FromWireHits(resp.Hits), nil
 }
 
-// Within implements locserv.Node.
+// Within implements locserv.Node, following the server's paging
+// cursor: an answer too large for one response frame arrives as
+// multiple pages keyed by the last object id of each, and the
+// concatenation is exactly the unpaged answer (pages are cut from one
+// id-sorted result).
 func (r *RemoteNode) Within(rect geo.Rect, t float64) ([]locserv.ObjectPos, error) {
-	resp, err := r.call(wire.QueryRequest{
-		Op:   wire.OpWithin,
-		MinX: rect.Min.X, MinY: rect.Min.Y,
-		MaxX: rect.Max.X, MaxY: rect.Max.Y,
-		T: t,
-	})
-	if err != nil {
-		return nil, err
+	var out []locserv.ObjectPos
+	after := ""
+	for {
+		resp, err := r.call(wire.QueryRequest{
+			Op:   wire.OpWithin,
+			MinX: rect.Min.X, MinY: rect.Min.Y,
+			MaxX: rect.Max.X, MaxY: rect.Max.Y,
+			T: t, After: after,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, locserv.FromWireHits(resp.Hits)...)
+		if resp.Next == "" {
+			return out, nil
+		}
+		if resp.Next <= after {
+			return nil, fmt.Errorf("cluster: within page cursor did not advance (%q -> %q)", after, resp.Next)
+		}
+		after = resp.Next
 	}
-	return locserv.FromWireHits(resp.Hits), nil
 }
 
 // Export implements locserv.Node.

@@ -1,0 +1,433 @@
+// Replication: the failure-tolerance half of the cluster. Every key
+// range lives on an R-member preference list (ring.Owners); this file
+// holds what keeps those replicas honest when nodes fail and recover:
+//
+//   - the per-member circuit breaker (consecutive transport failures
+//     trip it; queries and ingest then route around the member),
+//   - recovery probes and hinted-handoff draining (updates buffered
+//     while a member was down are replayed on first contact — safe
+//     because replicas are idempotent per (id, Seq)),
+//   - background read repair (a replica observed answering with a stale
+//     Seq gets the winning record pushed back at it),
+//   - preference-list rebalancing (AddNode/RemoveNode/Reweight move key
+//     ranges between owner lists arc by arc), and
+//   - load-derived vnode weights (BalancedWeights).
+
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"mapdr/internal/locserv"
+	"mapdr/internal/wire"
+)
+
+const (
+	// breakerThreshold is how many consecutive transport failures trip a
+	// member's circuit breaker. Application-level errors (a rejected
+	// registration, say) do not count — only failures of the calls the
+	// coordinator retries elsewhere anyway.
+	breakerThreshold = 3
+	// probeEveryFlushes paces recovery probes off the ingest clock: every
+	// Nth Flush checks the tripped members in the background.
+	probeEveryFlushes = 8
+)
+
+// noteOK resets the member's consecutive-failure count.
+func (m *memberState) noteOK() { m.consecFails.Store(0) }
+
+// noteFail counts a transport failure and trips the breaker once the
+// member has failed breakerThreshold calls in a row.
+func (m *memberState) noteFail() {
+	m.errors.Add(1)
+	if m.consecFails.Add(1) >= breakerThreshold {
+		m.down.Store(true)
+	}
+}
+
+// MarkDown forces a member's breaker open or closed — operational
+// override for planned maintenance (and deterministic failure tests).
+// Closing it does not drain hints; use ProbeDown for a verified
+// recovery.
+func (c *Coordinator) MarkDown(name string, down bool) error {
+	c.mu.RLock()
+	m, ok := c.members[name]
+	c.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("cluster: unknown member %q", name)
+	}
+	m.down.Store(down)
+	if !down {
+		m.consecFails.Store(0)
+	}
+	return nil
+}
+
+// ProbeDown synchronously checks every tripped member with a cheap
+// NodeStats call; members that answer are marked up again and their
+// hint buffers drain into them. It returns how many members recovered.
+// Flush schedules it in the background every probeEveryFlushes calls;
+// operators and tests may call it directly.
+func (c *Coordinator) ProbeDown() int {
+	c.mu.RLock()
+	var tripped []*memberState
+	for _, name := range c.order {
+		m := c.members[name]
+		if m.down.Load() && m.probing.CompareAndSwap(false, true) {
+			tripped = append(tripped, m)
+		}
+	}
+	c.mu.RUnlock()
+	recovered := 0
+	for _, m := range tripped {
+		if _, err := m.Node.NodeStats(); err != nil {
+			m.errors.Add(1)
+			m.probing.Store(false)
+			continue
+		}
+		m.consecFails.Store(0)
+		m.down.Store(false)
+		c.drainHints(m)
+		m.probing.Store(false)
+		recovered++
+	}
+	return recovered
+}
+
+// drainHints replays a recovered member's buffered updates. The buffer
+// holds one freshest record per object, so the replay is one bounded
+// delivery; anything the member learned in the meantime wins its
+// per-Seq gate. A failed replay re-buffers the records for the next
+// probe.
+func (c *Coordinator) drainHints(m *memberState) {
+	recs := m.hints.Drain()
+	if len(recs) == 0 {
+		return
+	}
+	if _, err := m.Node.Deliver(recs); err != nil {
+		m.noteFail()
+		m.hints.Add(recs)
+		return
+	}
+	m.records.Add(int64(len(recs)))
+}
+
+// scheduleRepairs starts background read repair for every divergence a
+// merged scatter answer exposed; callers hold at least the read lock
+// (part indices map to c.order).
+func (c *Coordinator) scheduleRepairs(stale []locserv.Divergence) {
+	if c.rf < 2 {
+		return
+	}
+	for _, d := range stale {
+		fresh := c.members[c.order[d.FreshPart]]
+		targets := make([]*memberState, 0, len(d.StaleParts))
+		for _, pi := range d.StaleParts {
+			targets = append(targets, c.members[c.order[pi]])
+		}
+		c.spawnRepair(d.ID, fresh, targets)
+	}
+}
+
+// spawnRepair pushes the freshest copy of id from the fresh member at
+// the stale ones, in the background, at most once concurrently per
+// object. The copy travels as an Export of id's exact key hash — the
+// full report with its Seq — so the stale replica's own gate applies it
+// only if it is genuinely behind.
+func (c *Coordinator) spawnRepair(id locserv.ObjectID, fresh *memberState, targets []*memberState) {
+	if c.rf < 2 || len(targets) == 0 {
+		return
+	}
+	c.repairMu.Lock()
+	if c.repairing[id] {
+		c.repairMu.Unlock()
+		return
+	}
+	c.repairing[id] = true
+	c.repairMu.Unlock()
+	c.repairWG.Add(1)
+	go func() {
+		defer c.repairWG.Done()
+		defer func() {
+			c.repairMu.Lock()
+			delete(c.repairing, id)
+			c.repairMu.Unlock()
+		}()
+		h := wire.KeyHash(string(id))
+		// (h-1, h] selects exactly hash h; ids colliding on the full
+		// 64-bit hash share the preference list, so shipping them along
+		// is harmless.
+		recs, _, err := fresh.Node.Export(h-1, h)
+		if err != nil {
+			fresh.errors.Add(1)
+			return
+		}
+		if len(recs) == 0 {
+			return
+		}
+		for _, m := range targets {
+			if m.down.Load() {
+				continue
+			}
+			if _, err := m.Node.Deliver(recs); err != nil {
+				m.noteFail()
+				continue
+			}
+			m.noteOK()
+			c.repairs.Add(1)
+		}
+	}()
+}
+
+// WaitRepairs blocks until every scheduled read repair has finished —
+// determinism for tests and drain-before-shutdown for operators.
+func (c *Coordinator) WaitRepairs() { c.repairWG.Wait() }
+
+// arcMove is the handoff plan for one elementary ring arc (lo, hi]
+// whose owner preference list changes in a migration: adds import the
+// range, drops give it up, sources are the previous owners that can
+// export it.
+type arcMove struct {
+	lo, hi  uint64
+	sources []string
+	adds    []string
+	drops   []string
+}
+
+// diffPreferenceLists compares the R-owner preference lists of every
+// elementary arc — the ring segments between consecutive vnode
+// positions of either ring — and returns the arcs whose owner set
+// changes. Boundaries come from both rings, so within one arc both
+// preference lists are constant.
+func diffPreferenceLists(old, next *Ring, rf int) []arcMove {
+	seen := make(map[uint64]bool, len(old.vnodes)+len(next.vnodes))
+	bounds := make([]uint64, 0, len(old.vnodes)+len(next.vnodes))
+	for _, r := range []*Ring{old, next} {
+		for _, v := range r.vnodes {
+			if !seen[v.pos] {
+				seen[v.pos] = true
+				bounds = append(bounds, v.pos)
+			}
+		}
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	n := len(bounds)
+	var moves []arcMove
+	for i := 0; i < n; i++ {
+		hi := bounds[i]
+		lo := bounds[(i+n-1)%n]
+		// n == 1 leaves lo == hi, which InKeyRange reads as the whole
+		// ring — exactly right for a single-vnode ring.
+		ownersOld := old.ownersAt(hi, rf)
+		ownersNew := next.ownersAt(hi, rf)
+		adds := subtractNames(ownersNew, ownersOld)
+		drops := subtractNames(ownersOld, ownersNew)
+		if len(adds) == 0 && len(drops) == 0 {
+			continue
+		}
+		moves = append(moves, arcMove{lo: lo, hi: hi, sources: ownersOld, adds: adds, drops: drops})
+	}
+	return moves
+}
+
+// subtractNames returns the members of a not in b, preserving order.
+func subtractNames(a, b []string) []string {
+	var out []string
+	for _, name := range a {
+		found := false
+		for _, have := range b {
+			if have == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// migrate runs the import half of moving the cluster onto the next
+// ring: for every arc whose preference list gains members, a surviving
+// previous owner exports the range (reports keep their sequence
+// numbers, so protocol gating survives the move) and each new owner
+// imports it. It returns the executed plan and the ids imported per
+// target, so a failure can be cleaned up and a success can drop the
+// superseded copies. Nothing is removed from any source here; callers
+// hold the write lock.
+func (c *Coordinator) migrate(next *Ring, extra map[string]*memberState) ([]arcMove, map[string][]locserv.ObjectID, error) {
+	member := func(name string) *memberState {
+		if m, ok := c.members[name]; ok {
+			return m
+		}
+		return extra[name]
+	}
+	moves := diffPreferenceLists(c.ring, next, c.rf)
+	imported := make(map[string][]locserv.ObjectID)
+	for _, mv := range moves {
+		if len(mv.adds) == 0 {
+			continue
+		}
+		// Export once per arc, from the first previous owner that is
+		// known, up and answering — with R >= 2, losing a node does not
+		// strand its ranges.
+		var recs []wire.Record
+		var ids []locserv.ObjectID
+		exported := false
+		var lastErr error
+		for _, s := range mv.sources {
+			from := member(s)
+			if from == nil {
+				lastErr = fmt.Errorf("unknown member %q", s)
+				continue
+			}
+			if from.down.Load() {
+				lastErr = fmt.Errorf("member %q is down", s)
+				continue
+			}
+			r, i, err := from.Node.Export(mv.lo, mv.hi)
+			if err != nil {
+				from.errors.Add(1)
+				lastErr = err
+				continue
+			}
+			recs, ids, exported = r, i, true
+			break
+		}
+		if !exported {
+			return moves, imported, fmt.Errorf("cluster: handoff (%x,%x]: no live source in %v: %w",
+				mv.lo, mv.hi, mv.sources, lastErr)
+		}
+		for _, target := range mv.adds {
+			to := member(target)
+			if to == nil {
+				return moves, imported, fmt.Errorf("cluster: handoff (%x,%x]: unknown target %q", mv.lo, mv.hi, target)
+			}
+			for _, id := range ids {
+				if err := to.Node.Register(id); err != nil {
+					to.errors.Add(1)
+					return moves, imported, fmt.Errorf("cluster: register %q on %s: %w", id, target, err)
+				}
+				imported[target] = append(imported[target], id)
+			}
+			if len(recs) > 0 {
+				applied, err := to.Node.Deliver(recs)
+				if err == nil && applied != len(recs) {
+					err = fmt.Errorf("target applied %d of %d records", applied, len(recs))
+				}
+				// The batch may have partially landed; treat every record as
+				// possibly-imported for cleanup purposes either way.
+				for i := range recs {
+					imported[target] = append(imported[target], locserv.ObjectID(recs[i].ID))
+				}
+				if err != nil {
+					to.errors.Add(1)
+					return moves, imported, fmt.Errorf("cluster: import (%x,%x] into %s: %w", mv.lo, mv.hi, target, err)
+				}
+				to.records.Add(int64(len(recs)))
+			}
+		}
+	}
+	return moves, imported, nil
+}
+
+// dropMoved removes the superseded range copies from the members that
+// left each arc's preference list, after a committed migration. The
+// copies are already replicated on the new owner set, so failures only
+// leak a stale replica (counted, not fatal). Members no longer in the
+// cluster (the leaving node of RemoveNode) are skipped — they keep
+// their data and simply stop being asked. Callers hold the write lock.
+func (c *Coordinator) dropMoved(moves []arcMove) {
+	for _, mv := range moves {
+		for _, name := range mv.drops {
+			m, ok := c.members[name]
+			if !ok {
+				continue
+			}
+			recs, ids, err := m.Node.Export(mv.lo, mv.hi)
+			if err != nil {
+				m.errors.Add(1)
+				continue
+			}
+			for i := range recs {
+				ids = append(ids, locserv.ObjectID(recs[i].ID))
+			}
+			for _, id := range ids {
+				if err := m.Node.Deregister(id); err != nil {
+					m.errors.Add(1)
+				}
+			}
+		}
+	}
+}
+
+// Reweight migrates the cluster onto new per-member vnode counts —
+// weighted consistent hashing driven by observed load (see
+// BalancedWeights). Ranges whose preference lists change move exactly
+// like an AddNode handoff; a failure rolls back to the previous ring.
+func (c *Coordinator) Reweight(weights map[string]int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for name := range weights {
+		if _, ok := c.members[name]; !ok {
+			return fmt.Errorf("cluster: weight for unknown member %q", name)
+		}
+	}
+	next, err := c.ring.reweighted(weights)
+	if err != nil {
+		return err
+	}
+	moves, imported, err := c.migrate(next, nil)
+	if err != nil {
+		c.cleanupImports(nil, imported)
+		return err
+	}
+	c.ring = next
+	c.dropMoved(moves)
+	return nil
+}
+
+// BalancedWeights derives per-member vnode counts from the
+// coordinator's routing counters: members that received more than
+// their fair share of routed records get proportionally fewer vnodes,
+// members that received less get more, clamped to [base/4, base*4] so
+// one noisy interval cannot evacuate a node. base is the default vnode
+// count (<= 0 selects DefaultVnodes); members with no recorded traffic
+// keep it. Feed the result to Coordinator.Reweight.
+func BalancedWeights(base int, stats []MemberStats) map[string]int {
+	if base <= 0 {
+		base = DefaultVnodes
+	}
+	total := int64(0)
+	for i := range stats {
+		total += stats[i].Records
+	}
+	weights := make(map[string]int, len(stats))
+	if total == 0 || len(stats) == 0 {
+		for i := range stats {
+			weights[stats[i].Name] = base
+		}
+		return weights
+	}
+	fair := float64(total) / float64(len(stats))
+	lo, hi := base/4, base*4
+	if lo < 1 {
+		lo = 1
+	}
+	for i := range stats {
+		w := base
+		if stats[i].Records > 0 {
+			w = int(float64(base)*fair/float64(stats[i].Records) + 0.5)
+		}
+		if w < lo {
+			w = lo
+		}
+		if w > hi {
+			w = hi
+		}
+		weights[stats[i].Name] = w
+	}
+	return weights
+}

@@ -39,10 +39,21 @@ type vnode struct {
 // after its hash. Add and Remove report exactly which key ranges change
 // owner, so membership changes hand off only the moved partitions.
 //
+// Replication reads the ring through Owners: an id's preference list is
+// its owner followed by the next distinct physical members walking the
+// ring clockwise (vnodes of members already in the list are skipped),
+// so R replicas always land on R different nodes when the cluster has
+// that many.
+//
+// Members may carry unequal vnode counts (weighted consistent hashing):
+// a member's share of the key space is proportional to its weight, the
+// lever BalancedWeights uses to bias placement from observed load.
+//
 // Ring is not safe for concurrent use; the Coordinator guards it.
 type Ring struct {
 	vnodes   []vnode
-	replicas int
+	replicas int            // default vnodes per member
+	weights  map[string]int // per-member vnode count overrides
 	names    map[string]bool
 }
 
@@ -56,10 +67,27 @@ type Movement struct {
 // NewRing returns a ring with the given members, each projected to
 // replicas virtual nodes (<= 0 selects DefaultVnodes).
 func NewRing(replicas int, names ...string) (*Ring, error) {
+	return NewWeightedRing(replicas, nil, names...)
+}
+
+// NewWeightedRing returns a ring whose members project weights[name]
+// virtual nodes each (members absent from weights, or with a
+// non-positive weight, use the replicas default; replicas <= 0 selects
+// DefaultVnodes).
+func NewWeightedRing(replicas int, weights map[string]int, names ...string) (*Ring, error) {
 	if replicas <= 0 {
 		replicas = DefaultVnodes
 	}
-	r := &Ring{replicas: replicas, names: make(map[string]bool, len(names))}
+	r := &Ring{
+		replicas: replicas,
+		weights:  make(map[string]int, len(weights)),
+		names:    make(map[string]bool, len(names)),
+	}
+	for name, w := range weights {
+		if w > 0 {
+			r.weights[name] = w
+		}
+	}
 	for _, name := range names {
 		if err := r.insert(name); err != nil {
 			return nil, err
@@ -67,6 +95,17 @@ func NewRing(replicas int, names ...string) (*Ring, error) {
 	}
 	return r, nil
 }
+
+// vnodeCount returns how many virtual nodes name projects.
+func (r *Ring) vnodeCount(name string) int {
+	if w, ok := r.weights[name]; ok {
+		return w
+	}
+	return r.replicas
+}
+
+// Vnodes returns a member's virtual-node count.
+func (r *Ring) Vnodes(name string) int { return r.vnodeCount(name) }
 
 // vnodePos is the ring position of a member's i-th virtual node.
 func vnodePos(name string, i int) uint64 {
@@ -82,7 +121,7 @@ func (r *Ring) insert(name string) error {
 		return fmt.Errorf("cluster: node %q already in ring", name)
 	}
 	r.names[name] = true
-	for i := 0; i < r.replicas; i++ {
+	for i := 0; i < r.vnodeCount(name); i++ {
 		r.vnodes = append(r.vnodes, vnode{pos: vnodePos(name, i), node: name})
 	}
 	r.sortVnodes()
@@ -132,6 +171,49 @@ func (r *Ring) ownerAt(h uint64) string {
 	return r.vnodes[i].node
 }
 
+// Owners returns id's preference list: the R distinct physical members
+// reached walking the ring clockwise from id's hash (fewer when the
+// ring has fewer members). The first entry is the primary owner.
+func (r *Ring) Owners(id string, rf int) []string {
+	return r.ownersAppendAt(nil, wire.KeyHash(id), rf)
+}
+
+// OwnersAppend is Owners reusing dst's backing array — the per-record
+// routing hot path's allocation-free variant.
+func (r *Ring) OwnersAppend(dst []string, id string, rf int) []string {
+	return r.ownersAppendAt(dst, wire.KeyHash(id), rf)
+}
+
+// ownersAt returns the preference list of ring position h.
+func (r *Ring) ownersAt(h uint64, rf int) []string {
+	return r.ownersAppendAt(nil, h, rf)
+}
+
+// ownersAppendAt walks the ring clockwise from the first vnode at or
+// after h, collecting rf distinct members; vnode collisions (a member
+// already in the list) are skipped so replicas land on distinct nodes.
+func (r *Ring) ownersAppendAt(dst []string, h uint64, rf int) []string {
+	dst = dst[:0]
+	if len(r.vnodes) == 0 || rf <= 0 {
+		return dst
+	}
+	i := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].pos >= h })
+	for n := 0; n < len(r.vnodes) && len(dst) < rf; n++ {
+		v := &r.vnodes[(i+n)%len(r.vnodes)]
+		dup := false
+		for _, have := range dst {
+			if have == v.node {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, v.node)
+		}
+	}
+	return dst
+}
+
 // prevPos returns the position of the vnode preceding index i,
 // wrapping.
 func (r *Ring) prevPos(i int) uint64 {
@@ -141,14 +223,23 @@ func (r *Ring) prevPos(i int) uint64 {
 	return r.vnodes[i-1].pos
 }
 
-// Add inserts a member and returns the key ranges that move to it,
-// each annotated with its previous owner. On the first member the list
-// is empty (there is nobody to move keys from).
-func (r *Ring) Add(name string) ([]Movement, error) {
+// Add inserts a member with the default vnode count and returns the
+// key ranges that move to it, each annotated with its previous owner.
+// On the first member the list is empty (there is nobody to move keys
+// from).
+func (r *Ring) Add(name string) ([]Movement, error) { return r.AddWeighted(name, 0) }
+
+// AddWeighted is Add with an explicit vnode count for the new member
+// (<= 0 uses the ring default) — how a heavier or lighter node joins
+// with a proportionally different share of the key space.
+func (r *Ring) AddWeighted(name string, vnodes int) ([]Movement, error) {
 	if r.names[name] {
 		return nil, fmt.Errorf("cluster: node %q already in ring", name)
 	}
 	old := r.clone()
+	if vnodes > 0 {
+		r.weights[name] = vnodes
+	}
 	if err := r.insert(name); err != nil {
 		return nil, err
 	}
@@ -180,6 +271,7 @@ func (r *Ring) Remove(name string) ([]Movement, error) {
 	}
 	old := r.clone()
 	delete(r.names, name)
+	delete(r.weights, name)
 	kept := r.vnodes[:0]
 	for _, v := range r.vnodes {
 		if v.node != name {
@@ -218,10 +310,34 @@ func (r *Ring) clone() *Ring {
 	c := &Ring{
 		vnodes:   append([]vnode(nil), r.vnodes...),
 		replicas: r.replicas,
+		weights:  make(map[string]int, len(r.weights)),
 		names:    make(map[string]bool, len(r.names)),
+	}
+	for n, w := range r.weights {
+		c.weights[n] = w
 	}
 	for n := range r.names {
 		c.names[n] = true
 	}
 	return c
+}
+
+// reweighted returns a new ring with the same members and the given
+// vnode-count overrides applied on top of the existing ones — the
+// target ring of a Coordinator.Reweight migration.
+func (r *Ring) reweighted(weights map[string]int) (*Ring, error) {
+	merged := make(map[string]int, len(r.weights)+len(weights))
+	for name, w := range r.weights {
+		merged[name] = w
+	}
+	for name, w := range weights {
+		if w <= 0 {
+			return nil, fmt.Errorf("cluster: vnode weight %d for %q", w, name)
+		}
+		if !r.names[name] {
+			return nil, fmt.Errorf("cluster: weight for unknown member %q", name)
+		}
+		merged[name] = w
+	}
+	return NewWeightedRing(r.replicas, merged, r.Nodes()...)
 }

@@ -151,6 +151,132 @@ func TestRingRemoveMovements(t *testing.T) {
 	}
 }
 
+// TestRingOwnersPreferenceList checks the replication read of the
+// ring: R distinct physical members per key, the primary first, vnode
+// collisions skipped, capped by the member count.
+func TestRingOwnersPreferenceList(t *testing.T) {
+	r, _ := NewRing(32, "a", "b", "c", "d")
+	for _, id := range ringIDs(2000) {
+		owners := r.Owners(id, 3)
+		if len(owners) != 3 {
+			t.Fatalf("%s: owners %v, want 3", id, owners)
+		}
+		if owners[0] != r.Owner(id) {
+			t.Fatalf("%s: primary %s != Owner %s", id, owners[0], r.Owner(id))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("%s: duplicate member in preference list %v", id, owners)
+			}
+			seen[o] = true
+		}
+	}
+	// Over-asking returns every member exactly once.
+	if owners := r.Owners("anything", 10); len(owners) != 4 {
+		t.Fatalf("over-asked owners %v, want all 4 members", owners)
+	}
+	// The preference list shifts by at most one position when a member
+	// leaves: survivors keep their replicas (that is what makes handoff
+	// incremental).
+	before := map[string][]string{}
+	ids := ringIDs(2000)
+	for _, id := range ids {
+		before[id] = r.Owners(id, 2)
+	}
+	if _, err := r.Remove("d"); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		after := r.Owners(id, 2)
+		for _, o := range before[id] {
+			if o == "d" {
+				continue
+			}
+			found := false
+			for _, now := range after {
+				if now == o {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("%s: surviving replica %s evicted by removal (%v -> %v)", id, o, before[id], after)
+			}
+		}
+	}
+}
+
+// TestRingWeightedOwnershipDiff is the weighted-vnode ownership-diff
+// proof: quadrupling one member's vnode count grows its key share
+// roughly proportionally, and every key that changes owner moves TO
+// that member — nothing shuffles between the unweighted members.
+func TestRingWeightedOwnershipDiff(t *testing.T) {
+	ids := ringIDs(20000)
+	uniform, _ := NewRing(32, "a", "b", "c", "d")
+	weighted, err := NewWeightedRing(32, map[string]int{"d": 128}, "a", "b", "c", "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	moved := 0
+	for _, id := range ids {
+		was, now := uniform.Owner(id), weighted.Owner(id)
+		counts[now]++
+		if was == now {
+			continue
+		}
+		moved++
+		if now != "d" {
+			t.Fatalf("%s moved %s->%s though only d was upweighted", id, was, now)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no key moved to the upweighted member")
+	}
+	// d carries 128 of 224 vnodes: its share should be roughly 4x an
+	// unweighted member's, far above the uniform quarter.
+	if counts["d"] < len(ids)/3 {
+		t.Fatalf("upweighted member owns %d of %d keys — weight had no effect: %v", counts["d"], len(ids), counts)
+	}
+	for _, name := range []string{"a", "b", "c"} {
+		if counts[name] >= counts["d"] {
+			t.Fatalf("unweighted %s owns more than the 4x-weighted d: %v", name, counts)
+		}
+	}
+	// AddWeighted produces the same ownership as constructing the ring
+	// with that weight, and its movement list is exactly the diff.
+	grown, _ := NewRing(32, "a", "b", "c")
+	before := map[string]string{}
+	for _, id := range ids {
+		before[id] = grown.Owner(id)
+	}
+	movs, err := grown.AddWeighted("d", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown.Vnodes("d") != 128 {
+		t.Fatalf("joined member carries %d vnodes, want 128", grown.Vnodes("d"))
+	}
+	for _, id := range ids {
+		after := grown.Owner(id)
+		h := wire.KeyHash(id)
+		inMove := false
+		for i := range movs {
+			if wire.InKeyRange(h, movs[i].Lo, movs[i].Hi) {
+				inMove = true
+				break
+			}
+		}
+		if inMove && after != "d" {
+			t.Fatalf("%s inside a movement but owned by %s", id, after)
+		}
+		if !inMove && after != before[id] {
+			t.Fatalf("%s changed owner %s->%s outside any movement", id, before[id], after)
+		}
+	}
+}
+
 func TestRingErrors(t *testing.T) {
 	if _, err := NewRing(8, "a", "a"); err == nil {
 		t.Error("duplicate member accepted")

@@ -99,6 +99,11 @@ func (sv *Server) State(t float64) (geo.Point, float64, bool) {
 // LastReport returns the last applied report.
 func (sv *Server) LastReport() (Report, bool) { return sv.last, sv.hasReport }
 
+// Seq returns the last applied report's protocol sequence number (0
+// before the first update) — the freshness signal replicated location
+// services merge on.
+func (sv *Server) Seq() uint32 { return sv.last.Seq }
+
 // Updates returns the number of updates applied.
 func (sv *Server) Updates() int64 { return sv.updates }
 

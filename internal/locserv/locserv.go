@@ -52,6 +52,10 @@ type ObjectPos struct {
 	Pos geo.Point
 	// Dist is the distance to the query point for nearest queries.
 	Dist float64
+	// Seq is the answering replica's protocol sequence number for the
+	// object (0 before its first report). A replicated cluster merges
+	// per-node answers on it: the highest Seq is the freshest copy.
+	Seq uint32
 }
 
 // Update pairs an object id with a protocol update message, the unit of
@@ -323,14 +327,23 @@ func (sh *shard) applyIdx(batch []Update, order []int32, errs []error) (_ []erro
 
 // Position answers a position query for one object at time t.
 func (s *Service) Position(id ObjectID, t float64) (geo.Point, bool) {
+	p, _, ok := s.PositionSeq(id, t)
+	return p, ok
+}
+
+// PositionSeq is Position plus the replica's protocol sequence number —
+// what a replicated coordinator needs to pick the freshest of R
+// answers. seq is 0 for unknown or not-yet-reported objects.
+func (s *Service) PositionSeq(id ObjectID, t float64) (pos geo.Point, seq uint32, ok bool) {
 	sh := s.shardFor(id)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	srv, ok := sh.objs[id]
 	if !ok {
-		return geo.Point{}, false
+		return geo.Point{}, 0, false
 	}
-	return srv.Position(t)
+	pos, ok = srv.Position(t)
+	return pos, srv.Seq(), ok
 }
 
 // Len returns the number of registered objects.
@@ -452,7 +465,7 @@ func (sh *shard) nearest(p geo.Point, k int, t float64) []ObjectPos {
 		if !ok {
 			continue
 		}
-		op := ObjectPos{ID: id, Pos: pos, Dist: p.Dist(pos)}
+		op := ObjectPos{ID: id, Pos: pos, Dist: p.Dist(pos), Seq: srv.Seq()}
 		if len(h) < k {
 			heap.Push(&h, op)
 		} else if PosLess(op, h[0]) {
@@ -514,7 +527,7 @@ func (sh *shard) within(r geo.Rect, t float64) []ObjectPos {
 		}
 		pos, ok := srv.Position(t)
 		if ok && r.Contains(pos) {
-			out = append(out, ObjectPos{ID: id, Pos: pos})
+			out = append(out, ObjectPos{ID: id, Pos: pos, Seq: srv.Seq()})
 		}
 		return true
 	})
@@ -547,7 +560,7 @@ func (sh *shard) withinScanLocked(r geo.Rect, t float64) []ObjectPos {
 			continue
 		}
 		if r.Contains(pos) {
-			out = append(out, ObjectPos{ID: id, Pos: pos})
+			out = append(out, ObjectPos{ID: id, Pos: pos, Seq: srv.Seq()})
 		}
 	}
 	return out

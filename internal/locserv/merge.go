@@ -1,0 +1,115 @@
+// Freshest-Seq merge: the replication half of the query path. A
+// replicated coordinator queries every owner of a partition, so the
+// same object can answer from R replicas — usually in sync, but stale
+// on a replica that missed updates during a failure. These helpers
+// collapse per-node answers to one hit per object (highest Seq wins)
+// and report which replicas answered with an out-of-date copy, so the
+// coordinator can read-repair them.
+
+package locserv
+
+import "sort"
+
+// Divergence records one object whose replicas answered a query with
+// different sequence numbers: FreshPart is the index (into the merged
+// parts) of the freshest answer, StaleParts the indices that returned
+// a staler copy. The coordinator maps part indices back to members and
+// pushes the winning record at the stale ones.
+type Divergence struct {
+	ID         ObjectID
+	FreshPart  int
+	StaleParts []int
+}
+
+// MergeFreshest flattens per-node query answers into one hit per
+// object, keeping the highest-Seq copy (ties: the first part in order,
+// so the merge is deterministic), and reports every replica that
+// returned a staler copy. The merged hits keep their first-encounter
+// order; callers re-sort by their query family's total order ((Dist,
+// ID) for nearest, ID for range answers).
+//
+// With replication factor 1 the parts are disjoint and MergeFreshest
+// degenerates to a flatten — bit-identical to the unreplicated merge.
+func MergeFreshest(parts [][]ObjectPos) (fresh []ObjectPos, stale []Divergence) {
+	total := 0
+	for _, part := range parts {
+		total += len(part)
+	}
+	if total == 0 {
+		// nil, not empty: merged answers must compare equal to what a
+		// single store returns for an empty result.
+		return nil, nil
+	}
+	fresh = make([]ObjectPos, 0, total)
+	at := make(map[ObjectID]int, total) // id -> index in fresh
+	from := make(map[ObjectID]int, total)
+	// tied tracks the parts currently sharing the best Seq of a
+	// duplicated object: if a still-fresher copy shows up later, every
+	// one of them turns out stale and needs repair.
+	var div map[ObjectID]*Divergence
+	var tied map[ObjectID][]int
+	for pi, part := range parts {
+		for _, hit := range part {
+			i, seen := at[hit.ID]
+			if !seen {
+				at[hit.ID] = len(fresh)
+				from[hit.ID] = pi
+				fresh = append(fresh, hit)
+				continue
+			}
+			// A second replica answered for the same object: keep the
+			// fresher copy and remember the staler replicas for repair.
+			if div == nil {
+				div = make(map[ObjectID]*Divergence)
+				tied = make(map[ObjectID][]int)
+			}
+			d := div[hit.ID]
+			if d == nil {
+				d = &Divergence{ID: hit.ID, FreshPart: from[hit.ID]}
+				div[hit.ID] = d
+			}
+			switch {
+			case hit.Seq > fresh[i].Seq:
+				d.StaleParts = append(d.StaleParts, d.FreshPart)
+				d.StaleParts = append(d.StaleParts, tied[hit.ID]...)
+				tied[hit.ID] = nil
+				d.FreshPart = pi
+				from[hit.ID] = pi
+				fresh[i] = hit
+			case hit.Seq < fresh[i].Seq:
+				d.StaleParts = append(d.StaleParts, pi)
+			default:
+				// Same Seq as the current best: in sync so far, but stale
+				// together with it if a fresher copy follows.
+				tied[hit.ID] = append(tied[hit.ID], pi)
+			}
+		}
+	}
+	for _, d := range div {
+		if len(d.StaleParts) > 0 {
+			stale = append(stale, *d)
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool { return stale[i].ID < stale[j].ID })
+	return fresh, stale
+}
+
+// MergeNearest merges per-node k-nearest answers: freshest copy per
+// object, then the shard merge's (Dist, ID) total order, truncated to
+// k. stale reports replicas needing read repair.
+func MergeNearest(parts [][]ObjectPos, k int) (hits []ObjectPos, stale []Divergence) {
+	hits, stale = MergeFreshest(parts)
+	sort.Slice(hits, func(i, j int) bool { return PosLess(hits[i], hits[j]) })
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits, stale
+}
+
+// MergeWithin merges per-node range answers: freshest copy per object,
+// sorted by id — the same order a single store returns.
+func MergeWithin(parts [][]ObjectPos) (hits []ObjectPos, stale []Divergence) {
+	hits, stale = MergeFreshest(parts)
+	sort.Slice(hits, func(i, j int) bool { return hits[i].ID < hits[j].ID })
+	return hits, stale
+}

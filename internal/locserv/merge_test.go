@@ -1,0 +1,71 @@
+package locserv
+
+import (
+	"reflect"
+	"testing"
+
+	"mapdr/internal/geo"
+)
+
+func mergeHit(id string, seq uint32) ObjectPos {
+	return ObjectPos{ID: ObjectID(id), Pos: geo.Pt(float64(seq), 0), Seq: seq}
+}
+
+func TestMergeFreshestKeepsHighestSeq(t *testing.T) {
+	parts := [][]ObjectPos{
+		{mergeHit("a", 3), mergeHit("b", 1)},
+		{mergeHit("a", 5), mergeHit("c", 2)},
+		{mergeHit("b", 1)},
+	}
+	fresh, stale := MergeFreshest(parts)
+	byID := map[ObjectID]ObjectPos{}
+	for _, h := range fresh {
+		byID[h.ID] = h
+	}
+	if len(fresh) != 3 || byID["a"].Seq != 5 || byID["b"].Seq != 1 || byID["c"].Seq != 2 {
+		t.Fatalf("fresh %v", fresh)
+	}
+	// One divergence: part 0's copy of "a" is stale; "b" is in sync.
+	want := []Divergence{{ID: "a", FreshPart: 1, StaleParts: []int{0}}}
+	if !reflect.DeepEqual(stale, want) {
+		t.Fatalf("stale %v, want %v", stale, want)
+	}
+	// Empty input merges to nil (what a store returns for no hits).
+	if fresh, stale = MergeFreshest([][]ObjectPos{nil, {}}); fresh != nil || stale != nil {
+		t.Fatalf("empty merge: %v, %v", fresh, stale)
+	}
+}
+
+// TestMergeFreshestTieThenFresher is the read-repair completeness
+// regression: when two replicas tie on a stale Seq before the fresh
+// copy is scanned, BOTH must be reported stale — not only the one that
+// happened to be first.
+func TestMergeFreshestTieThenFresher(t *testing.T) {
+	parts := [][]ObjectPos{
+		{mergeHit("a", 5)},
+		{mergeHit("a", 5)},
+		{mergeHit("a", 7)},
+	}
+	fresh, stale := MergeFreshest(parts)
+	if len(fresh) != 1 || fresh[0].Seq != 7 {
+		t.Fatalf("fresh %v", fresh)
+	}
+	if len(stale) != 1 || stale[0].FreshPart != 2 {
+		t.Fatalf("stale %v", stale)
+	}
+	got := append([]int(nil), stale[0].StaleParts...)
+	if len(got) != 2 || !((got[0] == 0 && got[1] == 1) || (got[0] == 1 && got[1] == 0)) {
+		t.Fatalf("stale parts %v, want both 0 and 1", got)
+	}
+	// The mirrored order (fresh first, then the stale tie) reports the
+	// tied stale replicas too.
+	parts = [][]ObjectPos{
+		{mergeHit("a", 7)},
+		{mergeHit("a", 5)},
+		{mergeHit("a", 5)},
+	}
+	_, stale = MergeFreshest(parts)
+	if len(stale) != 1 || stale[0].FreshPart != 0 || !reflect.DeepEqual(stale[0].StaleParts, []int{1, 2}) {
+		t.Fatalf("mirrored stale %v", stale)
+	}
+}

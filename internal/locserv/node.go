@@ -106,8 +106,11 @@ type Node interface {
 	// a registered or registrable object).
 	Deliver(recs []wire.Record) (applied int, err error)
 	// Position, Nearest and Within are the query families, with Querier
-	// semantics plus a transport error.
-	Position(id ObjectID, t float64) (geo.Point, bool, error)
+	// semantics plus a transport error. Every answer carries the
+	// replica's protocol sequence number (Position explicitly, the hit
+	// lists via ObjectPos.Seq) so a replicated coordinator can merge R
+	// answers on freshness.
+	Position(id ObjectID, t float64) (pos geo.Point, seq uint32, ok bool, err error)
 	Nearest(p geo.Point, k int, t float64) ([]ObjectPos, error)
 	Within(r geo.Rect, t float64) ([]ObjectPos, error)
 	// Export snapshots the replicas whose wire.KeyHash falls in the
@@ -201,9 +204,9 @@ func (n *NodeService) Deliver(recs []wire.Record) (int, error) {
 }
 
 // Position implements Node.
-func (n *NodeService) Position(id ObjectID, t float64) (geo.Point, bool, error) {
-	p, ok := n.s.Position(id, t)
-	return p, ok, nil
+func (n *NodeService) Position(id ObjectID, t float64) (geo.Point, uint32, bool, error) {
+	p, seq, ok := n.s.PositionSeq(id, t)
+	return p, seq, ok, nil
 }
 
 // Nearest implements Node.
@@ -240,13 +243,13 @@ func ServeQuery(n Node, req wire.QueryRequest) wire.QueryResponse {
 	}
 	switch req.Op {
 	case wire.OpPosition:
-		p, ok, err := n.Position(ObjectID(req.ID), req.T)
+		p, seq, ok, err := n.Position(ObjectID(req.ID), req.T)
 		if err != nil {
 			return fail(err)
 		}
 		if ok {
 			resp.Found = true
-			resp.Hits = []wire.QueryHit{{ID: req.ID, X: p.X, Y: p.Y}}
+			resp.Hits = []wire.QueryHit{{ID: req.ID, X: p.X, Y: p.Y, Seq: uint64(seq)}}
 		}
 	case wire.OpNearest:
 		hits, err := n.Nearest(geo.Pt(req.X, req.Y), req.K, req.T)
@@ -259,7 +262,9 @@ func ServeQuery(n Node, req wire.QueryRequest) wire.QueryResponse {
 		if err != nil {
 			return fail(err)
 		}
-		resp.Hits = toWireHits(hits, false)
+		page, next := pageWithin(hits, req.After, req.Limit)
+		resp.Hits = toWireHits(page, false)
+		resp.Next = next
 	case wire.OpStats:
 		st, err := n.NodeStats()
 		if err != nil {
@@ -290,13 +295,36 @@ func ServeQuery(n Node, req wire.QueryRequest) wire.QueryResponse {
 	return resp
 }
 
+// withinPageSlack is the frame headroom a Within page leaves for the
+// response envelope (header, version/op/status, hit count, Next cursor).
+const withinPageSlack = 64 + 2*wire.MaxIDLen
+
+// pageWithin cuts one page out of a full, id-sorted Within answer:
+// hits after the cursor, bounded by limit (0: no count bound) and by
+// what fits a single response frame alongside the envelope. next is the
+// cursor of the following page, "" on the last one.
+func pageWithin(hits []ObjectPos, after string, limit int) (page []ObjectPos, next string) {
+	if after != "" {
+		skip := sort.Search(len(hits), func(i int) bool { return string(hits[i].ID) > after })
+		hits = hits[skip:]
+	}
+	budget := wire.MaxFrameBody - withinPageSlack
+	for i := range hits {
+		budget -= wire.QueryHitSize(wire.QueryHit{ID: string(hits[i].ID), Seq: uint64(hits[i].Seq)})
+		if budget < 0 || (limit > 0 && i >= limit) {
+			return hits[:i], string(hits[i-1].ID)
+		}
+	}
+	return hits, ""
+}
+
 // toWireHits converts query results to wire hits. Dist rides only for
 // nearest answers; a Within hit's Dist is zero by construction either
 // way.
 func toWireHits(hits []ObjectPos, withDist bool) []wire.QueryHit {
 	out := make([]wire.QueryHit, len(hits))
 	for i, h := range hits {
-		out[i] = wire.QueryHit{ID: string(h.ID), X: h.Pos.X, Y: h.Pos.Y}
+		out[i] = wire.QueryHit{ID: string(h.ID), X: h.Pos.X, Y: h.Pos.Y, Seq: uint64(h.Seq)}
 		if withDist {
 			out[i].Dist = h.Dist
 		}
@@ -312,7 +340,7 @@ func FromWireHits(hits []wire.QueryHit) []ObjectPos {
 	}
 	out := make([]ObjectPos, len(hits))
 	for i, h := range hits {
-		out[i] = ObjectPos{ID: ObjectID(h.ID), Pos: geo.Pt(h.X, h.Y), Dist: h.Dist}
+		out[i] = ObjectPos{ID: ObjectID(h.ID), Pos: geo.Pt(h.X, h.Y), Dist: h.Dist, Seq: uint32(h.Seq)}
 	}
 	return out
 }

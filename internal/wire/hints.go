@@ -1,0 +1,121 @@
+package wire
+
+import (
+	"sort"
+	"sync"
+)
+
+// HintBuffer buffers update records destined for an unreachable replica
+// until it recovers — the storage half of hinted handoff. Because a
+// replica's state is only its latest report (Apply is gated on Seq),
+// the buffer coalesces on arrival: it keeps exactly one record per
+// object id, the one with the highest sequence number, so a long outage
+// costs one record per object rather than the whole missed stream.
+//
+// Capacity bounds the number of distinct buffered objects; hints for
+// new objects beyond it are dropped (and counted) rather than growing
+// without limit while a member stays down. HintBuffer is safe for
+// concurrent use.
+type HintBuffer struct {
+	mu   sync.Mutex
+	byID map[string]Record
+	cap  int
+
+	hinted    int64 // records offered to Add
+	coalesced int64 // records superseded by a fresher hint for the same id
+	dropped   int64 // records rejected because the buffer was full
+	drained   int64 // records handed back by Drain
+}
+
+// HintStats is a snapshot of a hint buffer's counters.
+type HintStats struct {
+	// Buffered is the current number of distinct hinted objects.
+	Buffered int
+	// Hinted counts records offered, Coalesced the ones superseded by a
+	// fresher hint for the same object, Dropped the ones rejected at
+	// capacity, and Drained the records handed back for delivery.
+	Hinted, Coalesced, Dropped, Drained int64
+}
+
+// DefaultHintCapacity bounds a hint buffer's distinct objects when the
+// caller passes no explicit capacity.
+const DefaultHintCapacity = 1 << 16
+
+// NewHintBuffer returns an empty buffer holding at most capacity
+// distinct objects (<= 0 selects DefaultHintCapacity).
+func NewHintBuffer(capacity int) *HintBuffer {
+	if capacity <= 0 {
+		capacity = DefaultHintCapacity
+	}
+	return &HintBuffer{byID: make(map[string]Record), cap: capacity}
+}
+
+// Add buffers recs, keeping per object only the record with the highest
+// Seq. It returns how many records were newly buffered or replaced a
+// staler hint.
+func (h *HintBuffer) Add(recs []Record) (buffered int) {
+	if len(recs) == 0 {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := range recs {
+		h.hinted++
+		prev, ok := h.byID[recs[i].ID]
+		switch {
+		case ok && recs[i].Update.Report.Seq <= prev.Update.Report.Seq:
+			// The buffer already holds something at least as fresh.
+			h.coalesced++
+		case ok:
+			h.coalesced++
+			h.byID[recs[i].ID] = recs[i]
+			buffered++
+		case len(h.byID) >= h.cap:
+			h.dropped++
+		default:
+			h.byID[recs[i].ID] = recs[i]
+			buffered++
+		}
+	}
+	return buffered
+}
+
+// Drain removes and returns every buffered record, sorted by object id
+// so delivery is deterministic. Delivering drained records to a
+// recovered replica is always safe: Apply is idempotent per (id, Seq),
+// so anything the replica learned in the meantime wins.
+func (h *HintBuffer) Drain() []Record {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.byID) == 0 {
+		return nil
+	}
+	out := make([]Record, 0, len(h.byID))
+	for _, rec := range h.byID {
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	h.drained += int64(len(out))
+	h.byID = make(map[string]Record)
+	return out
+}
+
+// Len returns the number of distinct buffered objects.
+func (h *HintBuffer) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.byID)
+}
+
+// Stats returns the buffer's counters so far.
+func (h *HintBuffer) Stats() HintStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HintStats{
+		Buffered:  len(h.byID),
+		Hinted:    h.hinted,
+		Coalesced: h.coalesced,
+		Dropped:   h.dropped,
+		Drained:   h.drained,
+	}
+}

@@ -1,0 +1,81 @@
+package wire
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"mapdr/internal/core"
+)
+
+func hintRec(id string, seq uint32) Record {
+	return Record{ID: id, Update: core.Update{Reason: core.ReasonDeviation, Report: core.Report{Seq: seq}}}
+}
+
+func TestHintBufferCoalescesOnFreshestSeq(t *testing.T) {
+	h := NewHintBuffer(0)
+	h.Add([]Record{hintRec("a", 1), hintRec("b", 5), hintRec("a", 3)})
+	// A stale re-add must not regress the buffered record.
+	h.Add([]Record{hintRec("a", 2)})
+	if h.Len() != 2 {
+		t.Fatalf("len %d, want 2", h.Len())
+	}
+	out := h.Drain()
+	if len(out) != 2 || out[0].ID != "a" || out[1].ID != "b" {
+		t.Fatalf("drain %v", out)
+	}
+	if out[0].Update.Report.Seq != 3 || out[1].Update.Report.Seq != 5 {
+		t.Fatalf("drained seqs %d/%d, want 3/5", out[0].Update.Report.Seq, out[1].Update.Report.Seq)
+	}
+	if h.Len() != 0 {
+		t.Fatal("drain did not clear the buffer")
+	}
+	if again := h.Drain(); again != nil {
+		t.Fatalf("second drain returned %v", again)
+	}
+	st := h.Stats()
+	if st.Hinted != 4 || st.Coalesced != 2 || st.Drained != 2 || st.Dropped != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestHintBufferCapacity(t *testing.T) {
+	h := NewHintBuffer(3)
+	for i := 0; i < 10; i++ {
+		h.Add([]Record{hintRec(fmt.Sprintf("obj-%02d", i), 1)})
+	}
+	if h.Len() != 3 {
+		t.Fatalf("len %d, want capacity 3", h.Len())
+	}
+	// Fresher hints for already-buffered objects still land at capacity.
+	h.Add([]Record{hintRec("obj-00", 9)})
+	if got := h.Drain()[0].Update.Report.Seq; got != 9 {
+		t.Fatalf("capacity blocked a coalescing update: seq %d", got)
+	}
+	if st := h.Stats(); st.Dropped != 7 {
+		t.Fatalf("dropped %d, want 7", st.Dropped)
+	}
+}
+
+func TestHintBufferConcurrent(t *testing.T) {
+	h := NewHintBuffer(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				h.Add([]Record{hintRec(fmt.Sprintf("obj-%03d", i), uint32(w+1))})
+				if i%32 == 0 {
+					h.Drain()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	h.Drain()
+	st := h.Stats()
+	if st.Hinted != 8*200 || st.Buffered != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"math"
 	"sync/atomic"
 
+	"mapdr/internal/core"
 	"mapdr/internal/netsim"
 )
 
@@ -33,8 +34,10 @@ import (
 
 // QueryVersion is the query frame body version byte. It is distinct
 // from the update-frame Version space only by context (queries and
-// updates arrive on different endpoints/ops).
-const QueryVersion = 1
+// updates arrive on different endpoints/ops). Version 2 added replica
+// sequence numbers to every hit (the coordinator's freshest-Seq merge
+// needs them) and the Within paging cursor.
+const QueryVersion = 2
 
 // QueryContentType is the media type of binary query frames on HTTP.
 const QueryContentType = "application/x-mapdr-query"
@@ -94,6 +97,13 @@ type QueryRequest struct {
 	MinX, MinY, MaxX, MaxY float64
 	// T is the query time in seconds (Position, Nearest, Within).
 	T float64
+	// After is the Within paging cursor: only objects with id > After
+	// are answered, so a response that outgrew one frame continues from
+	// the last id it carried (QueryResponse.Next).
+	After string
+	// Limit caps the hits per Within response page (0: bounded only by
+	// the frame size).
+	Limit int
 	// Lo, Hi is the Export key-hash range, half-open (Lo, Hi] on the
 	// KeyHash ring (Lo == Hi selects every key).
 	Lo, Hi uint64
@@ -101,10 +111,19 @@ type QueryRequest struct {
 
 // QueryHit is one object in a query answer. Dist is meaningful for
 // Nearest answers (distance to the query point) and zero otherwise.
+// Seq is the answering replica's protocol sequence number for the
+// object — the freshness signal a replicated coordinator merges on.
 type QueryHit struct {
 	ID   string
 	X, Y float64
 	Dist float64
+	Seq  uint64
+}
+
+// QueryHitSize returns the exact encoded size of h inside a response
+// frame — what server-side paging budgets against.
+func QueryHitSize(h QueryHit) int {
+	return core.UvarintLen(uint64(len(h.ID))) + len(h.ID) + 3*8 + core.UvarintLen(h.Seq)
 }
 
 // StatsPayload is the OpStats answer: a node's counter snapshot. The
@@ -133,6 +152,10 @@ type QueryResponse struct {
 	Hits []QueryHit
 	// Stats carries the OpStats answer.
 	Stats StatsPayload
+	// Next is the Within paging cursor: non-empty when the answer was
+	// truncated to fit one frame; re-issue the request with After = Next
+	// for the following page.
+	Next string
 	// Records and IDs carry the OpExport answer: one update record per
 	// replica with a report, plus the ids of registered-but-unreported
 	// objects.
@@ -196,6 +219,8 @@ func AppendQueryRequest(dst []byte, req QueryRequest) []byte {
 		dst = appendF64(dst, req.MaxX)
 		dst = appendF64(dst, req.MaxY)
 		dst = appendF64(dst, req.T)
+		dst = appendString(dst, req.After)
+		dst = binary.AppendUvarint(dst, uint64(req.Limit))
 	case OpStats:
 		// no payload
 	case OpRegister, OpDeregister:
@@ -216,10 +241,16 @@ func EncodeQueryRequest(req QueryRequest) ([]byte, error) {
 	if len(req.ID) > MaxIDLen {
 		return nil, fmt.Errorf("wire: id length %d exceeds %d", len(req.ID), MaxIDLen)
 	}
+	if len(req.After) > MaxIDLen {
+		return nil, fmt.Errorf("wire: cursor length %d exceeds %d", len(req.After), MaxIDLen)
+	}
 	if req.Op == OpNearest && req.K < 0 {
 		return nil, fmt.Errorf("wire: negative k")
 	}
-	return AppendQueryRequest(make([]byte, 0, 64+len(req.ID)), req), nil
+	if req.Op == OpWithin && req.Limit < 0 {
+		return nil, fmt.Errorf("wire: negative page limit")
+	}
+	return AppendQueryRequest(make([]byte, 0, 64+len(req.ID)+len(req.After)), req), nil
 }
 
 // DecodeQueryRequest decodes one request frame from the front of data,
@@ -266,6 +297,19 @@ func DecodeQueryRequest(data []byte) (req QueryRequest, n int, err error) {
 				break
 			}
 		}
+		if err != nil {
+			break
+		}
+		if req.After, err = readString(body, &k, MaxIDLen); err != nil {
+			break
+		}
+		lim, ln := binary.Uvarint(body[k:])
+		if ln <= 0 || lim > uint64(math.MaxInt32) {
+			err = fmt.Errorf("wire: bad page limit")
+			break
+		}
+		req.Limit = int(lim)
+		k += ln
 	case OpStats:
 		// no payload
 	case OpRegister, OpDeregister:
@@ -288,8 +332,9 @@ func DecodeQueryRequest(data []byte) (req QueryRequest, n int, err error) {
 	return req, n, nil
 }
 
-// minHitSize is the smallest encoded QueryHit: empty id + three f64s.
-const minHitSize = 1 + 3*8
+// minHitSize is the smallest encoded QueryHit: empty id + three f64s +
+// a one-byte seq.
+const minHitSize = 1 + 3*8 + 1
 
 // AppendQueryResponse appends the frame encoding of resp to dst.
 func AppendQueryResponse(dst []byte, resp QueryResponse) []byte {
@@ -313,6 +358,7 @@ func AppendQueryResponse(dst []byte, resp QueryResponse) []byte {
 			dst = append(dst, 1)
 			dst = appendF64(dst, resp.Hits[0].X)
 			dst = appendF64(dst, resp.Hits[0].Y)
+			dst = binary.AppendUvarint(dst, resp.Hits[0].Seq)
 		} else {
 			dst = append(dst, 0)
 		}
@@ -323,6 +369,10 @@ func AppendQueryResponse(dst []byte, resp QueryResponse) []byte {
 			dst = appendF64(dst, h.X)
 			dst = appendF64(dst, h.Y)
 			dst = appendF64(dst, h.Dist)
+			dst = binary.AppendUvarint(dst, h.Seq)
+		}
+		if resp.Op == OpWithin {
+			dst = appendString(dst, resp.Next)
 		}
 	case OpStats:
 		for _, v := range resp.Stats.fields() {
@@ -419,7 +469,12 @@ func DecodeQueryResponse(data []byte) (resp QueryResponse, n int, err error) {
 			if err != nil {
 				return QueryResponse{}, 0, err
 			}
-			resp.Hits = []QueryHit{{X: x, Y: y}}
+			seq, sn := binary.Uvarint(body[k:])
+			if sn <= 0 {
+				return QueryResponse{}, 0, fmt.Errorf("wire: bad position seq")
+			}
+			k += sn
+			resp.Hits = []QueryHit{{X: x, Y: y, Seq: seq}}
 		}
 	case OpNearest, OpWithin:
 		count, kn := binary.Uvarint(body[k:])
@@ -444,7 +499,18 @@ func DecodeQueryResponse(data []byte) (resp QueryResponse, n int, err error) {
 			if h.Dist, err = readF64(body, &k); err != nil {
 				return QueryResponse{}, 0, err
 			}
+			seq, sn := binary.Uvarint(body[k:])
+			if sn <= 0 {
+				return QueryResponse{}, 0, fmt.Errorf("wire: bad hit seq")
+			}
+			k += sn
+			h.Seq = seq
 			resp.Hits = append(resp.Hits, h)
+		}
+		if resp.Op == OpWithin {
+			if resp.Next, err = readString(body, &k, MaxIDLen); err != nil {
+				return QueryResponse{}, 0, err
+			}
 		}
 	case OpStats:
 		var v [statsFieldCount]int64

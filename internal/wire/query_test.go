@@ -15,6 +15,7 @@ func sampleRequests() []QueryRequest {
 		{Op: OpPosition, ID: "car-01", T: 120.5},
 		{Op: OpNearest, X: 12.25, Y: -7.5, K: 10, T: 3600},
 		{Op: OpWithin, MinX: -1, MinY: -2, MaxX: 3.5, MaxY: 4.5, T: 0},
+		{Op: OpWithin, MinX: 0, MinY: 0, MaxX: 9, MaxY: 9, T: 5, After: "car-0042", Limit: 128},
 		{Op: OpStats},
 		{Op: OpRegister, ID: "new-object"},
 		{Op: OpDeregister, ID: "old-object"},
@@ -45,14 +46,15 @@ func TestQueryRequestRoundTrip(t *testing.T) {
 
 func sampleResponses() []QueryResponse {
 	return []QueryResponse{
-		{Op: OpPosition, Found: true, Hits: []QueryHit{{X: 1.5, Y: -2.25}}},
+		{Op: OpPosition, Found: true, Hits: []QueryHit{{X: 1.5, Y: -2.25, Seq: 7}}},
 		{Op: OpPosition},
 		{Op: OpNearest, Hits: []QueryHit{
-			{ID: "a", X: 1, Y: 2, Dist: 3.5},
-			{ID: "b", X: -4, Y: 5e300, Dist: 6},
+			{ID: "a", X: 1, Y: 2, Dist: 3.5, Seq: 1},
+			{ID: "b", X: -4, Y: 5e300, Dist: 6, Seq: 1 << 40},
 		}},
 		{Op: OpNearest, Hits: []QueryHit{}},
-		{Op: OpWithin, Hits: []QueryHit{{ID: "only", X: 0.1, Y: 0.2}}},
+		{Op: OpWithin, Hits: []QueryHit{{ID: "only", X: 0.1, Y: 0.2, Seq: 3}}},
+		{Op: OpWithin, Hits: []QueryHit{{ID: "page-1", X: 1, Y: 2, Seq: 9}}, Next: "page-1"},
 		{Op: OpStats, Stats: StatsPayload{
 			Objects: 10, Shards: 4, UpdatesApplied: 123, WireBytes: 4567,
 			IndexRebuilds: 1, IndexedQueries: 2, ScanFallbacks: 3, DeferredRebuilds: 4,
@@ -87,7 +89,7 @@ func TestQueryResponseRoundTrip(t *testing.T) {
 				}
 				return
 			}
-			if got.Op != resp.Op || got.Found != resp.Found || got.Stats != resp.Stats {
+			if got.Op != resp.Op || got.Found != resp.Found || got.Stats != resp.Stats || got.Next != resp.Next {
 				t.Fatalf("round trip:\nin  %+v\nout %+v", resp, got)
 			}
 			if len(got.Hits) != len(resp.Hits) || len(got.Records) != len(resp.Records) || len(got.IDs) != len(resp.IDs) {

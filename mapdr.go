@@ -420,8 +420,13 @@ func DecodeUpdateFrame(data []byte) ([]TransportRecord, int, error) { return wir
 // transports and scatter-gathers nearest/within queries over the
 // binary query protocol, merging with the same order the in-process
 // shard merge uses — answers are bit-identical to a single sharded
-// store holding the same objects. Membership changes rebalance by
-// key-range handoff (Coordinator.AddNode / RemoveNode).
+// store holding the same objects. With NewReplicatedCluster every key
+// range lives on R distinct members: ingest fans out to all owners,
+// reads merge on the freshest sequence number (with background read
+// repair of stale replicas), failing members are circuit-broken and
+// their updates buffered as hints that drain on recovery. Membership
+// changes rebalance by key-range handoff between preference lists
+// (Coordinator.AddNode / RemoveNode / Reweight).
 type (
 	// ClusterCoordinator fronts a cluster of location-service nodes; it
 	// implements Transport, LocationQuerier and LocationRegistry, so
@@ -429,10 +434,14 @@ type (
 	ClusterCoordinator = cluster.Coordinator
 	// ClusterMember is one cluster node: name, Node API, ingest path.
 	ClusterMember = cluster.Member
+	// ClusterMemberStats is a per-member routing/health snapshot.
+	ClusterMemberStats = cluster.MemberStats
 	// ClusterRing is the consistent-hash partitioner.
 	ClusterRing = cluster.Ring
 	// ClusterMovement is one key range whose owner changed.
 	ClusterMovement = cluster.Movement
+	// ClusterFaultInjector is the kill switch of a faulty test member.
+	ClusterFaultInjector = cluster.FaultInjector
 	// RemoteNode speaks the wire query protocol to a remote node.
 	RemoteNode = cluster.RemoteNode
 	// QueryTransport carries binary query frames to a node.
@@ -440,6 +449,11 @@ type (
 	// QueryRequest and QueryResponse are the wire query frames.
 	QueryRequest  = wire.QueryRequest
 	QueryResponse = wire.QueryResponse
+	// HintBuffer holds updates for an unreachable replica, coalesced to
+	// the freshest record per object (hinted handoff).
+	HintBuffer = wire.HintBuffer
+	// HintStats is a hint buffer's accounting snapshot.
+	HintStats = wire.HintStats
 )
 
 // NewLocationNode binds a service to a predictor factory, making it a
@@ -453,6 +467,21 @@ func NewLocationNode(svc *LocationService, factory AutoRegister) *NodeService {
 // the virtual-node count per member (<= 0 selects a sensible default).
 func NewCluster(vnodes int, members ...*ClusterMember) (*ClusterCoordinator, error) {
 	return cluster.New(vnodes, members...)
+}
+
+// NewReplicatedCluster returns a coordinator replicating every key
+// range to replicas distinct members — quorum-free fault tolerance:
+// writes fan out to all owners (idempotent per Seq), reads answer from
+// the freshest replica, a failed node degrades rather than errors.
+func NewReplicatedCluster(vnodes, replicas int, members ...*ClusterMember) (*ClusterCoordinator, error) {
+	return cluster.NewReplicated(vnodes, replicas, members...)
+}
+
+// NewFaultyClusterMember wraps an in-process node as a member with a
+// kill switch — the harness failure-tolerance tests and the drsim
+// failover experiment inject faults with.
+func NewFaultyClusterMember(name string, node *NodeService) (*ClusterMember, *ClusterFaultInjector) {
+	return cluster.NewFaultyMember(name, node)
 }
 
 // NewLocalClusterMember wraps an in-process node as a cluster member.
