@@ -6,7 +6,12 @@ GO ?= go
 
 # BENCH_JSON is where `make bench` writes the machine-readable gate
 # numbers; bump the index with the PR that changes the tracked set.
-BENCH_JSON ?= BENCH_5.json
+# BENCH_BASELINE is the previous committed gate file the fresh numbers
+# are compared against: any gate metric regressing by more than
+# BENCH_MAXREGRESS (relative) fails the target.
+BENCH_JSON ?= BENCH_6.json
+BENCH_BASELINE ?= BENCH_5.json
+BENCH_MAXREGRESS ?= 0.30
 # The gate benchmarks: the prediction-walk/cursor pair, the end-to-end
 # source+server quiet-period pair, the 10k-object fleet step, the
 # query-heavy map-predictor store mix, the networked ingest pipeline
@@ -46,7 +51,9 @@ race:
 # (ns/op, ns/sample, B/op, allocs/op per benchmark) so the perf
 # trajectory of the hot paths is tracked from PR to PR. The raw output
 # is staged in a temp file so a benchmark failure fails the target
-# instead of being masked by the parse pipe.
+# instead of being masked by the parse pipe. The fresh numbers are then
+# gated against $(BENCH_BASELINE): the trajectory is enforced, not just
+# recorded.
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_GATE)' -benchmem \
 		$(BENCH_PKGS) > $(BENCH_JSON).raw \
@@ -54,6 +61,7 @@ bench:
 	cat $(BENCH_JSON).raw
 	$(GO) run ./cmd/benchjson < $(BENCH_JSON).raw > $(BENCH_JSON)
 	rm -f $(BENCH_JSON).raw
+	$(GO) run ./cmd/benchjson -compare $(BENCH_JSON) -baseline $(BENCH_BASELINE) -maxregress $(BENCH_MAXREGRESS)
 
 # Full benchmark sweep (paper artifacts + micro benchmarks).
 bench-all:

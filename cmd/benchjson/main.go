@@ -8,9 +8,17 @@
 // Usage:
 //
 //	go test -bench=. -benchmem ./... | benchjson [-echo] > BENCH_2.json
+//	benchjson -compare BENCH_6.json -baseline BENCH_5.json [-maxregress 0.30]
 //
 // -echo copies the raw input to stderr so progress stays visible when
 // stdout is redirected.
+//
+// Compare mode turns the recorded trajectory into a gate: every metric
+// shared by a benchmark present in both files is checked with its
+// direction (ns/op, ns/sample, B/op, allocs/op regress upward;
+// updates/s, samples/s regress downward; unknown-direction metrics are
+// skipped), and any relative regression beyond -maxregress fails the
+// run with the offenders listed on stderr.
 package main
 
 import (
@@ -41,7 +49,18 @@ type Output struct {
 
 func main() {
 	echo := flag.Bool("echo", false, "copy raw input lines to stderr")
+	compare := flag.String("compare", "", "compare this BENCH_*.json against -baseline instead of reading stdin")
+	baseline := flag.String("baseline", "", "baseline BENCH_*.json for -compare")
+	maxRegress := flag.Float64("maxregress", 0.30, "compare mode: max allowed relative regression per gate metric")
 	flag.Parse()
+
+	if *compare != "" {
+		if err := runCompare(*compare, *baseline, *maxRegress); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	out := Output{Results: []Result{}}
 	pkg := ""
@@ -107,6 +126,103 @@ func parseBenchLine(line string) (Result, bool) {
 		return Result{}, false
 	}
 	return r, true
+}
+
+// metricDirection says which way a metric regresses: -1 means lower is
+// better (an increase regresses), +1 means higher is better. Metrics
+// not listed have no agreed direction (updates/run, say) and are
+// skipped by the comparison.
+var metricDirection = map[string]int{
+	"ns/op":     -1,
+	"ns/sample": -1,
+	"B/op":      -1,
+	"allocs/op": -1,
+	"updates/s": +1,
+	"samples/s": +1,
+}
+
+// runCompare gates curPath against basePath: any gate metric of a
+// benchmark present in both files regressing by more than maxRegress
+// (relative) fails with the offenders on stderr. Benchmarks or metrics
+// present on only one side are ignored — the gate guards trajectory,
+// not coverage.
+func runCompare(curPath, basePath string, maxRegress float64) error {
+	if basePath == "" {
+		return fmt.Errorf("-compare needs -baseline FILE")
+	}
+	cur, err := readBench(curPath)
+	if err != nil {
+		return err
+	}
+	base, err := readBench(basePath)
+	if err != nil {
+		return err
+	}
+	baseByName := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseByName[r.Name] = r
+	}
+	var offenders []string
+	checked := 0
+	for _, r := range cur.Results {
+		b, ok := baseByName[r.Name]
+		if !ok {
+			continue
+		}
+		for unit, curVal := range r.Metrics {
+			dir, gated := metricDirection[unit]
+			if !gated {
+				continue
+			}
+			baseVal, ok := b.Metrics[unit]
+			if !ok {
+				continue
+			}
+			checked++
+			var regress float64
+			switch {
+			case baseVal == 0 && curVal == 0:
+				continue
+			case baseVal == 0:
+				// e.g. allocs/op going 0 -> nonzero: fully a regression
+				// for lower-is-better metrics, an improvement otherwise.
+				if dir > 0 {
+					continue
+				}
+				regress = 1
+			case dir < 0:
+				regress = curVal/baseVal - 1
+			default:
+				regress = 1 - curVal/baseVal
+			}
+			if regress > maxRegress {
+				offenders = append(offenders, fmt.Sprintf(
+					"%s %s: %.4g -> %.4g (%+.1f%%, limit %.0f%%)",
+					r.Name, unit, baseVal, curVal, 100*regress, 100*maxRegress))
+			}
+		}
+	}
+	if len(offenders) > 0 {
+		for _, o := range offenders {
+			fmt.Fprintln(os.Stderr, "benchjson: regression:", o)
+		}
+		return fmt.Errorf("%d gate metric(s) regressed beyond %.0f%% vs %s", len(offenders), 100*maxRegress, basePath)
+	}
+	fmt.Printf("benchjson: %s within %.0f%% of %s on %d gate metrics\n", curPath, 100*maxRegress, basePath, checked)
+	return nil
+}
+
+// readBench loads a benchjson output document.
+func readBench(path string) (Output, error) {
+	var out Output
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return out, err
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		return out, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
 }
 
 // trimProcSuffix strips the trailing -GOMAXPROCS decoration go test

@@ -28,6 +28,12 @@
 //	                                # kill a node mid-fleet: answer availability
 //	                                # and staleness vs a no-failure reference,
 //	                                # hinted-handoff and read-repair accounting
+//	drsim -exp selfheal -nodes 4 -replicas 2 -fleet 100
+//	                                # kill a node and never call an operator:
+//	                                # the self-healing membership detects,
+//	                                # demotes and rebalances on its own; the
+//	                                # run asserts zero query errors and a
+//	                                # converged store vs the reference
 //
 // -scale 0.1 shrinks the scenarios for quick runs; the defaults reproduce
 // the paper's full trace lengths. The fleet experiment drives -fleet
@@ -46,6 +52,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"reflect"
 	"runtime"
 	"runtime/pprof"
 	"time"
@@ -102,6 +109,11 @@ func main() {
 		}, *csv)
 	} else if *exp == "failover" {
 		err = runFailover(fleetConfig{
+			n: *fleetN, nodes: *nodes, replicas: *replicas, shards: *shards, workers: *workers,
+			seed: *seed, scale: *scale,
+		}, *csv)
+	} else if *exp == "selfheal" {
+		err = runSelfheal(fleetConfig{
 			n: *fleetN, nodes: *nodes, replicas: *replicas, shards: *shards, workers: *workers,
 			seed: *seed, scale: *scale,
 		}, *csv)
@@ -541,6 +553,226 @@ func runFailover(cfg fleetConfig, csv bool) error {
 	for _, ms := range coord.MemberStats() {
 		nt.AddRow(ms.Name, ms.Node.Objects, ms.Records, ms.Errors, ms.Down,
 			ms.Hints.Hinted, ms.Hints.Drained, ms.Hints.Buffered)
+	}
+	return emit(nt, csv)
+}
+
+// selfhealPhases labels the measurement windows of the selfheal
+// experiment: before the kill, the detection/hinting window, and after
+// the auto-demotion.
+var selfhealPhases = [3]string{"healthy", "down (detecting)", "demoted"}
+
+// runSelfheal is the no-operator failover run: one member is killed at
+// 40% of the trace and nobody calls MarkDown, ProbeDown or RemoveNode —
+// the self-healing membership has to notice (heartbeat detector), route
+// around (breaker + hints) and amputate (auto-demotion past the hint
+// deadline) on its own, with the reweight controller armed throughout.
+// The run fails unless the victim ends demoted, every query answered
+// without error, and the surviving cluster's answers are bit-identical
+// to a no-failure reference store fed the same update stream.
+func runSelfheal(cfg fleetConfig, csv bool) error {
+	if cfg.scale <= 0 || cfg.scale > 1 {
+		return fmt.Errorf("scale must be in (0,1]")
+	}
+	if cfg.nodes < 3 {
+		return fmt.Errorf("selfheal needs at least three cluster nodes (the demotion must leave a replicated cluster)")
+	}
+	if cfg.replicas <= 0 {
+		cfg.replicas = 2
+	}
+	if cfg.replicas < 2 {
+		return fmt.Errorf("selfheal needs -replicas >= 2 (a lost R=1 partition cannot be demoted without data loss)")
+	}
+	if cfg.workers <= 0 {
+		cfg.workers = runtime.GOMAXPROCS(0)
+	}
+	cor, err := mapgen.CityGrid(mapgen.DefaultCityConfig(cfg.seed))
+	if err != nil {
+		return err
+	}
+	g := cor.Graph
+	members := make([]*cluster.Member, cfg.nodes)
+	injectors := make([]*cluster.FaultInjector, cfg.nodes)
+	for i := range members {
+		node := locserv.NewNodeService(locserv.NewSharded(cfg.shards),
+			func(locserv.ObjectID) core.Predictor { return core.NewMapPredictor(g) })
+		members[i], injectors[i] = cluster.NewFaultyMember(fmt.Sprintf("node-%02d", i), node)
+	}
+	coord, err := cluster.NewReplicated(0, cfg.replicas, members...)
+	if err != nil {
+		return err
+	}
+	ref := locserv.NewSharded(cfg.shards)
+
+	objs, err := sim.GenerateFleet(g, multiRegistry{regs: []locserv.Registry{coord, ref}}, sim.FleetSpec{
+		N:        cfg.n,
+		Seed:     cfg.seed,
+		RouteLen: 15000 * cfg.scale,
+		Workers:  cfg.workers,
+		IDFormat: "car-%03d",
+		Params:   tracegen.CityCarParams(),
+		Source:   core.SourceConfig{US: 100, UP: 5, Sightings: 4},
+	})
+	if err != nil {
+		return err
+	}
+	tEnd := 0.0
+	for i := range objs {
+		if last := objs[i].Truth.Samples[objs[i].Truth.Len()-1].T; last > tEnd {
+			tEnd = last
+		}
+	}
+	killT := 0.4 * tEnd
+	victim := injectors[cfg.nodes-1]
+	victimName := members[cfg.nodes-1].Name
+
+	// Sim-clock self-healing: heartbeats every simulated second, a
+	// single missed beat trips (the fleet ticks in lockstep, so the
+	// detector fires before the same tick's probe queries), and the
+	// hint deadline is 15% of the trace — the demotion lands mid-run
+	// with plenty of trace left to measure the amputated cluster.
+	demoteAfter := 0.15 * tEnd
+	coord.EnableSelfHeal(cluster.SelfHealConfig{
+		HeartbeatEvery: 1,
+		SuspectAfter:   1,
+		RecoverAfter:   2,
+		DemoteAfter:    demoteAfter,
+		ReweightEvery:  0.25 * tEnd,
+		ReweightRatio:  4,
+		ReweightAfter:  2,
+	})
+
+	var queries, answered [3]int
+	var staleSum, staleMax [3]float64
+	var staleN [3]int
+	phase := 0
+	demotedAt := -1.0
+	stride := len(objs)/16 + 1
+	count := func(err error) {
+		queries[phase]++
+		if err == nil {
+			answered[phase]++
+		}
+	}
+	fl := sim.Fleet{
+		Objects:   objs,
+		Workers:   cfg.workers,
+		Transport: teeTransport{main: coord, ref: wire.NewLoopback(ref.Sink(nil))},
+		Query:     coord,
+		Tick: func(t float64) {
+			if phase == 0 && t >= killT {
+				victim.Fail() // the only intervention: the crash itself
+				phase = 1
+			}
+			coord.Tick(t) // the self-healing loops run on the sim clock
+			if phase == 1 && coord.SelfHealStats().Demotions > 0 {
+				phase = 2
+				demotedAt = t
+			}
+			for i := 0; i < len(objs); i += stride {
+				p, ok, err := coord.PositionE(objs[i].ID, t)
+				count(err)
+				if err != nil || !ok {
+					continue
+				}
+				if rp, rok := ref.Position(objs[i].ID, t); rok {
+					d := p.Dist(rp)
+					staleSum[phase] += d
+					staleN[phase]++
+					if d > staleMax[phase] {
+						staleMax[phase] = d
+					}
+				}
+			}
+			_, err := coord.NearestE(geo.Pt(5000, 5000), 10, t)
+			count(err)
+			_, err = coord.WithinE(geo.Rect{Min: geo.Pt(2000, 2000), Max: geo.Pt(8000, 8000)}, t)
+			count(err)
+		},
+	}
+	startT := time.Now()
+	res, err := fl.Run()
+	if err != nil {
+		return err
+	}
+	wall := time.Since(startT)
+	coord.ProbeDown() // final hint sweep (a drain, not a recovery — the victim is gone)
+	coord.WaitRepairs()
+
+	// The acceptance assertions: demoted, zero query errors, converged.
+	heal := coord.SelfHealStats()
+	demoted := false
+	for _, name := range heal.Demoted {
+		if name == victimName {
+			demoted = true
+		}
+	}
+	if !demoted || len(coord.Nodes()) != cfg.nodes-1 {
+		return fmt.Errorf("selfheal: victim %s was not auto-demoted (members %v, demoted %v)",
+			victimName, coord.Nodes(), heal.Demoted)
+	}
+	if qe := coord.QueryErrors(); qe != 0 {
+		return fmt.Errorf("selfheal: %d query errors; the detector let queries hit the dead member", qe)
+	}
+	mismatches := 0
+	for i := range objs {
+		p, ok := coord.Position(objs[i].ID, tEnd)
+		rp, rok := ref.Position(objs[i].ID, tEnd)
+		if ok != rok || p != rp {
+			mismatches++
+		}
+	}
+	if mismatches > 0 {
+		return fmt.Errorf("selfheal: %d of %d positions diverged from the no-failure reference", mismatches, len(objs))
+	}
+	nearGot, _ := coord.NearestE(geo.Pt(5000, 5000), 10, tEnd)
+	nearWant := ref.Nearest(geo.Pt(5000, 5000), 10, tEnd)
+	if !reflect.DeepEqual(nearGot, nearWant) {
+		return fmt.Errorf("selfheal: Nearest diverged from the no-failure reference after drain")
+	}
+	withinRect := geo.Rect{Min: geo.Pt(2000, 2000), Max: geo.Pt(8000, 8000)}
+	withinGot, _ := coord.WithinE(withinRect, tEnd)
+	withinWant := ref.Within(withinRect, tEnd)
+	if !reflect.DeepEqual(withinGot, withinWant) {
+		return fmt.Errorf("selfheal: Within diverged from the no-failure reference after drain")
+	}
+
+	var updates int64
+	for _, n := range res.Updates {
+		updates += n
+	}
+	fmt.Printf("# selfheal: %d nodes, R=%d, victim %s killed at t=%.0f s, auto-demoted at t=%.0f s (deadline %.0f s), %.0f s trace\n",
+		cfg.nodes, cfg.replicas, victimName, killT, demotedAt, demoteAfter, tEnd)
+	fmt.Printf("# converged bit-identical to the no-failure reference; zero query errors\n")
+	tb := stats.NewTable("phase", "queries", "answered", "avail [%]", "mean stale [m]", "max stale [m]")
+	for ph, name := range selfhealPhases {
+		avail, mean := 0.0, 0.0
+		if queries[ph] > 0 {
+			avail = 100 * float64(answered[ph]) / float64(queries[ph])
+		}
+		if staleN[ph] > 0 {
+			mean = staleSum[ph] / float64(staleN[ph])
+		}
+		tb.AddRow(name, queries[ph], answered[ph], avail, mean, staleMax[ph])
+	}
+	if err := emit(tb, csv); err != nil {
+		return err
+	}
+
+	st := stats.NewTable("vehicles", "samples", "updates", "mean err [m]", "wall [ms]",
+		"heartbeats", "trips", "demotions", "reweights", "degraded queries", "read repairs")
+	st.AddRow(cfg.n, res.Samples, updates, res.MeanErr, wall.Milliseconds(),
+		heal.Heartbeats, heal.Trips, heal.Demotions, heal.Reweights,
+		coord.DegradedQueries(), coord.Repairs())
+	if err := emit(st, csv); err != nil {
+		return err
+	}
+
+	nt := stats.NewTable("node", "objects", "routed records", "errors", "health",
+		"hinted", "drained", "requeued", "hints pending")
+	for _, ms := range coord.MemberStats() {
+		nt.AddRow(ms.Name, ms.Node.Objects, ms.Records, ms.Errors, ms.Health.String(),
+			ms.Hints.Hinted, ms.Hints.Drained, ms.Hints.Requeued, ms.Hints.Buffered)
 	}
 	return emit(nt, csv)
 }

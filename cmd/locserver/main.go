@@ -87,11 +87,20 @@ func main() {
 		mode       = flag.String("cluster", "", "cluster role: \"\" (standalone), \"node\" or \"coordinator\"")
 		peers      = flag.String("peers", "", "coordinator mode: comma-separated name=baseURL node list")
 		replicas   = flag.Int("replicas", 1, "coordinator mode: replicas per key range (R)")
+
+		heartbeat     = flag.Duration("heartbeat", 2*time.Second, "coordinator: liveness heartbeat period (0 disables self-healing)")
+		demoteAfter   = flag.Duration("demote-after", 5*time.Minute, "coordinator: auto-demote a member down this long (0 disables)")
+		demoteHints   = flag.Int64("demote-hints", 0, "coordinator: auto-demote a down member after this many hinted records (0 disables)")
+		reweightEvery = flag.Duration("reweight-every", time.Minute, "coordinator: load-skew sample period (0 disables reweighting)")
+		reweightRatio = flag.Float64("reweight-ratio", 4, "coordinator: max/min routed-record skew that counts as a breach")
+		reweightAfter = flag.Int("reweight-after", 3, "coordinator: consecutive breached samples before reweighting")
 	)
 	flag.Parse()
 	cfg := config{
 		addr: *addr, fleet: *fleet, seed: *seed, shards: *shards, workers: *workers,
 		ingest: *ingest, ingestAuto: *ingestAuto, mode: *mode, peers: *peers, replicas: *replicas,
+		heartbeat: *heartbeat, demoteAfter: *demoteAfter, demoteHints: *demoteHints,
+		reweightEvery: *reweightEvery, reweightRatio: *reweightRatio, reweightAfter: *reweightAfter,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "locserver:", err)
@@ -109,6 +118,13 @@ type config struct {
 	mode            string
 	peers           string
 	replicas        int
+
+	heartbeat     time.Duration
+	demoteAfter   time.Duration
+	demoteHints   int64
+	reweightEvery time.Duration
+	reweightRatio float64
+	reweightAfter int
 }
 
 // buildService simulates the fleet and returns the populated service
@@ -236,6 +252,28 @@ func run(cfg config) error {
 		coord, err := cluster.NewReplicated(0, cfg.replicas, members...)
 		if err != nil {
 			return err
+		}
+		if cfg.heartbeat > 0 {
+			// The self-healing loops run on wall seconds: a ticker at the
+			// heartbeat period drives Coordinator.Tick with the seconds
+			// elapsed since boot (the coordinator's transport clock).
+			coord.EnableSelfHeal(cluster.SelfHealConfig{
+				HeartbeatEvery: cfg.heartbeat.Seconds(),
+				DemoteAfter:    cfg.demoteAfter.Seconds(),
+				DemoteHints:    cfg.demoteHints,
+				ReweightEvery:  cfg.reweightEvery.Seconds(),
+				ReweightRatio:  cfg.reweightRatio,
+				ReweightAfter:  cfg.reweightAfter,
+			})
+			start := time.Now()
+			ticker := time.NewTicker(cfg.heartbeat)
+			go func() {
+				for range ticker.C {
+					coord.Tick(time.Since(start).Seconds())
+				}
+			}()
+			log.Printf("self-healing membership: heartbeat %s, demote after %s / %d hints, reweight every %s at %.0fx skew",
+				cfg.heartbeat, cfg.demoteAfter, cfg.demoteHints, cfg.reweightEvery, cfg.reweightRatio)
 		}
 		h = cluster.Handler(coord)
 		log.Printf("coordinating %d nodes (R=%d): %s",

@@ -3,6 +3,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"sort"
 	"sync"
@@ -80,10 +81,31 @@ type memberState struct {
 	queries atomic.Int64 // scatter/route calls against this member's node
 	errors  atomic.Int64 // failed node calls
 
-	consecFails atomic.Int32     // breaker input: consecutive transport failures
-	down        atomic.Bool      // breaker state: skip this member, hint its updates
-	probing     atomic.Bool      // a recovery probe is in flight
-	hints       *wire.HintBuffer // updates awaiting the member's recovery
+	consecFails  atomic.Int32     // breaker input: consecutive transport failures
+	suspectFails atomic.Int32     // liveness input: consecutive failed heartbeats while up
+	recoverOKs   atomic.Int32     // consecutive successful recovery probes while down
+	down         atomic.Bool      // breaker state: skip this member, hint its updates
+	probing      atomic.Bool      // a recovery probe is in flight
+	downSince    atomic.Uint64    // coordinator clock (float bits) when the breaker tripped
+	hintedAtDown atomic.Int64     // hints.Hinted at trip time, for the demotion record count
+	hints        *wire.HintBuffer // updates awaiting the member's recovery
+}
+
+// health derives the member's detector state: Down while the breaker is
+// open (Suspect once recovery probes have started to succeed), Suspect
+// while heartbeats are failing but the breaker has not tripped, Up
+// otherwise.
+func (m *memberState) health() Health {
+	switch {
+	case m.down.Load() && m.recoverOKs.Load() > 0:
+		return HealthSuspect
+	case m.down.Load():
+		return HealthDown
+	case m.suspectFails.Load() > 0:
+		return HealthSuspect
+	default:
+		return HealthUp
+	}
 }
 
 func newMemberState(m *Member) *memberState {
@@ -101,6 +123,12 @@ type MemberStats struct {
 	Errors  int64
 	// Down reports whether the member's circuit breaker is open.
 	Down bool
+	// Health is the liveness detector's view: up, suspect (failing
+	// heartbeats, or down but partway through recovery) or down.
+	Health Health
+	// DownFor is how long (coordinator clock) the breaker has been open;
+	// zero while the member is up.
+	DownFor float64
 	// Hints is the member's hinted-handoff buffer accounting.
 	Hints wire.HintStats
 	Node  locserv.NodeStats
@@ -150,9 +178,31 @@ type Coordinator struct {
 	repairs     atomic.Int64 // read-repair deliveries that landed
 	flushes     atomic.Int64 // ingest operations, the probe pacing clock
 
+	clock atomic.Uint64            // float bits: highest transport/Tick time seen
+	heal  atomic.Pointer[selfHeal] // self-healing membership state; nil = manual ops
+
 	repairWG  sync.WaitGroup
 	repairMu  sync.Mutex
 	repairing map[locserv.ObjectID]bool
+}
+
+// now returns the coordinator's notion of the current transport clock:
+// the highest now any Send, Flush or Tick has carried. Simulations run
+// it on simulated seconds, servers on wall seconds — whichever clock
+// the deployment ticks.
+func (c *Coordinator) now() float64 { return math.Float64frombits(c.clock.Load()) }
+
+// advanceClock moves the clock monotonically forward to now.
+func (c *Coordinator) advanceClock(now float64) {
+	for {
+		cur := c.clock.Load()
+		if math.Float64frombits(cur) >= now {
+			return
+		}
+		if c.clock.CompareAndSwap(cur, math.Float64bits(now)) {
+			return
+		}
+	}
 }
 
 // New returns an unreplicated coordinator (replication factor 1) over
@@ -361,6 +411,7 @@ func (c *Coordinator) Send(now float64, batch []wire.Record) error {
 	if len(batch) == 0 {
 		return nil
 	}
+	c.advanceClock(now)
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	parts, err := c.route(batch)
@@ -383,7 +434,7 @@ func (c *Coordinator) Send(now float64, batch []wire.Record) error {
 		}
 		m := c.members[name]
 		if m.down.Load() {
-			m.hints.Add(part)
+			m.hints.AddAt(now, part)
 			// Delivery goroutines of earlier members may already be
 			// writing failed; take the lock here too.
 			noteFailed(name)
@@ -401,8 +452,8 @@ func (c *Coordinator) Send(now float64, batch []wire.Record) error {
 				_, err = m.Node.Deliver(part)
 			}
 			if err != nil {
-				m.noteFail()
-				m.hints.Add(part)
+				c.noteFail(m)
+				m.hints.AddAt(now, part)
 				noteFailed(name)
 				errs[i] = fmt.Errorf("cluster: send to %s: %w", m.Name, err)
 				return
@@ -442,6 +493,7 @@ func (c *Coordinator) Flush(now float64) error {
 		}
 	}
 	c.mu.RUnlock()
+	c.advanceClock(now)
 	c.maybeProbe()
 	return errors.Join(errs...)
 }
@@ -514,7 +566,7 @@ func (c *Coordinator) DeliverRecords(recs []wire.Record) (applied int, err error
 		}
 		m := c.members[name]
 		if m.down.Load() {
-			m.hints.Add(part)
+			m.hints.AddAt(c.now(), part)
 			noteFailed(name)
 			continue
 		}
@@ -525,8 +577,8 @@ func (c *Coordinator) DeliverRecords(recs []wire.Record) (applied int, err error
 			defer wg.Done()
 			n, err := m.Node.Deliver(part)
 			if err != nil {
-				m.noteFail()
-				m.hints.Add(part)
+				c.noteFail(m)
+				m.hints.AddAt(c.now(), part)
 				noteFailed(name)
 				errs[i] = err
 				return
@@ -586,7 +638,7 @@ func (c *Coordinator) scatter(fn func(n locserv.Node) ([]locserv.ObjectPos, erro
 			defer wg.Done()
 			part, err := fn(m.Node)
 			if err != nil {
-				m.noteFail()
+				c.noteFail(m)
 				errs[i] = fmt.Errorf("cluster: query %s: %w", m.Name, err)
 				return
 			}
@@ -687,7 +739,7 @@ func (c *Coordinator) PositionE(id locserv.ObjectID, t float64) (geo.Point, bool
 			defer wg.Done()
 			p, seq, found, err := m.Node.Position(id, t)
 			if err != nil {
-				m.noteFail()
+				c.noteFail(m)
 				errs[oi] = fmt.Errorf("cluster: query %s: %w", name, err)
 				return
 			}
@@ -814,7 +866,13 @@ func (c *Coordinator) MemberStats() []MemberStats {
 			Queries: m.queries.Load(),
 			Errors:  m.errors.Load(),
 			Down:    m.down.Load(),
+			Health:  m.health(),
 			Hints:   m.hints.Stats(),
+		}
+		if ms.Down {
+			if since := math.Float64frombits(m.downSince.Load()); c.now() > since {
+				ms.DownFor = c.now() - since
+			}
 		}
 		if !ms.Down {
 			if st, err := m.Node.NodeStats(); err == nil {
@@ -847,6 +905,12 @@ func (c *Coordinator) AddNode(m *Member) error {
 	defer c.mu.Unlock()
 	if _, dup := c.members[m.Name]; dup {
 		return fmt.Errorf("cluster: duplicate member %q", m.Name)
+	}
+	// A parked (auto-demoted) identity rejoins as a fresh member: its old
+	// replicas were migrated away at demotion, so nothing of the previous
+	// incarnation is assumed — it simply imports its new ranges below.
+	if heal := c.heal.Load(); heal != nil {
+		heal.unpark(m.Name)
 	}
 	next := c.ring.clone()
 	if _, err := next.Add(m.Name); err != nil {

@@ -18,18 +18,32 @@ import (
 // ErrInjectedFault is what a killed member's calls fail with.
 var ErrInjectedFault = errors.New("cluster: injected fault: member unreachable")
 
-// FaultInjector toggles a faulty member between reachable and dead.
-type FaultInjector struct{ down atomic.Bool }
+// FaultInjector toggles a faulty member between reachable, dead, and
+// the half-dead mode that used to flap the breaker: healthy on the
+// cheap liveness calls but failing every delivery.
+type FaultInjector struct{ down, deliverDown atomic.Bool }
 
 // Fail makes the member unreachable: every call errors until Recover.
 func (f *FaultInjector) Fail() { f.down.Store(true) }
 
-// Recover makes the member reachable again (the coordinator still has
-// to probe it back up — see Coordinator.ProbeDown).
-func (f *FaultInjector) Recover() { f.down.Store(false) }
+// FailDeliver makes the member half-dead: NodeStats and queries answer
+// (the liveness probe sees a healthy node) but Deliver and ingest
+// sends fail — a wedged write path behind a live process.
+func (f *FaultInjector) FailDeliver() { f.deliverDown.Store(true) }
+
+// Recover makes the member fully reachable again (the coordinator
+// still has to probe it back up — see Coordinator.ProbeDown).
+func (f *FaultInjector) Recover() {
+	f.down.Store(false)
+	f.deliverDown.Store(false)
+}
 
 // Down reports whether the member is currently unreachable.
 func (f *FaultInjector) Down() bool { return f.down.Load() }
+
+// deliverFails reports whether deliveries (but possibly not liveness
+// calls) fail.
+func (f *FaultInjector) deliverFails() bool { return f.down.Load() || f.deliverDown.Load() }
 
 // NewFaultyMember returns an in-process member wired through inj: while
 // inj is failed, its queries, admin calls and ingest sends all error.
@@ -67,7 +81,7 @@ func (x faultyNode) Deregister(id locserv.ObjectID) error {
 }
 
 func (x faultyNode) Deliver(recs []wire.Record) (int, error) {
-	if x.inj.Down() {
+	if x.inj.deliverFails() {
 		return 0, ErrInjectedFault
 	}
 	return x.n.Deliver(recs)
@@ -117,7 +131,7 @@ type faultyTransport struct {
 }
 
 func (x faultyTransport) Send(now float64, batch []wire.Record) error {
-	if x.inj.Down() {
+	if x.inj.deliverFails() {
 		return ErrInjectedFault
 	}
 	return x.tr.Send(now, batch)

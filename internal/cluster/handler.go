@@ -25,20 +25,34 @@ func Handler(c *Coordinator) http.Handler {
 	}))
 	mux.HandleFunc("GET /cluster", func(w http.ResponseWriter, _ *http.Request) {
 		type memberJSON struct {
-			Name    string `json:"name"`
-			Records int64  `json:"records"`
-			Batches int64  `json:"batches"`
-			Queries int64  `json:"queries"`
-			Errors  int64  `json:"errors"`
-			Down    bool   `json:"down"`
-			Hinted  int64  `json:"hinted"`
-			Drained int64  `json:"hints_drained"`
-			Pending int    `json:"hints_pending"`
-			Objects int    `json:"objects"`
-			Shards  int    `json:"shards"`
-			Applied int64  `json:"updates_applied"`
+			Name     string  `json:"name"`
+			Records  int64   `json:"records"`
+			Batches  int64   `json:"batches"`
+			Queries  int64   `json:"queries"`
+			Errors   int64   `json:"errors"`
+			Down     bool    `json:"down"`
+			Health   string  `json:"health"`
+			DownFor  float64 `json:"down_for,omitempty"`
+			Hinted   int64   `json:"hinted"`
+			Drained  int64   `json:"hints_drained"`
+			Requeued int64   `json:"hints_requeued"`
+			Pending  int     `json:"hints_pending"`
+			Objects  int     `json:"objects"`
+			Shards   int     `json:"shards"`
+			Applied  int64   `json:"updates_applied"`
+		}
+		type selfHealJSON struct {
+			Enabled          bool     `json:"enabled"`
+			Heartbeats       int64    `json:"heartbeats"`
+			Suspects         int64    `json:"suspects"`
+			Trips            int64    `json:"trips"`
+			Demotions        int64    `json:"demotions"`
+			DemotionFailures int64    `json:"demotion_failures"`
+			Reweights        int64    `json:"reweights"`
+			Demoted          []string `json:"demoted,omitempty"`
 		}
 		stats := c.MemberStats()
+		heal := c.SelfHealStats()
 		out := struct {
 			Replicas     int          `json:"replicas"`
 			Nodes        []memberJSON `json:"nodes"`
@@ -47,24 +61,38 @@ func Handler(c *Coordinator) http.Handler {
 			Degraded     int64        `json:"degraded_queries"`
 			Repairs      int64        `json:"read_repairs"`
 			TotalObjects int          `json:"total_objects"`
+			SelfHeal     selfHealJSON `json:"selfheal"`
 		}{
 			Replicas: c.Replicas(), Queries: c.Queries(), QueryErrors: c.QueryErrors(),
 			Degraded: c.DegradedQueries(), Repairs: c.Repairs(),
+			SelfHeal: selfHealJSON{
+				Enabled:          heal.Enabled,
+				Heartbeats:       heal.Heartbeats,
+				Suspects:         heal.Suspects,
+				Trips:            heal.Trips,
+				Demotions:        heal.Demotions,
+				DemotionFailures: heal.DemotionFailures,
+				Reweights:        heal.Reweights,
+				Demoted:          heal.Demoted,
+			},
 		}
 		for _, ms := range stats {
 			out.Nodes = append(out.Nodes, memberJSON{
-				Name:    ms.Name,
-				Records: ms.Records,
-				Batches: ms.Batches,
-				Queries: ms.Queries,
-				Errors:  ms.Errors,
-				Down:    ms.Down,
-				Hinted:  ms.Hints.Hinted,
-				Drained: ms.Hints.Drained,
-				Pending: ms.Hints.Buffered,
-				Objects: ms.Node.Objects,
-				Shards:  ms.Node.Shards,
-				Applied: ms.Node.UpdatesApplied,
+				Name:     ms.Name,
+				Records:  ms.Records,
+				Batches:  ms.Batches,
+				Queries:  ms.Queries,
+				Errors:   ms.Errors,
+				Down:     ms.Down,
+				Health:   ms.Health.String(),
+				DownFor:  ms.DownFor,
+				Hinted:   ms.Hints.Hinted,
+				Drained:  ms.Hints.Drained,
+				Requeued: ms.Hints.Requeued,
+				Pending:  ms.Hints.Buffered,
+				Objects:  ms.Node.Objects,
+				Shards:   ms.Node.Shards,
+				Applied:  ms.Node.UpdatesApplied,
 			})
 			out.TotalObjects += ms.Node.Objects
 		}

@@ -17,6 +17,7 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"mapdr/internal/locserv"
@@ -34,16 +35,49 @@ const (
 	probeEveryFlushes = 8
 )
 
-// noteOK resets the member's consecutive-failure count.
-func (m *memberState) noteOK() { m.consecFails.Store(0) }
+// noteOK resets the member's consecutive-failure count — and its
+// heartbeat suspicion: a successful real call is at least as strong a
+// liveness signal as a heartbeat.
+func (m *memberState) noteOK() {
+	m.consecFails.Store(0)
+	m.suspectFails.Store(0)
+}
 
-// noteFail counts a transport failure and trips the breaker once the
-// member has failed breakerThreshold calls in a row.
-func (m *memberState) noteFail() {
+// noteFail counts a transport failure against the member and trips the
+// breaker once it has failed breakerThreshold calls in a row.
+func (c *Coordinator) noteFail(m *memberState) {
 	m.errors.Add(1)
 	if m.consecFails.Add(1) >= breakerThreshold {
-		m.down.Store(true)
+		c.markTripped(m)
 	}
+}
+
+// markTripped opens the member's breaker, recording the trip time and
+// the hint high-water mark the demotion deadline counts from. Only the
+// first trip in a down episode records; repeat failures while already
+// down keep the original deadline clock.
+func (c *Coordinator) markTripped(m *memberState) {
+	if m.down.CompareAndSwap(false, true) {
+		m.downSince.Store(math.Float64bits(c.now()))
+		m.hintedAtDown.Store(m.hints.Stats().Hinted)
+		m.recoverOKs.Store(0)
+		if heal := c.heal.Load(); heal != nil {
+			heal.trips.Add(1)
+		}
+	}
+}
+
+// recoverK is how many consecutive successful probes a down member
+// needs before it is marked up. With self-healing enabled the detector
+// config decides; manual operation keeps the historical single-probe
+// recovery (each probe already includes a real hint-drain delivery, so
+// even K = 1 cannot flap on a member healthy on NodeStats but faulty
+// on Deliver).
+func (c *Coordinator) recoverK() int32 {
+	if heal := c.heal.Load(); heal != nil && heal.cfg.RecoverAfter > 0 {
+		return int32(heal.cfg.RecoverAfter)
+	}
+	return 1
 }
 
 // MarkDown forces a member's breaker open or closed — operational
@@ -57,57 +91,119 @@ func (c *Coordinator) MarkDown(name string, down bool) error {
 	if !ok {
 		return fmt.Errorf("cluster: unknown member %q", name)
 	}
-	m.down.Store(down)
-	if !down {
+	if down {
+		if m.down.CompareAndSwap(false, true) {
+			m.downSince.Store(math.Float64bits(c.now()))
+			m.hintedAtDown.Store(m.hints.Stats().Hinted)
+			m.recoverOKs.Store(0)
+		}
+	} else {
+		m.down.Store(false)
 		m.consecFails.Store(0)
+		m.suspectFails.Store(0)
+		m.recoverOKs.Store(0)
 	}
 	return nil
 }
 
-// ProbeDown synchronously checks every tripped member with a cheap
-// NodeStats call; members that answer are marked up again and their
-// hint buffers drain into them. It returns how many members recovered.
-// Flush schedules it in the background every probeEveryFlushes calls;
-// operators and tests may call it directly.
+// ProbeDown synchronously probes every tripped member: a cheap
+// NodeStats call plus a real hint-drain delivery, so a member that
+// answers stats but cannot take writes stays down (no breaker flap).
+// A member is marked up after recoverK consecutive successful probes;
+// on the down→up transition its ingest transport is flushed once (to
+// push out frames buffered before the trip) and any hints that raced
+// in are swept. ProbeDown also drains hint buffers stranded on members
+// that recovered while a concurrent Send was still hinting at them.
+// It returns how many members recovered. Flush schedules it in the
+// background every probeEveryFlushes calls; operators, the Tick
+// heartbeat loop, and tests may call it directly.
 func (c *Coordinator) ProbeDown() int {
 	c.mu.RLock()
-	var tripped []*memberState
+	var probe []*memberState
 	for _, name := range c.order {
 		m := c.members[name]
-		if m.down.Load() && m.probing.CompareAndSwap(false, true) {
-			tripped = append(tripped, m)
+		if (m.down.Load() || m.hints.Len() > 0) && m.probing.CompareAndSwap(false, true) {
+			probe = append(probe, m)
 		}
 	}
 	c.mu.RUnlock()
 	recovered := 0
-	for _, m := range tripped {
-		if _, err := m.Node.NodeStats(); err != nil {
-			m.errors.Add(1)
+	k := c.recoverK()
+	for _, m := range probe {
+		if !m.down.Load() {
+			// Up, but with stranded hints: a Send hinted at the member
+			// in the window between its recovery drain and the breaker
+			// closing. Sweep them in.
+			c.drainHints(m)
 			m.probing.Store(false)
 			continue
 		}
-		m.consecFails.Store(0)
-		m.down.Store(false)
-		c.drainHints(m)
+		if !c.probeMember(m) {
+			m.recoverOKs.Store(0)
+			m.probing.Store(false)
+			continue
+		}
+		if m.recoverOKs.Add(1) >= k {
+			m.consecFails.Store(0)
+			m.suspectFails.Store(0)
+			m.recoverOKs.Store(0)
+			m.down.Store(false)
+			// Frames buffered in the member's transport before the trip
+			// were never flushed while it was down; push them now so the
+			// recovered member does not serve a hole.
+			if m.Ingest != nil {
+				if err := m.Ingest.Flush(c.now()); err != nil {
+					m.errors.Add(1)
+				}
+			}
+			// Sweep hints that raced in between the probe drain and the
+			// breaker closing.
+			c.drainHints(m)
+			recovered++
+		}
 		m.probing.Store(false)
-		recovered++
 	}
 	return recovered
 }
 
-// drainHints replays a recovered member's buffered updates. The buffer
-// holds one freshest record per object, so the replay is one bounded
-// delivery; anything the member learned in the meantime wins its
-// per-Seq gate. A failed replay re-buffers the records for the next
-// probe.
+// probeMember runs one recovery probe: the cheap NodeStats liveness
+// check, then — the part that makes recovery honest — a real delivery
+// of the member's drained hints. Probe success requires both; a member
+// healthy on stats but faulty on Deliver keeps failing probes and
+// stays down instead of flapping up and re-tripping on the next send.
+func (c *Coordinator) probeMember(m *memberState) bool {
+	if _, err := m.Node.NodeStats(); err != nil {
+		m.errors.Add(1)
+		return false
+	}
+	recs := m.hints.Drain()
+	if len(recs) == 0 {
+		return true
+	}
+	if _, err := m.Node.Deliver(recs); err != nil {
+		m.errors.Add(1)
+		m.hints.Readd(recs)
+		return false
+	}
+	m.records.Add(int64(len(recs)))
+	return true
+}
+
+// drainHints replays a member's buffered updates. The buffer holds one
+// freshest record per object, so the replay is one bounded delivery;
+// anything the member learned in the meantime wins its per-Seq gate. A
+// failed replay re-buffers the records through Readd — capacity-exempt,
+// because a drained record may be the only surviving copy of its
+// object and must never be dropped by a buffer that refilled mid-
+// drain — for the next probe.
 func (c *Coordinator) drainHints(m *memberState) {
 	recs := m.hints.Drain()
 	if len(recs) == 0 {
 		return
 	}
 	if _, err := m.Node.Deliver(recs); err != nil {
-		m.noteFail()
-		m.hints.Add(recs)
+		c.noteFail(m)
+		m.hints.Readd(recs)
 		return
 	}
 	m.records.Add(int64(len(recs)))
@@ -171,7 +267,7 @@ func (c *Coordinator) spawnRepair(id locserv.ObjectID, fresh *memberState, targe
 				continue
 			}
 			if _, err := m.Node.Deliver(recs); err != nil {
-				m.noteFail()
+				c.noteFail(m)
 				continue
 			}
 			m.noteOK()

@@ -442,6 +442,13 @@ type (
 	ClusterMovement = cluster.Movement
 	// ClusterFaultInjector is the kill switch of a faulty test member.
 	ClusterFaultInjector = cluster.FaultInjector
+	// ClusterSelfHealConfig tunes the self-healing membership loops:
+	// liveness heartbeats, auto-demotion deadlines, reweight hysteresis.
+	ClusterSelfHealConfig = cluster.SelfHealConfig
+	// ClusterSelfHealStats is a snapshot of the self-healing counters.
+	ClusterSelfHealStats = cluster.SelfHealStats
+	// ClusterHealth is a member's liveness state (up, suspect or down).
+	ClusterHealth = cluster.Health
 	// RemoteNode speaks the wire query protocol to a remote node.
 	RemoteNode = cluster.RemoteNode
 	// QueryTransport carries binary query frames to a node.
@@ -454,6 +461,13 @@ type (
 	HintBuffer = wire.HintBuffer
 	// HintStats is a hint buffer's accounting snapshot.
 	HintStats = wire.HintStats
+)
+
+// Member liveness states reported by ClusterMemberStats.Health.
+const (
+	ClusterHealthUp      = cluster.HealthUp
+	ClusterHealthSuspect = cluster.HealthSuspect
+	ClusterHealthDown    = cluster.HealthDown
 )
 
 // NewLocationNode binds a service to a predictor factory, making it a
@@ -475,6 +489,14 @@ func NewCluster(vnodes int, members ...*ClusterMember) (*ClusterCoordinator, err
 // the freshest replica, a failed node degrades rather than errors.
 func NewReplicatedCluster(vnodes, replicas int, members ...*ClusterMember) (*ClusterCoordinator, error) {
 	return cluster.NewReplicated(vnodes, replicas, members...)
+}
+
+// DefaultClusterSelfHealConfig returns the self-healing tuning used
+// when a field is left zero: 2 s heartbeats, suspicion after 3 missed
+// beats, recovery after 2 clean probes, demotion after 300 s down,
+// reweighting at 4x skew sustained over 3 one-minute samples.
+func DefaultClusterSelfHealConfig() ClusterSelfHealConfig {
+	return cluster.DefaultSelfHealConfig()
 }
 
 // NewFaultyClusterMember wraps an in-process node as a member with a
