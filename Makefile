@@ -9,8 +9,8 @@ GO ?= go
 # BENCH_BASELINE is the previous committed gate file the fresh numbers
 # are compared against: any gate metric regressing by more than
 # BENCH_MAXREGRESS (relative) fails the target.
-BENCH_JSON ?= BENCH_6.json
-BENCH_BASELINE ?= BENCH_5.json
+BENCH_JSON ?= BENCH_7.json
+BENCH_BASELINE ?= BENCH_6.json
 BENCH_MAXREGRESS ?= 0.30
 # The gate benchmarks: the prediction-walk/cursor pair, the end-to-end
 # source+server quiet-period pair, the 10k-object fleet step, the

@@ -34,6 +34,16 @@
 //	                                # demotes and rebalances on its own; the
 //	                                # run asserts zero query errors and a
 //	                                # converged store vs the reference
+//	drsim -exp chaos -nodes 4 -replicas 2 -fleet 100
+//	                                # everything at once under full load: a
+//	                                # scripted plan joins a member, fires a
+//	                                # loss burst, removes a member live,
+//	                                # kills another (self-heal demotes it),
+//	                                # spikes latency and reweights — all on
+//	                                # the incremental migration engine; the
+//	                                # run asserts zero query errors, bounded
+//	                                # staleness and O(1) routing-lock holds,
+//	                                # and bit-identical convergence
 //
 // -scale 0.1 shrinks the scenarios for quick runs; the defaults reproduce
 // the paper's full trace lengths. The fleet experiment drives -fleet
@@ -47,6 +57,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -55,6 +66,8 @@ import (
 	"reflect"
 	"runtime"
 	"runtime/pprof"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"mapdr/internal/cluster"
@@ -73,7 +86,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "table1", "experiment id (table1, fig3, fig6, fig7-fig10, headline, fleet, ablate-*)")
+		exp       = flag.String("exp", "table1", "experiment id (table1, fig3, fig6, fig7-fig10, headline, fleet, cluster, failover, selfheal, chaos, ablate-*)")
 		seed      = flag.Int64("seed", 42, "deterministic scenario seed")
 		scale     = flag.Float64("scale", 1.0, "scenario scale in (0,1]; 1 = paper scale")
 		csv       = flag.Bool("csv", false, "emit CSV instead of an aligned table")
@@ -114,6 +127,11 @@ func main() {
 		}, *csv)
 	} else if *exp == "selfheal" {
 		err = runSelfheal(fleetConfig{
+			n: *fleetN, nodes: *nodes, replicas: *replicas, shards: *shards, workers: *workers,
+			seed: *seed, scale: *scale,
+		}, *csv)
+	} else if *exp == "chaos" {
+		err = runChaos(fleetConfig{
 			n: *fleetN, nodes: *nodes, replicas: *replicas, shards: *shards, workers: *workers,
 			seed: *seed, scale: *scale,
 		}, *csv)
@@ -392,6 +410,32 @@ func (t teeTransport) Flush(now float64) error {
 }
 
 func (t teeTransport) Stats() wire.Stats { return t.main.Stats() }
+
+// timedTransport records the longest wall-clock Send through the
+// cluster — the chaos experiment's proxy for an ingest blocking window:
+// if a membership change ever held the routing lock across a data copy,
+// one Send would stall for the whole copy and this maximum would show
+// it.
+type timedTransport struct {
+	tr    wire.Transport
+	maxNs *atomic.Int64
+}
+
+func (t timedTransport) Send(now float64, batch []wire.Record) error {
+	t0 := time.Now()
+	err := t.tr.Send(now, batch)
+	ns := time.Since(t0).Nanoseconds()
+	for {
+		cur := t.maxNs.Load()
+		if ns <= cur || t.maxNs.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	return err
+}
+
+func (t timedTransport) Flush(now float64) error { return t.tr.Flush(now) }
+func (t timedTransport) Stats() wire.Stats       { return t.tr.Stats() }
 
 // failoverPhases labels the three measurement windows of the failover
 // experiment.
@@ -763,6 +807,356 @@ func runSelfheal(cfg fleetConfig, csv bool) error {
 		"heartbeats", "trips", "demotions", "reweights", "degraded queries", "read repairs")
 	st.AddRow(cfg.n, res.Samples, updates, res.MeanErr, wall.Milliseconds(),
 		heal.Heartbeats, heal.Trips, heal.Demotions, heal.Reweights,
+		coord.DegradedQueries(), coord.Repairs())
+	if err := emit(st, csv); err != nil {
+		return err
+	}
+
+	nt := stats.NewTable("node", "objects", "routed records", "errors", "health",
+		"hinted", "drained", "requeued", "hints pending")
+	for _, ms := range coord.MemberStats() {
+		nt.AddRow(ms.Name, ms.Node.Objects, ms.Records, ms.Errors, ms.Health.String(),
+			ms.Hints.Hinted, ms.Hints.Drained, ms.Hints.Requeued, ms.Hints.Buffered)
+	}
+	return emit(nt, csv)
+}
+
+// chaosPhases labels the measurement windows of the chaos experiment.
+var chaosPhases = [4]string{"steady", "join + loss burst", "churn (leave, kill, spike)", "reweighted tail"}
+
+// runChaos is the everything-at-once elasticity drill: under full
+// ingest and query load a scripted ChaosPlan joins a new member, fires
+// a 50% loss burst at one node, removes another through a live leave
+// migration, kills a third (the self-healing membership must detect and
+// demote it with no operator), spikes a fourth's latency, and finally
+// reweights the survivors. Every membership change rides the
+// incremental migration engine, so the run hard-asserts the
+// zero-downtime contract: zero query errors, per-phase staleness within
+// the u_s bound, routing-lock holds and Send stalls bounded, and a
+// post-quiesce store bit-identical to a no-failure reference fed the
+// same update stream.
+func runChaos(cfg fleetConfig, csv bool) error {
+	if cfg.scale <= 0 || cfg.scale > 1 {
+		return fmt.Errorf("scale must be in (0,1]")
+	}
+	if cfg.nodes < 4 {
+		return fmt.Errorf("chaos needs at least four cluster nodes (it removes two mid-run)")
+	}
+	if cfg.replicas <= 0 {
+		cfg.replicas = 2
+	}
+	if cfg.replicas < 2 {
+		return fmt.Errorf("chaos needs -replicas >= 2 (a lost R=1 partition cannot survive the kill)")
+	}
+	if cfg.workers <= 0 {
+		cfg.workers = runtime.GOMAXPROCS(0)
+	}
+	cor, err := mapgen.CityGrid(mapgen.DefaultCityConfig(cfg.seed))
+	if err != nil {
+		return err
+	}
+	g := cor.Graph
+	members := make([]*cluster.Member, cfg.nodes)
+	injectors := make([]*cluster.FaultInjector, cfg.nodes)
+	for i := range members {
+		node := locserv.NewNodeService(locserv.NewSharded(cfg.shards),
+			func(locserv.ObjectID) core.Predictor { return core.NewMapPredictor(g) })
+		members[i], injectors[i] = cluster.NewFaultyMember(fmt.Sprintf("node-%02d", i), node)
+	}
+	coord, err := cluster.NewReplicated(0, cfg.replicas, members...)
+	if err != nil {
+		return err
+	}
+	ref := locserv.NewSharded(cfg.shards)
+
+	objs, err := sim.GenerateFleet(g, multiRegistry{regs: []locserv.Registry{coord, ref}}, sim.FleetSpec{
+		N:        cfg.n,
+		Seed:     cfg.seed,
+		RouteLen: 15000 * cfg.scale,
+		Workers:  cfg.workers,
+		IDFormat: "car-%03d",
+		Params:   tracegen.CityCarParams(),
+		Source:   core.SourceConfig{US: 100, UP: 5, Sightings: 4},
+	})
+	if err != nil {
+		return err
+	}
+	tEnd := 0.0
+	for i := range objs {
+		if last := objs[i].Truth.Samples[objs[i].Truth.Len()-1].T; last > tEnd {
+			tEnd = last
+		}
+	}
+
+	// Same sim-clock self-healing as the selfheal run; the deadline
+	// outlasts the loss burst (a breaker flap must not demote the lossy
+	// member) but lands the killed member's demotion well before the
+	// final reweight.
+	coord.EnableSelfHeal(cluster.SelfHealConfig{
+		HeartbeatEvery: 1,
+		SuspectAfter:   1,
+		RecoverAfter:   2,
+		DemoteAfter:    0.15 * tEnd,
+	})
+
+	// The member that joins mid-run.
+	joinName := fmt.Sprintf("node-%02d", cfg.nodes)
+	joinNode := locserv.NewNodeService(locserv.NewSharded(cfg.shards),
+		func(locserv.ObjectID) core.Predictor { return core.NewMapPredictor(g) })
+	joinMember, joinInj := cluster.NewFaultyMember(joinName, joinNode)
+	_ = joinInj
+
+	// Membership actions begun by chaos events. The engine accepts one
+	// run at a time, so each action retries on ErrMigrationBusy every
+	// tick until its turn (exactly how the self-heal loops behave); the
+	// handles are verified after quiesce.
+	type action struct {
+		name  string
+		begin func() (*cluster.Migration, error)
+	}
+	type handle struct {
+		name string
+		mig  *cluster.Migration
+	}
+	var todo []action
+	var migs []handle
+	var actionErrs []error
+	enqueue := func(name string, begin func() (*cluster.Migration, error)) {
+		todo = append(todo, action{name: name, begin: begin})
+	}
+	pump := func() {
+		for len(todo) > 0 {
+			mig, err := todo[0].begin()
+			if errors.Is(err, cluster.ErrMigrationBusy) || errors.Is(err, cluster.ErrMigrationHalted) {
+				return // engine occupied; retry next tick
+			}
+			if err != nil {
+				actionErrs = append(actionErrs, fmt.Errorf("%s: %w", todo[0].name, err))
+			} else {
+				migs = append(migs, handle{name: todo[0].name, mig: mig})
+			}
+			todo = todo[1:]
+		}
+	}
+
+	plan := cluster.NewChaosPlan(
+		cluster.ChaosEvent{At: 0.15 * tEnd, Name: "join " + joinName, Do: func() {
+			enqueue("join "+joinName, func() (*cluster.Migration, error) {
+				return coord.BeginAddNode(joinMember)
+			})
+		}},
+		cluster.ChaosEvent{At: 0.30 * tEnd, Name: "loss burst " + members[2].Name, Do: func() {
+			injectors[2].SetLossRate(0.5, cfg.seed)
+		}},
+		cluster.ChaosEvent{At: 0.38 * tEnd, Name: "loss burst ends", Do: func() {
+			injectors[2].SetLossRate(0, 0)
+		}},
+		cluster.ChaosEvent{At: 0.45 * tEnd, Name: "leave " + members[0].Name, Do: func() {
+			enqueue("leave "+members[0].Name, func() (*cluster.Migration, error) {
+				return coord.BeginRemoveNode(members[0].Name)
+			})
+		}},
+		cluster.ChaosEvent{At: 0.55 * tEnd, Name: "kill " + members[1].Name, Do: func() {
+			injectors[1].Fail() // no operator call: self-heal must demote it
+		}},
+		cluster.ChaosEvent{At: 0.70 * tEnd, Name: "latency spike " + members[3].Name, Do: func() {
+			injectors[3].SetLatency(50 * time.Microsecond)
+		}},
+		cluster.ChaosEvent{At: 0.80 * tEnd, Name: "latency spike ends", Do: func() {
+			injectors[3].SetLatency(0)
+		}},
+		cluster.ChaosEvent{At: 0.82 * tEnd, Name: "reweight survivors", Do: func() {
+			enqueue("reweight", func() (*cluster.Migration, error) {
+				return coord.BeginReweight(cluster.BalancedWeights(cluster.DefaultVnodes, coord.MemberStats()))
+			})
+		}},
+	)
+
+	var queries, answered [4]int
+	var staleSum, staleMax [4]float64
+	var staleN [4]int
+	phase := 0
+	stride := len(objs)/16 + 1
+	count := func(err error) {
+		queries[phase]++
+		if err == nil {
+			answered[phase]++
+		}
+	}
+	var maxSendNs atomic.Int64
+	fl := sim.Fleet{
+		Objects: objs,
+		Workers: cfg.workers,
+		Transport: teeTransport{
+			main: timedTransport{tr: coord, maxNs: &maxSendNs},
+			ref:  wire.NewLoopback(ref.Sink(nil)),
+		},
+		Query: coord,
+		Tick: func(t float64) {
+			plan.Advance(t) // faults first, so the same tick's detector sees them
+			pump()
+			coord.Tick(t)
+			switch {
+			case t >= 0.82*tEnd:
+				phase = 3
+			case t >= 0.45*tEnd:
+				phase = 2
+			case t >= 0.15*tEnd:
+				phase = 1
+			}
+			for i := 0; i < len(objs); i += stride {
+				p, ok, err := coord.PositionE(objs[i].ID, t)
+				count(err)
+				if err != nil || !ok {
+					continue
+				}
+				if rp, rok := ref.Position(objs[i].ID, t); rok {
+					d := p.Dist(rp)
+					staleSum[phase] += d
+					staleN[phase]++
+					if d > staleMax[phase] {
+						staleMax[phase] = d
+					}
+				}
+			}
+			_, err := coord.NearestE(geo.Pt(5000, 5000), 10, t)
+			count(err)
+			_, err = coord.WithinE(geo.Rect{Min: geo.Pt(2000, 2000), Max: geo.Pt(8000, 8000)}, t)
+			count(err)
+		},
+	}
+	startT := time.Now()
+	res, err := fl.Run()
+	if err != nil {
+		return err
+	}
+	wall := time.Since(startT)
+
+	// Quiesce: stop all injection (the demoted victim stays demoted —
+	// this only silences the faults), let late-begun migrations finish,
+	// drain hints, wait out repairs.
+	for _, inj := range injectors {
+		inj.Recover()
+		inj.SetLossRate(0, 0)
+		inj.SetLatency(0)
+	}
+	for i := 0; i < 1000 && len(todo) > 0; i++ {
+		pump()
+		time.Sleep(time.Millisecond)
+	}
+	if len(todo) > 0 {
+		return fmt.Errorf("chaos: %d membership actions never started (engine busy to the end)", len(todo))
+	}
+	if len(actionErrs) > 0 {
+		return errors.Join(actionErrs...)
+	}
+	for _, h := range migs {
+		if err := h.mig.Wait(); err != nil {
+			return fmt.Errorf("chaos: %s halted: %w", h.name, err)
+		}
+	}
+	coord.ProbeDown()
+	coord.WaitRepairs()
+
+	// The acceptance assertions.
+	if rem := plan.Remaining(); rem != 0 {
+		return fmt.Errorf("chaos: %d scheduled events never fired", rem)
+	}
+	mig := coord.MigrationStats()
+	if mig.Active {
+		return fmt.Errorf("chaos: a migration is still active after quiesce (%s %s)", mig.Kind, mig.Target)
+	}
+	if qe := coord.QueryErrors(); qe != 0 {
+		return fmt.Errorf("chaos: %d query errors under churn, want zero", qe)
+	}
+	heal := coord.SelfHealStats()
+	demoted := false
+	for _, name := range heal.Demoted {
+		if name == members[1].Name {
+			demoted = true
+		}
+	}
+	if !demoted {
+		return fmt.Errorf("chaos: killed member %s was not auto-demoted (demoted %v)", members[1].Name, heal.Demoted)
+	}
+	names := coord.Nodes()
+	if len(names) != cfg.nodes-1 {
+		return fmt.Errorf("chaos: membership %v, want %d members after join %s, leave %s, demote %s",
+			names, cfg.nodes-1, joinName, members[0].Name, members[1].Name)
+	}
+	for _, name := range names {
+		if name == members[0].Name || name == members[1].Name {
+			return fmt.Errorf("chaos: departed member %s still in the cluster %v", name, names)
+		}
+	}
+	if joinNode.Service().Len() == 0 {
+		return fmt.Errorf("chaos: joined member %s holds no replicas", joinName)
+	}
+	if mig.Migrations < 4 {
+		return fmt.Errorf("chaos: %d committed migrations, want >= 4 (join, leave, demotion, reweight)", mig.Migrations)
+	}
+	if maxSwap := time.Duration(mig.MaxSwapNanos); maxSwap > 50*time.Millisecond {
+		return fmt.Errorf("chaos: routing lock held %v during a migration swap; swaps must be O(1)", maxSwap)
+	}
+	if maxSend := time.Duration(maxSendNs.Load()); maxSend > 2*time.Second {
+		return fmt.Errorf("chaos: slowest Send stalled %v; membership changes must not block ingest", maxSend)
+	}
+	for ph, name := range chaosPhases {
+		if staleMax[ph] > 100 {
+			return fmt.Errorf("chaos: phase %q max staleness %.1f m exceeds the u_s=100 m bound", name, staleMax[ph])
+		}
+	}
+	mismatches := 0
+	for i := range objs {
+		p, ok := coord.Position(objs[i].ID, tEnd)
+		rp, rok := ref.Position(objs[i].ID, tEnd)
+		if ok != rok || p != rp {
+			mismatches++
+		}
+	}
+	if mismatches > 0 {
+		return fmt.Errorf("chaos: %d of %d positions diverged from the no-failure reference", mismatches, len(objs))
+	}
+	nearGot, _ := coord.NearestE(geo.Pt(5000, 5000), 10, tEnd)
+	nearWant := ref.Nearest(geo.Pt(5000, 5000), 10, tEnd)
+	if !reflect.DeepEqual(nearGot, nearWant) {
+		return fmt.Errorf("chaos: Nearest diverged from the no-failure reference after quiesce")
+	}
+	withinRect := geo.Rect{Min: geo.Pt(2000, 2000), Max: geo.Pt(8000, 8000)}
+	withinGot, _ := coord.WithinE(withinRect, tEnd)
+	withinWant := ref.Within(withinRect, tEnd)
+	if !reflect.DeepEqual(withinGot, withinWant) {
+		return fmt.Errorf("chaos: Within diverged from the no-failure reference after quiesce")
+	}
+
+	var updates int64
+	for _, n := range res.Updates {
+		updates += n
+	}
+	fmt.Printf("# chaos: %d nodes -> %v, R=%d over %.0f s trace\n", cfg.nodes, names, cfg.replicas, tEnd)
+	fmt.Printf("# events: %s\n", strings.Join(plan.Fired(), "; "))
+	fmt.Printf("# zero query errors; converged bit-identical to the no-failure reference\n")
+	fmt.Printf("# max routing-lock hold %.3f ms; slowest Send %.3f ms\n",
+		float64(mig.MaxSwapNanos)/1e6, float64(maxSendNs.Load())/1e6)
+	tb := stats.NewTable("phase", "queries", "answered", "avail [%]", "mean stale [m]", "max stale [m]")
+	for ph, name := range chaosPhases {
+		avail, mean := 0.0, 0.0
+		if queries[ph] > 0 {
+			avail = 100 * float64(answered[ph]) / float64(queries[ph])
+		}
+		if staleN[ph] > 0 {
+			mean = staleSum[ph] / float64(staleN[ph])
+		}
+		tb.AddRow(name, queries[ph], answered[ph], avail, mean, staleMax[ph])
+	}
+	if err := emit(tb, csv); err != nil {
+		return err
+	}
+
+	st := stats.NewTable("vehicles", "samples", "updates", "mean err [m]", "wall [ms]",
+		"migrations", "records moved", "demotions", "degraded queries", "read repairs")
+	st.AddRow(cfg.n, res.Samples, updates, res.MeanErr, wall.Milliseconds(),
+		mig.Migrations, mig.TotalRecordsMoved, heal.Demotions,
 		coord.DegradedQueries(), coord.Repairs())
 	if err := emit(st, csv); err != nil {
 		return err

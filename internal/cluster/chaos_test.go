@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestChaosPlanFiresInOrder: events fire by At, stable on ties, each
+// exactly once, with the fired log matching execution order.
+func TestChaosPlanFiresInOrder(t *testing.T) {
+	var ran []string
+	mk := func(name string) func() { return func() { ran = append(ran, name) } }
+	p := NewChaosPlan(
+		ChaosEvent{At: 2, Name: "b", Do: mk("b")},
+		ChaosEvent{At: 1, Name: "a", Do: mk("a")},
+		ChaosEvent{At: 2, Name: "c", Do: mk("c")},
+		ChaosEvent{At: 5, Name: "d", Do: mk("d")},
+	)
+	if fired := p.Advance(0.5); len(fired) != 0 {
+		t.Fatalf("Advance(0.5) fired %v before anything was due", fired)
+	}
+	if fired := p.Advance(2); !reflect.DeepEqual(fired, []string{"a", "b", "c"}) {
+		t.Fatalf("Advance(2) = %v, want [a b c]", fired)
+	}
+	if p.Remaining() != 1 {
+		t.Fatalf("Remaining() = %d, want 1", p.Remaining())
+	}
+	if fired := p.Advance(10); !reflect.DeepEqual(fired, []string{"d"}) {
+		t.Fatalf("Advance(10) = %v, want [d]", fired)
+	}
+	if fired := p.Advance(10); len(fired) != 0 {
+		t.Fatalf("re-Advance refired %v", fired)
+	}
+	want := []string{"a", "b", "c", "d"}
+	if !reflect.DeepEqual(p.Fired(), want) || !reflect.DeepEqual(ran, want) {
+		t.Fatalf("Fired() = %v, ran = %v, want %v", p.Fired(), ran, want)
+	}
+}
+
+// lossPattern records which of k draws a freshly seeded injector drops.
+func lossPattern(p float64, seed int64, k int) []bool {
+	inj := &FaultInjector{}
+	inj.SetLossRate(p, seed)
+	out := make([]bool, k)
+	for i := range out {
+		out[i] = inj.deliverFails()
+	}
+	return out
+}
+
+// TestFaultInjectorLossAndLatency pins the chaos primitives: loss
+// bursts are deterministic per seed and clear to zero, latency spikes
+// actually sleep, and Recover leaves both untouched.
+func TestFaultInjectorLossAndLatency(t *testing.T) {
+	inj := &FaultInjector{}
+	inj.SetLossRate(1, 42)
+	if !inj.deliverFails() {
+		t.Fatal("p=1 loss must drop every delivery")
+	}
+	inj.Recover() // does not touch loss injection
+	if !inj.deliverFails() {
+		t.Fatal("Recover must not clear the loss burst")
+	}
+	inj.SetLossRate(0, 0)
+	if inj.deliverFails() {
+		t.Fatal("cleared loss must not drop")
+	}
+
+	a := lossPattern(0.5, 7, 200)
+	if !reflect.DeepEqual(a, lossPattern(0.5, 7, 200)) {
+		t.Fatal("same seed must give the same drop pattern")
+	}
+	drops := 0
+	for _, d := range a {
+		if d {
+			drops++
+		}
+	}
+	if drops < 50 || drops > 150 {
+		t.Fatalf("p=0.5 dropped %d of 200", drops)
+	}
+
+	inj.SetLatency(5 * time.Millisecond)
+	start := time.Now()
+	inj.delay()
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Fatalf("latency spike slept %v, want >= 5ms", elapsed)
+	}
+	inj.SetLatency(0)
+	start = time.Now()
+	inj.delay()
+	if elapsed := time.Since(start); elapsed > time.Millisecond {
+		t.Fatalf("cleared latency still slept %v", elapsed)
+	}
+}

@@ -160,17 +160,20 @@ type MemberStats struct {
 // degrade to the surviving replicas without error, and its updates park
 // in a hint buffer that drains when a recovery probe reaches it again.
 //
-// Membership changes (AddNode, RemoveNode, Reweight) rebalance by
-// key-range handoff between preference lists: for every elementary ring
-// arc whose owner list changed, the new owners import the range from a
-// surviving previous owner before the new ring commits, so queries
-// never observe a half-moved partition.
+// Membership changes (AddNode, RemoveNode, Reweight and their Begin*
+// variants) rebalance through the live migration engine (migration.go):
+// preference-list diffs move one elementary ring arc at a time, each
+// range dual-routed (old and new owners both written and read) while
+// its snapshot copies across, so the routing lock is only held for O(1)
+// pointer swaps and queries never observe a half-moved partition — or
+// a blocked one.
 type Coordinator struct {
 	mu      sync.RWMutex
 	ring    *Ring
 	rf      int
 	members map[string]*memberState
-	order   []string // sorted member names: deterministic scatter order
+	order   []string    // sorted member names: deterministic scatter order
+	duals   []dualRange // ranges in migration: extra owners for routing
 
 	queries     atomic.Int64
 	queryErrors atomic.Int64
@@ -180,6 +183,20 @@ type Coordinator struct {
 
 	clock atomic.Uint64            // float bits: highest transport/Tick time seen
 	heal  atomic.Pointer[selfHeal] // self-healing membership state; nil = manual ops
+
+	// Migration engine state (migration.go). migMu serializes runs and is
+	// never held together with mu; mig is the in-flight or halted run
+	// (guarded by migMu), migView its lock-free mirror for stats.
+	migMu        sync.Mutex
+	mig          *migrationRun
+	migView      atomic.Pointer[migrationRun]
+	migHook      migrationHook // test crash hook; set before Begin*/Resume
+	migCommitted atomic.Int64
+	migAborted   atomic.Int64
+	migResumed   atomic.Int64
+	migRecords   atomic.Int64
+	migSwapNs    atomic.Int64
+	migLast      atomic.Pointer[string]
 
 	repairWG  sync.WaitGroup
 	repairMu  sync.Mutex
@@ -286,6 +303,39 @@ func (c *Coordinator) Owners(id locserv.ObjectID) []string {
 	return c.ring.Owners(string(id), c.rf)
 }
 
+// ownersFor returns id's routing owner set reusing dst's backing
+// array: the ring preference list plus — while a migration has the
+// id's range in transition — the dual-range adds, so old and new
+// owners are written and read alike until the commit. The ring owners
+// come first, so freshest-Seq ties keep resolving to the same member
+// they did before the migration started. Callers hold a lock; with no
+// migration in flight the dual scan is a nil-slice check.
+func (c *Coordinator) ownersFor(dst []string, id string) []string {
+	h := wire.KeyHash(id)
+	dst = c.ring.ownersAppendAt(dst, h, c.rf)
+	for i := range c.duals {
+		d := &c.duals[i]
+		if !wire.InKeyRange(h, d.lo, d.hi) {
+			continue
+		}
+		for _, name := range d.adds {
+			if !containsName(dst, name) {
+				dst = append(dst, name)
+			}
+		}
+	}
+	return dst
+}
+
+func containsName(names []string, name string) bool {
+	for _, have := range names {
+		if have == name {
+			return true
+		}
+	}
+	return false
+}
+
 // predictorRegistrar is the optional in-process fast path: a node that
 // can register with an explicit predictor (locserv.NodeService).
 type predictorRegistrar interface {
@@ -302,7 +352,7 @@ type predictorRegistrar interface {
 func (c *Coordinator) Register(id locserv.ObjectID, pred core.Predictor) error {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	owners := c.ring.Owners(string(id), c.rf)
+	owners := c.ownersFor(nil, string(id))
 	if len(owners) == 0 {
 		return fmt.Errorf("cluster: no member owns %q", id)
 	}
@@ -343,7 +393,7 @@ func (c *Coordinator) Register(id locserv.ObjectID, pred core.Predictor) error {
 func (c *Coordinator) Deregister(id locserv.ObjectID) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	for _, name := range c.ring.Owners(string(id), c.rf) {
+	for _, name := range c.ownersFor(nil, string(id)) {
 		m, ok := c.members[name]
 		if !ok || m.down.Load() {
 			continue
@@ -354,9 +404,10 @@ func (c *Coordinator) Deregister(id locserv.ObjectID) {
 	}
 }
 
-// route partitions a batch per member of each record's preference list,
+// route partitions a batch per member of each record's preference list
+// — plus any dual-range adds while a migration is in flight —
 // preserving each record's relative order; callers hold a lock. Every
-// record appears in all R owners' partitions.
+// record appears in all its owners' partitions.
 func (c *Coordinator) route(batch []wire.Record) (map[string][]wire.Record, error) {
 	parts := make(map[string][]wire.Record, len(c.members))
 	owners := make([]string, 0, c.rf)
@@ -364,7 +415,7 @@ func (c *Coordinator) route(batch []wire.Record) (map[string][]wire.Record, erro
 		if batch[i].ID == "" {
 			return nil, fmt.Errorf("cluster: record %d has no object id", i)
 		}
-		owners = c.ring.OwnersAppend(owners, batch[i].ID, c.rf)
+		owners = c.ownersFor(owners, batch[i].ID)
 		if len(owners) == 0 {
 			return nil, fmt.Errorf("cluster: no member owns %q", batch[i].ID)
 		}
@@ -589,11 +640,12 @@ func (c *Coordinator) DeliverRecords(recs []wire.Record) (applied int, err error
 	}
 	wg.Wait()
 	c.maybeProbe()
-	if c.rf == 1 {
-		// Unreplicated partitions are disjoint: the per-member counts sum
-		// to the exact record-level accounting (records belonging to a
-		// registered or registrable object; Seq gating is the replica's
-		// decision either way — see locserv.Service.DeliverRecords).
+	if c.rf == 1 && len(c.duals) == 0 {
+		// Unreplicated partitions are disjoint (no migration in flight, so
+		// no dual-written overlap): the per-member counts sum to the exact
+		// record-level accounting (records belonging to a registered or
+		// registrable object; Seq gating is the replica's decision either
+		// way — see locserv.Service.DeliverRecords).
 		for _, n := range appliedBy {
 			applied += n
 		}
@@ -707,7 +759,7 @@ func (c *Coordinator) PositionE(id locserv.ObjectID, t float64) (geo.Point, bool
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	c.queries.Add(1)
-	owners := c.ring.Owners(string(id), c.rf)
+	owners := c.ownersFor(nil, string(id))
 	if len(owners) == 0 {
 		c.queryErrors.Add(1)
 		return geo.Point{}, false, fmt.Errorf("cluster: no member owns %q", id)
@@ -887,103 +939,7 @@ func (c *Coordinator) MemberStats() []MemberStats {
 	return out
 }
 
-// AddNode joins a member to the cluster and rebalances: every ring arc
-// whose preference list gains the member is exported from a surviving
-// previous owner (ids plus reports with their protocol sequence
-// numbers) and imported on it; only once every import has succeeded
-// does the new ring commit, after which the members that left the arcs'
-// preference lists drop their superseded copies. A failure mid-handoff
-// therefore leaves routing exactly as it was, and the partial imports
-// on the joining member (not yet part of the ring) are cleaned up
-// best-effort. Routing is held still for the duration, so queries never
-// see a half-moved partition.
-func (c *Coordinator) AddNode(m *Member) error {
-	if m == nil || m.Node == nil {
-		return fmt.Errorf("cluster: nil member")
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, dup := c.members[m.Name]; dup {
-		return fmt.Errorf("cluster: duplicate member %q", m.Name)
-	}
-	// A parked (auto-demoted) identity rejoins as a fresh member: its old
-	// replicas were migrated away at demotion, so nothing of the previous
-	// incarnation is assumed — it simply imports its new ranges below.
-	if heal := c.heal.Load(); heal != nil {
-		heal.unpark(m.Name)
-	}
-	next := c.ring.clone()
-	if _, err := next.Add(m.Name); err != nil {
-		return err
-	}
-	st := newMemberState(m)
-	extra := map[string]*memberState{m.Name: st}
-	moves, imported, err := c.migrate(next, extra)
-	if err != nil {
-		c.cleanupImports(extra, imported)
-		return err
-	}
-	// All data is on the new owner set; committing the ring and dropping
-	// the superseded copies cannot fail routing anymore (a failed drop
-	// only leaks a stale replica, counted on its member).
-	c.ring = next
-	c.members[m.Name] = st
-	c.reorder()
-	c.dropMoved(moves)
-	return nil
-}
-
-// RemoveNode drains a member and removes it: every ring arc it owned a
-// replica of gains a new member, which imports the range from a
-// surviving owner — preferably the leaving member itself, but any other
-// replica serves when it is down (how a crashed node leaves an R >= 2
-// cluster without data loss). The ring change commits only once all
-// imports succeeded, so a failed drain leaves the cluster routing as
-// before.
-func (c *Coordinator) RemoveNode(name string) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.members[name]; !ok {
-		return fmt.Errorf("cluster: unknown member %q", name)
-	}
-	if len(c.members) == 1 {
-		return fmt.Errorf("cluster: cannot remove the last member %q", name)
-	}
-	next := c.ring.clone()
-	if _, err := next.Remove(name); err != nil {
-		return err
-	}
-	moves, imported, err := c.migrate(next, nil)
-	if err != nil {
-		// The leaving member still owns its ranges (ring unchanged); the
-		// imports already landed on other members would answer scatter
-		// queries as duplicates, so undo them.
-		c.cleanupImports(nil, imported)
-		return err
-	}
-	c.ring = next
-	delete(c.members, name)
-	c.reorder()
-	c.dropMoved(moves)
-	return nil
-}
-
-// cleanupImports best-effort removes partially imported objects from
-// their targets after a failed rebalance, so an off-ring or duplicate
-// copy does not linger (duplicates would surface in scatter answers).
-func (c *Coordinator) cleanupImports(extra map[string]*memberState, moved map[string][]locserv.ObjectID) {
-	for name, ids := range moved {
-		target, ok := c.members[name]
-		if !ok {
-			target = extra[name]
-		}
-		if target == nil {
-			continue
-		}
-		for _, id := range ids {
-			if err := target.Node.Deregister(id); err != nil {
-				target.errors.Add(1)
-			}
-		}
-	}
-}
+// AddNode, RemoveNode, Reweight and their non-blocking Begin* variants
+// live in migration.go: membership changes run through the live
+// migration engine, range at a time under dual routing, so none of them
+// ever holds the routing lock across data movement.

@@ -41,6 +41,25 @@ func Handler(c *Coordinator) http.Handler {
 			Shards   int     `json:"shards"`
 			Applied  int64   `json:"updates_applied"`
 		}
+		type migrationJSON struct {
+			Active          bool   `json:"active"`
+			Kind            string `json:"kind,omitempty"`
+			Target          string `json:"target,omitempty"`
+			Halted          bool   `json:"halted,omitempty"`
+			HaltCause       string `json:"halt_cause,omitempty"`
+			Ranges          int    `json:"ranges,omitempty"`
+			RangesPending   int    `json:"ranges_pending,omitempty"`
+			RangesCopying   int    `json:"ranges_copying,omitempty"`
+			RangesDual      int    `json:"ranges_dual,omitempty"`
+			RangesCommitted int    `json:"ranges_committed,omitempty"`
+			RecordsMoved    int64  `json:"records_moved,omitempty"`
+			Migrations      int64  `json:"migrations"`
+			Aborts          int64  `json:"aborts"`
+			Resumes         int64  `json:"resumes"`
+			TotalMoved      int64  `json:"total_records_moved"`
+			MaxSwapNanos    int64  `json:"max_swap_ns"`
+			LastOutcome     string `json:"last_outcome,omitempty"`
+		}
 		type selfHealJSON struct {
 			Enabled          bool     `json:"enabled"`
 			Heartbeats       int64    `json:"heartbeats"`
@@ -53,18 +72,39 @@ func Handler(c *Coordinator) http.Handler {
 		}
 		stats := c.MemberStats()
 		heal := c.SelfHealStats()
+		mig := c.MigrationStats()
 		out := struct {
-			Replicas     int          `json:"replicas"`
-			Nodes        []memberJSON `json:"nodes"`
-			Queries      int64        `json:"queries"`
-			QueryErrors  int64        `json:"query_errors"`
-			Degraded     int64        `json:"degraded_queries"`
-			Repairs      int64        `json:"read_repairs"`
-			TotalObjects int          `json:"total_objects"`
-			SelfHeal     selfHealJSON `json:"selfheal"`
+			Replicas     int           `json:"replicas"`
+			Nodes        []memberJSON  `json:"nodes"`
+			Queries      int64         `json:"queries"`
+			QueryErrors  int64         `json:"query_errors"`
+			Degraded     int64         `json:"degraded_queries"`
+			Repairs      int64         `json:"read_repairs"`
+			TotalObjects int           `json:"total_objects"`
+			Migration    migrationJSON `json:"migration"`
+			SelfHeal     selfHealJSON  `json:"selfheal"`
 		}{
 			Replicas: c.Replicas(), Queries: c.Queries(), QueryErrors: c.QueryErrors(),
 			Degraded: c.DegradedQueries(), Repairs: c.Repairs(),
+			Migration: migrationJSON{
+				Active:          mig.Active,
+				Kind:            mig.Kind,
+				Target:          mig.Target,
+				Halted:          mig.Halted,
+				HaltCause:       mig.HaltCause,
+				Ranges:          mig.Ranges,
+				RangesPending:   mig.RangesPending,
+				RangesCopying:   mig.RangesCopying,
+				RangesDual:      mig.RangesDual,
+				RangesCommitted: mig.RangesCommitted,
+				RecordsMoved:    mig.RecordsMoved,
+				Migrations:      mig.Migrations,
+				Aborts:          mig.Aborts,
+				Resumes:         mig.Resumes,
+				TotalMoved:      mig.TotalRecordsMoved,
+				MaxSwapNanos:    mig.MaxSwapNanos,
+				LastOutcome:     mig.LastOutcome,
+			},
 			SelfHeal: selfHealJSON{
 				Enabled:          heal.Enabled,
 				Heartbeats:       heal.Heartbeats,

@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mapdr/internal/core"
+	"mapdr/internal/geo"
+	"mapdr/internal/locserv"
+)
+
+// TestMigrationCrashResumeSourceDeath is the coordinator-crash drill:
+// the run halts between copying and committed (one range already dual,
+// the rest untouched), the exported source of a pending range dies,
+// and Resume must still complete — falling through to the surviving
+// replica — with every answer bit-identical to the no-migration
+// reference. Concurrent queries run across the whole migration so the
+// dual-routing paths race the engine under -race.
+func TestMigrationCrashResumeSourceDeath(t *testing.T) {
+	const n, rf = 150, 2
+	f := newReplicatedFixture(t, 3, rf)
+	seedReplicated(t, f, n)
+	before := snapshot(f.coord, n, 5)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			f.coord.Position(locserv.ObjectID(fmt.Sprintf("obj-%04d", i%n)), 5)
+			f.coord.Nearest(geo.Pt(float64(i%7)*100, 50), 5, 5)
+		}
+	}()
+	defer func() { close(stop); wg.Wait() }()
+
+	// Crash exactly once: after the first range lands its copy and goes
+	// dual, before anything else moves.
+	errCrash := errors.New("injected coordinator crash")
+	var duals atomic.Int32
+	f.coord.migHook = func(kind string, lo, hi uint64, phase MigrationPhase) error {
+		if phase == MigDual && duals.Add(1) == 1 {
+			return errCrash
+		}
+		return nil
+	}
+
+	node4 := locserv.NewNodeService(locserv.NewSharded(4),
+		func(locserv.ObjectID) core.Predictor { return core.LinearPredictor{} })
+	m4, _ := NewFaultyMember("n4", node4)
+	mig, err := f.coord.BeginAddNode(m4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mig.Wait(); !errors.Is(err, errCrash) {
+		t.Fatalf("Wait() = %v, want the injected crash", err)
+	}
+	st := f.coord.MigrationStats()
+	if !st.Active || !st.Halted || st.Kind != migJoin || st.Target != "n4" {
+		t.Fatalf("halted stats = %+v", st)
+	}
+	if st.RangesDual != 1 || st.RangesCommitted != 0 {
+		t.Fatalf("halted mid-copy stats = %+v, want exactly one dual range", st)
+	}
+	// The halted dual window still serves the previous ring's answers.
+	assertSnapshotEqual(t, "halted dual window", before, snapshot(f.coord, n, 5))
+	// Another membership change cannot start over a halted run.
+	if _, err := f.coord.BeginRemoveNode(f.names[0]); !errors.Is(err, ErrMigrationHalted) {
+		t.Fatalf("Begin over a halted run = %v, want ErrMigrationHalted", err)
+	}
+
+	// Kill the member the next pending range would export from.
+	victim := ""
+	for _, r := range mig.run.ranges {
+		if r.phase.Load() == MigPlanned && len(r.sources) > 0 {
+			victim = r.sources[0]
+			break
+		}
+	}
+	if victim == "" {
+		t.Fatal("no pending range left to crash-test the source fallback")
+	}
+	f.injectors[victim].Fail()
+
+	f.coord.migHook = nil // the crashed coordinator restarts hook-less
+	if err := mig.Resume(); err != nil {
+		t.Fatalf("Resume() with a dead source = %v", err)
+	}
+	st = f.coord.MigrationStats()
+	if st.Active || st.Migrations != 1 || st.Resumes != 1 {
+		t.Fatalf("post-resume stats = %+v", st)
+	}
+	if node4.Service().Len() == 0 {
+		t.Fatal("resumed join moved no replicas onto the new member")
+	}
+	assertSnapshotEqual(t, "after crash-resume join", before, snapshot(f.coord, n, 5))
+}
+
+// TestMigrationAbortRollsBackImportFailure wedges the joining member's
+// write path so the import itself fails mid-range, then aborts: the
+// rollback must leave membership, every replica and every answer
+// bit-identical to the no-migration reference, and the recovered
+// member must be able to rejoin cleanly.
+func TestMigrationAbortRollsBackImportFailure(t *testing.T) {
+	const n, rf = 90, 2
+	f := newReplicatedFixture(t, 3, rf)
+	seedReplicated(t, f, n)
+	before := snapshot(f.coord, n, 4)
+
+	node4 := locserv.NewNodeService(locserv.NewSharded(4),
+		func(locserv.ObjectID) core.Predictor { return core.LinearPredictor{} })
+	m4, inj4 := NewFaultyMember("nx", node4)
+	inj4.FailDeliver()
+	mig, err := f.coord.BeginAddNode(m4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mig.Wait(); err == nil {
+		t.Fatal("importing into a wedged member must halt the run")
+	}
+	st := f.coord.MigrationStats()
+	if !st.Halted || st.HaltCause == "" {
+		t.Fatalf("halted stats = %+v", st)
+	}
+	assertSnapshotEqual(t, "halted before abort", before, snapshot(f.coord, n, 4))
+
+	if err := f.coord.AbortMigration(); err != nil {
+		t.Fatal(err)
+	}
+	if nodes := f.coord.Nodes(); len(nodes) != 3 {
+		t.Fatalf("abort left membership %v", nodes)
+	}
+	for _, name := range f.coord.Nodes() {
+		if name == "nx" {
+			t.Fatal("aborted join left the member in the cluster")
+		}
+	}
+	if got := node4.Service().Len(); got != 0 {
+		t.Fatalf("abort left %d partial objects on the add", got)
+	}
+	total := 0
+	for _, ms := range f.coord.MemberStats() {
+		total += ms.Node.Objects
+	}
+	if total != n*rf {
+		t.Fatalf("abort changed the replica population: %d of %d copies", total, n*rf)
+	}
+	assertSnapshotEqual(t, "after abort", before, snapshot(f.coord, n, 4))
+	st = f.coord.MigrationStats()
+	if st.Active || st.Aborts != 1 || st.Migrations != 0 {
+		t.Fatalf("post-abort stats = %+v", st)
+	}
+
+	// The same member, recovered, joins cleanly: nothing of the aborted
+	// attempt lingers.
+	inj4.Recover()
+	if err := f.coord.AddNode(m4); err != nil {
+		t.Fatal(err)
+	}
+	if node4.Service().Len() == 0 {
+		t.Fatal("recovered rejoin moved nothing")
+	}
+	assertSnapshotEqual(t, "after recovered rejoin", before, snapshot(f.coord, n, 4))
+}

@@ -9,8 +9,8 @@
 //     because replicas are idempotent per (id, Seq)),
 //   - background read repair (a replica observed answering with a stale
 //     Seq gets the winning record pushed back at it),
-//   - preference-list rebalancing (AddNode/RemoveNode/Reweight move key
-//     ranges between owner lists arc by arc), and
+//   - the preference-list diff (diffPreferenceLists) the live migration
+//     engine (migration.go) plans AddNode/RemoveNode/Reweight from, and
 //   - load-derived vnode weights (BalancedWeights).
 
 package cluster
@@ -343,146 +343,6 @@ func subtractNames(a, b []string) []string {
 		}
 	}
 	return out
-}
-
-// migrate runs the import half of moving the cluster onto the next
-// ring: for every arc whose preference list gains members, a surviving
-// previous owner exports the range (reports keep their sequence
-// numbers, so protocol gating survives the move) and each new owner
-// imports it. It returns the executed plan and the ids imported per
-// target, so a failure can be cleaned up and a success can drop the
-// superseded copies. Nothing is removed from any source here; callers
-// hold the write lock.
-func (c *Coordinator) migrate(next *Ring, extra map[string]*memberState) ([]arcMove, map[string][]locserv.ObjectID, error) {
-	member := func(name string) *memberState {
-		if m, ok := c.members[name]; ok {
-			return m
-		}
-		return extra[name]
-	}
-	moves := diffPreferenceLists(c.ring, next, c.rf)
-	imported := make(map[string][]locserv.ObjectID)
-	for _, mv := range moves {
-		if len(mv.adds) == 0 {
-			continue
-		}
-		// Export once per arc, from the first previous owner that is
-		// known, up and answering — with R >= 2, losing a node does not
-		// strand its ranges.
-		var recs []wire.Record
-		var ids []locserv.ObjectID
-		exported := false
-		var lastErr error
-		for _, s := range mv.sources {
-			from := member(s)
-			if from == nil {
-				lastErr = fmt.Errorf("unknown member %q", s)
-				continue
-			}
-			if from.down.Load() {
-				lastErr = fmt.Errorf("member %q is down", s)
-				continue
-			}
-			r, i, err := from.Node.Export(mv.lo, mv.hi)
-			if err != nil {
-				from.errors.Add(1)
-				lastErr = err
-				continue
-			}
-			recs, ids, exported = r, i, true
-			break
-		}
-		if !exported {
-			return moves, imported, fmt.Errorf("cluster: handoff (%x,%x]: no live source in %v: %w",
-				mv.lo, mv.hi, mv.sources, lastErr)
-		}
-		for _, target := range mv.adds {
-			to := member(target)
-			if to == nil {
-				return moves, imported, fmt.Errorf("cluster: handoff (%x,%x]: unknown target %q", mv.lo, mv.hi, target)
-			}
-			for _, id := range ids {
-				if err := to.Node.Register(id); err != nil {
-					to.errors.Add(1)
-					return moves, imported, fmt.Errorf("cluster: register %q on %s: %w", id, target, err)
-				}
-				imported[target] = append(imported[target], id)
-			}
-			if len(recs) > 0 {
-				applied, err := to.Node.Deliver(recs)
-				if err == nil && applied != len(recs) {
-					err = fmt.Errorf("target applied %d of %d records", applied, len(recs))
-				}
-				// The batch may have partially landed; treat every record as
-				// possibly-imported for cleanup purposes either way.
-				for i := range recs {
-					imported[target] = append(imported[target], locserv.ObjectID(recs[i].ID))
-				}
-				if err != nil {
-					to.errors.Add(1)
-					return moves, imported, fmt.Errorf("cluster: import (%x,%x] into %s: %w", mv.lo, mv.hi, target, err)
-				}
-				to.records.Add(int64(len(recs)))
-			}
-		}
-	}
-	return moves, imported, nil
-}
-
-// dropMoved removes the superseded range copies from the members that
-// left each arc's preference list, after a committed migration. The
-// copies are already replicated on the new owner set, so failures only
-// leak a stale replica (counted, not fatal). Members no longer in the
-// cluster (the leaving node of RemoveNode) are skipped — they keep
-// their data and simply stop being asked. Callers hold the write lock.
-func (c *Coordinator) dropMoved(moves []arcMove) {
-	for _, mv := range moves {
-		for _, name := range mv.drops {
-			m, ok := c.members[name]
-			if !ok {
-				continue
-			}
-			recs, ids, err := m.Node.Export(mv.lo, mv.hi)
-			if err != nil {
-				m.errors.Add(1)
-				continue
-			}
-			for i := range recs {
-				ids = append(ids, locserv.ObjectID(recs[i].ID))
-			}
-			for _, id := range ids {
-				if err := m.Node.Deregister(id); err != nil {
-					m.errors.Add(1)
-				}
-			}
-		}
-	}
-}
-
-// Reweight migrates the cluster onto new per-member vnode counts —
-// weighted consistent hashing driven by observed load (see
-// BalancedWeights). Ranges whose preference lists change move exactly
-// like an AddNode handoff; a failure rolls back to the previous ring.
-func (c *Coordinator) Reweight(weights map[string]int) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for name := range weights {
-		if _, ok := c.members[name]; !ok {
-			return fmt.Errorf("cluster: weight for unknown member %q", name)
-		}
-	}
-	next, err := c.ring.reweighted(weights)
-	if err != nil {
-		return err
-	}
-	moves, imported, err := c.migrate(next, nil)
-	if err != nil {
-		c.cleanupImports(nil, imported)
-		return err
-	}
-	c.ring = next
-	c.dropMoved(moves)
-	return nil
 }
 
 // BalancedWeights derives per-member vnode counts from the

@@ -1,0 +1,66 @@
+package wire
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRetryDelayBounds pins the backoff window: every draw lies in
+// [0, min(backoff << (attempt-1), maxBackoff)], whatever the attempt
+// count — including counts large enough to overflow a naive shift.
+func TestRetryDelayBounds(t *testing.T) {
+	policies := []retryPolicy{
+		{backoff: DefaultBackoff},
+		{backoff: DefaultBackoff, maxBackoff: 300 * time.Millisecond},
+		{backoff: time.Nanosecond},
+		{backoff: time.Hour}, // first window already above the cap
+	}
+	for _, p := range policies {
+		max := p.maxBackoff
+		if max <= 0 {
+			max = DefaultMaxBackoff
+		}
+		for attempt := 1; attempt <= 200; attempt++ {
+			window := max
+			// Widen the expected window only while the shift cannot
+			// overflow; past that the cap is the bound.
+			if attempt-1 < 62 {
+				if w := p.backoff << (attempt - 1); w > 0 && w < window {
+					window = w
+				}
+			}
+			for i := 0; i < 32; i++ {
+				d := p.delay(attempt)
+				if d < 0 || d > window {
+					t.Fatalf("delay(attempt=%d) = %v, want in [0, %v] (backoff=%v cap=%v)",
+						attempt, d, window, p.backoff, max)
+				}
+			}
+		}
+	}
+}
+
+// TestRetryDelayZeroBackoff: a zero backoff never sleeps — the fail-
+// fast configuration tests rely on.
+func TestRetryDelayZeroBackoff(t *testing.T) {
+	p := retryPolicy{backoff: 0}
+	for attempt := 1; attempt <= 8; attempt++ {
+		if d := p.delay(attempt); d != 0 {
+			t.Fatalf("delay(%d) = %v with zero backoff, want 0", attempt, d)
+		}
+	}
+}
+
+// TestRetryDelayJitters: the draws actually vary — a constant schedule
+// would re-synchronize a fleet's retry storms, which is the failure
+// mode full jitter exists to break.
+func TestRetryDelayJitters(t *testing.T) {
+	p := retryPolicy{backoff: DefaultBackoff}
+	seen := make(map[time.Duration]bool)
+	for i := 0; i < 64; i++ {
+		seen[p.delay(6)] = true // window is min(50ms<<5, 2s) = 1.6s
+	}
+	if len(seen) < 2 {
+		t.Fatalf("64 draws produced %d distinct delays, want jitter", len(seen))
+	}
+}

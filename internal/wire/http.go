@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"strings"
 	"time"
@@ -31,8 +32,13 @@ const (
 	DefaultTimeout = 10 * time.Second
 	// DefaultRetries is how many re-attempts follow a transient failure.
 	DefaultRetries = 2
-	// DefaultBackoff is the first retry delay; it doubles per attempt.
+	// DefaultBackoff scales the first retry delay; the window doubles per
+	// attempt and the actual sleep is drawn uniformly from it (full
+	// jitter).
 	DefaultBackoff = 50 * time.Millisecond
+	// DefaultMaxBackoff caps the retry-delay window however many attempts
+	// have failed, so a long outage cannot grow sleeps without bound.
+	DefaultMaxBackoff = 2 * time.Second
 )
 
 // IngestResponse is the JSON body a location server's /updates endpoint
@@ -52,16 +58,47 @@ type IngestResponse struct {
 
 // retryPolicy is the shared HTTP request discipline of the ingest and
 // query clients: per-attempt context timeout, bounded retries with
-// exponential backoff on transient failures (network errors, 5xx and
-// 429), permanent failure on other status codes.
+// capped, fully jittered exponential backoff on transient failures
+// (network errors, 5xx and 429), permanent failure on other status
+// codes.
 type retryPolicy struct {
-	timeout time.Duration
-	retries int
-	backoff time.Duration
+	timeout    time.Duration
+	retries    int
+	backoff    time.Duration
+	maxBackoff time.Duration // <= 0 selects DefaultMaxBackoff
 }
 
 func defaultRetryPolicy() retryPolicy {
 	return retryPolicy{timeout: DefaultTimeout, retries: DefaultRetries, backoff: DefaultBackoff}
+}
+
+// delay returns the sleep before re-attempt attempt (1-based): a full-
+// jitter draw from [0, min(backoff << (attempt-1), maxBackoff)]. Full
+// jitter decorrelates the retry schedules of a fleet of clients hit by
+// the same outage — a deterministic doubling schedule re-synchronizes
+// their retries into coordinated storms on the recovering server — and
+// the cap keeps the window bounded however many attempts have failed
+// (the shift saturates, so huge attempt counts cannot overflow).
+func (p retryPolicy) delay(attempt int) time.Duration {
+	ceil := p.backoff
+	if ceil <= 0 {
+		return 0
+	}
+	max := p.maxBackoff
+	if max <= 0 {
+		max = DefaultMaxBackoff
+	}
+	for i := 1; i < attempt && ceil < max; i++ {
+		ceil <<= 1
+		if ceil <= 0 { // shift overflow
+			ceil = max
+			break
+		}
+	}
+	if ceil > max {
+		ceil = max
+	}
+	return time.Duration(rand.Int64N(int64(ceil) + 1))
 }
 
 // retryable reports whether an HTTP status is worth another attempt.
@@ -80,7 +117,7 @@ func (p retryPolicy) do(hc *http.Client, url, contentType string, body []byte, o
 				return nil, lastErr
 			}
 			onRetry()
-			time.Sleep(p.backoff << (attempt - 1))
+			time.Sleep(p.delay(attempt))
 		}
 		data, retry, err := p.attempt(hc, url, contentType, body)
 		if err == nil {
@@ -158,8 +195,9 @@ func NewClient(baseURL string, hc *http.Client) *Client {
 
 // SetRetry overrides the request policy: timeout bounds one attempt
 // (0 disables the bound), retries is the number of re-attempts after a
-// transient failure (0 fails fast), and backoff is the first retry
-// delay, doubling per attempt.
+// transient failure (0 fails fast), and backoff scales the retry-delay
+// window, which doubles per attempt up to DefaultMaxBackoff; each sleep
+// is a full-jitter draw from that window.
 func (t *Client) SetRetry(timeout time.Duration, retries int, backoff time.Duration) {
 	if retries < 0 {
 		retries = 0
