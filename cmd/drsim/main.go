@@ -44,6 +44,16 @@
 //	                                # run asserts zero query errors, bounded
 //	                                # staleness and O(1) routing-lock holds,
 //	                                # and bit-identical convergence
+//	drsim -exp fanin -nodes 4 -replicas 2 -fleet 100
+//	                                # two fan-in coordinators front one
+//	                                # cluster, splitting ingest and queries;
+//	                                # the one driving a live join is killed
+//	                                # mid-copy; its peer steals the fenced
+//	                                # lease after expiry, resumes the run
+//	                                # from the replicated membership log and
+//	                                # commits it; the run asserts the steal,
+//	                                # the resume, zero query errors and
+//	                                # bit-identical convergence
 //
 // -scale 0.1 shrinks the scenarios for quick runs; the defaults reproduce
 // the paper's full trace lengths. The fleet experiment drives -fleet
@@ -86,7 +96,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "table1", "experiment id (table1, fig3, fig6, fig7-fig10, headline, fleet, cluster, failover, selfheal, chaos, ablate-*)")
+		exp       = flag.String("exp", "table1", "experiment id (table1, fig3, fig6, fig7-fig10, headline, fleet, cluster, failover, selfheal, chaos, fanin, ablate-*)")
 		seed      = flag.Int64("seed", 42, "deterministic scenario seed")
 		scale     = flag.Float64("scale", 1.0, "scenario scale in (0,1]; 1 = paper scale")
 		csv       = flag.Bool("csv", false, "emit CSV instead of an aligned table")
@@ -132,6 +142,11 @@ func main() {
 		}, *csv)
 	} else if *exp == "chaos" {
 		err = runChaos(fleetConfig{
+			n: *fleetN, nodes: *nodes, replicas: *replicas, shards: *shards, workers: *workers,
+			seed: *seed, scale: *scale,
+		}, *csv)
+	} else if *exp == "fanin" {
+		err = runFanin(fleetConfig{
 			n: *fleetN, nodes: *nodes, replicas: *replicas, shards: *shards, workers: *workers,
 			seed: *seed, scale: *scale,
 		}, *csv)
@@ -817,6 +832,369 @@ func runSelfheal(cfg fleetConfig, csv bool) error {
 	for _, ms := range coord.MemberStats() {
 		nt.AddRow(ms.Name, ms.Node.Objects, ms.Records, ms.Errors, ms.Health.String(),
 			ms.Hints.Hinted, ms.Hints.Drained, ms.Hints.Requeued, ms.Hints.Buffered)
+	}
+	return emit(nt, csv)
+}
+
+// fanInPhases labels the measurement windows of the fan-in experiment.
+var fanInPhases = [3]string{"steady two-front", "driver down (orphaned join)", "stolen + resumed"}
+
+// twoFront is the ingest/query surface of the fan-in drill: update
+// batches and queries alternate across two coordinators while both are
+// live, and fail over to co-b alone once co-a is declared dead. Both
+// fronts fold the same replicated membership log, so the split stays
+// consistent even mid-migration.
+type twoFront struct {
+	a, b  *cluster.Coordinator
+	aLive atomic.Bool
+	sends atomic.Int64
+	reads atomic.Int64
+}
+
+func (f *twoFront) front(n *atomic.Int64) *cluster.Coordinator {
+	if f.aLive.Load() && n.Add(1)%2 == 0 {
+		return f.a
+	}
+	return f.b
+}
+
+func (f *twoFront) Send(now float64, batch []wire.Record) error {
+	return f.front(&f.sends).Send(now, batch)
+}
+
+func (f *twoFront) Flush(now float64) error {
+	if f.aLive.Load() {
+		if err := f.a.Flush(now); err != nil {
+			return err
+		}
+	}
+	return f.b.Flush(now)
+}
+
+func (f *twoFront) Stats() wire.Stats {
+	sa, sb := f.a.Stats(), f.b.Stats()
+	return wire.Stats{
+		Sent: sa.Sent + sb.Sent, Delivered: sa.Delivered + sb.Delivered, Dropped: sa.Dropped + sb.Dropped,
+		BytesSent: sa.BytesSent + sb.BytesSent, BytesDelivered: sa.BytesDelivered + sb.BytesDelivered,
+		Frames: sa.Frames + sb.Frames, FrameBytes: sa.FrameBytes + sb.FrameBytes,
+		Errors: sa.Errors + sb.Errors, Retries: sa.Retries + sb.Retries,
+	}
+}
+
+func (f *twoFront) Position(id locserv.ObjectID, t float64) (geo.Point, bool) {
+	return f.front(&f.reads).Position(id, t)
+}
+
+func (f *twoFront) Nearest(p geo.Point, k int, t float64) []locserv.ObjectPos {
+	return f.front(&f.reads).Nearest(p, k, t)
+}
+
+func (f *twoFront) Within(r geo.Rect, t float64) []locserv.ObjectPos {
+	return f.front(&f.reads).Within(r, t)
+}
+
+// runFanin is the multi-coordinator recovery drill: two fan-in
+// coordinators front the same cluster, splitting the fleet's ingest and
+// queries between them while gossiping the replicated membership log.
+// At 35% of the trace co-a acquires the fenced lease and begins a live
+// join; an injected crash kills its driver at the second range copy and
+// co-a goes dark — no ticks, no abort, no operator. Its Begin record is
+// already on the log, so co-b keeps dual routing the orphaned run; once
+// the dead leader's lease expires co-b steals it, rebuilds the run from
+// the log and drives it to commit. The run asserts the steal and the
+// resume happened, the joined member serves its ranges, zero query
+// errors on both fronts, identical membership logs, and a post-quiesce
+// store bit-identical to a no-failure reference.
+func runFanin(cfg fleetConfig, csv bool) error {
+	if cfg.scale <= 0 || cfg.scale > 1 {
+		return fmt.Errorf("scale must be in (0,1]")
+	}
+	if cfg.nodes < 2 {
+		return fmt.Errorf("fanin needs at least two cluster nodes")
+	}
+	if cfg.replicas <= 0 {
+		cfg.replicas = 2
+	}
+	if cfg.workers <= 0 {
+		cfg.workers = runtime.GOMAXPROCS(0)
+	}
+	cor, err := mapgen.CityGrid(mapgen.DefaultCityConfig(cfg.seed))
+	if err != nil {
+		return err
+	}
+	g := cor.Graph
+
+	// The two fronts share the node processes but hold separate Member
+	// handles, like two coordinator processes fronting one cluster.
+	nodes := make([]*locserv.NodeService, cfg.nodes)
+	for i := range nodes {
+		nodes[i] = locserv.NewNodeService(locserv.NewSharded(cfg.shards),
+			func(locserv.ObjectID) core.Predictor { return core.NewMapPredictor(g) })
+	}
+	joinName := fmt.Sprintf("node-%02d", cfg.nodes)
+	joinNode := locserv.NewNodeService(locserv.NewSharded(cfg.shards),
+		func(locserv.ObjectID) core.Predictor { return core.NewMapPredictor(g) })
+	factory := func(name, addr string) (*cluster.Member, error) {
+		if name != joinName {
+			return nil, fmt.Errorf("fanin: no local handle for joining member %q", name)
+		}
+		return cluster.NewLocalMember(name, joinNode), nil
+	}
+	mk := func() (*cluster.Coordinator, error) {
+		members := make([]*cluster.Member, len(nodes))
+		for i, node := range nodes {
+			members[i] = cluster.NewLocalMember(fmt.Sprintf("node-%02d", i), node)
+		}
+		return cluster.NewReplicated(0, cfg.replicas, members...)
+	}
+	ca, err := mk()
+	if err != nil {
+		return err
+	}
+	cb, err := mk()
+	if err != nil {
+		return err
+	}
+	ref := locserv.NewSharded(cfg.shards)
+
+	objs, err := sim.GenerateFleet(g, multiRegistry{regs: []locserv.Registry{ca, ref}}, sim.FleetSpec{
+		N:        cfg.n,
+		Seed:     cfg.seed,
+		RouteLen: 15000 * cfg.scale,
+		Workers:  cfg.workers,
+		IDFormat: "car-%03d",
+		Params:   tracegen.CityCarParams(),
+		Source:   core.SourceConfig{US: 100, UP: 5, Sightings: 4},
+	})
+	if err != nil {
+		return err
+	}
+	tEnd := 0.0
+	for i := range objs {
+		if last := objs[i].Truth.Samples[objs[i].Truth.Len()-1].T; last > tEnd {
+			tEnd = last
+		}
+	}
+	migT := 0.35 * tEnd
+	leaseFor := 0.08 * tEnd
+
+	// Sim-clock fan-in and self-healing on both fronts. The reweight
+	// controller is parked past the trace end so the scripted join is
+	// the only membership change; the lease is a twelfth of the trace,
+	// leaving plenty of tail to measure the recovered cluster.
+	for _, co := range []*cluster.Coordinator{ca, cb} {
+		co.EnableSelfHeal(cluster.SelfHealConfig{
+			HeartbeatEvery: 1,
+			SuspectAfter:   1,
+			RecoverAfter:   2,
+			DemoteAfter:    0.15 * tEnd,
+			ReweightEvery:  10 * tEnd,
+			ReweightRatio:  4,
+			ReweightAfter:  2,
+		})
+	}
+	ca.EnableFanIn("co-a", cluster.FanInConfig{LeaseFor: leaseFor, GossipEvery: 1, MemberFactory: factory})
+	cb.EnableFanIn("co-b", cluster.FanInConfig{LeaseFor: leaseFor, GossipEvery: 1, MemberFactory: factory})
+	if err := ca.AddPeerCoordinator("co-b", wire.NewPeerLoopback(cb)); err != nil {
+		return err
+	}
+	if err := cb.AddPeerCoordinator("co-a", wire.NewPeerLoopback(ca)); err != nil {
+		return err
+	}
+
+	tf := &twoFront{a: ca, b: cb}
+	tf.aLive.Store(true)
+	var queries, answered [3]int
+	var staleSum, staleMax [3]float64
+	var staleN [3]int
+	phase := 0
+	killedAt, stolenAt := -1.0, -1.0
+	var migErr error
+	probe := 0
+	stride := len(objs)/16 + 1
+	count := func(err error) {
+		queries[phase]++
+		if err == nil {
+			answered[phase]++
+		}
+	}
+	fl := sim.Fleet{
+		Objects:   objs,
+		Workers:   cfg.workers,
+		Transport: teeTransport{main: tf, ref: wire.NewLoopback(ref.Sink(nil))},
+		Query:     tf,
+		Tick: func(t float64) {
+			if phase == 0 && t >= migT && migErr == nil {
+				// The scripted crash: co-a begins the join, its driver is
+				// killed at the second range copy, and from this tick on
+				// co-a is dead — no ticks, no sends, no queries, no abort.
+				ca.CrashMigrationAfterCopies(2)
+				mig, err := ca.BeginAddNode(cluster.NewLocalMember(joinName, joinNode))
+				if err != nil {
+					migErr = fmt.Errorf("fanin: begin join on co-a: %w", err)
+				} else if werr := mig.Wait(); werr == nil {
+					migErr = fmt.Errorf("fanin: the injected driver crash never fired")
+				}
+				tf.aLive.Store(false)
+				killedAt = t
+				phase = 1
+			}
+			if tf.aLive.Load() {
+				ca.Tick(t)
+			}
+			cb.Tick(t)
+			if phase == 1 && cb.FanInStats().Resumes > 0 {
+				stolenAt = t
+				phase = 2
+			}
+			co := cb
+			if tf.aLive.Load() {
+				if probe++; probe%2 == 0 {
+					co = ca
+				}
+			}
+			for i := 0; i < len(objs); i += stride {
+				p, ok, err := co.PositionE(objs[i].ID, t)
+				count(err)
+				if err != nil || !ok {
+					continue
+				}
+				if rp, rok := ref.Position(objs[i].ID, t); rok {
+					d := p.Dist(rp)
+					staleSum[phase] += d
+					staleN[phase]++
+					if d > staleMax[phase] {
+						staleMax[phase] = d
+					}
+				}
+			}
+			_, err := co.NearestE(geo.Pt(5000, 5000), 10, t)
+			count(err)
+			_, err = co.WithinE(geo.Rect{Min: geo.Pt(2000, 2000), Max: geo.Pt(8000, 8000)}, t)
+			count(err)
+		},
+	}
+	startT := time.Now()
+	res, err := fl.Run()
+	if err != nil {
+		return err
+	}
+	wall := time.Since(startT)
+	cb.ProbeDown()
+	cb.WaitRepairs()
+
+	// The acceptance assertions: the crash fired, the surviving front
+	// stole the lease and committed the orphaned join, zero query
+	// errors, identical logs, converged stores.
+	if migErr != nil {
+		return migErr
+	}
+	if killedAt < 0 {
+		return fmt.Errorf("fanin: the trace ended before the scripted join at t=%.0f s", migT)
+	}
+	fst := cb.FanInStats()
+	if fst.Steals < 1 || fst.Resumes < 1 || fst.OpenRuns != 0 {
+		return fmt.Errorf("fanin: co-b never recovered the orphaned run (steals %d, resumes %d, open runs %d)",
+			fst.Steals, fst.Resumes, fst.OpenRuns)
+	}
+	ms := cb.MigrationStats()
+	if ms.Active || ms.Migrations != 1 {
+		return fmt.Errorf("fanin: resumed join not committed on co-b (active %v, committed %d)", ms.Active, ms.Migrations)
+	}
+	if got := len(cb.Nodes()); got != cfg.nodes+1 {
+		return fmt.Errorf("fanin: co-b serves %d members after the resumed join, want %d", got, cfg.nodes+1)
+	}
+	if qe := ca.QueryErrors() + cb.QueryErrors(); qe != 0 {
+		return fmt.Errorf("fanin: %d query errors across the two fronts, want zero", qe)
+	}
+	if !wire.EqualLogs(ca.MembershipLog(), cb.MembershipLog()) {
+		return fmt.Errorf("fanin: the membership logs diverged between the fronts")
+	}
+	mismatches := 0
+	for i := range objs {
+		p, ok := cb.Position(objs[i].ID, tEnd)
+		rp, rok := ref.Position(objs[i].ID, tEnd)
+		if ok != rok || p != rp {
+			mismatches++
+		}
+	}
+	if mismatches > 0 {
+		return fmt.Errorf("fanin: %d of %d positions diverged from the no-failure reference", mismatches, len(objs))
+	}
+	nearGot, _ := cb.NearestE(geo.Pt(5000, 5000), 10, tEnd)
+	nearWant := ref.Nearest(geo.Pt(5000, 5000), 10, tEnd)
+	if !reflect.DeepEqual(nearGot, nearWant) {
+		return fmt.Errorf("fanin: Nearest diverged from the no-failure reference after drain")
+	}
+	withinRect := geo.Rect{Min: geo.Pt(2000, 2000), Max: geo.Pt(8000, 8000)}
+	withinGot, _ := cb.WithinE(withinRect, tEnd)
+	withinWant := ref.Within(withinRect, tEnd)
+	if !reflect.DeepEqual(withinGot, withinWant) {
+		return fmt.Errorf("fanin: Within diverged from the no-failure reference after drain")
+	}
+	onJoin := 0
+	for i := range objs {
+		for _, name := range cb.Owners(objs[i].ID) {
+			if name != joinName {
+				continue
+			}
+			onJoin++
+			if !joinNode.Service().Contains(objs[i].ID) {
+				return fmt.Errorf("fanin: %s routed to %s but the joined node does not hold it", objs[i].ID, joinName)
+			}
+		}
+	}
+	if onJoin == 0 {
+		return fmt.Errorf("fanin: the resumed join moved no fleet objects onto %s", joinName)
+	}
+
+	var updates int64
+	for _, n := range res.Updates {
+		updates += n
+	}
+	fmt.Printf("# fanin: %d nodes, R=%d, fronts co-a+co-b; join %s begun on co-a at t=%.0f s and its driver killed mid-copy; co-b stole the lease (%.0f s tenure) and resumed at t=%.0f s, %.0f s trace\n",
+		cfg.nodes, cfg.replicas, joinName, killedAt, leaseFor, stolenAt, tEnd)
+	fmt.Printf("# %d objects now route to %s; converged bit-identical to the no-failure reference; zero query errors on both fronts\n",
+		onJoin, joinName)
+	tb := stats.NewTable("phase", "queries", "answered", "avail [%]", "mean stale [m]", "max stale [m]")
+	for ph, name := range fanInPhases {
+		avail, mean := 0.0, 0.0
+		if queries[ph] > 0 {
+			avail = 100 * float64(answered[ph]) / float64(queries[ph])
+		}
+		if staleN[ph] > 0 {
+			mean = staleSum[ph] / float64(staleN[ph])
+		}
+		tb.AddRow(name, queries[ph], answered[ph], avail, mean, staleMax[ph])
+	}
+	if err := emit(tb, csv); err != nil {
+		return err
+	}
+
+	ft := stats.NewTable("front", "log", "epoch", "appends", "applies", "rejects", "gossips",
+		"acquired", "denied", "steals", "resumes", "hints fwd")
+	for _, co := range []*cluster.Coordinator{ca, cb} {
+		st := co.FanInStats()
+		ft.AddRow(st.ID, st.LogLen, st.MaxEpoch, st.Appends, st.Applies, st.Rejects, st.Gossips,
+			st.Acquired, st.Denied, st.Steals, st.Resumes, st.HintsForwarded)
+	}
+	if err := emit(ft, csv); err != nil {
+		return err
+	}
+
+	st := stats.NewTable("vehicles", "samples", "updates", "mean err [m]", "wall [ms]",
+		"migrations", "resumes", "records moved", "degraded queries", "read repairs")
+	st.AddRow(cfg.n, res.Samples, updates, res.MeanErr, wall.Milliseconds(),
+		ms.Migrations, ms.Resumes, ms.TotalRecordsMoved, cb.DegradedQueries(), cb.Repairs())
+	if err := emit(st, csv); err != nil {
+		return err
+	}
+
+	nt := stats.NewTable("node", "objects", "routed records", "errors", "health",
+		"hinted", "drained", "requeued", "hints pending")
+	for _, msr := range cb.MemberStats() {
+		nt.AddRow(msr.Name, msr.Node.Objects, msr.Records, msr.Errors, msr.Health.String(),
+			msr.Hints.Hinted, msr.Hints.Drained, msr.Hints.Requeued, msr.Hints.Buffered)
 	}
 	return emit(nt, csv)
 }

@@ -54,6 +54,24 @@
 // prediction function). The coordinator serves the same query API as a
 // single server — clients cannot tell the difference — plus GET
 // /cluster for per-node routing and store stats.
+//
+// # Multi-coordinator fan-in
+//
+// Several coordinators can front the same nodes, replicating
+// membership through a shared record log instead of electing a
+// primary (see internal/cluster/fanin.go):
+//
+//	locserver -cluster coordinator -addr :8080 -replicas 2 \
+//	    -peers n1=http://127.0.0.1:8081,n2=http://127.0.0.1:8082 \
+//	    -coordinator-id co-a -peers-coordinators co-b=http://127.0.0.1:8090
+//	locserver -cluster coordinator -addr :8090 -replicas 2 \
+//	    -peers n1=http://127.0.0.1:8081,n2=http://127.0.0.1:8082 \
+//	    -coordinator-id co-b -peers-coordinators co-a=http://127.0.0.1:8080
+//
+// Both fronts accept ingest and queries concurrently; membership
+// changes and the self-healing loops are fenced behind a replicated
+// lease so exactly one coordinator drives them at a time, and GET
+// /cluster merges stats across the peers.
 package main
 
 import (
@@ -73,6 +91,7 @@ import (
 	"mapdr/internal/roadmap"
 	"mapdr/internal/sim"
 	"mapdr/internal/tracegen"
+	"mapdr/internal/wire"
 )
 
 func main() {
@@ -88,6 +107,11 @@ func main() {
 		peers      = flag.String("peers", "", "coordinator mode: comma-separated name=baseURL node list")
 		replicas   = flag.Int("replicas", 1, "coordinator mode: replicas per key range (R)")
 
+		coordID    = flag.String("coordinator-id", "", "coordinator mode: this coordinator's name on the shared membership log (enables multi-coordinator fan-in)")
+		coordPeers = flag.String("peers-coordinators", "", "coordinator mode: comma-separated name=baseURL list of peer coordinators")
+		leaseFor   = flag.Duration("lease-for", 30*time.Second, "fan-in: self-heal lease tenure length")
+		gossipEach = flag.Duration("gossip-every", 2*time.Second, "fan-in: membership-log gossip period")
+
 		heartbeat     = flag.Duration("heartbeat", 2*time.Second, "coordinator: liveness heartbeat period (0 disables self-healing)")
 		demoteAfter   = flag.Duration("demote-after", 5*time.Minute, "coordinator: auto-demote a member down this long (0 disables)")
 		demoteHints   = flag.Int64("demote-hints", 0, "coordinator: auto-demote a down member after this many hinted records (0 disables)")
@@ -99,6 +123,7 @@ func main() {
 	cfg := config{
 		addr: *addr, fleet: *fleet, seed: *seed, shards: *shards, workers: *workers,
 		ingest: *ingest, ingestAuto: *ingestAuto, mode: *mode, peers: *peers, replicas: *replicas,
+		coordID: *coordID, coordPeers: *coordPeers, leaseFor: *leaseFor, gossipEach: *gossipEach,
 		heartbeat: *heartbeat, demoteAfter: *demoteAfter, demoteHints: *demoteHints,
 		reweightEvery: *reweightEvery, reweightRatio: *reweightRatio, reweightAfter: *reweightAfter,
 	}
@@ -118,6 +143,11 @@ type config struct {
 	mode            string
 	peers           string
 	replicas        int
+
+	coordID    string
+	coordPeers string
+	leaseFor   time.Duration
+	gossipEach time.Duration
 
 	heartbeat     time.Duration
 	demoteAfter   time.Duration
@@ -214,6 +244,40 @@ func parsePeers(list string) ([]*cluster.Member, error) {
 	return members, nil
 }
 
+// tickPeriod picks the Coordinator.Tick drive period: the heartbeat
+// when self-healing is on, otherwise the gossip period when only the
+// fan-in layer needs driving, otherwise zero (no ticker).
+func tickPeriod(cfg config) time.Duration {
+	if cfg.heartbeat > 0 {
+		return cfg.heartbeat
+	}
+	if cfg.coordID != "" && cfg.gossipEach > 0 {
+		return cfg.gossipEach
+	}
+	return 0
+}
+
+// addPeerCoordinators registers each name=baseURL peer coordinator on
+// the fan-in layer over the HTTP peer transport, returning the names.
+func addPeerCoordinators(coord *cluster.Coordinator, list string) ([]string, error) {
+	var names []string
+	for _, item := range strings.Split(list, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(item, "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("bad peer coordinator %q (want name=baseURL)", item)
+		}
+		if err := coord.AddPeerCoordinator(name, wire.NewPeerClient(url, nil)); err != nil {
+			return nil, err
+		}
+		names = append(names, name)
+	}
+	return names, nil
+}
+
 func run(cfg config) error {
 	var h http.Handler
 	var endpoints string
@@ -253,10 +317,25 @@ func run(cfg config) error {
 		if err != nil {
 			return err
 		}
+		if cfg.coordID != "" {
+			// Multi-coordinator fan-in: this coordinator replicates
+			// membership over the shared record log and fences its
+			// self-heal behind the replicated lease. Peer coordinators
+			// exchange logs, stats and hints over POST /peer.
+			coord.EnableFanIn(cfg.coordID, cluster.FanInConfig{
+				LeaseFor:    cfg.leaseFor.Seconds(),
+				GossipEvery: cfg.gossipEach.Seconds(),
+			})
+			names, err := addPeerCoordinators(coord, cfg.coordPeers)
+			if err != nil {
+				return err
+			}
+			log.Printf("fan-in coordinator %q: lease %s, gossip %s, peers [%s]",
+				cfg.coordID, cfg.leaseFor, cfg.gossipEach, strings.Join(names, ", "))
+		} else if cfg.coordPeers != "" {
+			return fmt.Errorf("-peers-coordinators needs -coordinator-id")
+		}
 		if cfg.heartbeat > 0 {
-			// The self-healing loops run on wall seconds: a ticker at the
-			// heartbeat period drives Coordinator.Tick with the seconds
-			// elapsed since boot (the coordinator's transport clock).
 			coord.EnableSelfHeal(cluster.SelfHealConfig{
 				HeartbeatEvery: cfg.heartbeat.Seconds(),
 				DemoteAfter:    cfg.demoteAfter.Seconds(),
@@ -265,20 +344,26 @@ func run(cfg config) error {
 				ReweightRatio:  cfg.reweightRatio,
 				ReweightAfter:  cfg.reweightAfter,
 			})
+			log.Printf("self-healing membership: heartbeat %s, demote after %s / %d hints, reweight every %s at %.0fx skew",
+				cfg.heartbeat, cfg.demoteAfter, cfg.demoteHints, cfg.reweightEvery, cfg.reweightRatio)
+		}
+		// Both the self-healing loops and the fan-in layer (gossip, lease
+		// renewal, hint forwarding) are driven by Coordinator.Tick on wall
+		// seconds: a ticker drives it with the seconds elapsed since boot
+		// (the coordinator's transport clock).
+		if period := tickPeriod(cfg); period > 0 {
 			start := time.Now()
-			ticker := time.NewTicker(cfg.heartbeat)
+			ticker := time.NewTicker(period)
 			go func() {
 				for range ticker.C {
 					coord.Tick(time.Since(start).Seconds())
 				}
 			}()
-			log.Printf("self-healing membership: heartbeat %s, demote after %s / %d hints, reweight every %s at %.0fx skew",
-				cfg.heartbeat, cfg.demoteAfter, cfg.demoteHints, cfg.reweightEvery, cfg.reweightRatio)
 		}
 		h = cluster.Handler(coord)
 		log.Printf("coordinating %d nodes (R=%d): %s",
 			len(members), coord.Replicas(), strings.Join(coord.Nodes(), ", "))
-		endpoints = "/position, /nearest, /within, /healthz, /stats, /cluster, POST /updates"
+		endpoints = "/position, /nearest, /within, /healthz, /stats, /cluster, POST /updates, POST /peer"
 
 	default:
 		return fmt.Errorf("unknown -cluster mode %q (want node or coordinator)", cfg.mode)

@@ -1,0 +1,42 @@
+package cluster
+
+import (
+	"testing"
+)
+
+// TestRouteScratchZeroAllocs pins the pooled routing path: partitioning
+// a steady R=2 batch over warmed scratch performs no allocations — the
+// per-member slices, the owners scratch and the partition map are all
+// reused across batches.
+func TestRouteScratchZeroAllocs(t *testing.T) {
+	f := newReplicatedFixture(t, 4, 2)
+	seedReplicated(t, f, 64)
+	batch := repBatch(256, 2)
+	c := f.coord
+
+	scr := routePool.Get().(*routeScratch)
+	defer releaseRouteScratch(scr)
+	reset := func() {
+		for name, part := range scr.parts {
+			scr.parts[name] = part[:0]
+		}
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	// Warm the scratch so the backing arrays reach steady-state capacity.
+	for i := 0; i < 4; i++ {
+		if _, err := c.route(scr, batch); err != nil {
+			t.Fatal(err)
+		}
+		reset()
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if _, err := c.route(scr, batch); err != nil {
+			t.Fatal(err)
+		}
+		reset()
+	})
+	if avg != 0 {
+		t.Fatalf("route allocates %.1f objects per warmed batch, want 0", avg)
+	}
+}

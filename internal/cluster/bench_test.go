@@ -87,6 +87,98 @@ func BenchmarkReplicatedIngestQuery(b *testing.B) {
 	benchClusterIngestQuery(b, 2)
 }
 
+// BenchmarkFanInIngestQuery is the multi-coordinator gate: two fan-in
+// coordinators front the same 4 nodes at R=2, the batch stream is
+// split across both fronts and each batch rides with a 10-NN
+// scatter-gather on its front. Both coordinators tick their fan-in
+// layer (gossip, lease fold) and the self-healing loops, so the gate
+// prices the whole two-front configuration. The acceptance bar is
+// beating the single-coordinator replicated gate: the second front
+// must buy throughput, not cost it.
+func BenchmarkFanInIngestQuery(b *testing.B) {
+	nodes := make([]*locserv.NodeService, clusterBenchNodes)
+	for i := range nodes {
+		nodes[i] = locserv.NewNodeService(locserv.NewSharded(locserv.DefaultShards/clusterBenchNodes),
+			func(locserv.ObjectID) core.Predictor { return core.LinearPredictor{} })
+	}
+	mk := func(id string) *Coordinator {
+		members := make([]*Member, len(nodes))
+		for i, node := range nodes {
+			members[i] = NewLocalMember(fmt.Sprintf("node-%d", i), node)
+		}
+		coord, err := NewReplicated(0, 2, members...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		coord.EnableFanIn(id, FanInConfig{LeaseFor: 30, GossipEvery: 2})
+		coord.EnableSelfHeal(SelfHealConfig{
+			HeartbeatEvery: 4, SuspectAfter: 2, RecoverAfter: 2,
+			ReweightEvery: 64, ReweightRatio: 4, ReweightAfter: 3,
+		})
+		return coord
+	}
+	ca, cb := mk("co-a"), mk("co-b")
+	if err := ca.AddPeerCoordinator("co-b", wire.NewPeerLoopback(cb)); err != nil {
+		b.Fatal(err)
+	}
+	if err := cb.AddPeerCoordinator("co-a", wire.NewPeerLoopback(ca)); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < clusterBenchObjects; i++ {
+		if err := ca.Register(locserv.ObjectID(fmt.Sprintf("veh-%05d", i)), core.LinearPredictor{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var batches [][]wire.Record
+	for start := 0; start < clusterBenchObjects; start += clusterBenchBatch {
+		var batch []wire.Record
+		for i := start; i < start+clusterBenchBatch && i < clusterBenchObjects; i++ {
+			batch = append(batch, wire.Record{
+				ID: fmt.Sprintf("veh-%05d", i),
+				Update: core.Update{
+					Reason: core.ReasonDeviation,
+					Report: core.Report{
+						Pos:     geo.Pt(float64(i%100)*100, float64(i/100)*100),
+						V:       13,
+						Heading: float64(i%628) / 100,
+					},
+				},
+			})
+		}
+		batches = append(batches, batch)
+	}
+
+	var records int64
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		co := ca
+		if n%2 == 1 {
+			co = cb
+		}
+		batch := batches[n%len(batches)]
+		for i := range batch {
+			batch[i].Update.Report.Seq = uint32(n) + 1
+			batch[i].Update.Report.T = float64(n)
+		}
+		if err := co.Send(float64(n), batch); err != nil {
+			b.Fatal(err)
+		}
+		co.Tick(float64(n))
+		records += int64(len(batch))
+		if hits := co.Nearest(geo.Pt(5000, 5000), 10, float64(n)+1); len(hits) == 0 {
+			b.Fatal("scatter-gather returned nothing")
+		}
+	}
+	b.StopTimer()
+	if ca.NodeStats().UpdatesApplied == 0 {
+		b.Fatal("nothing applied")
+	}
+	if qe := ca.QueryErrors() + cb.QueryErrors(); qe != 0 {
+		b.Fatalf("%d query errors", qe)
+	}
+	b.ReportMetric(float64(records)/b.Elapsed().Seconds(), "updates/s")
+}
+
 func benchClusterIngestQuery(b *testing.B, rf int) {
 	coord, batches := clusterBenchSetup(b, rf)
 	if rf > 1 {

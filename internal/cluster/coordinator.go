@@ -18,11 +18,14 @@ import (
 // Member is one cluster node: a name (its ring identity), its Node API
 // and the update transport ingest batches ride on. Ingest may be nil,
 // in which case the coordinator delivers through Node.Deliver directly
-// (an in-process loopback).
+// (an in-process loopback). Addr is the member's reachable base URL
+// when it has one — fan-in coordinators replicate it on join records
+// so peers can build their own handle to the same node.
 type Member struct {
 	Name   string
 	Node   locserv.Node
 	Ingest wire.Transport
+	Addr   string
 }
 
 // NewLocalMember returns a member over an in-process node: queries are
@@ -67,6 +70,7 @@ func NewHTTPMember(name, baseURL string, hc *http.Client) *Member {
 		Name:   name,
 		Node:   NewRemoteNode(wire.NewQueryClient(baseURL, hc), client),
 		Ingest: client,
+		Addr:   baseURL,
 	}
 }
 
@@ -183,6 +187,7 @@ type Coordinator struct {
 
 	clock atomic.Uint64            // float bits: highest transport/Tick time seen
 	heal  atomic.Pointer[selfHeal] // self-healing membership state; nil = manual ops
+	fanin atomic.Pointer[fanIn]    // multi-coordinator replication; nil = single front
 
 	// Migration engine state (migration.go). migMu serializes runs and is
 	// never held together with mu; mig is the in-flight or halted run
@@ -404,18 +409,43 @@ func (c *Coordinator) Deregister(id locserv.ObjectID) {
 	}
 }
 
+// routeScratch is the reusable partition state of route(): the
+// per-member record slices and the owners scratch keep their backing
+// arrays between batches, so steady-state routing allocates nothing.
+type routeScratch struct {
+	parts  map[string][]wire.Record
+	owners []string
+}
+
+var routePool = sync.Pool{
+	New: func() any { return &routeScratch{parts: make(map[string][]wire.Record)} },
+}
+
+// releaseRouteScratch truncates the partitions (keeping capacity) and
+// returns the scratch to the pool. Safe once every consumer of the
+// partition slices has returned: transports, sinks and hint buffers
+// all copy records out before their call completes.
+func releaseRouteScratch(scr *routeScratch) {
+	for name, part := range scr.parts {
+		scr.parts[name] = part[:0]
+	}
+	routePool.Put(scr)
+}
+
 // route partitions a batch per member of each record's preference list
 // — plus any dual-range adds while a migration is in flight —
-// preserving each record's relative order; callers hold a lock. Every
-// record appears in all its owners' partitions.
-func (c *Coordinator) route(batch []wire.Record) (map[string][]wire.Record, error) {
-	parts := make(map[string][]wire.Record, len(c.members))
-	owners := make([]string, 0, c.rf)
+// preserving each record's relative order; callers hold a lock, own
+// scr for the duration of the call and release it once the partitions
+// are consumed. Every record appears in all its owners' partitions.
+func (c *Coordinator) route(scr *routeScratch, batch []wire.Record) (map[string][]wire.Record, error) {
+	parts := scr.parts
+	owners := scr.owners
+	defer func() { scr.owners = owners }()
 	for i := range batch {
 		if batch[i].ID == "" {
 			return nil, fmt.Errorf("cluster: record %d has no object id", i)
 		}
-		owners = c.ownersFor(owners, batch[i].ID)
+		owners = c.ownersFor(owners[:0], batch[i].ID)
 		if len(owners) == 0 {
 			return nil, fmt.Errorf("cluster: no member owns %q", batch[i].ID)
 		}
@@ -465,7 +495,9 @@ func (c *Coordinator) Send(now float64, batch []wire.Record) error {
 	c.advanceClock(now)
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	parts, err := c.route(batch)
+	scr := routePool.Get().(*routeScratch)
+	defer releaseRouteScratch(scr)
+	parts, err := c.route(scr, batch)
 	if err != nil {
 		return err
 	}
@@ -596,7 +628,9 @@ func (c *Coordinator) DeliverRecords(recs []wire.Record) (applied int, err error
 	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	parts, err := c.route(recs)
+	scr := routePool.Get().(*routeScratch)
+	defer releaseRouteScratch(scr)
+	parts, err := c.route(scr, recs)
 	if err != nil {
 		return 0, err
 	}

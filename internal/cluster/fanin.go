@@ -1,0 +1,868 @@
+// Multi-coordinator fan-in: N stateless coordinators front the same
+// nodes by replicating membership through a tiny ordered record log
+// (wire.LogRecord) instead of electing a primary. Every membership
+// event — a migration run's begin/commit/abort, a demoted identity
+// parking, a self-heal lease changing hands — is one record, totally
+// ordered by (Epoch, Origin): each appender stamps 1 + the highest
+// epoch it has seen and concurrent appends tie-break on the
+// coordinator name, a deterministic sequencer with no Raft.
+//
+// Logs converge by gossip: a push carries the sender's whole compacted
+// log and the response carries the receiver's after merging, so one
+// round trip makes any two coordinators equal. Applying is
+// deterministic too: a sweep walks the log in total order, folding
+// lease records into a pure (holder, tenure-epoch, until) state and
+// dispatching each unseen migration record against the fold *at its
+// position* — so every coordinator publishes the same dual-routing
+// entries and swaps the same ring pointers, and routes identically
+// throughout a migration (dual writes and double reads included).
+//
+// The lease fences the self-heal loops: only the holder may append
+// migration records (each carries the tenure epoch it was appended
+// under; records fenced under a superseded tenure are rejected
+// everywhere), so exactly one coordinator drives demotions and
+// reweights at a time. A lease acquire while another unexpired tenure
+// stands is a recorded no-op — the loser observes the winner's records
+// and applies them instead of acting. On expiry the lease is stolen,
+// and a stolen lease with an open (begun, uncommitted) run in the log
+// triggers resume-from-log: the thief rebuilds the run from its Begin
+// record — the dual routes are already published on every coordinator
+// — re-copies its ranges (idempotent per (id, Seq)) and commits, so a
+// coordinator killed mid-copy strands nothing.
+//
+// With two coordinators the sweep applies every record exactly once in
+// order. With more, a record can in principle arrive below another
+// coordinator's applied high-water after relaying through a third; it
+// is then merged for convergence but applied as a fenced no-op — the
+// two-coordinator gate this ships with never takes that path.
+
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"mapdr/internal/wire"
+)
+
+// ErrNotLeaseHolder: a membership change was attempted on a fan-in
+// coordinator that does not hold the self-heal lease; the holder (a
+// peer) drives changes right now. Retry later or on the holder.
+var ErrNotLeaseHolder = errors.New("cluster: membership lease held by another coordinator")
+
+// Log-record MigKind values (the wire encoding of the run kinds).
+const (
+	migKindJoin uint8 = iota + 1
+	migKindLeave
+	migKindReweight
+)
+
+func migKindByte(kind string) uint8 {
+	switch kind {
+	case migJoin:
+		return migKindJoin
+	case migLeave:
+		return migKindLeave
+	default:
+		return migKindReweight
+	}
+}
+
+func migKindName(b uint8) (string, error) {
+	switch b {
+	case migKindJoin:
+		return migJoin, nil
+	case migKindLeave:
+		return migLeave, nil
+	case migKindReweight:
+		return migReweight, nil
+	default:
+		return "", fmt.Errorf("cluster: unknown migration kind %d", b)
+	}
+}
+
+// FanInConfig tunes a coordinator's fan-in membership replication.
+// Times are transport-clock units, like SelfHealConfig's.
+type FanInConfig struct {
+	// LeaseFor is how long one self-heal lease tenure lasts before it
+	// must be renewed (<= 0 selects 30). Renewals extend the same
+	// tenure; a lease past Until is stealable.
+	LeaseFor float64
+	// GossipEvery is the periodic log-exchange period driven by Tick
+	// (<= 0 selects 2). Appends push immediately regardless.
+	GossipEvery float64
+	// MemberFactory builds the local Member handle for a node another
+	// coordinator joined (name and the Begin record's Addr). Defaults
+	// to NewHTTPMember for a non-empty addr; required for in-process
+	// clusters.
+	MemberFactory func(name, addr string) (*Member, error)
+}
+
+// logKey identifies a log slot.
+type logKey struct {
+	epoch  uint64
+	origin string
+}
+
+// followerRun is a migration run known from the log: enough to route
+// during it (the duals are in Coordinator.duals), close it on
+// commit/abort, and rebuild a driveable run if this coordinator steals
+// the lease mid-flight.
+type followerRun struct {
+	epoch   uint64
+	origin  string
+	kind    string
+	target  string
+	next    *Ring
+	moves   []arcMove
+	joining *memberState
+}
+
+// fanIn is a coordinator's fan-in state. mu guards the log and
+// everything folded from it, and is always taken before (never inside)
+// Coordinator.mu; peer transports are only called with mu released.
+type fanIn struct {
+	c   *Coordinator
+	id  string
+	cfg FanInConfig
+
+	mu       sync.Mutex
+	log      []wire.LogRecord
+	applied  map[logKey]bool
+	maxEpoch uint64
+	peers    map[string]wire.PeerTransport
+	order    []string // peer names, sorted: deterministic gossip order
+	runs     map[uint64]*followerRun
+
+	// Lease fold (rebuilt by every sweep): current holder, the epoch
+	// its tenure started at (the fencing token), and its expiry.
+	leaseHolder string
+	leaseEpoch  uint64
+	leaseUntil  float64
+
+	lastGossip float64
+	haveGossip bool
+
+	appends    atomic.Int64
+	applies    atomic.Int64
+	rejects    atomic.Int64
+	gossips    atomic.Int64
+	gossipErrs atomic.Int64
+	acquired   atomic.Int64
+	denied     atomic.Int64
+	steals     atomic.Int64
+	resumes    atomic.Int64
+	hintsFwd   atomic.Int64
+}
+
+func (f *fanIn) leaseFor() float64 {
+	if f.cfg.LeaseFor > 0 {
+		return f.cfg.LeaseFor
+	}
+	return 30
+}
+
+func (f *fanIn) gossipEvery() float64 {
+	if f.cfg.GossipEvery > 0 {
+		return f.cfg.GossipEvery
+	}
+	return 2
+}
+
+// EnableFanIn turns on multi-coordinator membership replication: this
+// coordinator is named id on the shared log, accepts peer frames via
+// ServePeer, and fences its membership changes (including the
+// self-heal loops) behind the replicated lease. Add peers with
+// AddPeerCoordinator.
+func (c *Coordinator) EnableFanIn(id string, cfg FanInConfig) {
+	if cfg.MemberFactory == nil {
+		cfg.MemberFactory = func(name, addr string) (*Member, error) {
+			if addr == "" {
+				return nil, fmt.Errorf("cluster: no address for joining member %q (configure FanInConfig.MemberFactory)", name)
+			}
+			return NewHTTPMember(name, addr, nil), nil
+		}
+	}
+	c.fanin.Store(&fanIn{
+		c:       c,
+		id:      id,
+		cfg:     cfg,
+		applied: make(map[logKey]bool),
+		peers:   make(map[string]wire.PeerTransport),
+		runs:    make(map[uint64]*followerRun),
+	})
+}
+
+// FanInEnabled reports whether fan-in replication is on.
+func (c *Coordinator) FanInEnabled() bool { return c.fanin.Load() != nil }
+
+// AddPeerCoordinator registers a peer coordinator reachable over pt.
+// Gossip and lease traffic flow to every registered peer.
+func (c *Coordinator) AddPeerCoordinator(name string, pt wire.PeerTransport) error {
+	f := c.fanin.Load()
+	if f == nil {
+		return fmt.Errorf("cluster: fan-in not enabled")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, dup := f.peers[name]; dup {
+		return fmt.Errorf("cluster: duplicate peer coordinator %q", name)
+	}
+	f.peers[name] = pt
+	f.order = append(f.order, name)
+	for i := len(f.order) - 1; i > 0 && f.order[i] < f.order[i-1]; i-- {
+		f.order[i], f.order[i-1] = f.order[i-1], f.order[i]
+	}
+	return nil
+}
+
+// ServePeer implements wire.PeerServer: the receiving half of the
+// coordinator peer protocol.
+func (c *Coordinator) ServePeer(req wire.PeerRequest) wire.PeerResponse {
+	f := c.fanin.Load()
+	if f == nil {
+		return wire.PeerResponse{Op: req.Op, Err: "fan-in not enabled"}
+	}
+	switch req.Op {
+	case wire.PeerOpLog:
+		f.mergeAndApply(req.Log)
+		f.mu.Lock()
+		snap := append([]wire.LogRecord(nil), f.log...)
+		f.mu.Unlock()
+		return wire.PeerResponse{Op: req.Op, Log: snap}
+	case wire.PeerOpHints:
+		applied, err := c.acceptPeerHints(req.Member, req.Hints)
+		if err != nil {
+			return wire.PeerResponse{Op: req.Op, Err: err.Error()}
+		}
+		return wire.PeerResponse{Op: req.Op, Applied: applied}
+	case wire.PeerOpStats:
+		data, err := c.localClusterJSON()
+		if err != nil {
+			return wire.PeerResponse{Op: req.Op, Err: err.Error()}
+		}
+		return wire.PeerResponse{Op: req.Op, Stats: data}
+	default:
+		return wire.PeerResponse{Op: req.Op, Err: "unknown op"}
+	}
+}
+
+// acceptPeerHints lands a peer's buffered updates for member name —
+// the hint-merge half of the peer channel. The records are accepted
+// only if the member is up from this coordinator's side (an asymmetric
+// fault can cut one coordinator off while another still reaches the
+// node); otherwise the sender keeps custody and retries.
+func (c *Coordinator) acceptPeerHints(name string, recs []wire.Record) (int, error) {
+	c.mu.RLock()
+	m, ok := c.members[name]
+	c.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("unknown member %q", name)
+	}
+	if m.down.Load() {
+		return 0, fmt.Errorf("member %q is down here too", name)
+	}
+	if len(recs) == 0 {
+		return 0, nil
+	}
+	n, err := m.Node.Deliver(recs)
+	if err != nil {
+		c.noteFail(m)
+		return 0, err
+	}
+	m.noteOK()
+	m.records.Add(int64(len(recs)))
+	return n, nil
+}
+
+// appendLocked stamps rec with the next epoch and this coordinator's
+// origin, appends it and marks it applied (the appender's live state
+// already reflects it, or the caller dispatches it itself), then
+// sweeps so the lease fold sees it. Callers hold f.mu and push to
+// peers after releasing it.
+func (f *fanIn) appendLocked(rec wire.LogRecord) wire.LogRecord {
+	rec.Epoch = f.maxEpoch + 1
+	rec.Origin = f.id
+	if rec.Kind == wire.LogBegin && rec.Run == 0 {
+		rec.Run = rec.Epoch // a run is named by its Begin record's epoch
+	}
+	f.maxEpoch = rec.Epoch
+	f.log = append(f.log, rec)
+	f.applied[logKey{rec.Epoch, rec.Origin}] = true
+	f.appends.Add(1)
+	f.sweepLocked()
+	return rec
+}
+
+// mergeAndApply merges peer records into the log and sweeps: every
+// record this coordinator has not seen is applied in total order, so
+// ring swaps and dual publications land here exactly as they did on
+// the coordinator driving them.
+func (f *fanIn) mergeAndApply(recs []wire.LogRecord) {
+	if len(recs) == 0 {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	merged, added := wire.MergeLogs(f.log, recs)
+	f.log = merged
+	for i := range recs {
+		if recs[i].Epoch > f.maxEpoch {
+			f.maxEpoch = recs[i].Epoch
+		}
+	}
+	if added > 0 || f.leaseHolder == "" {
+		f.sweepLocked()
+	}
+}
+
+// sweepLocked walks the whole log in total order, folding lease
+// records into the current lease state and dispatching every unapplied
+// migration record against the fold at its position. Pure with respect
+// to already-applied records, so sweeping is idempotent and cheap (the
+// log is compacted small). Callers hold f.mu.
+func (f *fanIn) sweepLocked() {
+	holder, tenure, until := "", uint64(0), 0.0
+	for i := range f.log {
+		rec := &f.log[i]
+		switch rec.Kind {
+		case wire.LogLease:
+			if holder == "" || rec.Holder == holder || rec.T >= until {
+				if rec.Holder != holder {
+					tenure = rec.Epoch // a new tenure starts; renewals keep theirs
+				}
+				holder = rec.Holder
+				until = rec.Until
+			}
+		case wire.LogRelease:
+			if rec.Holder == holder {
+				holder, tenure, until = "", 0, 0
+			}
+		default:
+			key := logKey{rec.Epoch, rec.Origin}
+			if f.applied[key] {
+				continue
+			}
+			f.applied[key] = true
+			// Fencing: migration records must come from the tenure they
+			// were appended under; a deposed leader's stragglers are
+			// rejected on every coordinator alike.
+			if rec.Origin != holder || rec.Lease != tenure {
+				f.rejects.Add(1)
+				continue
+			}
+			if err := f.dispatchLocked(*rec); err != nil {
+				f.rejects.Add(1)
+				continue
+			}
+			f.applies.Add(1)
+		}
+	}
+	f.leaseHolder, f.leaseEpoch, f.leaseUntil = holder, tenure, until
+}
+
+// dispatchLocked applies one fenced migration record to live routing
+// state. Callers hold f.mu; Coordinator.mu is taken inside (that lock
+// order is fixed: f.mu, then c.mu).
+func (f *fanIn) dispatchLocked(rec wire.LogRecord) error {
+	switch rec.Kind {
+	case wire.LogBegin:
+		return f.applyBegin(rec)
+	case wire.LogCommit:
+		return f.applyCommit(rec)
+	case wire.LogAbort:
+		return f.applyAbort(rec)
+	case wire.LogPark:
+		f.c.parkIdentity(rec.Target)
+		return nil
+	default:
+		return fmt.Errorf("cluster: unexpected log kind %v", rec.Kind)
+	}
+}
+
+// applyBegin opens a migration run learned from the log: compute the
+// next ring and its arc moves exactly as the driving coordinator did
+// (rings are deterministic functions of names and weights), enter a
+// joining member into the scatter set, and publish every dual route up
+// front — from here this coordinator routes the migration identically
+// to the driver.
+func (f *fanIn) applyBegin(rec wire.LogRecord) error {
+	kind, err := migKindName(rec.MigKind)
+	if err != nil {
+		return err
+	}
+	c := f.c
+	var joining *Member
+	if kind == migJoin {
+		if joining, err = f.cfg.MemberFactory(rec.Target, rec.Addr); err != nil {
+			return fmt.Errorf("cluster: join %q: %w", rec.Target, err)
+		}
+		if joining == nil || joining.Node == nil {
+			return fmt.Errorf("cluster: member factory returned no member for %q", rec.Target)
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var next *Ring
+	switch kind {
+	case migJoin:
+		if _, dup := c.members[rec.Target]; dup {
+			return fmt.Errorf("cluster: duplicate member %q", rec.Target)
+		}
+		next = c.ring.clone()
+		if _, err = next.Add(rec.Target); err != nil {
+			return err
+		}
+	case migLeave:
+		if _, ok := c.members[rec.Target]; !ok {
+			return fmt.Errorf("cluster: unknown member %q", rec.Target)
+		}
+		next = c.ring.clone()
+		if _, err = next.Remove(rec.Target); err != nil {
+			return err
+		}
+	case migReweight:
+		weights := make(map[string]int, len(rec.Weights))
+		for _, nw := range rec.Weights {
+			weights[nw.Name] = int(nw.W)
+		}
+		if next, err = c.ring.reweighted(weights); err != nil {
+			return err
+		}
+	}
+	fr := &followerRun{
+		epoch:  rec.Run,
+		origin: rec.Origin,
+		kind:   kind,
+		target: rec.Target,
+		next:   next,
+		moves:  diffPreferenceLists(c.ring, next, c.rf),
+	}
+	if kind == migJoin {
+		if heal := c.heal.Load(); heal != nil {
+			heal.unpark(rec.Target)
+		}
+		st := newMemberState(joining)
+		fr.joining = st
+		c.members[rec.Target] = st
+		c.reorder()
+	}
+	for _, mv := range fr.moves {
+		if len(mv.adds) > 0 {
+			c.duals = append(c.duals, dualRange{lo: mv.lo, hi: mv.hi, adds: mv.adds})
+		}
+	}
+	f.runs[rec.Run] = fr
+	return nil
+}
+
+// applyCommit closes a run learned from the log: swap to the
+// precomputed next ring and drop the dual routes under one brief write
+// lock, exactly the O(1) pointer work the driver's commit does. The
+// superseded copies are dropped by the driver.
+func (f *fanIn) applyCommit(rec wire.LogRecord) error {
+	fr := f.runs[rec.Run]
+	if fr == nil {
+		return fmt.Errorf("cluster: commit for unknown run %d", rec.Run)
+	}
+	c := f.c
+	c.mu.Lock()
+	c.ring = fr.next
+	c.duals = c.duals[:0]
+	if fr.kind == migLeave {
+		delete(c.members, fr.target)
+		c.reorder()
+	}
+	c.mu.Unlock()
+	delete(f.runs, rec.Run)
+	return nil
+}
+
+// applyAbort rolls back a run learned from the log: dual routes stop
+// and a joining member leaves the scatter set; the ring was never
+// swapped. The driver removes the partial imports.
+func (f *fanIn) applyAbort(rec wire.LogRecord) error {
+	fr := f.runs[rec.Run]
+	if fr == nil {
+		return fmt.Errorf("cluster: abort for unknown run %d", rec.Run)
+	}
+	c := f.c
+	c.mu.Lock()
+	c.duals = c.duals[:0]
+	if fr.kind == migJoin {
+		delete(c.members, fr.target)
+		c.reorder()
+	}
+	c.mu.Unlock()
+	delete(f.runs, rec.Run)
+	return nil
+}
+
+// parkIdentity records a demoted identity from a Park log record.
+func (c *Coordinator) parkIdentity(name string) {
+	heal := c.heal.Load()
+	if heal == nil {
+		return
+	}
+	heal.mu.Lock()
+	heal.parked[name] = true
+	heal.mu.Unlock()
+}
+
+// gossip exchanges logs with every peer: push ours, merge theirs. Peer
+// transports are called with f.mu released; unreachable peers are
+// counted and skipped (they converge on their next exchange).
+func (f *fanIn) gossip() {
+	f.mu.Lock()
+	snap := append([]wire.LogRecord(nil), f.log...)
+	peers := make([]wire.PeerTransport, 0, len(f.order))
+	for _, name := range f.order {
+		peers = append(peers, f.peers[name])
+	}
+	f.mu.Unlock()
+	if len(peers) == 0 {
+		return
+	}
+	f.gossips.Add(1)
+	for _, pt := range peers {
+		resp, err := pt.Peer(wire.PeerRequest{Op: wire.PeerOpLog, From: f.id, Log: snap})
+		if err != nil || resp.Err != "" {
+			f.gossipErrs.Add(1)
+			continue
+		}
+		f.mergeAndApply(resp.Log)
+	}
+}
+
+// gossipIfDue runs a periodic exchange on the Tick clock.
+func (f *fanIn) gossipIfDue(now float64) {
+	f.mu.Lock()
+	due := !f.haveGossip || now-f.lastGossip >= f.gossipEvery()
+	if due {
+		f.lastGossip, f.haveGossip = now, true
+	}
+	f.mu.Unlock()
+	if due {
+		f.gossip()
+	}
+}
+
+// leaseState returns the current fold: holder, tenure epoch, expiry.
+func (f *fanIn) leaseState() (string, uint64, float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.leaseHolder, f.leaseEpoch, f.leaseUntil
+}
+
+// holdLease reports whether this coordinator holds the self-heal lease
+// at now, renewing a tenure nearing expiry and acquiring (or stealing
+// an expired) lease when possible. The membership surface calls it
+// before every fenced change.
+func (f *fanIn) holdLease(now float64) bool {
+	holder, _, until := f.leaseState()
+	if holder == f.id && now < until {
+		if until-now < f.leaseFor()/2 {
+			f.mu.Lock()
+			f.appendLocked(wire.LogRecord{Kind: wire.LogLease, Holder: f.id, T: now, Until: now + f.leaseFor()})
+			f.mu.Unlock()
+			f.gossip()
+		}
+		return true
+	}
+	if holder != "" && holder != f.id && now < until {
+		f.denied.Add(1)
+		return false
+	}
+	return f.acquireLease(now)
+}
+
+// acquireLease syncs with the peers, then appends an acquire record
+// and syncs again: concurrent acquires land on the same epoch and the
+// deterministic fold picks the same winner everywhere. Returns whether
+// this coordinator won.
+func (f *fanIn) acquireLease(now float64) bool {
+	f.gossip()
+	f.mu.Lock()
+	holder, until := f.leaseHolder, f.leaseUntil
+	if holder != "" && holder != f.id && now < until {
+		f.mu.Unlock()
+		f.denied.Add(1)
+		return false
+	}
+	stealing := holder != "" && holder != f.id
+	f.appendLocked(wire.LogRecord{Kind: wire.LogLease, Holder: f.id, T: now, Until: now + f.leaseFor()})
+	f.mu.Unlock()
+	f.gossip()
+	holder, _, _ = f.leaseState()
+	if holder != f.id {
+		f.denied.Add(1)
+		return false
+	}
+	f.acquired.Add(1)
+	if stealing {
+		f.steals.Add(1)
+	}
+	return true
+}
+
+// ReleaseLease gives the lease up early (tests and orderly shutdown).
+func (c *Coordinator) ReleaseLease(now float64) {
+	f := c.fanin.Load()
+	if f == nil {
+		return
+	}
+	if holder, _, _ := f.leaseState(); holder != f.id {
+		return
+	}
+	f.mu.Lock()
+	f.appendLocked(wire.LogRecord{Kind: wire.LogRelease, Holder: f.id, T: now})
+	f.mu.Unlock()
+	f.gossip()
+}
+
+// openRun returns a run begun on the log and not yet closed, if any.
+func (f *fanIn) openRun() *followerRun {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, fr := range f.runs {
+		return fr
+	}
+	return nil
+}
+
+// fanInTick is the per-Tick fan-in work: periodic gossip, keeping the
+// lease alive while this coordinator drives a migration, stealing the
+// lease and resuming from the log when the driver died mid-run, and
+// forwarding undeliverable hints to peers.
+func (c *Coordinator) fanInTick(f *fanIn, now float64) {
+	f.gossipIfDue(now)
+	if fr := f.openRun(); fr != nil {
+		if c.migView.Load() != nil {
+			// We are driving (or halted on) this run: keep the tenure
+			// from expiring under a long copy.
+			holder, _, until := f.leaseState()
+			if holder == f.id && now < until && until-now < f.leaseFor()/2 {
+				f.holdLease(now)
+			}
+		} else if f.holdLease(now) {
+			// The driver is gone and the lease fell to us: rebuild the
+			// run from the log and drive it to commit.
+			_ = c.resumeFromLog(f, fr)
+		}
+	}
+	c.forwardHints(f)
+}
+
+// resumeFromLog rebuilds the open run from its log state and drives it
+// to commit in the calling goroutine: the duals are already published
+// (Begin did that on every coordinator), so every range re-copies —
+// idempotent per (id, Seq) — and the final commit swaps the ring and
+// appends the Commit record under the thief's tenure.
+func (c *Coordinator) resumeFromLog(f *fanIn, fr *followerRun) error {
+	if !c.migMu.TryLock() {
+		return ErrMigrationBusy
+	}
+	if c.mig != nil {
+		c.migMu.Unlock()
+		return ErrMigrationHalted
+	}
+	run := &migrationRun{
+		kind:    fr.kind,
+		target:  fr.target,
+		next:    fr.next,
+		joining: fr.joining,
+		hook:    c.migHook,
+		logged:  true,
+		logRun:  fr.epoch,
+	}
+	for _, mv := range fr.moves {
+		rs := &rangeState{arcMove: mv, published: true}
+		run.ranges = append(run.ranges, rs)
+	}
+	c.mig = run
+	c.migView.Store(run)
+	f.resumes.Add(1)
+	c.migResumed.Add(1)
+	err := c.drive(run)
+	if err != nil {
+		// Halted again: leave the run resident for the next resume (or
+		// a peer's steal), exactly like a locally begun run.
+		c.migMu.Unlock()
+		return err
+	}
+	c.migMu.Unlock()
+	return nil
+}
+
+// forwardHints pushes buffered hints for down members to peers: an
+// asymmetric fault can cut this coordinator off from a node a peer
+// still reaches, so custody transfers only on a confirmed delivery —
+// otherwise the records go straight back into the local buffer.
+func (c *Coordinator) forwardHints(f *fanIn) {
+	f.mu.Lock()
+	peers := make([]wire.PeerTransport, 0, len(f.order))
+	for _, name := range f.order {
+		peers = append(peers, f.peers[name])
+	}
+	f.mu.Unlock()
+	if len(peers) == 0 {
+		return
+	}
+	c.mu.RLock()
+	type target struct {
+		name string
+		m    *memberState
+	}
+	var downs []target
+	for _, name := range c.order {
+		m := c.members[name]
+		if m.down.Load() && m.hints.Stats().Buffered > 0 {
+			downs = append(downs, target{name, m})
+		}
+	}
+	c.mu.RUnlock()
+	for _, d := range downs {
+		recs := d.m.hints.Drain()
+		if len(recs) == 0 {
+			continue
+		}
+		delivered := false
+		for _, pt := range peers {
+			resp, err := pt.Peer(wire.PeerRequest{
+				Op: wire.PeerOpHints, From: f.id, Member: d.name, Hints: recs,
+			})
+			if err == nil && resp.Err == "" {
+				delivered = true
+				f.hintsFwd.Add(int64(len(recs)))
+				break
+			}
+		}
+		if !delivered {
+			d.m.hints.Readd(recs)
+		}
+	}
+}
+
+// appendMigrationRecord appends a fenced migration record (Begin,
+// Commit, Abort or Park) under the current tenure and pushes it to the
+// peers. It fails when this coordinator does not hold the lease — the
+// fence that stops a deposed leader from publishing.
+func (f *fanIn) appendMigrationRecord(rec wire.LogRecord) (wire.LogRecord, error) {
+	f.mu.Lock()
+	if f.leaseHolder != f.id {
+		f.mu.Unlock()
+		return wire.LogRecord{}, ErrNotLeaseHolder
+	}
+	rec.Lease = f.leaseEpoch
+	rec = f.appendLocked(rec)
+	f.mu.Unlock()
+	f.gossip()
+	return rec, nil
+}
+
+// noteLeaderBegin registers the driver's own run under the log's run
+// id so peers stealing the lease and this coordinator's stats see the
+// same open-run state no matter who drives.
+func (f *fanIn) noteLeaderBegin(rec wire.LogRecord, run *migrationRun) {
+	fr := &followerRun{
+		epoch:   rec.Run,
+		origin:  f.id,
+		kind:    run.kind,
+		target:  run.target,
+		next:    run.next,
+		joining: run.joining,
+	}
+	for _, r := range run.ranges {
+		fr.moves = append(fr.moves, r.arcMove)
+	}
+	f.mu.Lock()
+	f.runs[rec.Run] = fr
+	f.mu.Unlock()
+}
+
+// closeRun appends the closing record for a driven run (Commit or
+// Abort) and forgets its open-run state. Close failures (the lease was
+// stolen mid-drive) are surfaced to the counters; the thief's own
+// close supersedes ours.
+func (f *fanIn) closeRun(run *migrationRun, kind wire.LogKind) {
+	f.mu.Lock()
+	delete(f.runs, run.logRun)
+	f.mu.Unlock()
+	if _, err := f.appendMigrationRecord(wire.LogRecord{Kind: kind, Run: run.logRun}); err != nil {
+		f.rejects.Add(1)
+	}
+}
+
+// FanInStats is a snapshot of a coordinator's fan-in state.
+type FanInStats struct {
+	// Enabled reports whether EnableFanIn has been called; ID is this
+	// coordinator's name on the log, Peers its registered peers.
+	Enabled bool
+	ID      string
+	Peers   []string
+	// LogLen and MaxEpoch describe the membership log.
+	LogLen   int
+	MaxEpoch uint64
+	// LeaseHolder/LeaseUntil are the current lease fold ("" when free);
+	// Holding reports whether this coordinator is the holder.
+	LeaseHolder string
+	LeaseUntil  float64
+	Holding     bool
+	// OpenRuns counts migration runs begun on the log and not closed.
+	OpenRuns int
+	// Counters: records appended locally, peer records applied, fenced
+	// or failed records rejected, gossip exchanges and their transport
+	// failures, lease acquisitions/denials/steals, resumed runs, hint
+	// records forwarded to peers.
+	Appends, Applies, Rejects   int64
+	Gossips, GossipErrs         int64
+	Acquired, Denied, Steals    int64
+	Resumes                     int64
+	HintsForwarded              int64
+}
+
+// FanInStats snapshots the fan-in layer (zero value when disabled).
+func (c *Coordinator) FanInStats() FanInStats {
+	f := c.fanin.Load()
+	if f == nil {
+		return FanInStats{}
+	}
+	f.mu.Lock()
+	st := FanInStats{
+		Enabled:     true,
+		ID:          f.id,
+		Peers:       append([]string(nil), f.order...),
+		LogLen:      len(f.log),
+		MaxEpoch:    f.maxEpoch,
+		LeaseHolder: f.leaseHolder,
+		LeaseUntil:  f.leaseUntil,
+		Holding:     f.leaseHolder == f.id,
+		OpenRuns:    len(f.runs),
+	}
+	f.mu.Unlock()
+	st.Appends = f.appends.Load()
+	st.Applies = f.applies.Load()
+	st.Rejects = f.rejects.Load()
+	st.Gossips = f.gossips.Load()
+	st.GossipErrs = f.gossipErrs.Load()
+	st.Acquired = f.acquired.Load()
+	st.Denied = f.denied.Load()
+	st.Steals = f.steals.Load()
+	st.Resumes = f.resumes.Load()
+	st.HintsForwarded = f.hintsFwd.Load()
+	return st
+}
+
+// MembershipLog returns a copy of the coordinator's membership log in
+// total order (tests and debugging).
+func (c *Coordinator) MembershipLog() []wire.LogRecord {
+	f := c.fanin.Load()
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]wire.LogRecord(nil), f.log...)
+}

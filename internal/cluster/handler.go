@@ -1,11 +1,346 @@
 package cluster
 
 import (
+	"encoding/json"
 	"net/http"
+	"sort"
 
 	"mapdr/internal/locserv"
 	"mapdr/internal/wire"
 )
+
+// memberJSON is one node's entry in the /cluster report. The routing
+// counters (records, batches, queries, errors, hint accounting) are
+// per-coordinator and sum across a fan-in tier; the node-side stats
+// (objects, shards, updates_applied) describe the shared node itself,
+// so the merge takes each field's maximum across reporters.
+type memberJSON struct {
+	Name     string  `json:"name"`
+	Records  int64   `json:"records"`
+	Batches  int64   `json:"batches"`
+	Queries  int64   `json:"queries"`
+	Errors   int64   `json:"errors"`
+	Down     bool    `json:"down"`
+	Health   string  `json:"health"`
+	DownFor  float64 `json:"down_for,omitempty"`
+	Hinted   int64   `json:"hinted"`
+	Drained  int64   `json:"hints_drained"`
+	Requeued int64   `json:"hints_requeued"`
+	Pending  int     `json:"hints_pending"`
+	Objects  int     `json:"objects"`
+	Shards   int     `json:"shards"`
+	Applied  int64   `json:"updates_applied"`
+}
+
+type migrationJSON struct {
+	Active          bool   `json:"active"`
+	Kind            string `json:"kind,omitempty"`
+	Target          string `json:"target,omitempty"`
+	Halted          bool   `json:"halted,omitempty"`
+	HaltCause       string `json:"halt_cause,omitempty"`
+	Ranges          int    `json:"ranges,omitempty"`
+	RangesPending   int    `json:"ranges_pending,omitempty"`
+	RangesCopying   int    `json:"ranges_copying,omitempty"`
+	RangesDual      int    `json:"ranges_dual,omitempty"`
+	RangesCommitted int    `json:"ranges_committed,omitempty"`
+	RecordsMoved    int64  `json:"records_moved,omitempty"`
+	Migrations      int64  `json:"migrations"`
+	Aborts          int64  `json:"aborts"`
+	Resumes         int64  `json:"resumes"`
+	TotalMoved      int64  `json:"total_records_moved"`
+	MaxSwapNanos    int64  `json:"max_swap_ns"`
+	LastOutcome     string `json:"last_outcome,omitempty"`
+}
+
+type selfHealJSON struct {
+	Enabled          bool     `json:"enabled"`
+	Heartbeats       int64    `json:"heartbeats"`
+	Suspects         int64    `json:"suspects"`
+	Trips            int64    `json:"trips"`
+	Demotions        int64    `json:"demotions"`
+	DemotionFailures int64    `json:"demotion_failures"`
+	Reweights        int64    `json:"reweights"`
+	Demoted          []string `json:"demoted,omitempty"`
+}
+
+type fanInJSON struct {
+	Enabled        bool     `json:"enabled"`
+	ID             string   `json:"id,omitempty"`
+	Peers          []string `json:"peers,omitempty"`
+	LogLen         int      `json:"log_len"`
+	MaxEpoch       uint64   `json:"max_epoch"`
+	LeaseHolder    string   `json:"lease_holder,omitempty"`
+	LeaseUntil     float64  `json:"lease_until,omitempty"`
+	Holding        bool     `json:"holding_lease"`
+	OpenRuns       int      `json:"open_runs"`
+	Appends        int64    `json:"appends"`
+	Applies        int64    `json:"applies"`
+	Rejects        int64    `json:"rejects"`
+	Gossips        int64    `json:"gossips"`
+	GossipErrs     int64    `json:"gossip_errors"`
+	Acquired       int64    `json:"lease_acquired"`
+	Denied         int64    `json:"lease_denied"`
+	Steals         int64    `json:"lease_steals"`
+	Resumes        int64    `json:"resumes"`
+	HintsForwarded int64    `json:"hints_forwarded"`
+}
+
+// coordJSON summarizes one coordinator of a fan-in tier in the merged
+// /cluster report.
+type coordJSON struct {
+	ID          string `json:"id"`
+	Reachable   bool   `json:"reachable"`
+	Queries     int64  `json:"queries"`
+	QueryErrors int64  `json:"query_errors"`
+	Degraded    int64  `json:"degraded_queries"`
+	Repairs     int64  `json:"read_repairs"`
+	Holding     bool   `json:"holding_lease"`
+	LogLen      int    `json:"log_len"`
+	OpenRuns    int    `json:"open_runs"`
+}
+
+// clusterJSON is the GET /cluster schema. A single coordinator reports
+// its local view. With fan-in enabled the report is merged across the
+// coordinator tier: coordinator-side counters (queries, query_errors,
+// degraded_queries, read_repairs, per-node routing counters, migration
+// and selfheal lifetime counters) are summed, node-side stats take the
+// freshest reporter per node, demoted identities union, the active
+// migration is whichever coordinator is driving one, and coordinators
+// lists every front with its reachability — so any front answers for
+// the whole tier. fanin itself stays this coordinator's own view (its
+// log, its lease fold).
+type clusterJSON struct {
+	Replicas     int           `json:"replicas"`
+	Coordinator  string        `json:"coordinator,omitempty"`
+	Nodes        []memberJSON  `json:"nodes"`
+	Queries      int64         `json:"queries"`
+	QueryErrors  int64         `json:"query_errors"`
+	Degraded     int64         `json:"degraded_queries"`
+	Repairs      int64         `json:"read_repairs"`
+	TotalObjects int           `json:"total_objects"`
+	Migration    migrationJSON `json:"migration"`
+	SelfHeal     selfHealJSON  `json:"selfheal"`
+	FanIn        *fanInJSON    `json:"fanin,omitempty"`
+	Coordinators []coordJSON   `json:"coordinators,omitempty"`
+}
+
+// localClusterView builds this coordinator's own /cluster report — the
+// view PeerOpStats serves to peers (never merged, so stats exchanges
+// cannot recurse).
+func localClusterView(c *Coordinator) clusterJSON {
+	stats := c.MemberStats()
+	heal := c.SelfHealStats()
+	mig := c.MigrationStats()
+	out := clusterJSON{
+		Replicas: c.Replicas(), Queries: c.Queries(), QueryErrors: c.QueryErrors(),
+		Degraded: c.DegradedQueries(), Repairs: c.Repairs(),
+		Migration: migrationJSON{
+			Active:          mig.Active,
+			Kind:            mig.Kind,
+			Target:          mig.Target,
+			Halted:          mig.Halted,
+			HaltCause:       mig.HaltCause,
+			Ranges:          mig.Ranges,
+			RangesPending:   mig.RangesPending,
+			RangesCopying:   mig.RangesCopying,
+			RangesDual:      mig.RangesDual,
+			RangesCommitted: mig.RangesCommitted,
+			RecordsMoved:    mig.RecordsMoved,
+			Migrations:      mig.Migrations,
+			Aborts:          mig.Aborts,
+			Resumes:         mig.Resumes,
+			TotalMoved:      mig.TotalRecordsMoved,
+			MaxSwapNanos:    mig.MaxSwapNanos,
+			LastOutcome:     mig.LastOutcome,
+		},
+		SelfHeal: selfHealJSON{
+			Enabled:          heal.Enabled,
+			Heartbeats:       heal.Heartbeats,
+			Suspects:         heal.Suspects,
+			Trips:            heal.Trips,
+			Demotions:        heal.Demotions,
+			DemotionFailures: heal.DemotionFailures,
+			Reweights:        heal.Reweights,
+			Demoted:          heal.Demoted,
+		},
+	}
+	for _, ms := range stats {
+		out.Nodes = append(out.Nodes, memberJSON{
+			Name:     ms.Name,
+			Records:  ms.Records,
+			Batches:  ms.Batches,
+			Queries:  ms.Queries,
+			Errors:   ms.Errors,
+			Down:     ms.Down,
+			Health:   ms.Health.String(),
+			DownFor:  ms.DownFor,
+			Hinted:   ms.Hints.Hinted,
+			Drained:  ms.Hints.Drained,
+			Requeued: ms.Hints.Requeued,
+			Pending:  ms.Hints.Buffered,
+			Objects:  ms.Node.Objects,
+			Shards:   ms.Node.Shards,
+			Applied:  ms.Node.UpdatesApplied,
+		})
+		out.TotalObjects += ms.Node.Objects
+	}
+	if fi := c.FanInStats(); fi.Enabled {
+		out.Coordinator = fi.ID
+		out.FanIn = &fanInJSON{
+			Enabled: true, ID: fi.ID, Peers: fi.Peers,
+			LogLen: fi.LogLen, MaxEpoch: fi.MaxEpoch,
+			LeaseHolder: fi.LeaseHolder, LeaseUntil: fi.LeaseUntil, Holding: fi.Holding,
+			OpenRuns: fi.OpenRuns,
+			Appends:  fi.Appends, Applies: fi.Applies, Rejects: fi.Rejects,
+			Gossips: fi.Gossips, GossipErrs: fi.GossipErrs,
+			Acquired: fi.Acquired, Denied: fi.Denied, Steals: fi.Steals,
+			Resumes: fi.Resumes, HintsForwarded: fi.HintsForwarded,
+		}
+	}
+	return out
+}
+
+// localClusterJSON is the PeerOpStats payload: the local view, encoded.
+func (c *Coordinator) localClusterJSON() ([]byte, error) {
+	view := localClusterView(c)
+	return json.Marshal(view)
+}
+
+func coordSummary(view clusterJSON, id string) coordJSON {
+	s := coordJSON{
+		ID: id, Reachable: true,
+		Queries: view.Queries, QueryErrors: view.QueryErrors,
+		Degraded: view.Degraded, Repairs: view.Repairs,
+	}
+	if view.FanIn != nil {
+		s.Holding = view.FanIn.Holding
+		s.LogLen = view.FanIn.LogLen
+		s.OpenRuns = view.FanIn.OpenRuns
+	}
+	return s
+}
+
+// mergeClusterView folds one peer's local view into out per the
+// clusterJSON merge rules.
+func mergeClusterView(out *clusterJSON, pv clusterJSON) {
+	out.Queries += pv.Queries
+	out.QueryErrors += pv.QueryErrors
+	out.Degraded += pv.Degraded
+	out.Repairs += pv.Repairs
+	byName := make(map[string]int, len(out.Nodes))
+	for i := range out.Nodes {
+		byName[out.Nodes[i].Name] = i
+	}
+	for _, pn := range pv.Nodes {
+		i, ok := byName[pn.Name]
+		if !ok {
+			out.Nodes = append(out.Nodes, pn)
+			continue
+		}
+		n := &out.Nodes[i]
+		n.Records += pn.Records
+		n.Batches += pn.Batches
+		n.Queries += pn.Queries
+		n.Errors += pn.Errors
+		n.Hinted += pn.Hinted
+		n.Drained += pn.Drained
+		n.Requeued += pn.Requeued
+		n.Pending += pn.Pending
+		// Node-side stats describe the same shared node: take the
+		// freshest sample (a coordinator that sees the node down reports
+		// zeros).
+		if pn.Applied > n.Applied {
+			n.Applied = pn.Applied
+		}
+		if pn.Objects > n.Objects {
+			n.Objects = pn.Objects
+		}
+		if pn.Shards > n.Shards {
+			n.Shards = pn.Shards
+		}
+	}
+	sort.Slice(out.Nodes, func(i, j int) bool { return out.Nodes[i].Name < out.Nodes[j].Name })
+	out.TotalObjects = 0
+	for i := range out.Nodes {
+		out.TotalObjects += out.Nodes[i].Objects
+	}
+	m, pm := &out.Migration, &pv.Migration
+	m.Migrations += pm.Migrations
+	m.Aborts += pm.Aborts
+	m.Resumes += pm.Resumes
+	m.TotalMoved += pm.TotalMoved
+	if pm.MaxSwapNanos > m.MaxSwapNanos {
+		m.MaxSwapNanos = pm.MaxSwapNanos
+	}
+	if pm.Active && !m.Active {
+		// The peer drives a run this coordinator only follows: its
+		// per-range machine is the authoritative progress.
+		active := *pm
+		active.Migrations, active.Aborts, active.Resumes = m.Migrations, m.Aborts, m.Resumes
+		active.TotalMoved, active.MaxSwapNanos = m.TotalMoved, m.MaxSwapNanos
+		if active.LastOutcome == "" {
+			active.LastOutcome = m.LastOutcome
+		}
+		*m = active
+	}
+	h, ph := &out.SelfHeal, &pv.SelfHeal
+	h.Enabled = h.Enabled || ph.Enabled
+	h.Heartbeats += ph.Heartbeats
+	h.Suspects += ph.Suspects
+	h.Trips += ph.Trips
+	h.Demotions += ph.Demotions
+	h.DemotionFailures += ph.DemotionFailures
+	h.Reweights += ph.Reweights
+	seen := make(map[string]bool, len(h.Demoted)+len(ph.Demoted))
+	for _, name := range h.Demoted {
+		seen[name] = true
+	}
+	for _, name := range ph.Demoted {
+		if !seen[name] {
+			h.Demoted = append(h.Demoted, name)
+		}
+	}
+	sort.Strings(h.Demoted)
+}
+
+// ClusterView builds the GET /cluster report: the local view, merged
+// across the coordinator tier when fan-in is enabled (each peer is
+// asked for its own local view over the peer channel; unreachable
+// peers are listed with reachable=false and contribute nothing).
+func (c *Coordinator) ClusterView() clusterJSON {
+	out := localClusterView(c)
+	f := c.fanin.Load()
+	if f == nil {
+		return out
+	}
+	out.Coordinators = append(out.Coordinators, coordSummary(out, f.id))
+	f.mu.Lock()
+	names := append([]string(nil), f.order...)
+	peers := make([]wire.PeerTransport, 0, len(names))
+	for _, name := range names {
+		peers = append(peers, f.peers[name])
+	}
+	f.mu.Unlock()
+	for i, pt := range peers {
+		resp, err := pt.Peer(wire.PeerRequest{Op: wire.PeerOpStats, From: f.id})
+		if err != nil || resp.Err != "" {
+			out.Coordinators = append(out.Coordinators, coordJSON{ID: names[i]})
+			continue
+		}
+		var pv clusterJSON
+		if err := json.Unmarshal(resp.Stats, &pv); err != nil {
+			out.Coordinators = append(out.Coordinators, coordJSON{ID: names[i]})
+			continue
+		}
+		id := pv.Coordinator
+		if id == "" {
+			id = names[i]
+		}
+		mergeClusterView(&out, pv)
+		out.Coordinators = append(out.Coordinators, coordSummary(pv, id))
+	}
+	return out
+}
 
 // Handler exposes the coordinator over HTTP with the same JSON query
 // API a single location server serves (GET /position, /nearest,
@@ -13,7 +348,10 @@ import (
 // cluster) plus:
 //
 //	POST /updates   binary update frames, routed per partition
-//	GET  /cluster   per-member routing and node stats
+//	POST /peer      coordinator peer frames (fan-in log gossip, hint
+//	                forwarding, stats exchange)
+//	GET  /cluster   routing and node stats — merged across the
+//	                coordinator tier when fan-in is enabled
 //
 // so clients cannot tell a coordinator from a single node, except by
 // asking /cluster.
@@ -23,120 +361,9 @@ func Handler(c *Coordinator) http.Handler {
 	mux.HandleFunc("POST /updates", locserv.IngestHandler(func(recs []wire.Record) (int, error) {
 		return c.DeliverRecords(recs)
 	}))
+	mux.Handle("POST /peer", wire.PeerHTTPHandler(c))
 	mux.HandleFunc("GET /cluster", func(w http.ResponseWriter, _ *http.Request) {
-		type memberJSON struct {
-			Name     string  `json:"name"`
-			Records  int64   `json:"records"`
-			Batches  int64   `json:"batches"`
-			Queries  int64   `json:"queries"`
-			Errors   int64   `json:"errors"`
-			Down     bool    `json:"down"`
-			Health   string  `json:"health"`
-			DownFor  float64 `json:"down_for,omitempty"`
-			Hinted   int64   `json:"hinted"`
-			Drained  int64   `json:"hints_drained"`
-			Requeued int64   `json:"hints_requeued"`
-			Pending  int     `json:"hints_pending"`
-			Objects  int     `json:"objects"`
-			Shards   int     `json:"shards"`
-			Applied  int64   `json:"updates_applied"`
-		}
-		type migrationJSON struct {
-			Active          bool   `json:"active"`
-			Kind            string `json:"kind,omitempty"`
-			Target          string `json:"target,omitempty"`
-			Halted          bool   `json:"halted,omitempty"`
-			HaltCause       string `json:"halt_cause,omitempty"`
-			Ranges          int    `json:"ranges,omitempty"`
-			RangesPending   int    `json:"ranges_pending,omitempty"`
-			RangesCopying   int    `json:"ranges_copying,omitempty"`
-			RangesDual      int    `json:"ranges_dual,omitempty"`
-			RangesCommitted int    `json:"ranges_committed,omitempty"`
-			RecordsMoved    int64  `json:"records_moved,omitempty"`
-			Migrations      int64  `json:"migrations"`
-			Aborts          int64  `json:"aborts"`
-			Resumes         int64  `json:"resumes"`
-			TotalMoved      int64  `json:"total_records_moved"`
-			MaxSwapNanos    int64  `json:"max_swap_ns"`
-			LastOutcome     string `json:"last_outcome,omitempty"`
-		}
-		type selfHealJSON struct {
-			Enabled          bool     `json:"enabled"`
-			Heartbeats       int64    `json:"heartbeats"`
-			Suspects         int64    `json:"suspects"`
-			Trips            int64    `json:"trips"`
-			Demotions        int64    `json:"demotions"`
-			DemotionFailures int64    `json:"demotion_failures"`
-			Reweights        int64    `json:"reweights"`
-			Demoted          []string `json:"demoted,omitempty"`
-		}
-		stats := c.MemberStats()
-		heal := c.SelfHealStats()
-		mig := c.MigrationStats()
-		out := struct {
-			Replicas     int           `json:"replicas"`
-			Nodes        []memberJSON  `json:"nodes"`
-			Queries      int64         `json:"queries"`
-			QueryErrors  int64         `json:"query_errors"`
-			Degraded     int64         `json:"degraded_queries"`
-			Repairs      int64         `json:"read_repairs"`
-			TotalObjects int           `json:"total_objects"`
-			Migration    migrationJSON `json:"migration"`
-			SelfHeal     selfHealJSON  `json:"selfheal"`
-		}{
-			Replicas: c.Replicas(), Queries: c.Queries(), QueryErrors: c.QueryErrors(),
-			Degraded: c.DegradedQueries(), Repairs: c.Repairs(),
-			Migration: migrationJSON{
-				Active:          mig.Active,
-				Kind:            mig.Kind,
-				Target:          mig.Target,
-				Halted:          mig.Halted,
-				HaltCause:       mig.HaltCause,
-				Ranges:          mig.Ranges,
-				RangesPending:   mig.RangesPending,
-				RangesCopying:   mig.RangesCopying,
-				RangesDual:      mig.RangesDual,
-				RangesCommitted: mig.RangesCommitted,
-				RecordsMoved:    mig.RecordsMoved,
-				Migrations:      mig.Migrations,
-				Aborts:          mig.Aborts,
-				Resumes:         mig.Resumes,
-				TotalMoved:      mig.TotalRecordsMoved,
-				MaxSwapNanos:    mig.MaxSwapNanos,
-				LastOutcome:     mig.LastOutcome,
-			},
-			SelfHeal: selfHealJSON{
-				Enabled:          heal.Enabled,
-				Heartbeats:       heal.Heartbeats,
-				Suspects:         heal.Suspects,
-				Trips:            heal.Trips,
-				Demotions:        heal.Demotions,
-				DemotionFailures: heal.DemotionFailures,
-				Reweights:        heal.Reweights,
-				Demoted:          heal.Demoted,
-			},
-		}
-		for _, ms := range stats {
-			out.Nodes = append(out.Nodes, memberJSON{
-				Name:     ms.Name,
-				Records:  ms.Records,
-				Batches:  ms.Batches,
-				Queries:  ms.Queries,
-				Errors:   ms.Errors,
-				Down:     ms.Down,
-				Health:   ms.Health.String(),
-				DownFor:  ms.DownFor,
-				Hinted:   ms.Hints.Hinted,
-				Drained:  ms.Hints.Drained,
-				Requeued: ms.Hints.Requeued,
-				Pending:  ms.Hints.Buffered,
-				Objects:  ms.Node.Objects,
-				Shards:   ms.Node.Shards,
-				Applied:  ms.Node.UpdatesApplied,
-			})
-			out.TotalObjects += ms.Node.Objects
-		}
-		locserv.WriteJSON(w, out)
+		locserv.WriteJSON(w, c.ClusterView())
 	})
 	return mux
 }

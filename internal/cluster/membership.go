@@ -30,6 +30,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"mapdr/internal/wire"
 )
 
 // Health is the liveness detector's verdict on a member.
@@ -195,19 +197,29 @@ func (c *Coordinator) EnableSelfHeal(cfg SelfHealConfig) {
 // SelfHealEnabled reports whether the self-healing loops are on.
 func (c *Coordinator) SelfHealEnabled() bool { return c.heal.Load() != nil }
 
-// Tick drives the self-healing loops at clock now: a heartbeat sweep
+// Tick drives the self-healing loops at clock now — a heartbeat sweep
 // plus recovery probes when one is due, then the demotion deadline
-// check and the reweight controller. It is a no-op until
-// EnableSelfHeal. Deployments tick whichever clock they live on —
-// cmd/locserver a wall-seconds ticker, simulations the ingest clock —
-// and concurrent ticks are safe (each loop guards its own cadence).
+// check and the reweight controller — and, with fan-in enabled, the
+// coordinator-peer work: periodic log gossip, lease renewal while
+// driving a migration, resume-from-log after a lease steal, and hint
+// forwarding. It is a no-op until EnableSelfHeal or EnableFanIn.
+// Deployments tick whichever clock they live on — cmd/locserver a
+// wall-seconds ticker, simulations the ingest clock — and concurrent
+// ticks are safe (each loop guards its own cadence).
 func (c *Coordinator) Tick(now float64) {
 	heal := c.heal.Load()
-	if heal == nil {
+	f := c.fanin.Load()
+	if heal == nil && f == nil {
 		return
 	}
 	c.advanceClock(now)
 	now = c.now() // the clock is monotone; later Sends may have moved it
+	if f != nil {
+		c.fanInTick(f, now)
+	}
+	if heal == nil {
+		return
+	}
 	if heal.beatDue(now) {
 		c.heartbeat(heal)
 		c.ProbeDown()
@@ -280,6 +292,14 @@ func (c *Coordinator) checkDemotions(heal *selfHeal, now float64) {
 	}
 	remaining := len(c.members)
 	c.mu.RUnlock()
+	if len(overdue) == 0 {
+		return
+	}
+	// Fan-in fence: only the lease holder demotes. The loser returns
+	// here and applies the winner's leave run from the log instead.
+	if f := c.fanin.Load(); f != nil && !f.holdLease(now) {
+		return
+	}
 	for _, name := range overdue {
 		if remaining <= 1 {
 			// Never demote the last member: with nobody to migrate to,
@@ -332,6 +352,12 @@ func (c *Coordinator) demote(heal *selfHeal, name string) bool {
 	heal.parked[name] = true
 	heal.mu.Unlock()
 	heal.demotions.Add(1)
+	if f := c.fanin.Load(); f != nil {
+		// Replicate the parking so a late rejoin is fenced to a fresh
+		// AddNode on every coordinator (append fails only if the lease
+		// was stolen mid-demotion; the thief re-drives then).
+		_, _ = f.appendMigrationRecord(wire.LogRecord{Kind: wire.LogPark, Target: name})
+	}
 	return true
 }
 
@@ -424,6 +450,11 @@ func (c *Coordinator) maybeReweight(heal *selfHeal, now float64) {
 	}
 	c.mu.RUnlock()
 	if same {
+		return
+	}
+	// Fan-in fence: only the lease holder reweights; the loser's breach
+	// sampling restarts while it applies the winner's run from the log.
+	if f := c.fanin.Load(); f != nil && !f.holdLease(now) {
 		return
 	}
 	if err := c.Reweight(weights); err == nil {

@@ -28,6 +28,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -122,6 +123,8 @@ type migrationRun struct {
 	joining *memberState // the member being added (migJoin only)
 	ranges  []*rangeState
 	hook    migrationHook
+	logged  bool   // the run rides the fan-in membership log
+	logRun  uint64 // the Begin record's epoch: the run's id on the log
 
 	mu  sync.Mutex
 	err error // why the run halted; nil while progressing
@@ -157,6 +160,23 @@ func (a *atomicPhase) Store(p MigrationPhase) { a.v.Store(int32(p)) }
 // Returning an error halts the run exactly there — the simulated
 // coordinator crash the resume/rollback tests drive.
 type migrationHook func(kind string, lo, hi uint64, phase MigrationPhase) error
+
+// CrashMigrationAfterCopies arms a one-shot driver crash: the next
+// migration drive on this coordinator halts with an error when its n-th
+// range copy starts. It is the chaos-injection surface of the fan-in
+// drill (drsim -exp fanin): the coordinator driving a live join is
+// "killed" mid-copy, the halted run stays resident under dual routing,
+// and a lease-stealing peer coordinator resumes it from the replicated
+// membership log. Arm it before Begin*; the hook fires exactly once.
+func (c *Coordinator) CrashMigrationAfterCopies(n int) {
+	copies := new(atomic.Int32)
+	c.migHook = func(kind string, lo, hi uint64, phase MigrationPhase) error {
+		if phase == MigCopying && copies.Add(1) == int32(n) {
+			return fmt.Errorf("cluster: injected driver crash at copy %d", n)
+		}
+		return nil
+	}
+}
 
 // Migration is the handle on one membership migration started by
 // BeginAddNode, BeginRemoveNode or BeginReweight. The engine runs in
@@ -195,7 +215,7 @@ func (c *Coordinator) BeginAddNode(m *Member) (*Migration, error) {
 	if m == nil || m.Node == nil {
 		return nil, fmt.Errorf("cluster: nil member")
 	}
-	return c.beginMigration(migJoin, m.Name, m, func(cur *Ring) (*Ring, error) {
+	return c.beginMigration(migJoin, m.Name, m, nil, func(cur *Ring) (*Ring, error) {
 		next := cur.clone()
 		if _, err := next.Add(m.Name); err != nil {
 			return nil, err
@@ -209,7 +229,7 @@ func (c *Coordinator) BeginAddNode(m *Member) (*Migration, error) {
 // sourced from the leaving member, or any surviving replica when it is
 // down — and the member leaves the cluster at the final commit.
 func (c *Coordinator) BeginRemoveNode(name string) (*Migration, error) {
-	return c.beginMigration(migLeave, name, nil, func(cur *Ring) (*Ring, error) {
+	return c.beginMigration(migLeave, name, nil, nil, func(cur *Ring) (*Ring, error) {
 		next := cur.clone()
 		if _, err := next.Remove(name); err != nil {
 			return nil, err
@@ -222,7 +242,7 @@ func (c *Coordinator) BeginRemoveNode(name string) (*Migration, error) {
 // vnode counts (see BalancedWeights); ranges whose preference lists
 // change move exactly like a join's.
 func (c *Coordinator) BeginReweight(weights map[string]int) (*Migration, error) {
-	return c.beginMigration(migReweight, "", nil, func(cur *Ring) (*Ring, error) {
+	return c.beginMigration(migReweight, "", nil, weights, func(cur *Ring) (*Ring, error) {
 		for name := range weights {
 			if _, ok := c.members[name]; !ok {
 				return nil, fmt.Errorf("cluster: weight for unknown member %q", name)
@@ -283,7 +303,15 @@ func (c *Coordinator) AbortMigration() error { return c.abortRun(nil) }
 // drive finishes or halts; TryLock keeps membership ops non-blocking —
 // concurrent attempts fail fast with ErrMigrationBusy and retry (the
 // self-heal loops do exactly that on their next tick).
-func (c *Coordinator) beginMigration(kind, target string, joining *Member, mkNext func(cur *Ring) (*Ring, error)) (*Migration, error) {
+//
+// With fan-in enabled the begin is fenced and replicated: it requires
+// the lease (ErrNotLeaseHolder otherwise — the peer holding it drives
+// membership right now), refuses to start over a peer's open run, and
+// appends the Begin record — kind, target, join address, reweight
+// weights — before any data moves. Every dual route is published up
+// front too (not per-range), matching what followers derive from the
+// record, so all coordinators route identically for the whole run.
+func (c *Coordinator) beginMigration(kind, target string, joining *Member, weights map[string]int, mkNext func(cur *Ring) (*Ring, error)) (*Migration, error) {
 	if !c.migMu.TryLock() {
 		return nil, ErrMigrationBusy
 	}
@@ -291,10 +319,53 @@ func (c *Coordinator) beginMigration(kind, target string, joining *Member, mkNex
 		c.migMu.Unlock()
 		return nil, ErrMigrationHalted
 	}
+	f := c.fanin.Load()
+	if f != nil {
+		if !f.holdLease(c.now()) {
+			c.migMu.Unlock()
+			return nil, ErrNotLeaseHolder
+		}
+		if f.openRun() != nil {
+			// A begun, uncommitted run is on the log (ours halted, or a
+			// dead peer's awaiting resume): it must finish first.
+			c.migMu.Unlock()
+			return nil, ErrMigrationHalted
+		}
+	}
 	run, err := c.planMigration(kind, target, joining, mkNext)
 	if err != nil {
 		c.migMu.Unlock()
 		return nil, err
+	}
+	if f != nil {
+		rec := wire.LogRecord{Kind: wire.LogBegin, MigKind: migKindByte(kind), Target: target}
+		if joining != nil {
+			rec.Addr = joining.Addr
+		}
+		if len(weights) > 0 {
+			names := make([]string, 0, len(weights))
+			for name := range weights {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				rec.Weights = append(rec.Weights, wire.NameWeight{Name: name, W: float64(weights[name])})
+			}
+		}
+		rec, err = f.appendMigrationRecord(rec)
+		if err != nil {
+			c.unplanMigration(run)
+			c.migMu.Unlock()
+			return nil, err
+		}
+		run.logged = true
+		run.logRun = rec.Run
+		f.noteLeaderBegin(rec, run)
+		for _, r := range run.ranges {
+			if len(r.adds) > 0 {
+				c.publishDual(r)
+			}
+		}
 	}
 	c.mig = run
 	c.migView.Store(run)
@@ -352,6 +423,19 @@ func (c *Coordinator) planMigration(kind, target string, joining *Member, mkNext
 		c.reorder()
 	}
 	return run, nil
+}
+
+// unplanMigration undoes planMigration's membership side effect when a
+// begin fails after planning (the fan-in Begin append was rejected): a
+// join's member leaves the scatter set again. Nothing else moved yet.
+func (c *Coordinator) unplanMigration(run *migrationRun) {
+	if run.kind != migJoin {
+		return
+	}
+	c.mu.Lock()
+	delete(c.members, run.target)
+	c.reorder()
+	c.mu.Unlock()
 }
 
 // drive executes the plan: every incomplete range is published for dual
@@ -529,6 +613,11 @@ func (c *Coordinator) commitRun(run *migrationRun) {
 	c.setMigOutcome(fmt.Sprintf("committed %s: %d ranges, %d records", runLabel(run), len(run.ranges), moved))
 	c.mig = nil
 	c.migView.Store(nil)
+	if run.logged {
+		if f := c.fanin.Load(); f != nil {
+			f.closeRun(run, wire.LogCommit)
+		}
+	}
 }
 
 // resumeRun re-drives the halted run (the one run names, or whichever
@@ -589,6 +678,11 @@ func (c *Coordinator) abortRun(run *migrationRun) error {
 	c.setMigOutcome(fmt.Sprintf("aborted %s%s", runLabel(run), cause))
 	c.mig = nil
 	c.migView.Store(nil)
+	if run.logged {
+		if f := c.fanin.Load(); f != nil {
+			f.closeRun(run, wire.LogAbort)
+		}
+	}
 	return nil
 }
 

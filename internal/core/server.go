@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"sync"
 
 	"mapdr/internal/geo"
@@ -32,12 +33,21 @@ type Server struct {
 	useCursor bool
 	curMu     sync.Mutex
 	cursor    Cursor
+
+	// fastLinear is fixed at construction for LinearPredictor: the only
+	// trigonometry its prediction needs depends on the report alone, so
+	// Apply precomputes cos/sin of the heading once and Position answers
+	// with two multiply-adds — the same floating-point operations
+	// PolarPoint performs, so results stay bit-identical.
+	fastLinear bool
+	cosH, sinH float64
 }
 
 // NewServer returns a server replica driven by the given predictor, which
 // must be configured identically to the source's.
 func NewServer(pred Predictor) *Server {
-	return &Server{pred: pred, useCursor: cursorPays(pred)}
+	_, linear := pred.(LinearPredictor)
+	return &Server{pred: pred, useCursor: cursorPays(pred), fastLinear: linear}
 }
 
 // Apply ingests an update message and reports whether it advanced the
@@ -52,6 +62,10 @@ func (sv *Server) Apply(u Update) bool {
 	sv.hasReport = true
 	sv.updates++
 	sv.bytes += int64(u.Report.EncodedSize())
+	if sv.fastLinear {
+		sv.cosH = math.Cos(u.Report.Heading)
+		sv.sinH = math.Sin(u.Report.Heading)
+	}
 	if sv.useCursor {
 		sv.curMu.Lock()
 		sv.cursor = nil
@@ -65,6 +79,14 @@ func (sv *Server) Apply(u Update) bool {
 func (sv *Server) Position(t float64) (geo.Point, bool) {
 	if !sv.hasReport {
 		return geo.Point{}, false
+	}
+	if sv.fastLinear {
+		dt := t - sv.last.T
+		if dt <= 0 {
+			return sv.last.Pos, true
+		}
+		r := sv.last.V * dt
+		return geo.Point{X: sv.last.Pos.X + r*sv.cosH, Y: sv.last.Pos.Y + r*sv.sinH}, true
 	}
 	if sv.useCursor {
 		sv.curMu.Lock()

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mapdr/internal/geo"
+)
+
+// TestFastLinearBitIdentical proves the server's memoized linear path
+// returns exactly what LinearPredictor.Predict computes: the cached
+// cos/sin feed the same multiply-add PolarPoint performs, so every
+// coordinate matches bit for bit.
+func TestFastLinearBitIdentical(t *testing.T) {
+	sv := NewServer(LinearPredictor{})
+	for i := 0; i < 50; i++ {
+		rep := Report{
+			Seq:     uint32(i + 1),
+			T:       float64(i) * 1.7,
+			Pos:     geo.Pt(float64(i)*13.25, -float64(i)*7.5),
+			V:       3.5 + float64(i)*0.9,
+			Heading: -math.Pi + float64(i)*0.37,
+		}
+		if !sv.Apply(Update{Reason: ReasonDeviation, Report: rep}) {
+			t.Fatalf("report %d not applied", i)
+		}
+		for _, dt := range []float64{-1, 0, 0.25, 1, 17.5, 1e4} {
+			tq := rep.T + dt
+			got, ok := sv.Position(tq)
+			if !ok {
+				t.Fatalf("no position at t=%v", tq)
+			}
+			want := (LinearPredictor{}).Predict(rep, tq)
+			if got != want {
+				t.Fatalf("report %d at t=%v: server %v, predictor %v", i, tq, got, want)
+			}
+		}
+	}
+}
+
+// TestFastLinearZeroAllocs pins the linear query path: answering a
+// position query costs no allocations and no trigonometry (cos/sin
+// were paid once at Apply).
+func TestFastLinearZeroAllocs(t *testing.T) {
+	sv := NewServer(LinearPredictor{})
+	sv.Apply(Update{Reason: ReasonDeviation, Report: Report{
+		Seq: 1, T: 0, Pos: geo.Pt(10, 20), V: 5, Heading: 0.7,
+	}})
+	tq := 3.0
+	avg := testing.AllocsPerRun(100, func() {
+		if _, ok := sv.Position(tq); !ok {
+			t.Fatal("no position")
+		}
+		tq += 0.5
+	})
+	if avg != 0 {
+		t.Fatalf("linear Position allocates %.1f objects per query, want 0", avg)
+	}
+}

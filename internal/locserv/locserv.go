@@ -459,7 +459,11 @@ func (s *Service) Nearest(p geo.Point, k int, t float64) []ObjectPos {
 func (sh *shard) nearest(p geo.Point, k int, t float64) []ObjectPos {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	var h posHeap
+	top := k
+	if n := len(sh.objs); n < top {
+		top = n
+	}
+	h := make(posHeap, 0, top)
 	for id, srv := range sh.objs {
 		pos, ok := srv.Position(t)
 		if !ok {

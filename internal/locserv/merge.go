@@ -8,7 +8,10 @@
 
 package locserv
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // Divergence records one object whose replicas answered a query with
 // different sequence numbers: FreshPart is the index (into the merged
@@ -19,6 +22,31 @@ type Divergence struct {
 	ID         ObjectID
 	FreshPart  int
 	StaleParts []int
+}
+
+// tieRef remembers one part that answered an object with the same Seq
+// as the current best copy: if a still-fresher copy shows up later,
+// every tied part turns out stale and needs repair. A consumed entry
+// has part = -1.
+type tieRef struct {
+	id   ObjectID
+	part int
+}
+
+// mergeScratch is the reusable state of one MergeFreshest call. On the
+// healthy replicated path every object answers from R in-sync replicas,
+// so the maps and the tie list are exercised on every query — pooling
+// them keeps the steady-state merge down to the one result allocation.
+type mergeScratch struct {
+	at   map[ObjectID]int // id -> index in fresh
+	from map[ObjectID]int // id -> part of the current best copy
+	ties []tieRef
+}
+
+var mergePool = sync.Pool{
+	New: func() any {
+		return &mergeScratch{at: make(map[ObjectID]int), from: make(map[ObjectID]int)}
+	},
 }
 
 // MergeFreshest flattens per-node query answers into one hit per
@@ -40,14 +68,29 @@ func MergeFreshest(parts [][]ObjectPos) (fresh []ObjectPos, stale []Divergence) 
 		// single store returns for an empty result.
 		return nil, nil
 	}
+	scr := mergePool.Get().(*mergeScratch)
+	defer func() {
+		clear(scr.at)
+		clear(scr.from)
+		scr.ties = scr.ties[:0]
+		mergePool.Put(scr)
+	}()
+	at, from, ties := scr.at, scr.from, scr.ties[:0]
 	fresh = make([]ObjectPos, 0, total)
-	at := make(map[ObjectID]int, total) // id -> index in fresh
-	from := make(map[ObjectID]int, total)
-	// tied tracks the parts currently sharing the best Seq of a
-	// duplicated object: if a still-fresher copy shows up later, every
-	// one of them turns out stale and needs repair.
+	// div materialises only when replicas actually disagree — never on
+	// the healthy path, where every duplicate is an in-sync tie.
 	var div map[ObjectID]*Divergence
-	var tied map[ObjectID][]int
+	divFor := func(id ObjectID) *Divergence {
+		if div == nil {
+			div = make(map[ObjectID]*Divergence)
+		}
+		d := div[id]
+		if d == nil {
+			d = &Divergence{ID: id, FreshPart: from[id]}
+			div[id] = d
+		}
+		return d
+	}
 	for pi, part := range parts {
 		for _, hit := range part {
 			i, seen := at[hit.ID]
@@ -59,38 +102,38 @@ func MergeFreshest(parts [][]ObjectPos) (fresh []ObjectPos, stale []Divergence) 
 			}
 			// A second replica answered for the same object: keep the
 			// fresher copy and remember the staler replicas for repair.
-			if div == nil {
-				div = make(map[ObjectID]*Divergence)
-				tied = make(map[ObjectID][]int)
-			}
-			d := div[hit.ID]
-			if d == nil {
-				d = &Divergence{ID: hit.ID, FreshPart: from[hit.ID]}
-				div[hit.ID] = d
-			}
 			switch {
 			case hit.Seq > fresh[i].Seq:
+				d := divFor(hit.ID)
 				d.StaleParts = append(d.StaleParts, d.FreshPart)
-				d.StaleParts = append(d.StaleParts, tied[hit.ID]...)
-				tied[hit.ID] = nil
+				for ti := range ties {
+					if ties[ti].id == hit.ID && ties[ti].part >= 0 {
+						d.StaleParts = append(d.StaleParts, ties[ti].part)
+						ties[ti].part = -1
+					}
+				}
 				d.FreshPart = pi
 				from[hit.ID] = pi
 				fresh[i] = hit
 			case hit.Seq < fresh[i].Seq:
+				d := divFor(hit.ID)
 				d.StaleParts = append(d.StaleParts, pi)
 			default:
 				// Same Seq as the current best: in sync so far, but stale
 				// together with it if a fresher copy follows.
-				tied[hit.ID] = append(tied[hit.ID], pi)
+				ties = append(ties, tieRef{id: hit.ID, part: pi})
 			}
 		}
 	}
+	scr.ties = ties
 	for _, d := range div {
 		if len(d.StaleParts) > 0 {
 			stale = append(stale, *d)
 		}
 	}
-	sort.Slice(stale, func(i, j int) bool { return stale[i].ID < stale[j].ID })
+	if len(stale) > 1 {
+		sort.Slice(stale, func(i, j int) bool { return stale[i].ID < stale[j].ID })
+	}
 	return fresh, stale
 }
 

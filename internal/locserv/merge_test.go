@@ -1,6 +1,7 @@
 package locserv
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -67,5 +68,32 @@ func TestMergeFreshestTieThenFresher(t *testing.T) {
 	_, stale = MergeFreshest(parts)
 	if len(stale) != 1 || stale[0].FreshPart != 0 || !reflect.DeepEqual(stale[0].StaleParts, []int{1, 2}) {
 		t.Fatalf("mirrored stale %v", stale)
+	}
+}
+
+// TestMergeFreshestSteadyAllocs pins the pooled merge path: collapsing
+// healthy R=2 answers (every object tied across two parts) allocates
+// only the merged result slice once the scratch maps and tie list are
+// warm.
+func TestMergeFreshestSteadyAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool randomly drops items under the race detector")
+	}
+	const n = 64
+	part := make([]ObjectPos, n)
+	for i := range part {
+		part[i] = ObjectPos{ID: ObjectID(fmt.Sprintf("obj-%03d", i)), Seq: 7}
+	}
+	parts := [][]ObjectPos{part, append([]ObjectPos(nil), part...)}
+	for i := 0; i < 4; i++ {
+		if fresh, stale := MergeFreshest(parts); len(fresh) != n || stale != nil {
+			t.Fatalf("merge: %d fresh, %v stale", len(fresh), stale)
+		}
+	}
+	avg := testing.AllocsPerRun(100, func() { MergeFreshest(parts) })
+	// One allocation for the returned fresh slice; everything else is
+	// pooled scratch.
+	if avg > 1 {
+		t.Fatalf("MergeFreshest allocates %.1f objects per warmed merge, want <= 1", avg)
 	}
 }

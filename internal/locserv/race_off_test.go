@@ -1,0 +1,5 @@
+//go:build !race
+
+package locserv
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package locserv
+
+// raceEnabled reports whether the race detector is compiled in. Under
+// it sync.Pool randomly drops items, so allocation-count assertions on
+// pooled paths are skipped.
+const raceEnabled = true

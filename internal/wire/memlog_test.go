@@ -1,0 +1,220 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+
+	"mapdr/internal/core"
+	"mapdr/internal/geo"
+)
+
+func sampleLogRecords() []LogRecord {
+	return []LogRecord{
+		{Epoch: 1, Origin: "co-a", Kind: LogLease, Holder: "co-a", T: 10, Until: 25},
+		{Epoch: 2, Origin: "co-a", Kind: LogBegin, Lease: 1, Run: 2, MigKind: 1,
+			Target: "n4", Addr: "http://n4:8080",
+			Weights: []NameWeight{{Name: "n1", W: 1}, {Name: "n2", W: 1.5}, {Name: "n4", W: 1}}},
+		{Epoch: 3, Origin: "co-a", Kind: LogCommit, Lease: 1, Run: 2},
+		{Epoch: 4, Origin: "co-b", Kind: LogLease, Holder: "co-b", T: 40, Until: 55},
+		{Epoch: 5, Origin: "co-b", Kind: LogBegin, Lease: 4, Run: 5, MigKind: 2, Target: "n1",
+			Weights: []NameWeight{{Name: "n2", W: 1.5}, {Name: "n4", W: 1}}},
+		{Epoch: 6, Origin: "co-b", Kind: LogAbort, Lease: 4, Run: 5},
+		{Epoch: 7, Origin: "co-b", Kind: LogPark, Lease: 4, Target: "n1"},
+		{Epoch: 8, Origin: "co-b", Kind: LogRelease, Holder: "co-b", T: 60},
+	}
+}
+
+func TestLogRecordRoundTrip(t *testing.T) {
+	for i, rec := range sampleLogRecords() {
+		buf := AppendLogRecord(nil, rec)
+		got, n, err := DecodeLogRecord(buf)
+		if err != nil {
+			t.Fatalf("record %d: decode: %v", i, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("record %d: consumed %d of %d bytes", i, n, len(buf))
+		}
+		if !reflect.DeepEqual(got, rec) {
+			t.Fatalf("record %d: round-trip mismatch:\n got %+v\nwant %+v", i, got, rec)
+		}
+	}
+}
+
+func TestLogRecordsBlobRoundTrip(t *testing.T) {
+	recs := sampleLogRecords()
+	blob := EncodeLogRecords(recs)
+	got, err := DecodeLogRecords(blob)
+	if err != nil {
+		t.Fatalf("decode blob: %v", err)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("blob round-trip mismatch")
+	}
+	if !EqualLogs(got, recs) {
+		t.Fatalf("EqualLogs false on identical logs")
+	}
+	if _, err := DecodeLogRecords(append(blob, 0)); err == nil {
+		t.Fatalf("trailing byte not rejected")
+	}
+}
+
+func TestMergeLogs(t *testing.T) {
+	recs := sampleLogRecords()
+	a := []LogRecord{recs[0], recs[1], recs[2], recs[4]}
+	b := []LogRecord{recs[0], recs[3], recs[4], recs[5], recs[7]}
+	merged, added := MergeLogs(a, b)
+	if added != 3 {
+		t.Fatalf("added = %d, want 3", added)
+	}
+	want := []LogRecord{recs[0], recs[1], recs[2], recs[3], recs[4], recs[5], recs[7]}
+	if !reflect.DeepEqual(merged, want) {
+		t.Fatalf("merge mismatch:\n got %+v\nwant %+v", merged, want)
+	}
+	// Merging the other way converges to the same log.
+	merged2, _ := MergeLogs(b, a)
+	if !EqualLogs(merged, merged2) {
+		t.Fatalf("merge not symmetric")
+	}
+	// Idempotent.
+	again, added := MergeLogs(merged, merged2)
+	if added != 0 || !EqualLogs(again, merged) {
+		t.Fatalf("merge not idempotent (added %d)", added)
+	}
+}
+
+func TestLogOrder(t *testing.T) {
+	a := LogRecord{Epoch: 3, Origin: "co-b"}
+	b := LogRecord{Epoch: 3, Origin: "co-a"}
+	c := LogRecord{Epoch: 4, Origin: "co-a"}
+	if !b.Before(a) || a.Before(b) {
+		t.Fatalf("same-epoch tiebreak must order by origin")
+	}
+	if !a.Before(c) || c.Before(a) {
+		t.Fatalf("epoch must dominate origin")
+	}
+	if !a.Same(LogRecord{Epoch: 3, Origin: "co-b", Kind: LogCommit}) {
+		t.Fatalf("Same must key on (epoch, origin) only")
+	}
+}
+
+func samplePeerRequests() []PeerRequest {
+	return []PeerRequest{
+		{Op: PeerOpLog, From: "co-a", Log: sampleLogRecords()},
+		{Op: PeerOpLog, From: "co-b"},
+		{Op: PeerOpHints, From: "co-a", Member: "n2", Hints: []Record{
+			{ID: "veh-1", Update: core.Update{Reason: core.ReasonInit, Report: core.Report{
+				Seq: 7, T: 3.5, Pos: geo.Pt(1, 2), V: 3, Heading: 0.5}}},
+			{ID: "veh-2", Update: core.Update{Reason: core.ReasonDeviation, Report: core.Report{
+				Seq: 9, T: 4.5, Pos: geo.Pt(-1, -2), V: 1, Heading: -0.5}}},
+		}},
+		{Op: PeerOpStats, From: "co-b"},
+	}
+}
+
+func samplePeerResponses() []PeerResponse {
+	return []PeerResponse{
+		{Op: PeerOpLog, Log: sampleLogRecords()},
+		{Op: PeerOpHints, Applied: 2},
+		{Op: PeerOpStats, Stats: []byte(`{"objects":42}`)},
+		{Op: PeerOpLog, Err: "no such coordinator"},
+	}
+}
+
+func TestPeerFrameRoundTrip(t *testing.T) {
+	for i, req := range samplePeerRequests() {
+		frame, err := EncodePeerRequest(req)
+		if err != nil {
+			t.Fatalf("request %d: encode: %v", i, err)
+		}
+		got, n, err := DecodePeerRequest(frame)
+		if err != nil {
+			t.Fatalf("request %d: decode: %v", i, err)
+		}
+		if n != len(frame) {
+			t.Fatalf("request %d: consumed %d of %d", i, n, len(frame))
+		}
+		if !reflect.DeepEqual(got, req) {
+			t.Fatalf("request %d: round-trip mismatch:\n got %+v\nwant %+v", i, got, req)
+		}
+	}
+	for i, resp := range samplePeerResponses() {
+		frame, err := EncodePeerResponse(resp)
+		if err != nil {
+			t.Fatalf("response %d: encode: %v", i, err)
+		}
+		got, n, err := DecodePeerResponse(frame)
+		if err != nil {
+			t.Fatalf("response %d: decode: %v", i, err)
+		}
+		if n != len(frame) {
+			t.Fatalf("response %d: consumed %d of %d", i, n, len(frame))
+		}
+		if !reflect.DeepEqual(got, resp) {
+			t.Fatalf("response %d: round-trip mismatch:\n got %+v\nwant %+v", i, got, resp)
+		}
+	}
+}
+
+func TestPeerLoopback(t *testing.T) {
+	srv := PeerServerFunc(func(req PeerRequest) PeerResponse {
+		switch req.Op {
+		case PeerOpLog:
+			return PeerResponse{Op: PeerOpLog, Log: req.Log}
+		case PeerOpHints:
+			return PeerResponse{Op: PeerOpHints, Applied: len(req.Hints)}
+		default:
+			return PeerResponse{Op: req.Op, Err: "unsupported"}
+		}
+	})
+	lb := NewPeerLoopback(srv)
+	resp, err := lb.Peer(PeerRequest{Op: PeerOpLog, From: "co-a", Log: sampleLogRecords()})
+	if err != nil {
+		t.Fatalf("log exchange: %v", err)
+	}
+	if !EqualLogs(resp.Log, sampleLogRecords()) {
+		t.Fatalf("log did not round-trip through the loopback")
+	}
+	resp, err = lb.Peer(PeerRequest{Op: PeerOpHints, From: "co-a", Member: "n1",
+		Hints: []Record{{ID: "v", Update: core.Update{Report: core.Report{Seq: 1, T: 1}}}}})
+	if err != nil || resp.Applied != 1 {
+		t.Fatalf("hint push: applied=%d err=%v", resp.Applied, err)
+	}
+	resp, err = lb.Peer(PeerRequest{Op: PeerOpStats, From: "co-a"})
+	if err != nil || resp.Err == "" {
+		t.Fatalf("error response must survive the codec: %+v, %v", resp, err)
+	}
+}
+
+func FuzzLogFrameDecode(f *testing.F) {
+	for _, req := range samplePeerRequests() {
+		if frame, err := EncodePeerRequest(req); err == nil {
+			f.Add(frame)
+		}
+	}
+	for _, resp := range samplePeerResponses() {
+		if frame, err := EncodePeerResponse(resp); err == nil {
+			f.Add(frame)
+		}
+	}
+	f.Add(EncodeLogRecords(sampleLogRecords()))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must never panic or over-allocate; errors are fine.
+		req, _, err := DecodePeerRequest(data)
+		if err == nil {
+			frame, err := EncodePeerRequest(req)
+			if err != nil {
+				t.Fatalf("decoded peer request does not re-encode: %v", err)
+			}
+			if _, _, err := DecodePeerRequest(frame); err != nil {
+				t.Fatalf("re-encoded peer request does not decode: %v", err)
+			}
+		}
+		_, _, _ = DecodePeerResponse(data)
+		if recs, err := DecodeLogRecords(data); err == nil {
+			blob := EncodeLogRecords(recs)
+			if _, err := DecodeLogRecords(blob); err != nil {
+				t.Fatalf("re-encoded log blob does not decode: %v", err)
+			}
+		}
+	})
+}
