@@ -1080,6 +1080,21 @@ func runFanin(cfg fleetConfig, csv bool) error {
 		return err
 	}
 	wall := time.Since(startT)
+	// The stolen run re-copies and commits in a background goroutine
+	// (Tick never blocks on a copy), so give the drive a bounded window
+	// to land — ticking the sim clock forward so lease renewals and the
+	// commit gossip keep flowing — before asserting converged state.
+	if cb.FanInStats().Resumes > 0 {
+		deadline := time.Now().Add(30 * time.Second)
+		for t := tEnd; time.Now().Before(deadline); t++ {
+			ms := cb.MigrationStats()
+			if !ms.Active && ms.Migrations >= 1 && cb.FanInStats().OpenRuns == 0 {
+				break
+			}
+			cb.Tick(t)
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
 	cb.ProbeDown()
 	cb.WaitRepairs()
 

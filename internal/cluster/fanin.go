@@ -17,25 +17,37 @@
 // entries and swaps the same ring pointers, and routes identically
 // throughout a migration (dual writes and double reads included).
 //
-// The lease fences the self-heal loops: only the holder may append
-// migration records (each carries the tenure epoch it was appended
-// under; records fenced under a superseded tenure are rejected
-// everywhere), so exactly one coordinator drives demotions and
-// reweights at a time. A lease acquire while another unexpired tenure
-// stands is a recorded no-op — the loser observes the winner's records
-// and applies them instead of acting. On expiry the lease is stolen,
-// and a stolen lease with an open (begun, uncommitted) run in the log
-// triggers resume-from-log: the thief rebuilds the run from its Begin
-// record — the dual routes are already published on every coordinator
-// — re-copies its ranges (idempotent per (id, Seq)) and commits, so a
-// coordinator killed mid-copy strands nothing.
+// The lease fences the self-heal loops, and lease decisions are
+// quorum-gated: acquiring or stealing requires two gossip rounds each
+// acknowledged by a strict majority of the tier (the acquirer counts
+// itself), so a coordinator partitioned from the majority can neither
+// steal on its stale fold nor keep acting as holder — its renewals
+// stop being acknowledged and it steps down once the last acked expiry
+// passes. Only the holder may append migration records (each carries
+// the tenure epoch it was appended under; records fenced under a
+// superseded tenure are rejected everywhere), and a driver re-checks
+// the lease *before* committing or aborting, so a deposed leader halts
+// under dual routing instead of swapping its ring divergently. Should
+// a locally-applied record still turn out fenced once the logs
+// converge (possible only with >2 coordinators under partitions), the
+// sweep detects it and repairs the local state (see repairLocked).
 //
-// With two coordinators the sweep applies every record exactly once in
-// order. With more, a record can in principle arrive below another
-// coordinator's applied high-water after relaying through a third; it
-// is then merged for convergence but applied as a fenced no-op — the
-// two-coordinator gate this ships with never takes that path.
-
+// On expiry the lease is stolen, and a stolen lease with an open
+// (begun, uncommitted) run in the log triggers resume-from-log: the
+// thief rebuilds the run from its Begin record — the dual routes are
+// already published on every coordinator — re-copies its ranges
+// (idempotent per (id, Seq)) and commits in a background goroutine, so
+// a coordinator killed mid-copy strands nothing and the thief's Tick
+// never blocks behind the copy.
+//
+// The log is compacted: once every peer has confirmed holding a prefix
+// (per-peer cover watermarks computed from gossip responses), closed
+// runs' records, superseded parkings and superseded lease renewals in
+// that prefix are dropped and the compaction floor advances. The floor
+// rides every gossip frame so peers count the compacted prefix as
+// covered instead of stalling on records they will never see again;
+// the kept skeleton (tenure starts, the newest acknowledged renewal,
+// open runs) preserves the lease fold and every fence verdict exactly.
 package cluster
 
 import (
@@ -51,6 +63,12 @@ import (
 // coordinator that does not hold the self-heal lease; the holder (a
 // peer) drives changes right now. Retry later or on the holder.
 var ErrNotLeaseHolder = errors.New("cluster: membership lease held by another coordinator")
+
+// compactAfter is the log length that triggers compaction (when the
+// peer covers allow the floor to advance). Small enough to bound
+// steady-state gossip frames, large enough that unit-scale histories
+// never compact and stay byte-inspectable.
+const compactAfter = 64
 
 // Log-record MigKind values (the wire encoding of the run kinds).
 const (
@@ -141,20 +159,47 @@ type fanIn struct {
 	leaseHolder string
 	leaseEpoch  uint64
 	leaseUntil  float64
+	// acked is the newest own-lease expiry a quorum round trip has
+	// confirmed: past it, a holder whose renewals go unacknowledged
+	// steps down rather than act on a fold the majority may have moved
+	// beyond. Meaningless with zero peers (a solo front is its own
+	// quorum).
+	acked float64
+
+	// Compaction state: our floor (records at or below it were
+	// confirmed tier-wide and may be dropped), per-peer cover
+	// watermarks (the highest epoch through which the peer's last
+	// response matched our log record for record), and the floors peers
+	// shipped us.
+	floor     uint64
+	peerCover map[string]uint64
+	peerFloor map[string]uint64
+
+	// fencedOwn marks own-origin records the converged fold fenced
+	// after they were applied locally at append time — each is repaired
+	// once (see repairLocked).
+	fencedOwn map[logKey]bool
+
+	// gossipErr is the most recent gossip round's first failure ("" when
+	// the round reached every peer) — the operator-visible signal that
+	// replication is impaired, not just a counter.
+	gossipErr string
 
 	lastGossip float64
 	haveGossip bool
 
-	appends    atomic.Int64
-	applies    atomic.Int64
-	rejects    atomic.Int64
-	gossips    atomic.Int64
-	gossipErrs atomic.Int64
-	acquired   atomic.Int64
-	denied     atomic.Int64
-	steals     atomic.Int64
-	resumes    atomic.Int64
-	hintsFwd   atomic.Int64
+	appends     atomic.Int64
+	applies     atomic.Int64
+	rejects     atomic.Int64
+	gossips     atomic.Int64
+	gossipErrs  atomic.Int64
+	acquired    atomic.Int64
+	denied      atomic.Int64
+	steals      atomic.Int64
+	resumes     atomic.Int64
+	repairs     atomic.Int64
+	compactions atomic.Int64
+	hintsFwd    atomic.Int64
 }
 
 func (f *fanIn) leaseFor() float64 {
@@ -171,6 +216,10 @@ func (f *fanIn) gossipEvery() float64 {
 	return 2
 }
 
+// quorum reports whether acks successful peer round trips, plus this
+// coordinator itself, form a strict majority of the npeers+1 tier.
+func quorum(acks, npeers int) bool { return 2*(acks+1) > npeers+1 }
+
 // EnableFanIn turns on multi-coordinator membership replication: this
 // coordinator is named id on the shared log, accepts peer frames via
 // ServePeer, and fences its membership changes (including the
@@ -186,12 +235,15 @@ func (c *Coordinator) EnableFanIn(id string, cfg FanInConfig) {
 		}
 	}
 	c.fanin.Store(&fanIn{
-		c:       c,
-		id:      id,
-		cfg:     cfg,
-		applied: make(map[logKey]bool),
-		peers:   make(map[string]wire.PeerTransport),
-		runs:    make(map[uint64]*followerRun),
+		c:         c,
+		id:        id,
+		cfg:       cfg,
+		applied:   make(map[logKey]bool),
+		peers:     make(map[string]wire.PeerTransport),
+		runs:      make(map[uint64]*followerRun),
+		peerCover: make(map[string]uint64),
+		peerFloor: make(map[string]uint64),
+		fencedOwn: make(map[logKey]bool),
 	})
 }
 
@@ -227,11 +279,12 @@ func (c *Coordinator) ServePeer(req wire.PeerRequest) wire.PeerResponse {
 	}
 	switch req.Op {
 	case wire.PeerOpLog:
-		f.mergeAndApply(req.Log)
+		f.mergeAndApply(req.From, req.Floor, req.Log)
 		f.mu.Lock()
 		snap := append([]wire.LogRecord(nil), f.log...)
+		floor := f.floor
 		f.mu.Unlock()
-		return wire.PeerResponse{Op: req.Op, Log: snap}
+		return wire.PeerResponse{Op: req.Op, Floor: floor, Log: snap}
 	case wire.PeerOpHints:
 		applied, err := c.acceptPeerHints(req.Member, req.Hints)
 		if err != nil {
@@ -293,19 +346,41 @@ func (f *fanIn) appendLocked(rec wire.LogRecord) wire.LogRecord {
 	f.applied[logKey{rec.Epoch, rec.Origin}] = true
 	f.appends.Add(1)
 	f.sweepLocked()
+	f.maybeCompactLocked()
 	return rec
 }
 
 // mergeAndApply merges peer records into the log and sweeps: every
 // record this coordinator has not seen is applied in total order, so
 // ring swaps and dual publications land here exactly as they did on
-// the coordinator driving them.
-func (f *fanIn) mergeAndApply(recs []wire.LogRecord) {
-	if len(recs) == 0 {
-		return
-	}
+// the coordinator driving them. from names the peer the records came
+// from ("" for test-orchestrated merges) so its cover watermark — how
+// far its log provably matches ours — advances, and peerFloor is the
+// compaction floor it shipped.
+func (f *fanIn) mergeAndApply(from string, peerFloor uint64, recs []wire.LogRecord) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if f.floor > 0 && len(recs) > 0 && recs[0].Epoch <= f.floor {
+		// Records at or below our floor that we no longer hold were
+		// compacted after the whole tier confirmed them — re-merging
+		// them would only flap the compaction. Ones we do hold pass
+		// through (MergeLogs deduplicates them anyway).
+		kept := make([]wire.LogRecord, 0, len(recs))
+		i := 0
+		for _, r := range recs {
+			if r.Epoch > f.floor {
+				kept = append(kept, r)
+				continue
+			}
+			for i < len(f.log) && f.log[i].Before(r) {
+				i++
+			}
+			if i < len(f.log) && f.log[i].Same(r) {
+				kept = append(kept, r)
+			}
+		}
+		recs = kept
+	}
 	merged, added := wire.MergeLogs(f.log, recs)
 	f.log = merged
 	for i := range recs {
@@ -316,13 +391,242 @@ func (f *fanIn) mergeAndApply(recs []wire.LogRecord) {
 	if added > 0 || f.leaseHolder == "" {
 		f.sweepLocked()
 	}
+	if from != "" {
+		if peerFloor > f.peerFloor[from] {
+			f.peerFloor[from] = peerFloor
+		}
+		if pc := f.coverFromLocked(recs, peerFloor); pc > f.peerCover[from] {
+			f.peerCover[from] = pc
+		}
+		f.maybeCompactLocked()
+	}
+}
+
+// coverFromLocked computes how far a peer's just-received log confirms
+// ours: the largest epoch E such that every record we hold in
+// (base, E] also appears in peerLog, where base is the higher of the
+// two compaction floors (everything at or below a floor was confirmed
+// tier-wide before that floor advanced). A whole epoch group must
+// match before the cover passes it. Callers hold f.mu, after merging
+// peerLog in — so any record the peer has and we lacked is already
+// ours, and a cover of E means our logs agree through E exactly.
+func (f *fanIn) coverFromLocked(peerLog []wire.LogRecord, peerFloor uint64) uint64 {
+	base := f.floor
+	if peerFloor > base {
+		base = peerFloor
+	}
+	cover := base
+	j := 0
+	for i := 0; i < len(f.log); i++ {
+		rec := &f.log[i]
+		if rec.Epoch <= base {
+			continue
+		}
+		for j < len(peerLog) && peerLog[j].Before(*rec) {
+			j++
+		}
+		if j >= len(peerLog) || !peerLog[j].Same(*rec) {
+			break
+		}
+		j++
+		if i+1 == len(f.log) || f.log[i+1].Epoch != rec.Epoch {
+			cover = rec.Epoch
+		}
+	}
+	return cover
+}
+
+// maybeCompactLocked compacts when the log is long enough to matter
+// and the tier-wide cover has moved past our floor — or when a peer's
+// floor has (it compacted a prefix we still carry; matching its floor
+// is what re-converges the logs). Callers hold f.mu.
+func (f *fanIn) maybeCompactLocked() {
+	maxPeerFloor := uint64(0)
+	for _, name := range f.order {
+		if pf := f.peerFloor[name]; pf > maxPeerFloor {
+			maxPeerFloor = pf
+		}
+	}
+	if len(f.log) < compactAfter && maxPeerFloor <= f.floor {
+		return
+	}
+	cover := f.maxEpoch
+	for _, name := range f.order {
+		if pc := f.peerCover[name]; pc < cover {
+			cover = pc
+		}
+	}
+	if cover > f.floor {
+		f.compactLocked(cover)
+	}
+}
+
+// compactLocked drops every record at or below cover that no longer
+// carries state, and advances the floor. What survives of the prefix
+// is exactly the skeleton that keeps the fold and the fences
+// byte-for-byte equivalent to the full log:
+//
+//   - open runs' records, and closed runs' only if the closing record
+//     is above cover (a run collapses as one unit);
+//   - the newest Park per identity;
+//   - the live tenure's acquire (the fencing token future appends
+//     carry) and its newest confirmed renewal (the fold's expiry), so
+//     the lease state at the first kept record is exactly what the
+//     full log produced there;
+//   - acquires (and their releases) of any tenure a kept migration
+//     record references, so re-evaluating those records' fences keeps
+//     yielding the same verdict.
+//
+// The decision is a pure function of (log, cover), so coordinators
+// compacting at the same cover produce identical logs — and since
+// covers converge to the max epoch at quiesce, so do compacted logs.
+// Callers hold f.mu.
+func (f *fanIn) compactLocked(cover uint64) {
+	// Pass 1: fold the whole log once, recording closing epochs per
+	// run, the newest park per identity, each tenure's record indices,
+	// and the fold state at the first lease record above cover.
+	type tenureIdx struct {
+		start     int
+		release   int
+		lastTaken int
+	}
+	closeAt := make(map[uint64]uint64)
+	parkNewest := make(map[string]logKey)
+	tenures := make(map[uint64]*tenureIdx)
+	holder, tenureEpoch, until := "", uint64(0), 0.0
+	var cur *tenureIdx
+	snapStart, snapTaken := -1, -1 // fold state entering the >cover region
+	snapped := false
+	for i := range f.log {
+		rec := &f.log[i]
+		if !snapped && rec.Epoch > cover &&
+			(rec.Kind == wire.LogLease || rec.Kind == wire.LogRelease) {
+			if holder != "" && cur != nil {
+				snapStart, snapTaken = cur.start, cur.lastTaken
+			}
+			snapped = true
+		}
+		switch rec.Kind {
+		case wire.LogLease:
+			if holder == "" || rec.Holder == holder || rec.T >= until {
+				if rec.Holder != holder {
+					tenureEpoch = rec.Epoch
+					cur = &tenureIdx{start: i, release: -1, lastTaken: i}
+					tenures[rec.Epoch] = cur
+				} else if cur != nil {
+					cur.lastTaken = i
+				}
+				holder, until = rec.Holder, rec.Until
+			}
+		case wire.LogRelease:
+			if rec.Holder == holder {
+				if cur != nil {
+					cur.release = i
+				}
+				holder, tenureEpoch, until = "", 0, 0
+				cur = nil
+			}
+		case wire.LogCommit, wire.LogAbort:
+			if rec.Epoch > closeAt[rec.Run] {
+				closeAt[rec.Run] = rec.Epoch
+			}
+		case wire.LogPark:
+			parkNewest[rec.Target] = logKey{rec.Epoch, rec.Origin}
+		}
+	}
+	if !snapped && holder != "" && cur != nil {
+		// No lease records above cover: the final fold state is the one
+		// to preserve.
+		snapStart, snapTaken = cur.start, cur.lastTaken
+	}
+	// Pass 2: decide migration-record survival and collect the tenures
+	// their fences reference.
+	keep := make([]bool, len(f.log))
+	refTenures := map[uint64]bool{}
+	if holder != "" {
+		refTenures[tenureEpoch] = true
+	}
+	for i := range f.log {
+		rec := &f.log[i]
+		switch rec.Kind {
+		case wire.LogBegin, wire.LogCommit, wire.LogAbort:
+			ce, closed := closeAt[rec.Run]
+			if rec.Epoch > cover || !closed || ce > cover {
+				keep[i] = true
+				refTenures[rec.Lease] = true
+			}
+		case wire.LogPark:
+			if rec.Epoch > cover || parkNewest[rec.Target] == (logKey{rec.Epoch, rec.Origin}) {
+				keep[i] = true
+				refTenures[rec.Lease] = true
+			}
+		}
+	}
+	// Pass 3: the lease skeleton.
+	for i := range f.log {
+		rec := &f.log[i]
+		if rec.Kind != wire.LogLease && rec.Kind != wire.LogRelease {
+			continue
+		}
+		if rec.Epoch > cover {
+			keep[i] = true
+		}
+	}
+	if snapStart >= 0 {
+		keep[snapStart] = true
+	}
+	if snapTaken >= 0 {
+		keep[snapTaken] = true
+	}
+	for te := range refTenures {
+		t := tenures[te]
+		if t == nil {
+			continue
+		}
+		keep[t.start] = true
+		if t.release >= 0 {
+			keep[t.release] = true
+		}
+	}
+	kept := make([]wire.LogRecord, 0, len(f.log))
+	present := make(map[logKey]bool)
+	for i := range f.log {
+		if !keep[i] {
+			continue
+		}
+		kept = append(kept, f.log[i])
+		if f.log[i].Epoch <= cover {
+			present[logKey{f.log[i].Epoch, f.log[i].Origin}] = true
+		}
+	}
+	if len(kept) < len(f.log) {
+		f.compactions.Add(1)
+	}
+	f.log = kept
+	f.floor = cover
+	// Dropped records can never be merged back (the floor filter), so
+	// their apply/repair bookkeeping is garbage now.
+	for k := range f.applied {
+		if k.epoch <= cover && !present[k] {
+			delete(f.applied, k)
+		}
+	}
+	for k := range f.fencedOwn {
+		if k.epoch <= cover && !present[k] {
+			delete(f.fencedOwn, k)
+		}
+	}
+	f.sweepLocked()
 }
 
 // sweepLocked walks the whole log in total order, folding lease
 // records into the current lease state and dispatching every unapplied
 // migration record against the fold at its position. Pure with respect
-// to already-applied records, so sweeping is idempotent and cheap (the
-// log is compacted small). Callers hold f.mu.
+// to already-applied records — except that an own-origin record the
+// converged fold now fences is repaired exactly once (it was applied
+// optimistically at append time; a later-merged steal that sorts
+// before it can retroactively fence it). Sweeping is idempotent and
+// cheap (the log is compacted small). Callers hold f.mu.
 func (f *fanIn) sweepLocked() {
 	holder, tenure, until := "", uint64(0), 0.0
 	for i := range f.log {
@@ -342,14 +646,20 @@ func (f *fanIn) sweepLocked() {
 			}
 		default:
 			key := logKey{rec.Epoch, rec.Origin}
-			if f.applied[key] {
-				continue
-			}
-			f.applied[key] = true
 			// Fencing: migration records must come from the tenure they
 			// were appended under; a deposed leader's stragglers are
 			// rejected on every coordinator alike.
-			if rec.Origin != holder || rec.Lease != tenure {
+			fenced := rec.Origin != holder || rec.Lease != tenure
+			if f.applied[key] {
+				if fenced && rec.Origin == f.id && !f.fencedOwn[key] {
+					f.fencedOwn[key] = true
+					f.repairLocked(*rec)
+					f.repairs.Add(1)
+				}
+				continue
+			}
+			f.applied[key] = true
+			if fenced {
 				f.rejects.Add(1)
 				continue
 			}
@@ -361,6 +671,61 @@ func (f *fanIn) sweepLocked() {
 		}
 	}
 	f.leaseHolder, f.leaseEpoch, f.leaseUntil = holder, tenure, until
+}
+
+// repairLocked reconciles the local effect of an own-origin record the
+// converged fold has retroactively fenced: the record was applied at
+// append time under a fold that named this coordinator holder, but a
+// later-merged steal sorts before it. With the quorum gate this cannot
+// happen in a two-coordinator tier (an append's preceding quorum round
+// would have merged the steal first); in larger tiers a partitioned
+// minority can still take this path. Callers hold f.mu.
+func (f *fanIn) repairLocked(rec wire.LogRecord) {
+	c := f.c
+	switch rec.Kind {
+	case wire.LogPark:
+		// The demotion's leave run was fenced too (commit is gated on
+		// the lease), so the member never left anywhere else: unpark.
+		if heal := c.heal.Load(); heal != nil {
+			heal.unpark(rec.Target)
+		}
+	case wire.LogBegin:
+		fr := f.runs[rec.Run]
+		if fr == nil {
+			return
+		}
+		// Roll the fenced run's routing back: dual routes stop, a
+		// joining member leaves the scatter set. Partial copies on the
+		// adds are left for the freshest-Seq merge to deduplicate (a
+		// network sweep does not belong under f.mu); the true holder's
+		// own runs will re-plan the ranges from its fold.
+		c.mu.Lock()
+		c.duals = c.duals[:0]
+		if fr.kind == migJoin {
+			delete(c.members, fr.target)
+			c.reorder()
+		}
+		c.mu.Unlock()
+		delete(f.runs, rec.Run)
+		if run := c.migView.Load(); run != nil && run.logged && run.logRun == rec.Run {
+			// We were driving (or halted on) it: drop the engine state so
+			// the halt does not block future membership changes. TryLock
+			// cannot deadlock; if the engine is mid-drive it will halt on
+			// its own at the fenced commit.
+			if c.migMu.TryLock() {
+				if c.mig == run {
+					c.mig = nil
+					c.migView.Store(nil)
+					c.setMigOutcome(fmt.Sprintf("fenced %s: begun under a superseded lease", runLabel(run)))
+				}
+				c.migMu.Unlock()
+			}
+		}
+	case wire.LogCommit, wire.LogAbort:
+		// A close is fenced *before* any local mutation (commitRun and
+		// abortRun re-check the lease first), so there is nothing to
+		// undo here.
+	}
 }
 
 // dispatchLocked applies one fenced migration record to live routing
@@ -461,7 +826,9 @@ func (f *fanIn) applyBegin(rec wire.LogRecord) error {
 // applyCommit closes a run learned from the log: swap to the
 // precomputed next ring and drop the dual routes under one brief write
 // lock, exactly the O(1) pointer work the driver's commit does. The
-// superseded copies are dropped by the driver.
+// superseded copies are dropped by the driver. If this coordinator was
+// halted on the same run (its drive was fenced by the thief now
+// committing it), the resident engine state is cleared too.
 func (f *fanIn) applyCommit(rec wire.LogRecord) error {
 	fr := f.runs[rec.Run]
 	if fr == nil {
@@ -477,6 +844,7 @@ func (f *fanIn) applyCommit(rec wire.LogRecord) error {
 	}
 	c.mu.Unlock()
 	delete(f.runs, rec.Run)
+	f.clearHaltedRun(rec.Run, "committed by "+rec.Origin)
 	return nil
 }
 
@@ -497,7 +865,30 @@ func (f *fanIn) applyAbort(rec wire.LogRecord) error {
 	}
 	c.mu.Unlock()
 	delete(f.runs, rec.Run)
+	f.clearHaltedRun(rec.Run, "aborted by "+rec.Origin)
 	return nil
+}
+
+// clearHaltedRun drops the resident engine state of a halted logged
+// run a peer's close record has just superseded, so the deposed driver
+// does not stay wedged on ErrMigrationHalted forever. TryLock cannot
+// deadlock under f.mu (migMu is never acquired while holding it
+// elsewhere); if the engine still runs, its own fenced close halts it.
+func (f *fanIn) clearHaltedRun(logRun uint64, how string) {
+	c := f.c
+	run := c.migView.Load()
+	if run == nil || !run.logged || run.logRun != logRun {
+		return
+	}
+	if !c.migMu.TryLock() {
+		return
+	}
+	if c.mig == run {
+		c.mig = nil
+		c.migView.Store(nil)
+		c.setMigOutcome(fmt.Sprintf("superseded %s: %s", runLabel(run), how))
+	}
+	c.migMu.Unlock()
 }
 
 // parkIdentity records a demoted identity from a Park log record.
@@ -511,29 +902,50 @@ func (c *Coordinator) parkIdentity(name string) {
 	heal.mu.Unlock()
 }
 
-// gossip exchanges logs with every peer: push ours, merge theirs. Peer
-// transports are called with f.mu released; unreachable peers are
-// counted and skipped (they converge on their next exchange).
-func (f *fanIn) gossip() {
+// gossip exchanges logs with every peer — push ours, merge theirs —
+// and reports how many peers completed the round trip out of how many
+// are registered: the quorum inputs for every lease decision. The
+// round's first failure (transport, refusal, or an oversized encode) is
+// kept in gossipErr for the stats surface; unreachable peers converge
+// on their next exchange. Peer transports are called with f.mu
+// released.
+func (f *fanIn) gossip() (acks, npeers int) {
 	f.mu.Lock()
 	snap := append([]wire.LogRecord(nil), f.log...)
-	peers := make([]wire.PeerTransport, 0, len(f.order))
+	floor := f.floor
+	type peer struct {
+		name string
+		pt   wire.PeerTransport
+	}
+	peers := make([]peer, 0, len(f.order))
 	for _, name := range f.order {
-		peers = append(peers, f.peers[name])
+		peers = append(peers, peer{name, f.peers[name]})
 	}
 	f.mu.Unlock()
 	if len(peers) == 0 {
-		return
+		return 0, 0
 	}
 	f.gossips.Add(1)
-	for _, pt := range peers {
-		resp, err := pt.Peer(wire.PeerRequest{Op: wire.PeerOpLog, From: f.id, Log: snap})
-		if err != nil || resp.Err != "" {
+	errMsg := ""
+	for _, p := range peers {
+		resp, err := p.pt.Peer(wire.PeerRequest{Op: wire.PeerOpLog, From: f.id, Floor: floor, Log: snap})
+		if err == nil && resp.Err != "" {
+			err = errors.New(resp.Err)
+		}
+		if err != nil {
 			f.gossipErrs.Add(1)
+			if errMsg == "" {
+				errMsg = p.name + ": " + err.Error()
+			}
 			continue
 		}
-		f.mergeAndApply(resp.Log)
+		f.mergeAndApply(p.name, resp.Floor, resp.Log)
+		acks++
 	}
+	f.mu.Lock()
+	f.gossipErr = errMsg
+	f.mu.Unlock()
+	return acks, len(peers)
 }
 
 // gossipIfDue runs a periodic exchange on the Tick clock.
@@ -556,34 +968,74 @@ func (f *fanIn) leaseState() (string, uint64, float64) {
 	return f.leaseHolder, f.leaseEpoch, f.leaseUntil
 }
 
+// ackedAt reports whether a quorum has confirmed this coordinator's
+// tenure through now. A solo front is its own quorum.
+func (f *fanIn) ackedAt(now float64) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.peers) == 0 || now < f.acked
+}
+
 // holdLease reports whether this coordinator holds the self-heal lease
-// at now, renewing a tenure nearing expiry and acquiring (or stealing
-// an expired) lease when possible. The membership surface calls it
-// before every fenced change.
+// at now, renewing a tenure nearing expiry (and re-pushing an
+// unacknowledged one) or acquiring/stealing when the fold allows. The
+// membership surface calls it before every fenced change. A holder
+// whose renewals stop reaching a quorum answers false once the last
+// acknowledged expiry passes: by then a partitioned majority may have
+// agreed on a thief, and acting on the local fold alone is exactly the
+// split-brain the quorum gate exists to stop.
 func (f *fanIn) holdLease(now float64) bool {
 	holder, _, until := f.leaseState()
-	if holder == f.id && now < until {
-		if until-now < f.leaseFor()/2 {
-			f.mu.Lock()
-			f.appendLocked(wire.LogRecord{Kind: wire.LogLease, Holder: f.id, T: now, Until: now + f.leaseFor()})
-			f.mu.Unlock()
-			f.gossip()
-		}
-		return true
-	}
 	if holder != "" && holder != f.id && now < until {
 		f.denied.Add(1)
 		return false
 	}
-	return f.acquireLease(now)
+	if holder != f.id || now >= until {
+		return f.acquireLease(now)
+	}
+	renewed := false
+	if until-now < f.leaseFor()/2 {
+		f.mu.Lock()
+		if f.leaseHolder == f.id {
+			f.appendLocked(wire.LogRecord{Kind: wire.LogLease, Holder: f.id, T: now, Until: now + f.leaseFor()})
+			renewed = true
+		}
+		f.mu.Unlock()
+	}
+	if renewed || !f.ackedAt(now) {
+		acks, npeers := f.gossip()
+		if quorum(acks, npeers) {
+			f.mu.Lock()
+			// Re-read under the lock: the round may have merged a steal,
+			// in which case nothing of ours was acknowledged.
+			if f.leaseHolder == f.id && f.leaseUntil > f.acked {
+				f.acked = f.leaseUntil
+			}
+			f.mu.Unlock()
+		}
+	}
+	holder, _, until = f.leaseState()
+	if holder != f.id || now >= until || !f.ackedAt(now) {
+		f.denied.Add(1)
+		return false
+	}
+	return true
 }
 
-// acquireLease syncs with the peers, then appends an acquire record
-// and syncs again: concurrent acquires land on the same epoch and the
-// deterministic fold picks the same winner everywhere. Returns whether
-// this coordinator won.
+// acquireLease claims a free (or steals an expired) lease with two
+// quorum-gated gossip rounds: the first converges the local fold with
+// a majority — deciding a steal on a stale fold alone is how
+// split-brain starts — and the second replicates the acquire record
+// and confirms the merged fold still picks this coordinator
+// (concurrent acquires land on the same epoch and tie-break
+// deterministically). Either round failing its quorum denies the
+// acquisition.
 func (f *fanIn) acquireLease(now float64) bool {
-	f.gossip()
+	acks, npeers := f.gossip()
+	if !quorum(acks, npeers) {
+		f.denied.Add(1)
+		return false
+	}
 	f.mu.Lock()
 	holder, until := f.leaseHolder, f.leaseUntil
 	if holder != "" && holder != f.id && now < until {
@@ -594,9 +1046,18 @@ func (f *fanIn) acquireLease(now float64) bool {
 	stealing := holder != "" && holder != f.id
 	f.appendLocked(wire.LogRecord{Kind: wire.LogLease, Holder: f.id, T: now, Until: now + f.leaseFor()})
 	f.mu.Unlock()
-	f.gossip()
-	holder, _, _ = f.leaseState()
-	if holder != f.id {
+	acks, npeers = f.gossip()
+	if !quorum(acks, npeers) {
+		f.denied.Add(1)
+		return false
+	}
+	f.mu.Lock()
+	won := f.leaseHolder == f.id
+	if won && f.leaseUntil > f.acked {
+		f.acked = f.leaseUntil
+	}
+	f.mu.Unlock()
+	if !won {
 		f.denied.Add(1)
 		return false
 	}
@@ -638,6 +1099,18 @@ func (f *fanIn) openRun() *followerRun {
 // forwarding undeliverable hints to peers.
 func (c *Coordinator) fanInTick(f *fanIn, now float64) {
 	f.gossipIfDue(now)
+	if run := c.migView.Load(); run != nil && run.logged {
+		// A halted logged run a peer has since closed (it stole the lease
+		// and committed or aborted) is dead weight: applyCommit/applyAbort
+		// clear it, but their TryLock loses to a drive still unwinding —
+		// re-check here, where migMu is takeable.
+		f.mu.Lock()
+		_, open := f.runs[run.logRun]
+		f.mu.Unlock()
+		if !open {
+			f.clearHaltedRun(run.logRun, "closed by a peer")
+		}
+	}
 	if fr := f.openRun(); fr != nil {
 		if c.migView.Load() != nil {
 			// We are driving (or halted on) this run: keep the tenure
@@ -656,10 +1129,12 @@ func (c *Coordinator) fanInTick(f *fanIn, now float64) {
 }
 
 // resumeFromLog rebuilds the open run from its log state and drives it
-// to commit in the calling goroutine: the duals are already published
-// (Begin did that on every coordinator), so every range re-copies —
-// idempotent per (id, Seq) — and the final commit swaps the ring and
-// appends the Commit record under the thief's tenure.
+// to commit in a background goroutine, exactly like beginMigration's
+// engine: the duals are already published (Begin did that on every
+// coordinator), so every range re-copies — idempotent per (id, Seq) —
+// and the final commit swaps the ring and appends the Commit record
+// under the thief's tenure. Tick returns immediately; a large re-copy
+// never stalls heartbeats, gossip or lease renewal.
 func (c *Coordinator) resumeFromLog(f *fanIn, fr *followerRun) error {
 	if !c.migMu.TryLock() {
 		return ErrMigrationBusy
@@ -685,14 +1160,12 @@ func (c *Coordinator) resumeFromLog(f *fanIn, fr *followerRun) error {
 	c.migView.Store(run)
 	f.resumes.Add(1)
 	c.migResumed.Add(1)
-	err := c.drive(run)
-	if err != nil {
-		// Halted again: leave the run resident for the next resume (or
-		// a peer's steal), exactly like a locally begun run.
+	go func() {
+		// A halt leaves the run resident for the next resume (or a
+		// peer's steal), exactly like a locally begun run.
+		_ = c.drive(run)
 		c.migMu.Unlock()
-		return err
-	}
-	c.migMu.Unlock()
+	}()
 	return nil
 }
 
@@ -783,16 +1256,24 @@ func (f *fanIn) noteLeaderBegin(rec wire.LogRecord, run *migrationRun) {
 }
 
 // closeRun appends the closing record for a driven run (Commit or
-// Abort) and forgets its open-run state. Close failures (the lease was
-// stolen mid-drive) are surfaced to the counters; the thief's own
-// close supersedes ours.
-func (f *fanIn) closeRun(run *migrationRun, kind wire.LogKind) {
+// Abort). It re-verifies the lease through a quorum round first — the
+// decision-point fence: a driver deposed mid-copy learns of the thief
+// here and halts instead of mutating its routing state divergently.
+// Only after the record is appended (and pushed) does the caller swap
+// or roll back, so a close that fails leaves the run open everywhere.
+func (f *fanIn) closeRun(run *migrationRun, kind wire.LogKind) error {
+	if !f.holdLease(f.c.now()) {
+		f.rejects.Add(1)
+		return ErrNotLeaseHolder
+	}
+	if _, err := f.appendMigrationRecord(wire.LogRecord{Kind: kind, Run: run.logRun}); err != nil {
+		f.rejects.Add(1)
+		return err
+	}
 	f.mu.Lock()
 	delete(f.runs, run.logRun)
 	f.mu.Unlock()
-	if _, err := f.appendMigrationRecord(wire.LogRecord{Kind: kind, Run: run.logRun}); err != nil {
-		f.rejects.Add(1)
-	}
+	return nil
 }
 
 // FanInStats is a snapshot of a coordinator's fan-in state.
@@ -802,9 +1283,11 @@ type FanInStats struct {
 	Enabled bool
 	ID      string
 	Peers   []string
-	// LogLen and MaxEpoch describe the membership log.
+	// LogLen, MaxEpoch and Floor describe the membership log (Floor is
+	// the compacted-through epoch).
 	LogLen   int
 	MaxEpoch uint64
+	Floor    uint64
 	// LeaseHolder/LeaseUntil are the current lease fold ("" when free);
 	// Holding reports whether this coordinator is the holder.
 	LeaseHolder string
@@ -812,15 +1295,22 @@ type FanInStats struct {
 	Holding     bool
 	// OpenRuns counts migration runs begun on the log and not closed.
 	OpenRuns int
+	// LastGossipErr is the most recent gossip round's first failure
+	// ("" when the round reached every peer) — persistent non-"" means
+	// replication, and with it lease safety, is impaired.
+	LastGossipErr string
 	// Counters: records appended locally, peer records applied, fenced
 	// or failed records rejected, gossip exchanges and their transport
-	// failures, lease acquisitions/denials/steals, resumed runs, hint
-	// records forwarded to peers.
-	Appends, Applies, Rejects   int64
-	Gossips, GossipErrs         int64
-	Acquired, Denied, Steals    int64
-	Resumes                     int64
-	HintsForwarded              int64
+	// failures, lease acquisitions/denials/steals, resumed runs,
+	// repaired own-origin fenced records, log compactions, hint records
+	// forwarded to peers.
+	Appends, Applies, Rejects int64
+	Gossips, GossipErrs       int64
+	Acquired, Denied, Steals  int64
+	Resumes                   int64
+	Repairs                   int64
+	Compactions               int64
+	HintsForwarded            int64
 }
 
 // FanInStats snapshots the fan-in layer (zero value when disabled).
@@ -831,15 +1321,17 @@ func (c *Coordinator) FanInStats() FanInStats {
 	}
 	f.mu.Lock()
 	st := FanInStats{
-		Enabled:     true,
-		ID:          f.id,
-		Peers:       append([]string(nil), f.order...),
-		LogLen:      len(f.log),
-		MaxEpoch:    f.maxEpoch,
-		LeaseHolder: f.leaseHolder,
-		LeaseUntil:  f.leaseUntil,
-		Holding:     f.leaseHolder == f.id,
-		OpenRuns:    len(f.runs),
+		Enabled:       true,
+		ID:            f.id,
+		Peers:         append([]string(nil), f.order...),
+		LogLen:        len(f.log),
+		MaxEpoch:      f.maxEpoch,
+		Floor:         f.floor,
+		LeaseHolder:   f.leaseHolder,
+		LeaseUntil:    f.leaseUntil,
+		Holding:       f.leaseHolder == f.id,
+		OpenRuns:      len(f.runs),
+		LastGossipErr: f.gossipErr,
 	}
 	f.mu.Unlock()
 	st.Appends = f.appends.Load()
@@ -851,6 +1343,8 @@ func (c *Coordinator) FanInStats() FanInStats {
 	st.Denied = f.denied.Load()
 	st.Steals = f.steals.Load()
 	st.Resumes = f.resumes.Load()
+	st.Repairs = f.repairs.Load()
+	st.Compactions = f.compactions.Load()
 	st.HintsForwarded = f.hintsFwd.Load()
 	return st
 }

@@ -69,10 +69,12 @@ type fanInJSON struct {
 	Peers          []string `json:"peers,omitempty"`
 	LogLen         int      `json:"log_len"`
 	MaxEpoch       uint64   `json:"max_epoch"`
+	Floor          uint64   `json:"floor"`
 	LeaseHolder    string   `json:"lease_holder,omitempty"`
 	LeaseUntil     float64  `json:"lease_until,omitempty"`
 	Holding        bool     `json:"holding_lease"`
 	OpenRuns       int      `json:"open_runs"`
+	LastGossipErr  string   `json:"last_gossip_error,omitempty"`
 	Appends        int64    `json:"appends"`
 	Applies        int64    `json:"applies"`
 	Rejects        int64    `json:"rejects"`
@@ -82,6 +84,8 @@ type fanInJSON struct {
 	Denied         int64    `json:"lease_denied"`
 	Steals         int64    `json:"lease_steals"`
 	Resumes        int64    `json:"resumes"`
+	Repairs        int64    `json:"fence_repairs"`
+	Compactions    int64    `json:"log_compactions"`
 	HintsForwarded int64    `json:"hints_forwarded"`
 }
 
@@ -188,13 +192,14 @@ func localClusterView(c *Coordinator) clusterJSON {
 		out.Coordinator = fi.ID
 		out.FanIn = &fanInJSON{
 			Enabled: true, ID: fi.ID, Peers: fi.Peers,
-			LogLen: fi.LogLen, MaxEpoch: fi.MaxEpoch,
+			LogLen: fi.LogLen, MaxEpoch: fi.MaxEpoch, Floor: fi.Floor,
 			LeaseHolder: fi.LeaseHolder, LeaseUntil: fi.LeaseUntil, Holding: fi.Holding,
-			OpenRuns: fi.OpenRuns,
-			Appends:  fi.Appends, Applies: fi.Applies, Rejects: fi.Rejects,
+			OpenRuns: fi.OpenRuns, LastGossipErr: fi.LastGossipErr,
+			Appends: fi.Appends, Applies: fi.Applies, Rejects: fi.Rejects,
 			Gossips: fi.Gossips, GossipErrs: fi.GossipErrs,
 			Acquired: fi.Acquired, Denied: fi.Denied, Steals: fi.Steals,
-			Resumes: fi.Resumes, HintsForwarded: fi.HintsForwarded,
+			Resumes: fi.Resumes, Repairs: fi.Repairs, Compactions: fi.Compactions,
+			HintsForwarded: fi.HintsForwarded,
 		}
 	}
 	return out

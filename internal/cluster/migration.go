@@ -454,7 +454,13 @@ func (c *Coordinator) drive(run *migrationRun) error {
 			return err
 		}
 	}
-	c.commitRun(run)
+	if err := c.commitRun(run); err != nil {
+		// A fenced commit: the lease moved while we copied. The run halts
+		// here — dual routing keeps serving — and the thief's own close
+		// record resolves it everywhere, this coordinator included.
+		run.setErr(err)
+		return err
+	}
 	return nil
 }
 
@@ -576,7 +582,19 @@ func (c *Coordinator) importRange(to *memberState, target string, r *rangeState,
 // whole run, so until each drop lands the extra replica merely answers
 // scatter queries in duplicate (deduplicated by the freshest-Seq
 // merge).
-func (c *Coordinator) commitRun(run *migrationRun) {
+//
+// A logged run's Commit record is appended (and pushed) before any of
+// that: closeRun re-verifies the lease through a quorum round, so a
+// driver deposed mid-copy returns ErrNotLeaseHolder here with its
+// routing state untouched — never a divergent ring swap.
+func (c *Coordinator) commitRun(run *migrationRun) error {
+	if run.logged {
+		if f := c.fanin.Load(); f != nil {
+			if err := f.closeRun(run, wire.LogCommit); err != nil {
+				return err
+			}
+		}
+	}
 	type dropTarget struct {
 		m      *memberState
 		lo, hi uint64
@@ -613,11 +631,7 @@ func (c *Coordinator) commitRun(run *migrationRun) {
 	c.setMigOutcome(fmt.Sprintf("committed %s: %d ranges, %d records", runLabel(run), len(run.ranges), moved))
 	c.mig = nil
 	c.migView.Store(nil)
-	if run.logged {
-		if f := c.fanin.Load(); f != nil {
-			f.closeRun(run, wire.LogCommit)
-		}
-	}
+	return nil
 }
 
 // resumeRun re-drives the halted run (the one run names, or whichever
@@ -651,6 +665,16 @@ func (c *Coordinator) abortRun(run *migrationRun) error {
 		return ErrNoMigration
 	}
 	run = c.mig
+	// A logged run's Abort record goes first, fenced like a commit's: a
+	// deposed coordinator must not roll routing back locally while the
+	// lease holder may be resuming the run everywhere else.
+	if run.logged {
+		if f := c.fanin.Load(); f != nil {
+			if err := f.closeRun(run, wire.LogAbort); err != nil {
+				return err
+			}
+		}
+	}
 	c.mu.Lock()
 	t0 := time.Now()
 	c.duals = c.duals[:0]
@@ -678,11 +702,6 @@ func (c *Coordinator) abortRun(run *migrationRun) error {
 	c.setMigOutcome(fmt.Sprintf("aborted %s%s", runLabel(run), cause))
 	c.mig = nil
 	c.migView.Store(nil)
-	if run.logged {
-		if f := c.fanin.Load(); f != nil {
-			f.closeRun(run, wire.LogAbort)
-		}
-	}
 	return nil
 }
 

@@ -26,11 +26,13 @@ type Divergence struct {
 
 // tieRef remembers one part that answered an object with the same Seq
 // as the current best copy: if a still-fresher copy shows up later,
-// every tied part turns out stale and needs repair. A consumed entry
-// has part = -1.
+// every tied part turns out stale and needs repair. Each object's ties
+// form a linked chain through prev (newest first, headed by the
+// lastTie map), so a supersede walks exactly its own object's ties —
+// never the whole list.
 type tieRef struct {
-	id   ObjectID
 	part int
+	prev int // index of the same object's previous tie; -1 ends the chain
 }
 
 // mergeScratch is the reusable state of one MergeFreshest call. On the
@@ -38,14 +40,19 @@ type tieRef struct {
 // so the maps and the tie list are exercised on every query — pooling
 // them keeps the steady-state merge down to the one result allocation.
 type mergeScratch struct {
-	at   map[ObjectID]int // id -> index in fresh
-	from map[ObjectID]int // id -> part of the current best copy
-	ties []tieRef
+	at      map[ObjectID]int // id -> index in fresh
+	from    map[ObjectID]int // id -> part of the current best copy
+	lastTie map[ObjectID]int // id -> index in ties of its newest tie
+	ties    []tieRef
 }
 
 var mergePool = sync.Pool{
 	New: func() any {
-		return &mergeScratch{at: make(map[ObjectID]int), from: make(map[ObjectID]int)}
+		return &mergeScratch{
+			at:      make(map[ObjectID]int),
+			from:    make(map[ObjectID]int),
+			lastTie: make(map[ObjectID]int),
+		}
 	},
 }
 
@@ -72,10 +79,11 @@ func MergeFreshest(parts [][]ObjectPos) (fresh []ObjectPos, stale []Divergence) 
 	defer func() {
 		clear(scr.at)
 		clear(scr.from)
+		clear(scr.lastTie)
 		scr.ties = scr.ties[:0]
 		mergePool.Put(scr)
 	}()
-	at, from, ties := scr.at, scr.from, scr.ties[:0]
+	at, from, lastTie, ties := scr.at, scr.from, scr.lastTie, scr.ties[:0]
 	fresh = make([]ObjectPos, 0, total)
 	// div materialises only when replicas actually disagree — never on
 	// the healthy path, where every duplicate is an in-sync tie.
@@ -106,11 +114,17 @@ func MergeFreshest(parts [][]ObjectPos) (fresh []ObjectPos, stale []Divergence) 
 			case hit.Seq > fresh[i].Seq:
 				d := divFor(hit.ID)
 				d.StaleParts = append(d.StaleParts, d.FreshPart)
-				for ti := range ties {
-					if ties[ti].id == hit.ID && ties[ti].part >= 0 {
+				if head, ok := lastTie[hit.ID]; ok {
+					// Walk this object's tie chain (newest first), then flip
+					// the appended run back to part order.
+					mark := len(d.StaleParts)
+					for ti := head; ti >= 0; ti = ties[ti].prev {
 						d.StaleParts = append(d.StaleParts, ties[ti].part)
-						ties[ti].part = -1
 					}
+					for lo, hi := mark, len(d.StaleParts)-1; lo < hi; lo, hi = lo+1, hi-1 {
+						d.StaleParts[lo], d.StaleParts[hi] = d.StaleParts[hi], d.StaleParts[lo]
+					}
+					delete(lastTie, hit.ID)
 				}
 				d.FreshPart = pi
 				from[hit.ID] = pi
@@ -121,7 +135,12 @@ func MergeFreshest(parts [][]ObjectPos) (fresh []ObjectPos, stale []Divergence) 
 			default:
 				// Same Seq as the current best: in sync so far, but stale
 				// together with it if a fresher copy follows.
-				ties = append(ties, tieRef{id: hit.ID, part: pi})
+				prev := -1
+				if ti, ok := lastTie[hit.ID]; ok {
+					prev = ti
+				}
+				lastTie[hit.ID] = len(ties)
+				ties = append(ties, tieRef{part: pi, prev: prev})
 			}
 		}
 	}

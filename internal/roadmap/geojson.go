@@ -9,8 +9,8 @@ import (
 
 // geoJSON document structures (minimal subset of RFC 7946).
 type geoJSONDoc struct {
-	Type     string            `json:"type"`
-	Features []geoJSONFeature  `json:"features"`
+	Type     string           `json:"type"`
+	Features []geoJSONFeature `json:"features"`
 }
 
 type geoJSONFeature struct {

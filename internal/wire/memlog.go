@@ -29,6 +29,7 @@ import (
 //
 //	pframe  := bodyLen u32 | version u8 | op u8 | payload       (request)
 //	prframe := bodyLen u32 | version u8 | op u8 | status u8 | payload
+//	logpay  := floor uvarint | nrecs uvarint | logrec*          (PeerOpLog)
 //	logrec  := epoch uvarint | origin str | kind u8 | lease uvarint |
 //	           run uvarint | migkind u8 | target str | addr str |
 //	           nweights uvarint | (name str | w f64)* |
@@ -53,9 +54,10 @@ const MaxPeerNameLen = 256
 const MaxAddrLen = 2048
 
 // MaxLogRecords bounds the record count in one peer frame. Logs are
-// compacted (committed runs collapse, only the newest lease survives),
-// so a real log is tens of records; the bound only rejects hostile
-// frames.
+// compacted (closed runs collapse, superseded lease renewals drop once
+// every peer has confirmed them — see the coordinators' compaction
+// floor, shipped in every PeerOpLog frame), so a real log is tens of
+// records; the bound only rejects hostile frames.
 const MaxLogRecords = 65536
 
 // LogKind identifies a membership log record type.
@@ -327,8 +329,12 @@ type PeerRequest struct {
 	Op PeerOp
 	// From names the sending coordinator.
 	From string
-	// Log is the sender's compacted membership log (PeerOpLog).
-	Log []LogRecord
+	// Log is the sender's compacted membership log, Floor its
+	// compaction floor: every record at or below Floor was confirmed
+	// held by the whole tier before being compacted, so the receiver
+	// counts that prefix as covered without seeing it (PeerOpLog).
+	Floor uint64
+	Log   []LogRecord
 	// Member names the hint target, Hints its buffered updates
 	// (PeerOpHints).
 	Member string
@@ -340,8 +346,10 @@ type PeerRequest struct {
 type PeerResponse struct {
 	Op  PeerOp
 	Err string
-	// Log is the receiver's post-merge log (PeerOpLog).
-	Log []LogRecord
+	// Log is the receiver's post-merge log, Floor its compaction floor
+	// (PeerOpLog; see PeerRequest.Floor).
+	Floor uint64
+	Log   []LogRecord
 	// Applied counts hint records accepted (PeerOpHints).
 	Applied int
 	// Stats is the peer's local cluster view, JSON-encoded
@@ -357,6 +365,7 @@ func AppendPeerRequest(dst []byte, req PeerRequest) []byte {
 	dst = appendString(dst, req.From)
 	switch req.Op {
 	case PeerOpLog:
+		dst = binary.AppendUvarint(dst, req.Floor)
 		dst = appendLogRecords(dst, req.Log)
 	case PeerOpHints:
 		dst = appendString(dst, req.Member)
@@ -412,6 +421,12 @@ func DecodePeerRequest(data []byte) (req PeerRequest, n int, err error) {
 	}
 	switch req.Op {
 	case PeerOpLog:
+		floor, fn := binary.Uvarint(body[k:])
+		if fn <= 0 {
+			return PeerRequest{}, 0, fmt.Errorf("wire: bad peer floor")
+		}
+		req.Floor = floor
+		k += fn
 		if req.Log, err = readLogRecords(body, &k); err != nil {
 			return PeerRequest{}, 0, err
 		}
@@ -462,6 +477,7 @@ func AppendPeerResponse(dst []byte, resp PeerResponse) []byte {
 	dst = append(dst, 0)
 	switch resp.Op {
 	case PeerOpLog:
+		dst = binary.AppendUvarint(dst, resp.Floor)
 		dst = appendLogRecords(dst, resp.Log)
 	case PeerOpHints:
 		dst = binary.AppendUvarint(dst, uint64(resp.Applied))
@@ -525,6 +541,12 @@ func DecodePeerResponse(data []byte) (resp PeerResponse, n int, err error) {
 	}
 	switch resp.Op {
 	case PeerOpLog:
+		floor, fn := binary.Uvarint(body[k:])
+		if fn <= 0 {
+			return PeerResponse{}, 0, fmt.Errorf("wire: bad peer floor")
+		}
+		resp.Floor = floor
+		k += fn
 		if resp.Log, err = readLogRecords(body, &k); err != nil {
 			return PeerResponse{}, 0, err
 		}

@@ -99,7 +99,7 @@ func TestLogOrder(t *testing.T) {
 
 func samplePeerRequests() []PeerRequest {
 	return []PeerRequest{
-		{Op: PeerOpLog, From: "co-a", Log: sampleLogRecords()},
+		{Op: PeerOpLog, From: "co-a", Floor: 3, Log: sampleLogRecords()},
 		{Op: PeerOpLog, From: "co-b"},
 		{Op: PeerOpHints, From: "co-a", Member: "n2", Hints: []Record{
 			{ID: "veh-1", Update: core.Update{Reason: core.ReasonInit, Report: core.Report{
@@ -113,7 +113,7 @@ func samplePeerRequests() []PeerRequest {
 
 func samplePeerResponses() []PeerResponse {
 	return []PeerResponse{
-		{Op: PeerOpLog, Log: sampleLogRecords()},
+		{Op: PeerOpLog, Floor: 7, Log: sampleLogRecords()},
 		{Op: PeerOpHints, Applied: 2},
 		{Op: PeerOpStats, Stats: []byte(`{"objects":42}`)},
 		{Op: PeerOpLog, Err: "no such coordinator"},
