@@ -9,8 +9,8 @@ GO ?= go
 # BENCH_BASELINE is the previous committed gate file the fresh numbers
 # are compared against: any gate metric regressing by more than
 # BENCH_MAXREGRESS (relative) fails the target.
-BENCH_JSON ?= BENCH_8.json
-BENCH_BASELINE ?= BENCH_7.json
+BENCH_JSON ?= BENCH_9.json
+BENCH_BASELINE ?= BENCH_8.json
 BENCH_MAXREGRESS ?= 0.30
 # The gate benchmarks: the prediction-walk/cursor pair, the end-to-end
 # source+server quiet-period pair, the 10k-object fleet step, the
@@ -20,10 +20,12 @@ BENCH_MAXREGRESS ?= 0.30
 # (ring-routed ingest + merged 10-NN; gate: >= 100k updates/s), the
 # same pipeline at replication factor 2 (each batch delivered to both
 # owners, queries merged on freshest Seq; gate: >= 100k updates/s),
-# and the two-coordinator fan-in pipeline (the batch stream split
+# the two-coordinator fan-in pipeline (the batch stream split
 # across two membership-replicating fronts; gate: beat the
-# single-front replicated number).
-BENCH_GATE = PredictLongQuiet|SourceServerQuiet|ServerQueryFanout|FleetSteps10k|MapQueryMix|IngestHTTP|ClusterIngestQuery|ReplicatedIngestQuery|FanInIngestQuery
+# single-front replicated number), and the live-index churn pair
+# (range and 10-NN queries interleaved with full-rate ingest at 10k
+# objects; gate: live >= 3x the scan baseline's queries/s).
+BENCH_GATE = PredictLongQuiet|SourceServerQuiet|ServerQueryFanout|FleetSteps10k|MapQueryMix|IngestHTTP|ClusterIngestQuery|ReplicatedIngestQuery|FanInIngestQuery|WithinChurn|NearestChurn
 BENCH_PKGS = ./internal/core ./internal/locserv ./internal/sim ./internal/cluster
 
 check: vet staticcheck build race

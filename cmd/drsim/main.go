@@ -44,6 +44,15 @@
 //	                                # run asserts zero query errors, bounded
 //	                                # staleness and O(1) routing-lock holds,
 //	                                # and bit-identical convergence
+//	drsim -exp churn [-scale 0.01]
+//	                                # live-index hot path: 10k and 100k
+//	                                # objects reporting at full rate while
+//	                                # readers run a mixed 10-NN / range
+//	                                # load; reports query p50/p95/p99 and
+//	                                # the index maintenance counters, then
+//	                                # hard-asserts zero scan fallbacks and
+//	                                # bit-identical answers vs. the scan
+//	                                # reference
 //	drsim -exp fanin -nodes 4 -replicas 2 -fleet 100
 //	                                # two fan-in coordinators front one
 //	                                # cluster, splitting ingest and queries;
@@ -96,7 +105,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "table1", "experiment id (table1, fig3, fig6, fig7-fig10, headline, fleet, cluster, failover, selfheal, chaos, fanin, ablate-*)")
+		exp       = flag.String("exp", "table1", "experiment id (table1, fig3, fig6, fig7-fig10, headline, fleet, cluster, failover, selfheal, chaos, fanin, churn, ablate-*)")
 		seed      = flag.Int64("seed", 42, "deterministic scenario seed")
 		scale     = flag.Float64("scale", 1.0, "scenario scale in (0,1]; 1 = paper scale")
 		csv       = flag.Bool("csv", false, "emit CSV instead of an aligned table")
@@ -144,6 +153,10 @@ func main() {
 		err = runChaos(fleetConfig{
 			n: *fleetN, nodes: *nodes, replicas: *replicas, shards: *shards, workers: *workers,
 			seed: *seed, scale: *scale,
+		}, *csv)
+	} else if *exp == "churn" {
+		err = runChurn(fleetConfig{
+			n: *fleetN, shards: *shards, workers: *workers, seed: *seed, scale: *scale,
 		}, *csv)
 	} else if *exp == "fanin" {
 		err = runFanin(fleetConfig{

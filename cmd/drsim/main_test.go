@@ -94,3 +94,13 @@ func TestRunFleetTransports(t *testing.T) {
 		t.Error("unknown transport should fail")
 	}
 }
+
+// TestRunChurn executes the churn experiment at tiny scale: full-rate
+// ingest with concurrent readers, the zero-scan-fallback assertion and
+// the bit-identical post-quiesce sweep all run for real.
+func TestRunChurn(t *testing.T) {
+	cfg := fleetConfig{shards: 8, workers: 2, seed: 42, scale: 0.01}
+	if err := runChurn(cfg, true); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -928,10 +928,12 @@ func (c *Coordinator) NodeStats() locserv.NodeStats {
 		total.Shards += st.Shards
 		total.UpdatesApplied += st.UpdatesApplied
 		total.WireBytes += st.WireBytes
-		total.Index.Rebuilds += st.Index.Rebuilds
+		total.Index.CellMoves += st.Index.CellMoves
+		total.Index.BoundRecomputes += st.Index.BoundRecomputes
+		total.Index.CellsVisited += st.Index.CellsVisited
+		total.Index.RingExpansions += st.Index.RingExpansions
 		total.Index.IndexedQueries += st.Index.IndexedQueries
 		total.Index.ScanFallbacks += st.Index.ScanFallbacks
-		total.Index.DeferredRebuilds += st.Index.DeferredRebuilds
 	}
 	return total
 }

@@ -30,6 +30,14 @@ type memberJSON struct {
 	Objects  int     `json:"objects"`
 	Shards   int     `json:"shards"`
 	Applied  int64   `json:"updates_applied"`
+	// Live spatial-index health counters, node-side like Objects and
+	// Applied: the merge takes each field's maximum across reporters.
+	CellMoves       int64 `json:"index_cell_moves"`
+	BoundRecomputes int64 `json:"index_bound_recomputes"`
+	CellsVisited    int64 `json:"index_cells_visited"`
+	RingExpansions  int64 `json:"index_ring_expansions"`
+	IndexedQueries  int64 `json:"index_queries"`
+	ScanFallbacks   int64 `json:"index_scan_fallbacks"`
 }
 
 type migrationJSON struct {
@@ -185,6 +193,13 @@ func localClusterView(c *Coordinator) clusterJSON {
 			Objects:  ms.Node.Objects,
 			Shards:   ms.Node.Shards,
 			Applied:  ms.Node.UpdatesApplied,
+
+			CellMoves:       ms.Node.Index.CellMoves,
+			BoundRecomputes: ms.Node.Index.BoundRecomputes,
+			CellsVisited:    ms.Node.Index.CellsVisited,
+			RingExpansions:  ms.Node.Index.RingExpansions,
+			IndexedQueries:  ms.Node.Index.IndexedQueries,
+			ScanFallbacks:   ms.Node.Index.ScanFallbacks,
 		})
 		out.TotalObjects += ms.Node.Objects
 	}
@@ -262,6 +277,24 @@ func mergeClusterView(out *clusterJSON, pv clusterJSON) {
 		}
 		if pn.Shards > n.Shards {
 			n.Shards = pn.Shards
+		}
+		if pn.CellMoves > n.CellMoves {
+			n.CellMoves = pn.CellMoves
+		}
+		if pn.BoundRecomputes > n.BoundRecomputes {
+			n.BoundRecomputes = pn.BoundRecomputes
+		}
+		if pn.CellsVisited > n.CellsVisited {
+			n.CellsVisited = pn.CellsVisited
+		}
+		if pn.RingExpansions > n.RingExpansions {
+			n.RingExpansions = pn.RingExpansions
+		}
+		if pn.IndexedQueries > n.IndexedQueries {
+			n.IndexedQueries = pn.IndexedQueries
+		}
+		if pn.ScanFallbacks > n.ScanFallbacks {
+			n.ScanFallbacks = pn.ScanFallbacks
 		}
 	}
 	sort.Slice(out.Nodes, func(i, j int) bool { return out.Nodes[i].Name < out.Nodes[j].Name })

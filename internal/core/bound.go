@@ -1,0 +1,82 @@
+package core
+
+import "math"
+
+// Displacement bounds: how far can a predicted position drift from the
+// reported position?
+//
+// Every paper predictor moves the object away from its report at a
+// bounded rate: linear extrapolation and the CTRV arc cover at most
+// V·dt of euclidean distance, and the map-based / known-route walks
+// spend V·dt of arc length along road polylines, whose euclidean
+// displacement is no larger. A location service exploits that bound to
+// prune spatial queries — an object reported at position p at time T
+// cannot answer a range query outside p ± bound·(t−T) — so the bound is
+// part of each predictor's contract, not a service-side heuristic.
+
+// DisplacementBounded is implemented by predictors that bound how fast
+// the predicted position can move away from the reported position.
+// Implementations must be conservative: the true displacement at any
+// query time t >= rep.T never exceeds DisplacementBound(rep)·(t−rep.T)
+// (up to the map-matching epsilon between rep.Pos and the walk's start
+// point on its link).
+type DisplacementBounded interface {
+	// DisplacementBound returns an upper bound in m/s on the predicted
+	// position's drift away from rep.Pos, or +Inf when no bound holds
+	// for this report.
+	DisplacementBound(rep Report) float64
+}
+
+// DisplacementBound implements DisplacementBounded: a static object
+// never leaves its reported position.
+func (StaticPredictor) DisplacementBound(Report) float64 { return 0 }
+
+// DisplacementBound implements DisplacementBounded: linear
+// extrapolation advances at exactly the reported speed.
+func (LinearPredictor) DisplacementBound(rep Report) float64 { return rep.V }
+
+// DisplacementBound implements DisplacementBounded: the CTRV arc has
+// constant speed V, and arc length bounds euclidean displacement.
+func (CTRVPredictor) DisplacementBound(rep Report) float64 { return rep.V }
+
+// DisplacementBound implements DisplacementBounded: the map walk spends
+// V·dt of arc length along road polylines; euclidean displacement from
+// the walk's start is no larger.
+func (mp *MapPredictor) DisplacementBound(rep Report) float64 { return rep.V }
+
+// DisplacementBound implements DisplacementBounded: the known-route
+// walk advances the route offset by V·dt, and euclidean displacement
+// between two route points is bounded by their arc distance.
+func (rp *RoutePredictor) DisplacementBound(rep Report) float64 { return rep.V }
+
+// DisplacementBound implements DisplacementBounded. With RaiseToLimit
+// the assumed speed can exceed the reported speed (up to unknown link
+// speed limits), so no bound is available; otherwise the assumed speed
+// is capped at rep.V.
+func (sp *SpeedCappedMapPredictor) DisplacementBound(rep Report) float64 {
+	if sp.RaiseToLimit {
+		return math.Inf(1)
+	}
+	return rep.V
+}
+
+// BoundsDisplacement reports whether pred admits a finite displacement
+// bound for every report — a static property of the predictor instance,
+// so a store can decide once at registration whether the object can
+// participate in bound-pruned spatial queries.
+func BoundsDisplacement(pred Predictor) bool {
+	if sp, ok := pred.(*SpeedCappedMapPredictor); ok {
+		return !sp.RaiseToLimit
+	}
+	_, ok := pred.(DisplacementBounded)
+	return ok
+}
+
+// DisplacementBound returns pred's drift bound for rep in m/s, or +Inf
+// when the predictor type admits none.
+func DisplacementBound(pred Predictor, rep Report) float64 {
+	if b, ok := pred.(DisplacementBounded); ok {
+		return b.DisplacementBound(rep)
+	}
+	return math.Inf(1)
+}

@@ -342,3 +342,133 @@ func BenchmarkServiceMixed(b *testing.B) {
 		})
 	}
 }
+
+// --- churn benchmarks: queries interleaved with full-rate ingest -------
+//
+// BenchmarkWithinChurn and BenchmarkNearestChurn are the live-index PR
+// gates: every op applies one full 256-update batch (drift plus
+// teleports, so objects keep crossing cell boundaries) and then runs
+// four queries at the fresh report time. The "scan" sub-benchmark pins
+// every shard to the brute-force path — exactly what the old snapshot
+// index did under this workload, where each batch left the snapshot
+// dirty and every interleaved query fell back to a scan. The
+// acceptance bar is live >= 3x the scan baseline's queries/s at 10k
+// objects.
+//
+//	go test -bench=Churn -benchtime=1s ./internal/locserv
+
+// churnReport keeps the fleet moving: a wrapping eastward drift at
+// 10 m/s plus a ~1% teleport to the mirrored corner of the extent, so
+// ingest continuously forces cell moves in the live index.
+func churnReport(i int, seq uint32) core.Report {
+	pos := geo.Pt(float64(i%100)*100, float64(i/100)*100)
+	if (i+int(seq))%101 == 0 {
+		pos = geo.Pt(9900-pos.X, 9900-pos.Y)
+	} else {
+		pos.X += float64(seq%60) * 10
+	}
+	return core.Report{Seq: seq, T: float64(seq), Pos: pos, V: 10, Heading: float64(i%628) / 100}
+}
+
+// forceScanPath pins every shard to the scan path by marking a
+// phantom unbounded resident — the churn baseline.
+func forceScanPath(s *Service) {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.unbounded++
+		sh.mu.Unlock()
+	}
+}
+
+// benchChurn runs the ingest+query churn loop; query runs 4 times per
+// applied batch.
+func benchChurn(b *testing.B, forceScan bool, query func(b *testing.B, s *Service, seq uint32, q int)) {
+	s, ids := benchService(b, 8)
+	if forceScan {
+		forceScanPath(s)
+	}
+	batch := make([]Update, benchBatchSize)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		seq := uint32(n + 2)
+		for j := range batch {
+			i := (n*benchBatchSize + j) % len(ids)
+			batch[j] = Update{ID: ids[i], Update: core.Update{Report: churnReport(i, seq)}}
+		}
+		if err := s.ApplyBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+		for q := 0; q < 4; q++ {
+			query(b, s, seq, q)
+		}
+	}
+	b.ReportMetric(float64(4*b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+// BenchmarkWithinChurn: range queries against the live index vs. the
+// scan baseline, interleaved with full-rate ingest (see block comment).
+func BenchmarkWithinChurn(b *testing.B) {
+	within := func(b *testing.B, s *Service, seq uint32, q int) {
+		x := float64((int(seq)+q)%50) * 100
+		s.Within(geo.Rect{Min: geo.Pt(x, 2000), Max: geo.Pt(x+500, 2500)}, float64(seq))
+	}
+	b.Run("live", func(b *testing.B) { benchChurn(b, false, within) })
+	b.Run("scan", func(b *testing.B) { benchChurn(b, true, within) })
+}
+
+// BenchmarkNearestChurn: 10-NN queries against the live index vs. the
+// scan baseline, interleaved with full-rate ingest.
+func BenchmarkNearestChurn(b *testing.B) {
+	nearest := func(b *testing.B, s *Service, seq uint32, q int) {
+		hits := s.Nearest(geo.Pt(float64((int(seq)+q)%100)*100, 5000), 10, float64(seq))
+		if len(hits) != 10 {
+			b.Fatalf("hits = %d", len(hits))
+		}
+	}
+	b.Run("live", func(b *testing.B) { benchChurn(b, false, nearest) })
+	b.Run("scan", func(b *testing.B) { benchChurn(b, true, nearest) })
+}
+
+// BenchmarkStoreThroughputInterleaved fixes a blind spot in
+// BenchmarkStoreThroughput: there the queries run strictly between
+// batches, so the store never answers a query while a batch holds the
+// write locks. Here RunParallel schedules writer and reader ops
+// concurrently — one op in eight applies a full churn batch while the
+// others run the gate query mix against whatever the writers are doing.
+func BenchmarkStoreThroughputInterleaved(b *testing.B) {
+	for _, shards := range benchShardCounts {
+		b.Run(fmt.Sprintf("sharded-%d", shards), func(b *testing.B) {
+			s, ids := benchService(b, shards)
+			var seq atomic.Uint32
+			seq.Store(1)
+			var op atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				batch := make([]Update, benchBatchSize)
+				for pb.Next() {
+					n := int(op.Add(1))
+					if n%8 == 0 {
+						sq := seq.Add(1)
+						for j := range batch {
+							i := (n*benchBatchSize + j) % len(ids)
+							batch[j] = Update{ID: ids[i], Update: core.Update{Report: churnReport(i, sq)}}
+						}
+						if err := s.ApplyBatch(batch); err != nil {
+							b.Fatal(err)
+						}
+					} else {
+						qt := float64(seq.Load())
+						if hits := s.Nearest(geo.Pt(float64(n%100)*100, 5000), 10, qt); len(hits) != 10 {
+							b.Fatalf("hits = %d", len(hits))
+						}
+						x := float64(n%50) * 100
+						s.Within(geo.Rect{Min: geo.Pt(x, 2000), Max: geo.Pt(x+500, 2500)}, qt)
+						for q := 0; q < 8; q++ {
+							s.Position(ids[(n*31+q*13)%len(ids)], qt)
+						}
+					}
+				}
+			})
+		})
+	}
+}

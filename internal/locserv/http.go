@@ -148,30 +148,35 @@ func queryFloat(r *http.Request, key string) (float64, bool) {
 // statsJSON is the GET /stats body. wire_bytes counts applied report
 // encodings only (Service.WireBytes) — record ids and frame headers are
 // transport overhead, visible in the client's wire.Stats instead. The
-// index_* counters expose the spatial snapshots' health: rebuild costs
-// paid, grid-vs-scan query mix, and rebuilds deferred under the churn
-// budget.
+// index_* counters expose the live spatial index's health: write-path
+// cell moves and bound recomputes, read-path pruning effort (cells
+// visited, k-NN rings expanded), and the indexed-vs-scan query mix
+// (scan fallbacks only happen for unbounded-predictor objects).
 type statsJSON struct {
-	Objects               int   `json:"objects"`
-	Shards                int   `json:"shards"`
-	UpdatesApplied        int64 `json:"updates_applied"`
-	WireBytes             int64 `json:"wire_bytes"`
-	IndexRebuilds         int64 `json:"index_rebuilds"`
-	IndexedQueries        int64 `json:"index_queries"`
-	IndexScanFallbacks    int64 `json:"index_scan_fallbacks"`
-	IndexDeferredRebuilds int64 `json:"index_deferred_rebuilds"`
+	Objects              int   `json:"objects"`
+	Shards               int   `json:"shards"`
+	UpdatesApplied       int64 `json:"updates_applied"`
+	WireBytes            int64 `json:"wire_bytes"`
+	IndexCellMoves       int64 `json:"index_cell_moves"`
+	IndexBoundRecomputes int64 `json:"index_bound_recomputes"`
+	IndexCellsVisited    int64 `json:"index_cells_visited"`
+	IndexRingExpansions  int64 `json:"index_ring_expansions"`
+	IndexedQueries       int64 `json:"index_queries"`
+	IndexScanFallbacks   int64 `json:"index_scan_fallbacks"`
 }
 
 func statsToJSON(st NodeStats) statsJSON {
 	return statsJSON{
-		Objects:               st.Objects,
-		Shards:                st.Shards,
-		UpdatesApplied:        st.UpdatesApplied,
-		WireBytes:             st.WireBytes,
-		IndexRebuilds:         st.Index.Rebuilds,
-		IndexedQueries:        st.Index.IndexedQueries,
-		IndexScanFallbacks:    st.Index.ScanFallbacks,
-		IndexDeferredRebuilds: st.Index.DeferredRebuilds,
+		Objects:              st.Objects,
+		Shards:               st.Shards,
+		UpdatesApplied:       st.UpdatesApplied,
+		WireBytes:            st.WireBytes,
+		IndexCellMoves:       st.Index.CellMoves,
+		IndexBoundRecomputes: st.Index.BoundRecomputes,
+		IndexCellsVisited:    st.Index.CellsVisited,
+		IndexRingExpansions:  st.Index.RingExpansions,
+		IndexedQueries:       st.Index.IndexedQueries,
+		IndexScanFallbacks:   st.Index.ScanFallbacks,
 	}
 }
 

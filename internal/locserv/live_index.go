@@ -1,0 +1,456 @@
+package locserv
+
+import (
+	"container/heap"
+	"math"
+
+	"mapdr/internal/geo"
+	"mapdr/internal/spatial"
+)
+
+// Live spatial index maintenance and the indexed query algorithms.
+//
+// Each shard keeps a spatial.LiveGrid over the last reported positions
+// of its bounded-predictor objects, maintained in place by the write
+// path: an accepted update moves an object between cells only when its
+// report crosses a cell boundary, so quiet or smoothly moving fleets
+// cost O(moved objects) per batch and the read side never rebuilds
+// anything. The grid stores the shard's own *objEntry records
+// (intrusively, via objEntry.slot), so neither the write path nor a
+// query's candidate walk hashes an object key. Per cell, the shard
+// folds a displacement bound (max bound speed, oldest/newest report
+// time) from which a query derives how far any resident can have
+// drifted from the cell rectangle by query time — the pruning radius
+// for range and ring k-NN queries. Folds are monotone (they only
+// loosen), so bounds are recomputed exactly when a resident leaves the
+// cell and whenever a cell has absorbed more folds than it has
+// residents; that keeps the amortised maintenance cost O(1) per update
+// while steadily reporting fleets keep tight bounds.
+//
+// Objects whose predictor admits no displacement bound (tracked by
+// shard.unbounded) can be anywhere regardless of their reported cell,
+// so while any are present the shard answers from the scan path —
+// counted in IndexHealth.ScanFallbacks.
+
+// liveCellInit is the cell size in metres a shard's grid starts with
+// before the first population-based resize.
+const liveCellInit = 256.0
+
+// liveResizeMin is the grid population below which the cell size is
+// never revisited: tiny shards answer queries cheaply at any bucketing.
+const liveResizeMin = 32
+
+// liveShardFoldMin is the floor on how many monotone shard-bound folds
+// are absorbed before the shard-wide bound is recomputed from the cell
+// bounds.
+const liveShardFoldMin = 64
+
+// cellBound is the displacement bound folded over one cell's residents.
+// A resident reported at time T with bound speed v is within
+// v·|t−T| + 1 m of its reported position at query time t (the +1 m
+// absorbs map-matching rounding between a report's position and its
+// link offset point), so maxV together with the oldest and newest
+// resident report times bounds every resident's drift from the cell
+// rectangle.
+type cellBound struct {
+	maxV float64 // max displacement-bound speed across residents, m/s
+	minT float64 // oldest resident report time, s
+	maxT float64 // newest resident report time, s
+	// folds counts monotone folds since the last exact recompute; once
+	// it exceeds the cell population the bound is re-derived so that
+	// minT can advance past evicted reports.
+	folds int32
+}
+
+// reachAt returns how far a resident covered by the bound can be from
+// its reported position at query time t, in metres.
+func (cb *cellBound) reachAt(t float64) float64 {
+	return boundReach(cb.maxV, cb.minT, cb.maxT, t)
+}
+
+// boundReach is the drift radius for a (maxV, minT, maxT) bound at
+// query time t. Queries before the oldest report are covered too: a
+// predictor run backwards moves at most maxV·(maxT−t) from its report.
+func boundReach(maxV, minT, maxT, t float64) float64 {
+	dt := math.Max(t-minT, maxT-t)
+	if dt < 0 || math.IsNaN(dt) {
+		dt = 0
+	}
+	return maxV*dt + 1
+}
+
+// noteAppliedLocked maintains the live index after e's server accepted
+// a new report. Caller holds the shard write lock.
+func (sh *shard) noteAppliedLocked(e *objEntry) {
+	if !e.bounded {
+		return // scan path covers unbounded objects; keep them out of the grid
+	}
+	rep, ok := e.srv.LastReport()
+	if !ok {
+		return
+	}
+	prev, cur, existed := sh.grid.Update(e, rep.Pos)
+	if existed && prev != cur {
+		sh.health.CellMoves.Add(1)
+		sh.recomputeCellBoundLocked(prev)
+	}
+	vb := e.db.DisplacementBound(rep)
+	if vb < 0 {
+		vb = 0
+	}
+	cb := sh.bounds[cur]
+	if cb == nil {
+		sh.bounds[cur] = &cellBound{maxV: vb, minT: rep.T, maxT: rep.T}
+	} else {
+		if vb > cb.maxV {
+			cb.maxV = vb
+		}
+		if rep.T < cb.minT {
+			cb.minT = rep.T
+		}
+		if rep.T > cb.maxT {
+			cb.maxT = rep.T
+		}
+		cb.folds++
+		if int(cb.folds) > sh.grid.CellLen(cur) {
+			sh.recomputeCellBoundLocked(cur)
+		}
+	}
+	if vb > sh.maxV {
+		sh.maxV = vb
+	}
+	if rep.T < sh.minT {
+		sh.minT = rep.T
+	}
+	if rep.T > sh.maxT {
+		sh.maxT = rep.T
+	}
+	sh.shardFolds++
+	if sh.shardFolds > liveShardFoldMin && sh.shardFolds > len(sh.bounds) {
+		sh.recomputeShardBoundLocked()
+	}
+}
+
+// dropFromIndexLocked removes e from the grid (if present) and
+// restores the vacated cell's bound. Caller holds the write lock.
+func (sh *shard) dropFromIndexLocked(e *objEntry) {
+	if c, ok := sh.grid.Remove(e); ok {
+		sh.recomputeCellBoundLocked(c)
+	}
+}
+
+// recomputeCellBoundLocked re-derives cell c's bound exactly from its
+// current residents, deleting it when the cell is empty.
+func (sh *shard) recomputeCellBoundLocked(c spatial.Cell) {
+	members := sh.grid.CellMembers(c)
+	if len(members) == 0 {
+		delete(sh.bounds, c)
+		return
+	}
+	var maxV float64
+	minT, maxT := math.Inf(1), math.Inf(-1)
+	for _, e := range members {
+		rep, ok := e.srv.LastReport()
+		if !ok {
+			continue
+		}
+		if vb := e.db.DisplacementBound(rep); vb > maxV {
+			maxV = vb
+		}
+		if rep.T < minT {
+			minT = rep.T
+		}
+		if rep.T > maxT {
+			maxT = rep.T
+		}
+	}
+	cb := sh.bounds[c]
+	if cb == nil {
+		cb = &cellBound{}
+		sh.bounds[c] = cb
+	}
+	cb.maxV, cb.minT, cb.maxT, cb.folds = maxV, minT, maxT, 0
+	sh.health.BoundRecomputes.Add(1)
+}
+
+// recomputeShardBoundLocked re-derives the shard-wide bound fold from
+// the cell bounds (each of which is exact or conservatively monotone),
+// so the shard fold stays ≥ every cell bound.
+func (sh *shard) recomputeShardBoundLocked() {
+	sh.maxV = 0
+	sh.minT, sh.maxT = math.Inf(1), math.Inf(-1)
+	for _, cb := range sh.bounds {
+		if cb.maxV > sh.maxV {
+			sh.maxV = cb.maxV
+		}
+		if cb.minT < sh.minT {
+			sh.minT = cb.minT
+		}
+		if cb.maxT > sh.maxT {
+			sh.maxT = cb.maxT
+		}
+	}
+	sh.shardFolds = 0
+}
+
+// maybeResizeLocked revisits the grid cell size after mutations. It is
+// O(1) unless a resize is due: population doubled or halved since the
+// last sizing, or the occupied extent drifted far from what the current
+// cell size was chosen for.
+func (sh *shard) maybeResizeLocked() {
+	n := sh.grid.Len()
+	if n < liveResizeMin {
+		return
+	}
+	if n >= 2*sh.sizedAt || 2*n <= sh.sizedAt {
+		sh.resizeLocked(false)
+		return
+	}
+	// Extent drift at stable population: compare the current cell size
+	// against what the (conservative, monotone) occupied-cell bbox asks
+	// for. The bbox only resets at Rebucket, so force the rebucket when
+	// this trigger fires — otherwise a stale bbox would re-fire it every
+	// batch.
+	minC, maxC, ok := sh.grid.CellExtent()
+	if !ok {
+		return
+	}
+	span := maxC.X - minC.X
+	if dy := maxC.Y - minC.Y; dy > span {
+		span = dy
+	}
+	w := float64(span+1) * sh.grid.CellSize()
+	want := w / math.Sqrt(float64(n))
+	if cur := sh.grid.CellSize(); want > 2*cur || want < cur/2 {
+		sh.resizeLocked(true)
+	}
+}
+
+// resizeLocked rebuckets the grid to a cell size aimed at about one
+// object per cell over the exact occupied extent, then rebuilds the
+// cell bounds (Cell keys are invalidated by the rebucket). Unless
+// forced, a rebucket within 1.5× of the current size is skipped — the
+// bucketing is still fine and the O(n) rebuild is not free.
+func (sh *shard) resizeLocked(force bool) {
+	n := sh.grid.Len()
+	sh.sizedAt = n
+	b := sh.grid.Extent()
+	cell := math.Max(b.Width(), b.Height()) / math.Sqrt(float64(n))
+	if cell <= 0 || math.IsInf(cell, 0) || math.IsNaN(cell) {
+		cell = 1
+	}
+	if cur := sh.grid.CellSize(); !force && cell < cur*1.5 && cell > cur/1.5 {
+		return
+	}
+	sh.grid.Rebucket(cell)
+	sh.rebuildBoundsLocked()
+}
+
+// rebuildBoundsLocked re-derives every cell bound and the shard fold
+// from scratch, after a rebucket invalidated the cell keys.
+func (sh *shard) rebuildBoundsLocked() {
+	sh.bounds = make(map[spatial.Cell]*cellBound, sh.grid.Cells())
+	sh.grid.VisitCells(func(c spatial.Cell, _ []*objEntry) bool {
+		sh.recomputeCellBoundLocked(c)
+		return true
+	})
+	sh.recomputeShardBoundLocked()
+}
+
+// prunelessLocked reports whether the shard-wide displacement reach at
+// query time t is so large relative to the occupied extent that no
+// cell can be pruned: when the reach spans the whole occupied bbox,
+// every per-cell predicate passes and the indexed walk degenerates to
+// a full scan that still pays the ring/window machinery. Dispatch
+// takes the plain scan body instead — same candidates, same
+// evaluation, bit-identical answers — and the query is still counted
+// as indexed (the index made the decision; no fallback occurred).
+// Caller holds the read lock.
+func (sh *shard) prunelessLocked(t float64) bool {
+	minC, maxC, ok := sh.grid.CellExtent()
+	if !ok {
+		return true
+	}
+	span := maxI32(maxC.X-minC.X, maxC.Y-minC.Y)
+	return boundReach(sh.maxV, sh.minT, sh.maxT, t)*2 >= float64(span+1)*sh.grid.CellSize()
+}
+
+// withinIndexedLocked answers a range query through the live index.
+// Caller holds the read lock and has checked unbounded == 0.
+//
+// Soundness: every resident of cell c lies within cellBound.reachAt(t)
+// of its reported position, which is inside CellRect(c) — so a cell can
+// contribute a hit only if r expanded by the cell's reach intersects
+// the cell rectangle. Candidates from surviving cells are evaluated
+// exactly like the scan path (Position(t) + r.Contains), so the answer
+// set is identical to withinScanLocked by construction.
+func (sh *shard) withinIndexedLocked(r geo.Rect, t float64) []ObjectPos {
+	epoch := sh.epoch
+	var out []ObjectPos
+	var cellsVisited int64
+	visit := func(c spatial.Cell, members []*objEntry) {
+		cb := sh.bounds[c]
+		if cb == nil {
+			// No bound recorded (cannot happen: every grid insert folds
+			// one) — visit the cell rather than risk a miss.
+			cb = &cellBound{maxV: math.Inf(1)}
+		}
+		if !r.Expand(cb.reachAt(t)).Intersects(sh.grid.CellRect(c)) {
+			return
+		}
+		cellsVisited++
+		for _, e := range members {
+			pos, ok := e.srv.Position(t)
+			if ok && r.Contains(pos) {
+				out = append(out, ObjectPos{ID: e.id, Pos: pos, Seq: e.srv.Seq()})
+			}
+		}
+	}
+	// Two enumeration strategies: walk the cells of the query window
+	// expanded by the shard-wide reach (tight windows), or walk the
+	// occupied cells (huge windows) — whichever touches fewer cells.
+	// The shard fold dominates every cell bound, so the expanded window
+	// contains every cell the per-cell predicate could accept.
+	grown := r.Expand(boundReach(sh.maxV, sh.minT, sh.maxT, t))
+	lo, hi := sh.grid.CellOf(grown.Min), sh.grid.CellOf(grown.Max)
+	if minC, maxC, ok := sh.grid.CellExtent(); ok {
+		lo.X, lo.Y = maxI32(lo.X, minC.X), maxI32(lo.Y, minC.Y)
+		hi.X, hi.Y = minI32(hi.X, maxC.X), minI32(hi.Y, maxC.Y)
+	}
+	windowCells := int64(hi.X-lo.X+1) * int64(hi.Y-lo.Y+1)
+	if windowCells <= int64(sh.grid.Cells()) {
+		for cx := lo.X; cx <= hi.X; cx++ {
+			for cy := lo.Y; cy <= hi.Y; cy++ {
+				c := spatial.Cell{X: cx, Y: cy}
+				if members := sh.grid.CellMembers(c); len(members) > 0 {
+					visit(c, members)
+				}
+			}
+		}
+	} else {
+		sh.grid.VisitCells(func(c spatial.Cell, members []*objEntry) bool {
+			visit(c, members)
+			return true
+		})
+	}
+	sh.health.CellsVisited.Add(cellsVisited)
+	if sh.epoch != epoch {
+		panic("locserv: index mutated under read lock")
+	}
+	return out
+}
+
+// nearestIndexedLocked answers a k-NN query by ring expansion over the
+// live grid. Caller holds the read lock and has checked unbounded == 0
+// and a non-empty grid.
+//
+// Soundness: a candidate in cell c is at least
+// dist(p, CellRect(c)) − reach_c from p, and every cell on ring ρ is at
+// least (ρ−1)·cellSize from p. Cells and rings are skipped only when
+// that lower bound strictly exceeds the current k-th best distance;
+// PosLess breaks distance ties by id, so an equal-distance candidate
+// can still win and is never pruned. The retained set is the top-k
+// under the total order PosLess, which is insertion-order independent —
+// hence bit-identical to the heap-scan reference.
+func (sh *shard) nearestIndexedLocked(p geo.Point, k int, t float64) []ObjectPos {
+	epoch := sh.epoch
+	minC, maxC, ok := sh.grid.CellExtent()
+	if !ok {
+		return nil
+	}
+	center := sh.grid.CellOf(p)
+	// Rings below the Chebyshev distance to the occupied bbox are empty,
+	// as are rings beyond its farthest cell.
+	startRing := int32(0)
+	if d := minC.X - center.X; d > startRing {
+		startRing = d
+	}
+	if d := center.X - maxC.X; d > startRing {
+		startRing = d
+	}
+	if d := minC.Y - center.Y; d > startRing {
+		startRing = d
+	}
+	if d := center.Y - maxC.Y; d > startRing {
+		startRing = d
+	}
+	maxRing := maxI32(
+		maxI32(absI32(minC.X-center.X), absI32(maxC.X-center.X)),
+		maxI32(absI32(minC.Y-center.Y), absI32(maxC.Y-center.Y)),
+	)
+	cellSize := sh.grid.CellSize()
+	shardReach := boundReach(sh.maxV, sh.minT, sh.maxT, t)
+	occupied := sh.grid.Cells()
+	top := k
+	if n := sh.grid.Len(); n < top {
+		top = n
+	}
+	h := make(posHeap, 0, top)
+	var cellsVisited, rings int64
+	visited := 0
+	for ring := startRing; ring <= maxRing; ring++ {
+		if len(h) == k && float64(ring-1)*cellSize-shardReach > h[0].Dist {
+			break
+		}
+		rings++
+		sh.grid.VisitRing(center, ring, func(c spatial.Cell, members []*objEntry) bool {
+			visited++
+			cb := sh.bounds[c]
+			if cb == nil {
+				cb = &cellBound{maxV: math.Inf(1)}
+			}
+			if len(h) == k && sh.grid.CellRect(c).DistanceTo(p)-cb.reachAt(t) > h[0].Dist {
+				return true
+			}
+			cellsVisited++
+			for _, e := range members {
+				pos, ok := e.srv.Position(t)
+				if !ok {
+					continue
+				}
+				op := ObjectPos{ID: e.id, Pos: pos, Dist: p.Dist(pos), Seq: e.srv.Seq()}
+				if len(h) < k {
+					heap.Push(&h, op)
+				} else if PosLess(op, h[0]) {
+					h[0] = op
+					heap.Fix(&h, 0)
+				}
+			}
+			return true
+		})
+		if visited == occupied {
+			break // every occupied cell seen; farther rings are empty
+		}
+	}
+	sh.health.CellsVisited.Add(cellsVisited)
+	sh.health.RingExpansions.Add(rings)
+	out := make([]ObjectPos, len(h))
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&h).(ObjectPos)
+	}
+	if sh.epoch != epoch {
+		panic("locserv: index mutated under read lock")
+	}
+	return out
+}
+
+func maxI32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func absI32(a int32) int32 {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

@@ -1,0 +1,339 @@
+package locserv
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mapdr/internal/core"
+	"mapdr/internal/geo"
+	"mapdr/internal/roadmap"
+)
+
+// withinScanRef and nearestScanRef alias the exported scan oracle
+// (oracle.go) — the correctness reference for the live index.
+func withinScanRef(s *Service, r geo.Rect, t float64) []ObjectPos {
+	return s.ReferenceWithin(r, t)
+}
+
+func nearestScanRef(s *Service, p geo.Point, k int, t float64) []ObjectPos {
+	return s.ReferenceNearest(p, k, t)
+}
+
+// TestLiveIndexMatchesScanUnderChurn is the live index's property test:
+// a mixed fleet over all six predictor families churns adversarially —
+// teleports across the whole extent, positions exactly on (and one ulp
+// off) cell boundaries, rejected stale updates, deregister/re-register
+// — while every Within/Nearest answer is required bit-identical to the
+// scan reference, at query times after, between and before the reports,
+// with k above and below the population and query windows from empty to
+// all-covering. Bounded predictors must never fall back to a scan.
+func TestLiveIndexMatchesScanUnderChurn(t *testing.T) {
+	g, links := buildRingGraph(t, 32, 800)
+	dirs := make([]roadmap.Dir, len(links))
+	for i, l := range links {
+		dirs[i] = roadmap.Dir{Link: l, Forward: true}
+	}
+	route, err := roadmap.NewRoute(g, dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, shards := range []int{1, 8} {
+		t.Run(fmt.Sprintf("shards-%d", shards), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(11 + shards)))
+			s := NewSharded(shards)
+			const nObjs = 180
+			mkPred := func(i int) core.Predictor {
+				switch i % 6 {
+				case 0:
+					return core.StaticPredictor{}
+				case 1:
+					return core.LinearPredictor{}
+				case 2:
+					return core.CTRVPredictor{}
+				case 3:
+					return core.NewMapPredictor(g)
+				case 4:
+					return core.NewSpeedCappedMapPredictor(g, false)
+				default:
+					return &core.RoutePredictor{Route: route}
+				}
+			}
+			mkReport := func(i int, seq uint32, now float64) core.Report {
+				rep := core.Report{Seq: seq, T: now - rng.Float64()*20, V: rng.Float64() * 30}
+				switch i % 6 {
+				case 0, 1, 2: // free predictors: teleport anywhere
+					rep.Pos = geo.Pt(rng.Float64()*12000-6000, rng.Float64()*12000-6000)
+					rep.Heading = rng.Float64() * 2 * math.Pi
+					rep.Omega = rng.Float64() - 0.5
+					if rng.Intn(5) == 0 {
+						// Exactly on (or one ulp off) a multiple of the
+						// initial cell size — the boundary epsilon case.
+						rep.Pos = geo.Pt(float64(rng.Intn(48)-24)*liveCellInit, float64(rng.Intn(48)-24)*liveCellInit)
+						if rng.Intn(2) == 0 {
+							rep.Pos.X = math.Nextafter(rep.Pos.X, math.Inf(-1))
+						}
+					}
+				case 3, 4: // map predictors: teleport to a random link
+					l := g.Link(links[rng.Intn(len(links))])
+					off := rng.Float64() * l.Length()
+					fwd := rng.Intn(2) == 0
+					pos, _ := l.PointAtDirected(off, fwd)
+					rep.Pos = pos
+					rep.Link = roadmap.Dir{Link: l.ID, Forward: fwd}
+					rep.Offset = off
+				default: // route predictor: teleport along the route
+					off := rng.Float64() * route.Length()
+					pos, _ := route.PointAt(off)
+					rep.Pos = pos
+					rep.RouteOffset = off
+				}
+				return rep
+			}
+			ids := make([]ObjectID, nObjs)
+			seqs := make([]uint32, nObjs)
+			for i := range ids {
+				ids[i] = ObjectID(fmt.Sprintf("obj-%03d", i))
+				if err := s.Register(ids[i], mkPred(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			check := func(now float64) {
+				t.Helper()
+				pop := s.Len()
+				rects := []geo.Rect{
+					{Min: geo.Pt(-400, -400), Max: geo.Pt(400, 400)},
+					{Min: geo.Pt(-1e5, -1e5), Max: geo.Pt(1e5, 1e5)},   // everything
+					{Min: geo.Pt(7e4, 7e4), Max: geo.Pt(7.1e4, 7.1e4)}, // empty cells
+					{Min: geo.Pt(750, -60), Max: geo.Pt(850, 60)},      // on the ring
+				}
+				points := []geo.Point{{X: 0, Y: 0}, {X: 790, Y: 10}, {X: 1e5, Y: 1e5}}
+				for _, qt := range []float64{now, now + 37, now - 13, 0, now + 1000, -50} {
+					for _, r := range rects {
+						got, want := s.Within(r, qt), withinScanRef(s, r, qt)
+						if !reflect.DeepEqual(got, want) {
+							t.Fatalf("Within(%v, t=%v): %d hits != scan %d\n got %v\nwant %v",
+								r, qt, len(got), len(want), got, want)
+						}
+					}
+					for _, p := range points {
+						for _, k := range []int{1, 5, pop + 7} {
+							got, want := s.Nearest(p, k, qt), nearestScanRef(s, p, k, qt)
+							if !reflect.DeepEqual(got, want) {
+								t.Fatalf("Nearest(%v, k=%d, t=%v) != scan\n got %v\nwant %v",
+									p, k, qt, got, want)
+							}
+						}
+					}
+				}
+			}
+
+			for round := 0; round < 25; round++ {
+				now := float64(round) * 10
+				var batch []Update
+				for i := range ids {
+					switch rng.Intn(10) {
+					case 0: // silent this round
+					case 1: // stale or duplicate seq: must be rejected
+						batch = append(batch, Update{ID: ids[i], Update: core.Update{Report: mkReport(i, seqs[i], now)}})
+					case 2: // deregister + re-register (same predictor family)
+						s.Deregister(ids[i])
+						if err := s.Register(ids[i], mkPred(i)); err != nil {
+							t.Fatal(err)
+						}
+						seqs[i] = 0
+					default:
+						seqs[i]++
+						batch = append(batch, Update{ID: ids[i], Update: core.Update{Report: mkReport(i, seqs[i], now)}})
+					}
+				}
+				rng.Shuffle(len(batch), func(a, b int) { batch[a], batch[b] = batch[b], batch[a] })
+				if err := s.ApplyBatch(batch); err != nil {
+					t.Fatal(err)
+				}
+				if round%5 == 0 || round == 24 {
+					check(now)
+				}
+			}
+			st := s.IndexStats()
+			if st.ScanFallbacks != 0 {
+				t.Errorf("bounded fleet fell back to scan %d times", st.ScanFallbacks)
+			}
+			if st.IndexedQueries == 0 || st.CellMoves == 0 {
+				t.Errorf("index counters did not move: %+v", st)
+			}
+		})
+	}
+}
+
+// TestLiveIndexUnboundedFallbackAndRecovery checks the scan fallback
+// for unbounded predictors: while any RaiseToLimit object is resident
+// its shard scans (answers still identical), and once the unbounded
+// objects deregister the shard returns to the indexed path with the
+// index having been maintained for the bounded fleet all along.
+func TestLiveIndexUnboundedFallbackAndRecovery(t *testing.T) {
+	g, links := buildRingGraph(t, 16, 500)
+	rng := rand.New(rand.NewSource(9))
+	s := NewSharded(1) // one shard so one unbounded object poisons all queries
+	const nObjs = 60
+	for i := 0; i < nObjs; i++ {
+		id := ObjectID(fmt.Sprintf("car-%02d", i))
+		if err := s.Register(id, core.LinearPredictor{}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Apply(id, core.Update{Report: core.Report{
+			Seq: 1, T: 0, Pos: geo.Pt(rng.Float64()*4000, rng.Float64()*4000),
+			V: rng.Float64() * 20, Heading: rng.Float64() * 6,
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := geo.Rect{Min: geo.Pt(500, 500), Max: geo.Pt(3000, 3000)}
+	s.Within(r, 5)
+	base := s.IndexStats()
+	if base.ScanFallbacks != 0 || base.IndexedQueries == 0 {
+		t.Fatalf("expected indexed baseline, got %+v", base)
+	}
+
+	// Two unbounded objects join; one reports, one stays silent.
+	for _, id := range []ObjectID{"wild-0", "wild-1"} {
+		if err := s.Register(id, core.NewSpeedCappedMapPredictor(g, true)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l := g.Link(links[0])
+	pos, _ := l.PointAtDirected(3, true)
+	if err := s.Apply("wild-0", core.Update{Report: core.Report{
+		Seq: 1, T: 0, Pos: pos, V: 10, Link: roadmap.Dir{Link: l.ID, Forward: true}, Offset: 3,
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, qt := range []float64{0, 20} {
+		if got, want := s.Within(r, qt), withinScanRef(s, r, qt); !reflect.DeepEqual(got, want) {
+			t.Fatalf("fallback Within(t=%v) diverges:\n got %v\nwant %v", qt, got, want)
+		}
+		if got, want := s.Nearest(pos, 7, qt), nearestScanRef(s, pos, 7, qt); !reflect.DeepEqual(got, want) {
+			t.Fatalf("fallback Nearest(t=%v) diverges:\n got %v\nwant %v", qt, got, want)
+		}
+	}
+	mid := s.IndexStats()
+	if mid.ScanFallbacks == 0 {
+		t.Fatal("unbounded resident did not trigger scan fallbacks")
+	}
+
+	// The unbounded objects leave; the live index takes over again,
+	// consistent without any rebuild.
+	s.Deregister("wild-0")
+	s.Deregister("wild-1")
+	before := s.IndexStats().ScanFallbacks
+	for _, qt := range []float64{0, 20, 111} {
+		if got, want := s.Within(r, qt), withinScanRef(s, r, qt); !reflect.DeepEqual(got, want) {
+			t.Fatalf("recovered Within(t=%v) diverges:\n got %v\nwant %v", qt, got, want)
+		}
+	}
+	after := s.IndexStats()
+	if after.ScanFallbacks != before {
+		t.Error("scan fallbacks kept growing after the unbounded objects left")
+	}
+	if after.IndexedQueries <= mid.IndexedQueries {
+		t.Error("indexed queries did not resume after recovery")
+	}
+}
+
+// TestConcurrentLiveIndexSameShard hammers a single shard with
+// concurrent ApplyBatch (teleporting objects across cells every round,
+// plus register/deregister churn of an unbounded object) and
+// Within/Nearest readers. Under -race this proves the lock discipline
+// of the in-place index maintenance; afterwards the quiesced store must
+// answer bit-identically to the scan reference.
+func TestConcurrentLiveIndexSameShard(t *testing.T) {
+	const (
+		nObjs   = 64
+		readers = 6
+		rounds  = 60
+	)
+	s := NewSharded(1)
+	ids := make([]ObjectID, nObjs)
+	for i := range ids {
+		ids[i] = ObjectID(fmt.Sprintf("veh-%02d", i))
+		if err := s.Register(ids[i], core.LinearPredictor{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mkReport := func(i int, seq uint32, rnd *rand.Rand) core.Report {
+		return core.Report{
+			Seq: seq, T: float64(seq) * 5,
+			Pos:     geo.Pt(rnd.Float64()*20000-10000, rnd.Float64()*20000-10000),
+			V:       rnd.Float64() * 25,
+			Heading: rnd.Float64() * 2 * math.Pi,
+		}
+	}
+	var round atomic.Int64
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		rnd := rand.New(rand.NewSource(77))
+		for seq := uint32(1); seq <= rounds; seq++ {
+			b := make([]Update, nObjs)
+			for i := range ids {
+				b[i] = Update{ID: ids[i], Update: core.Update{Report: mkReport(i, seq, rnd)}}
+			}
+			if err := s.ApplyBatch(b); err != nil {
+				t.Error(err)
+				return
+			}
+			// Unbounded-object churn flips the shard between the indexed
+			// and scan paths while readers are in flight.
+			if seq%8 == 3 {
+				if err := s.Register("wild", core.NewSpeedCappedMapPredictor(nil, true)); err != nil {
+					t.Error(err)
+				}
+			}
+			if seq%8 == 6 {
+				s.Deregister("wild")
+			}
+			round.Store(int64(seq))
+		}
+	}()
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(int64(100 + w)))
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				qt := float64(round.Load())*5 + rnd.Float64()*20 - 5
+				s.Within(geo.Rect{
+					Min: geo.Pt(rnd.Float64()*10000-10000, rnd.Float64()*10000-10000),
+					Max: geo.Pt(rnd.Float64()*10000, rnd.Float64()*10000),
+				}, qt)
+				s.Nearest(geo.Pt(rnd.Float64()*20000-10000, rnd.Float64()*20000-10000), 1+rnd.Intn(nObjs+8), qt)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s.Deregister("wild") // may or may not be resident; either is fine
+
+	for _, qt := range []float64{float64(rounds) * 5, float64(rounds)*5 + 60, 0} {
+		r := geo.Rect{Min: geo.Pt(-8000, -8000), Max: geo.Pt(8000, 8000)}
+		if got, want := s.Within(r, qt), withinScanRef(s, r, qt); !reflect.DeepEqual(got, want) {
+			t.Fatalf("post-quiesce Within(t=%v) diverges: %d vs %d hits", qt, len(got), len(want))
+		}
+		if got, want := s.Nearest(geo.Pt(0, 0), 10, qt), nearestScanRef(s, geo.Pt(0, 0), 10, qt); !reflect.DeepEqual(got, want) {
+			t.Fatalf("post-quiesce Nearest(t=%v) diverges:\n got %v\nwant %v", qt, got, want)
+		}
+	}
+}

@@ -9,10 +9,16 @@
 // read-write lock. Updates can be ingested one at a time (Apply) or in
 // batches (ApplyBatch) that acquire each shard lock only once; range and
 // k-nearest queries fan out across the shards in parallel and merge
-// their partial answers. Each shard additionally keeps a lazily rebuilt
-// spatial snapshot of the last reported positions (a uniform grid from
-// internal/spatial) that prunes range-query candidates whenever the
-// shard's predictors admit a displacement bound.
+// their partial answers. Each shard additionally keeps a live spatial
+// index of the last reported positions (a spatial.LiveGrid maintained in
+// place by the write path: an accepted report moves its object between
+// cells only when it crosses a cell boundary) with per-cell displacement
+// bounds folded from the predictors, so range queries prune by cell
+// rectangle + cell bound and k-nearest queries expand rings of cells
+// outward from the query point — with answers bit-identical to a full
+// scan by construction. Objects whose predictor admits no displacement
+// bound route the whole shard to the scan path instead (see
+// live_index.go).
 //
 // The service is a real ingest server, not only a query store: updates
 // arrive through the internal/wire transport layer — in-process, over a
@@ -75,17 +81,6 @@ const DefaultShards = 16
 // pay for the scheduling.
 const parallelQueryMin = 1024
 
-// minIndexObjects is the shard population below which no spatial
-// snapshot is built: a linear scan is cheaper than maintaining the grid.
-const minIndexObjects = 16
-
-// rebuildAfterScans is how many range queries a shard serves from the
-// scan path after a mutation before it pays the O(n) snapshot rebuild.
-// A rebuild costs several scans' worth of work, so rebuilding eagerly
-// would thrash under write-heavy churn; deferring it keeps the amortised
-// overhead small while read-heavy phases still get the indexed path.
-const rebuildAfterScans = 8
-
 // Service is a thread-safe, sharded location service.
 type Service struct {
 	shards []*shard
@@ -102,60 +97,95 @@ type Service struct {
 	health IndexHealth
 }
 
-// IndexHealth counts the spatial snapshots' behaviour across all
-// shards: how often range queries could use the grid versus falling
-// back to a scan, and how the deferred-rebuild policy is pacing. A
-// rising ScanFallbacks share signals write churn outrunning the
-// rebuild budget; Rebuilds tracks the O(n) snapshot costs actually
-// paid.
+// IndexHealth counts the live spatial index's behaviour across all
+// shards. CellMoves tracks how often ingest actually crossed a cell
+// boundary (the only write-path index cost beyond a bound fold);
+// BoundRecomputes how often a cell bound was re-derived exactly;
+// CellsVisited and RingExpansions the read-side pruning effort. A
+// nonzero ScanFallbacks share means unbounded-predictor objects are
+// routing queries to the O(n) scan path.
 type IndexHealth struct {
-	// Rebuilds counts completed snapshot re-derivations.
-	Rebuilds atomic.Int64
-	// IndexedQueries counts range queries answered through the grid.
+	// CellMoves counts accepted reports that moved an object between
+	// grid cells.
+	CellMoves atomic.Int64
+	// BoundRecomputes counts exact per-cell bound re-derivations
+	// (evictions, fold-budget refreshes, rebucket rebuilds).
+	BoundRecomputes atomic.Int64
+	// CellsVisited counts cells whose residents were evaluated by
+	// indexed queries (after per-cell bound pruning).
+	CellsVisited atomic.Int64
+	// RingExpansions counts cell rings expanded by k-nearest queries.
+	RingExpansions atomic.Int64
+	// IndexedQueries counts queries answered through the live index.
 	IndexedQueries atomic.Int64
-	// ScanFallbacks counts range queries answered by a linear scan
-	// (snapshot dirty, unbounded predictors, or pruning not worthwhile).
+	// ScanFallbacks counts queries answered by a linear scan because the
+	// shard holds objects whose predictor admits no displacement bound.
 	ScanFallbacks atomic.Int64
-	// DeferredRebuilds counts range queries that saw a stale snapshot
-	// but deferred the rebuild under the rebuildAfterScans budget.
-	DeferredRebuilds atomic.Int64
 }
 
 // IndexStats is a point-in-time copy of the index health counters.
 type IndexStats struct {
-	Rebuilds, IndexedQueries, ScanFallbacks, DeferredRebuilds int64
+	CellMoves, BoundRecomputes, CellsVisited, RingExpansions int64
+	IndexedQueries, ScanFallbacks                            int64
 }
 
 // IndexStats returns a snapshot of the spatial-index health counters.
 func (s *Service) IndexStats() IndexStats {
 	return IndexStats{
-		Rebuilds:         s.health.Rebuilds.Load(),
-		IndexedQueries:   s.health.IndexedQueries.Load(),
-		ScanFallbacks:    s.health.ScanFallbacks.Load(),
-		DeferredRebuilds: s.health.DeferredRebuilds.Load(),
+		CellMoves:       s.health.CellMoves.Load(),
+		BoundRecomputes: s.health.BoundRecomputes.Load(),
+		CellsVisited:    s.health.CellsVisited.Load(),
+		RingExpansions:  s.health.RingExpansions.Load(),
+		IndexedQueries:  s.health.IndexedQueries.Load(),
+		ScanFallbacks:   s.health.ScanFallbacks.Load(),
 	}
 }
 
+// objEntry is a shard's record for one object: the protocol replica
+// plus the live-index bookkeeping embedded intrusively — the grid slot
+// and the cached displacement-bound view of the predictor — so the
+// ingest and query hot paths never hash an ObjectID beyond the one
+// replica lookup they always needed.
+type objEntry struct {
+	id  ObjectID
+	srv *core.Server
+	// bounded caches core.BoundsDisplacement(pred); db is the predictor's
+	// bound interface when bounded (nil otherwise). Static per predictor
+	// instance, resolved once at Register.
+	bounded bool
+	db      core.DisplacementBounded
+	slot    spatial.Slot
+}
+
+// GridSlot implements spatial.Member.
+func (e *objEntry) GridSlot() *spatial.Slot { return &e.slot }
+
 // shard is one lock domain of the service: a partition of the object
-// replicas plus a lazily rebuilt spatial snapshot of their last reported
-// positions.
+// replicas plus a live spatial index of their last reported positions
+// (see live_index.go for the maintenance and query algorithms).
 type shard struct {
 	mu   sync.RWMutex
-	objs map[ObjectID]*core.Server
+	objs map[ObjectID]*objEntry
 
 	// health points at the service-wide index health counters.
 	health *IndexHealth
 
-	// Spatial snapshot for range queries, rebuilt on demand after
-	// mutations. idxIDs maps spatial.Entry.ID back to the object.
-	idx        *spatial.Grid
-	idxIDs     []ObjectID
-	idxCell    float64 // grid cell size of the current snapshot, m
-	idxScans   atomic.Int32
-	idxDirty   bool
-	idxBounded bool    // every indexed predictor admits a displacement bound
-	idxMaxV    float64 // max bound speed across indexed objects, m/s
-	idxMinT    float64 // earliest report timestamp across indexed objects
+	// grid holds the last reported position of every bounded-predictor
+	// object with a report; bounds holds the displacement bound folded
+	// over each occupied cell.
+	grid   *spatial.LiveGrid[*objEntry]
+	bounds map[spatial.Cell]*cellBound
+	// unbounded counts residents whose predictor admits no displacement
+	// bound; while nonzero, queries take the scan path.
+	unbounded int
+	// sizedAt is the grid population when the cell size was last chosen.
+	sizedAt int
+	// maxV/minT/maxT fold the cell bounds shard-wide (conservative,
+	// recomputed every shardFolds); epoch increments under the write
+	// lock on every mutation so readers can assert index stability.
+	maxV, minT, maxT float64
+	shardFolds       int
+	epoch            uint64
 }
 
 // New returns an empty service with DefaultShards shards.
@@ -169,7 +199,15 @@ func NewSharded(n int) *Service {
 	}
 	s := &Service{shards: make([]*shard, n)}
 	for i := range s.shards {
-		s.shards[i] = &shard{objs: make(map[ObjectID]*core.Server), idxDirty: true, health: &s.health}
+		s.shards[i] = &shard{
+			objs:    make(map[ObjectID]*objEntry),
+			health:  &s.health,
+			grid:    spatial.NewLiveGrid[*objEntry](liveCellInit),
+			bounds:  make(map[spatial.Cell]*cellBound),
+			sizedAt: liveResizeMin / 2,
+			minT:    math.Inf(1),
+			maxT:    math.Inf(-1),
+		}
 	}
 	return s
 }
@@ -207,8 +245,14 @@ func (s *Service) Register(id ObjectID, pred core.Predictor) error {
 	if _, dup := sh.objs[id]; dup {
 		return fmt.Errorf("locserv: object %q already registered", id)
 	}
-	sh.objs[id] = core.NewServer(pred)
-	sh.idxDirty = true
+	e := &objEntry{id: id, srv: core.NewServer(pred), bounded: core.BoundsDisplacement(pred)}
+	if e.bounded {
+		e.db, _ = pred.(core.DisplacementBounded)
+	} else {
+		sh.unbounded++
+	}
+	sh.objs[id] = e
+	sh.epoch++
 	s.count.Add(1)
 	return nil
 }
@@ -218,9 +262,14 @@ func (s *Service) Deregister(id ObjectID) {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if _, ok := sh.objs[id]; ok {
+	if e, ok := sh.objs[id]; ok {
+		if !e.bounded {
+			sh.unbounded--
+		}
+		sh.dropFromIndexLocked(e)
 		delete(sh.objs, id)
-		sh.idxDirty = true
+		sh.epoch++
+		sh.maybeResizeLocked()
 		s.count.Add(-1)
 	}
 }
@@ -229,13 +278,17 @@ func (s *Service) Deregister(id ObjectID) {
 func (s *Service) Apply(id ObjectID, u core.Update) error {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
-	srv, ok := sh.objs[id]
+	e, ok := sh.objs[id]
 	if !ok {
 		sh.mu.Unlock()
 		return fmt.Errorf("locserv: unknown object %q", id)
 	}
-	accepted := srv.Apply(u)
-	sh.idxDirty = true
+	accepted := e.srv.Apply(u)
+	if accepted {
+		sh.noteAppliedLocked(e)
+		sh.maybeResizeLocked()
+	}
+	sh.epoch++
 	sh.mu.Unlock()
 	if accepted {
 		s.applied.Add(1)
@@ -302,14 +355,15 @@ func (sh *shard) applyIdx(batch []Update, order []int32, errs []error) (_ []erro
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	apply := func(u *Update) {
-		srv, ok := sh.objs[u.ID]
+		e, ok := sh.objs[u.ID]
 		if !ok {
 			errs = append(errs, fmt.Errorf("locserv: unknown object %q", u.ID))
 			return
 		}
-		if srv.Apply(u.Update) {
+		if e.srv.Apply(u.Update) {
 			applied++
 			bytes += int64(u.Update.Report.EncodedSize())
+			sh.noteAppliedLocked(e)
 		}
 	}
 	if order == nil {
@@ -321,7 +375,8 @@ func (sh *shard) applyIdx(batch []Update, order []int32, errs []error) (_ []erro
 			apply(&batch[i])
 		}
 	}
-	sh.idxDirty = true
+	sh.epoch++
+	sh.maybeResizeLocked()
 	return errs, applied, bytes
 }
 
@@ -338,12 +393,12 @@ func (s *Service) PositionSeq(id ObjectID, t float64) (pos geo.Point, seq uint32
 	sh := s.shardFor(id)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	srv, ok := sh.objs[id]
+	e, ok := sh.objs[id]
 	if !ok {
 		return geo.Point{}, 0, false
 	}
-	pos, ok = srv.Position(t)
-	return pos, srv.Seq(), ok
+	pos, ok = e.srv.Position(t)
+	return pos, e.srv.Seq(), ok
 }
 
 // Len returns the number of registered objects.
@@ -455,21 +510,41 @@ func (s *Service) Nearest(p geo.Point, k int, t float64) []ObjectPos {
 	return all
 }
 
-// nearest computes the shard-local top-k, sorted ascending.
+// nearest computes the shard-local top-k, sorted ascending — by ring
+// expansion over the live index when every resident's predictor is
+// displacement-bounded, by heap scan otherwise.
 func (sh *shard) nearest(p geo.Point, k int, t float64) []ObjectPos {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
+	if sh.unbounded > 0 {
+		sh.health.ScanFallbacks.Add(1)
+		return sh.nearestScanLocked(p, k, t)
+	}
+	sh.health.IndexedQueries.Add(1)
+	if sh.grid.Len() == 0 {
+		return nil // no reported objects; nothing can answer
+	}
+	if sh.prunelessLocked(t) {
+		return sh.nearestScanLocked(p, k, t)
+	}
+	return sh.nearestIndexedLocked(p, k, t)
+}
+
+// nearestScanLocked is the O(shard population) reference: every object
+// through a bounded max-heap. It is the correctness oracle for the
+// indexed path in tests and the fallback for unbounded predictors.
+func (sh *shard) nearestScanLocked(p geo.Point, k int, t float64) []ObjectPos {
 	top := k
 	if n := len(sh.objs); n < top {
 		top = n
 	}
 	h := make(posHeap, 0, top)
-	for id, srv := range sh.objs {
-		pos, ok := srv.Position(t)
+	for id, e := range sh.objs {
+		pos, ok := e.srv.Position(t)
 		if !ok {
 			continue
 		}
-		op := ObjectPos{ID: id, Pos: pos, Dist: p.Dist(pos), Seq: srv.Seq()}
+		op := ObjectPos{ID: id, Pos: pos, Dist: p.Dist(pos), Seq: e.srv.Seq()}
 		if len(h) < k {
 			heap.Push(&h, op)
 		} else if PosLess(op, h[0]) {
@@ -497,175 +572,39 @@ func (s *Service) Within(r geo.Rect, t float64) []ObjectPos {
 	return out
 }
 
-// within answers the shard-local range query, through the spatial
-// snapshot when one is valid and a full scan otherwise.
+// within answers the shard-local range query — through the live index
+// when every resident's predictor is displacement-bounded, by full scan
+// otherwise.
 func (sh *shard) within(r geo.Rect, t float64) []ObjectPos {
-	sh.maybeRebuildIndex()
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	// A writer may have dirtied the snapshot between ensureIndex and the
-	// read lock; correctness then requires the scan path.
-	if sh.idx == nil || sh.idxDirty || !sh.idxBounded {
-		sh.health.ScanFallbacks.Add(1)
-		return sh.withinScanLocked(r, t)
-	}
-	// Every indexed object is within boundSpeed*(t-T) of its last
-	// reported position, so expanding the query window by the shard-wide
-	// worst case cannot miss a hit. The +1 m slack absorbs map-matching
-	// rounding between a report's position and its link offset point.
-	reach := sh.idxMaxV*math.Max(0, t-sh.idxMinT) + 1
-	grown := r.Expand(reach)
-	// When the expanded window dwarfs the indexed extent the grid walk
-	// degenerates to visiting every cell; scanning is cheaper.
-	if !sh.pruneWorthwhileLocked(grown) {
+	if sh.unbounded > 0 {
 		sh.health.ScanFallbacks.Add(1)
 		return sh.withinScanLocked(r, t)
 	}
 	sh.health.IndexedQueries.Add(1)
-	var out []ObjectPos
-	sh.idx.Search(grown, func(e spatial.Entry) bool {
-		id := sh.idxIDs[e.ID]
-		srv, ok := sh.objs[id]
-		if !ok {
-			return true
-		}
-		pos, ok := srv.Position(t)
-		if ok && r.Contains(pos) {
-			out = append(out, ObjectPos{ID: id, Pos: pos, Seq: srv.Seq()})
-		}
-		return true
-	})
-	return out
-}
-
-// pruneWorthwhileLocked reports whether searching the grid over the
-// expanded window beats a linear scan of the shard.
-func (sh *shard) pruneWorthwhileLocked(grown geo.Rect) bool {
-	cell := sh.idxCellSizeLocked()
-	if cell <= 0 {
-		return false
+	if sh.grid.Len() == 0 {
+		return nil // no reported objects; nothing can answer
 	}
-	cells := (grown.Width()/cell + 1) * (grown.Height()/cell + 1)
-	return cells < float64(4*len(sh.idxIDs)+16)
-}
-
-func (sh *shard) idxCellSizeLocked() float64 {
-	if sh.idx == nil || sh.idx.Len() == 0 {
-		return 0
+	if sh.prunelessLocked(t) {
+		return sh.withinScanLocked(r, t)
 	}
-	return sh.idxCell
+	return sh.withinIndexedLocked(r, t)
 }
 
+// withinScanLocked is the O(shard population) reference: evaluate every
+// object. It is the correctness oracle for the indexed path in tests
+// and the fallback for unbounded predictors.
 func (sh *shard) withinScanLocked(r geo.Rect, t float64) []ObjectPos {
 	var out []ObjectPos
-	for id, srv := range sh.objs {
-		pos, ok := srv.Position(t)
+	for id, e := range sh.objs {
+		pos, ok := e.srv.Position(t)
 		if !ok {
 			continue
 		}
 		if r.Contains(pos) {
-			out = append(out, ObjectPos{ID: id, Pos: pos, Seq: srv.Seq()})
+			out = append(out, ObjectPos{ID: id, Pos: pos, Seq: e.srv.Seq()})
 		}
 	}
 	return out
-}
-
-// maybeRebuildIndex rebuilds the shard's spatial snapshot once it is
-// stale and enough range queries have been served from the scan path,
-// upgrading to the write lock only when a rebuild is actually due.
-func (sh *shard) maybeRebuildIndex() {
-	sh.mu.RLock()
-	dirty := sh.idxDirty
-	sh.mu.RUnlock()
-	if !dirty {
-		return
-	}
-	if sh.idxScans.Add(1) < rebuildAfterScans {
-		sh.health.DeferredRebuilds.Add(1)
-		return
-	}
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if sh.idxDirty {
-		sh.rebuildIndexLocked()
-	}
-}
-
-// rebuildIndexLocked re-derives the spatial snapshot from the current
-// replica states. Objects without a report are left out (they cannot
-// answer a range query anyway).
-func (sh *shard) rebuildIndexLocked() {
-	sh.health.Rebuilds.Add(1)
-	sh.idx = nil
-	sh.idxIDs = sh.idxIDs[:0]
-	sh.idxBounded = true
-	sh.idxMaxV = 0
-	sh.idxMinT = math.Inf(1)
-	sh.idxDirty = false
-	sh.idxScans.Store(0)
-
-	type ent struct {
-		id  ObjectID
-		pos geo.Point
-	}
-	ents := make([]ent, 0, len(sh.objs))
-	bounds := geo.EmptyRect()
-	for id, srv := range sh.objs {
-		rep, ok := srv.LastReport()
-		if !ok {
-			continue
-		}
-		vb := boundSpeed(srv.Predictor(), rep)
-		if math.IsInf(vb, 1) {
-			sh.idxBounded = false
-		} else if vb > sh.idxMaxV {
-			sh.idxMaxV = vb
-		}
-		if rep.T < sh.idxMinT {
-			sh.idxMinT = rep.T
-		}
-		ents = append(ents, ent{id: id, pos: rep.Pos})
-		bounds = bounds.ExtendPoint(rep.Pos)
-	}
-	if len(ents) < minIndexObjects || !sh.idxBounded {
-		return
-	}
-	// Aim for a few objects per cell over the occupied extent.
-	cell := math.Max(bounds.Width(), bounds.Height()) / math.Sqrt(float64(len(ents)))
-	if cell <= 0 || math.IsInf(cell, 0) || math.IsNaN(cell) {
-		cell = 1
-	}
-	g := spatial.NewGrid(cell)
-	for _, e := range ents {
-		g.Insert(spatial.PointEntry(int64(len(sh.idxIDs)), e.pos))
-		sh.idxIDs = append(sh.idxIDs, e.id)
-	}
-	g.Build()
-	sh.idx = g
-	sh.idxCell = cell
-}
-
-// boundSpeed returns an upper bound on how fast pred can move the
-// predicted position away from the reported position, in m/s, or +Inf
-// when no bound is known for the predictor type. The known predictor
-// families advance by at most the reported speed: linear extrapolation
-// and the CTRV arc cover distance V·dt, and the map-based walk spends
-// V·dt of arc length along road polylines, whose euclidean displacement
-// is no larger.
-func boundSpeed(pred core.Predictor, rep core.Report) float64 {
-	switch p := pred.(type) {
-	case core.StaticPredictor:
-		return 0
-	case core.LinearPredictor, core.CTRVPredictor, *core.MapPredictor:
-		return rep.V
-	case *core.SpeedCappedMapPredictor:
-		// With RaiseToLimit the assumed speed can exceed the reported
-		// speed (up to unknown link limits), so no bound is available.
-		if p.RaiseToLimit {
-			return math.Inf(1)
-		}
-		return rep.V
-	default:
-		return math.Inf(1)
-	}
 }

@@ -59,14 +59,16 @@ func (s *Service) NodeStats() NodeStats {
 // Payload converts the snapshot to its wire representation.
 func (st NodeStats) Payload() wire.StatsPayload {
 	return wire.StatsPayload{
-		Objects:          int64(st.Objects),
-		Shards:           int64(st.Shards),
-		UpdatesApplied:   st.UpdatesApplied,
-		WireBytes:        st.WireBytes,
-		IndexRebuilds:    st.Index.Rebuilds,
-		IndexedQueries:   st.Index.IndexedQueries,
-		ScanFallbacks:    st.Index.ScanFallbacks,
-		DeferredRebuilds: st.Index.DeferredRebuilds,
+		Objects:         int64(st.Objects),
+		Shards:          int64(st.Shards),
+		UpdatesApplied:  st.UpdatesApplied,
+		WireBytes:       st.WireBytes,
+		CellMoves:       st.Index.CellMoves,
+		BoundRecomputes: st.Index.BoundRecomputes,
+		CellsVisited:    st.Index.CellsVisited,
+		RingExpansions:  st.Index.RingExpansions,
+		IndexedQueries:  st.Index.IndexedQueries,
+		ScanFallbacks:   st.Index.ScanFallbacks,
 	}
 }
 
@@ -78,10 +80,12 @@ func StatsFromPayload(p wire.StatsPayload) NodeStats {
 		UpdatesApplied: p.UpdatesApplied,
 		WireBytes:      p.WireBytes,
 		Index: IndexStats{
-			Rebuilds:         p.IndexRebuilds,
-			IndexedQueries:   p.IndexedQueries,
-			ScanFallbacks:    p.ScanFallbacks,
-			DeferredRebuilds: p.DeferredRebuilds,
+			CellMoves:       p.CellMoves,
+			BoundRecomputes: p.BoundRecomputes,
+			CellsVisited:    p.CellsVisited,
+			RingExpansions:  p.RingExpansions,
+			IndexedQueries:  p.IndexedQueries,
+			ScanFallbacks:   p.ScanFallbacks,
 		},
 	}
 }
@@ -129,11 +133,11 @@ type Node interface {
 func (s *Service) Export(lo, hi uint64) (recs []wire.Record, ids []ObjectID, err error) {
 	for _, sh := range s.shards {
 		sh.mu.RLock()
-		for id, srv := range sh.objs {
+		for id, e := range sh.objs {
 			if !wire.InKeyRange(wire.KeyHash(string(id)), lo, hi) {
 				continue
 			}
-			if rep, ok := srv.LastReport(); ok {
+			if rep, ok := e.srv.LastReport(); ok {
 				recs = append(recs, wire.Record{
 					ID: string(id),
 					// ReasonInit: on the importing node this is the

@@ -226,7 +226,8 @@ func TestNodeHandlerQueryEndpoint(t *testing.T) {
 // spatial-index health counters and that they actually move.
 func TestStatsEndpointHealthCounters(t *testing.T) {
 	s := NewSharded(1)
-	// Enough bounded objects in one shard to build a snapshot.
+	// Enough bounded objects in one shard to exercise the live index,
+	// plus one unbounded object (added later) to move ScanFallbacks.
 	for i := 0; i < 64; i++ {
 		id := ObjectID(fmt.Sprintf("obj-%03d", i))
 		if err := s.Register(id, core.LinearPredictor{}); err != nil {
@@ -238,14 +239,28 @@ func TestStatsEndpointHealthCounters(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// A second report far away moves each object across a cell boundary.
+	for i := 0; i < 64; i++ {
+		id := ObjectID(fmt.Sprintf("obj-%03d", i))
+		if err := s.Apply(id, core.Update{Reason: core.ReasonDeviation, Report: core.Report{
+			Seq: 2, T: 1, Pos: geo.Pt(float64(i%8)*100+5000, float64(i/8)*100), V: 1,
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
 	r := geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(250, 250)}
-	// Scans while the snapshot is dirty (deferred), then the rebuild,
-	// then indexed queries.
 	for i := 0; i < 20; i++ {
 		s.Within(r, 1)
+		s.Nearest(geo.Pt(5100, 100), 3, 1)
 	}
+	// An unbounded-predictor object routes queries to the scan path.
+	if err := s.Register("unbounded", &core.SpeedCappedMapPredictor{RaiseToLimit: true}); err != nil {
+		t.Fatal(err)
+	}
+	s.Within(r, 1)
 	st := s.IndexStats()
-	if st.Rebuilds == 0 || st.ScanFallbacks == 0 || st.DeferredRebuilds == 0 || st.IndexedQueries == 0 {
+	if st.CellMoves == 0 || st.BoundRecomputes == 0 || st.CellsVisited == 0 ||
+		st.RingExpansions == 0 || st.IndexedQueries == 0 || st.ScanFallbacks == 0 {
 		t.Fatalf("index counters did not move: %+v", st)
 	}
 
@@ -262,13 +277,14 @@ func TestStatsEndpointHealthCounters(t *testing.T) {
 	}
 	for _, key := range []string{
 		"objects", "shards", "updates_applied", "wire_bytes",
-		"index_rebuilds", "index_queries", "index_scan_fallbacks", "index_deferred_rebuilds",
+		"index_cell_moves", "index_bound_recomputes", "index_cells_visited",
+		"index_ring_expansions", "index_queries", "index_scan_fallbacks",
 	} {
 		if _, ok := body[key]; !ok {
 			t.Errorf("/stats missing %q: %v", key, body)
 		}
 	}
-	if body["index_rebuilds"] != st.Rebuilds || body["index_scan_fallbacks"] != st.ScanFallbacks {
+	if body["index_cell_moves"] != st.CellMoves || body["index_scan_fallbacks"] != st.ScanFallbacks {
 		t.Errorf("/stats counters diverge from IndexStats: %v vs %+v", body, st)
 	}
 }

@@ -1,0 +1,47 @@
+package locserv
+
+import (
+	"sort"
+
+	"mapdr/internal/geo"
+)
+
+// Scan-path reference oracle. ReferenceWithin and ReferenceNearest
+// answer queries by brute-force scan of every shard — the same
+// per-object evaluation the live index's pruned paths must reproduce
+// bit-identically. They exist for validation harnesses (the churn
+// experiment, property tests, benchmarks baselining the index against
+// a scan) and cost O(n) per call; production queries go through Within
+// and Nearest.
+
+// ReferenceWithin answers a range query through the per-shard scan
+// reference, merged and sorted exactly like Within.
+func (s *Service) ReferenceWithin(r geo.Rect, t float64) []ObjectPos {
+	var out []ObjectPos
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		out = append(out, sh.withinScanLocked(r, t)...)
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ReferenceNearest answers a k-NN query through the per-shard
+// heap-scan reference, merged and truncated exactly like Nearest.
+func (s *Service) ReferenceNearest(p geo.Point, k int, t float64) []ObjectPos {
+	if k <= 0 {
+		return nil
+	}
+	var all []ObjectPos
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		all = append(all, sh.nearestScanLocked(p, k, t)...)
+		sh.mu.RUnlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return PosLess(all[i], all[j]) })
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}

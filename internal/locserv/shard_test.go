@@ -173,9 +173,11 @@ func TestNearestMerge(t *testing.T) {
 	}
 }
 
-// TestWithinIndexMatchesScan cross-checks the spatial-snapshot range path
+// TestWithinIndexMatchesScan cross-checks the live-index range path
 // against brute force over moving objects, across shard counts and query
-// times (which grow the snapshot's expansion reach).
+// times (which grow the cell bounds' pruning reach) — and verifies that
+// bounded-predictor fleets never fall back to a scan, even right after a
+// mutation.
 func TestWithinIndexMatchesScan(t *testing.T) {
 	for _, shards := range []int{1, 8} {
 		t.Run(fmt.Sprintf("shards-%d", shards), func(t *testing.T) {
@@ -228,23 +230,13 @@ func TestWithinIndexMatchesScan(t *testing.T) {
 					}
 				}
 			}
-			// The first queries after a mutation run on the scan path; the
-			// rebuild is deferred until the snapshot has paid for itself.
-			for i := 0; i <= rebuildAfterScans; i++ {
-				check(0)
-			}
-			for _, sh := range s.shards {
-				if len(sh.objs) >= minIndexObjects && (sh.idxDirty || sh.idx == nil) {
-					t.Fatalf("snapshot not rebuilt after %d range queries", rebuildAfterScans+1)
-				}
-			}
-			// These exercise the indexed path at growing expansion reach.
+			// Exercise the indexed path at growing pruning reach.
 			for _, qt := range []float64{0, 10, 60, 300} {
 				check(qt)
 			}
-			// Mutate one object and re-query: results must be fresh even
-			// while the rebuild is still deferred, and again once the
-			// snapshot has been rebuilt.
+			// Mutate one object and re-query immediately: the live index is
+			// maintained by the write path, so the answer must be fresh with
+			// no rebuild in between.
 			moved := objs[0].id
 			if err := s.Apply(moved, core.Update{Report: core.Report{
 				Seq: 2, T: 0, Pos: geo.Pt(2000, 2000), V: 0,
@@ -252,24 +244,25 @@ func TestWithinIndexMatchesScan(t *testing.T) {
 				t.Fatal(err)
 			}
 			objs[0].rep = core.Report{Seq: 2, T: 0, Pos: geo.Pt(2000, 2000), V: 0}
-			findMoved := func(phase string) {
-				t.Helper()
-				r := geo.Rect{Min: geo.Pt(1999, 1999), Max: geo.Pt(2001, 2001)}
-				found := false
-				for _, h := range s.Within(r, 0) {
-					if h.ID == moved {
-						found = true
-					}
-				}
-				if !found {
-					t.Errorf("%s: moved object missing from range answer", phase)
+			r := geo.Rect{Min: geo.Pt(1999, 1999), Max: geo.Pt(2001, 2001)}
+			found := false
+			for _, h := range s.Within(r, 0) {
+				if h.ID == moved {
+					found = true
 				}
 			}
-			findMoved("scan fallback while dirty")
-			for i := 0; i <= rebuildAfterScans; i++ {
-				check(0)
+			if !found {
+				t.Error("moved object missing from range answer right after its update")
 			}
-			findMoved("rebuilt snapshot")
+			check(0)
+			check(60)
+			st := s.IndexStats()
+			if st.ScanFallbacks != 0 {
+				t.Errorf("bounded-predictor fleet hit the scan path %d times", st.ScanFallbacks)
+			}
+			if st.IndexedQueries == 0 {
+				t.Error("no queries went through the live index")
+			}
 		})
 	}
 }

@@ -1,0 +1,257 @@
+package spatial
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"mapdr/internal/geo"
+)
+
+// tm is the test member type: a keyed record with the intrusive slot,
+// the way internal/locserv embeds one in its object entries.
+type tm struct {
+	key  string
+	slot Slot
+}
+
+func (m *tm) GridSlot() *Slot { return &m.slot }
+
+// checkLiveGridInvariants verifies the grid's bookkeeping against the
+// reference position map: every member in exactly one cell, slots
+// consistent, counts matching, occupied-cell bbox covering every cell.
+func checkLiveGridInvariants(t *testing.T, g *LiveGrid[*tm], ref map[*tm]geo.Point) {
+	t.Helper()
+	if g.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", g.Len(), len(ref))
+	}
+	seen := 0
+	cells := 0
+	minC, maxC, haveExt := g.CellExtent()
+	g.VisitCells(func(c Cell, members []*tm) bool {
+		cells++
+		if len(members) == 0 {
+			t.Fatalf("cell %v kept with zero members", c)
+		}
+		if !haveExt || c.X < minC.X || c.X > maxC.X || c.Y < minC.Y || c.Y > maxC.Y {
+			t.Fatalf("cell %v outside CellExtent [%v,%v]", c, minC, maxC)
+		}
+		for idx, m := range members {
+			p, ok := ref[m]
+			if !ok {
+				t.Fatalf("grid holds removed member %q", m.key)
+			}
+			if g.CellOf(p) != c {
+				t.Fatalf("member %q in cell %v, position %v maps to %v", m.key, c, p, g.CellOf(p))
+			}
+			if m.slot.cell != c || m.slot.idx != int32(idx) || !m.slot.in {
+				t.Fatalf("member %q slot %+v, want cell=%v idx=%d in=true", m.key, m.slot, c, idx)
+			}
+			if gp, ok := m.slot.Pos(); !ok || gp != p {
+				t.Fatalf("Pos(%q) = %v,%v want %v", m.key, gp, ok, p)
+			}
+			// CellOf/CellRect agree only up to float rounding at cell
+			// boundaries (the index's ≥1 m reach slack absorbs this).
+			if !g.CellRect(c).Expand(1e-9).Contains(p) {
+				t.Fatalf("position %v outside CellRect(%v) = %v", p, c, g.CellRect(c))
+			}
+			seen++
+		}
+		return true
+	})
+	if seen != len(ref) {
+		t.Fatalf("cells hold %d members, want %d", seen, len(ref))
+	}
+	if cells != g.Cells() {
+		t.Fatalf("Cells() = %d, visited %d", g.Cells(), cells)
+	}
+}
+
+// TestLiveGridRandomOps drives random updates, moves, teleports and
+// removals against a reference map, checking full invariants throughout
+// — including swap-delete slot fixing and exact cell-boundary
+// positions.
+func TestLiveGridRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := NewLiveGrid[*tm](100)
+	ref := map[*tm]geo.Point{}
+	members := make([]*tm, 60)
+	for i := range members {
+		members[i] = &tm{key: fmt.Sprintf("k-%03d", i)}
+	}
+	randPos := func() geo.Point {
+		if rng.Intn(4) == 0 {
+			// Exactly on a cell boundary (multiples of the cell size),
+			// sometimes nudged by one ulp to sit epsilon-inside/outside.
+			p := geo.Pt(float64(rng.Intn(21)-10)*100, float64(rng.Intn(21)-10)*100)
+			switch rng.Intn(3) {
+			case 1:
+				p.X = math.Nextafter(p.X, math.Inf(1))
+			case 2:
+				p.X = math.Nextafter(p.X, math.Inf(-1))
+			}
+			return p
+		}
+		return geo.Pt(rng.Float64()*4000-2000, rng.Float64()*4000-2000)
+	}
+	for step := 0; step < 3000; step++ {
+		m := members[rng.Intn(60)]
+		switch rng.Intn(10) {
+		case 0: // remove
+			_, ok := g.Remove(m)
+			if _, refOk := ref[m]; ok != refOk {
+				t.Fatalf("Remove(%s) = %v, ref has %v", m.key, ok, refOk)
+			}
+			delete(ref, m)
+		default: // insert, small move, or teleport
+			p := randPos()
+			prev, cur, existed := g.Update(m, p)
+			if _, refOk := ref[m]; existed != refOk {
+				t.Fatalf("Update(%s) existed=%v, ref has %v", m.key, existed, refOk)
+			}
+			if existed && prev != cur && g.CellOf(p) != cur {
+				t.Fatalf("Update(%s) cur=%v, CellOf=%v", m.key, cur, g.CellOf(p))
+			}
+			ref[m] = p
+		}
+		if step%101 == 0 {
+			checkLiveGridInvariants(t, g, ref)
+		}
+	}
+	checkLiveGridInvariants(t, g, ref)
+
+	// Remove everything; the grid must drain to empty cells.
+	for m := range ref {
+		if _, ok := g.Remove(m); !ok {
+			t.Fatalf("final Remove(%s) missed", m.key)
+		}
+		if m.slot.InGrid() {
+			t.Fatalf("removed member %s still marked in-grid", m.key)
+		}
+	}
+	if g.Len() != 0 || g.Cells() != 0 {
+		t.Fatalf("drained grid: Len=%d Cells=%d", g.Len(), g.Cells())
+	}
+}
+
+// TestLiveGridCellMath pins the floor bucketing across the origin and
+// the CellRect inverse.
+func TestLiveGridCellMath(t *testing.T) {
+	g := NewLiveGrid[*tm](50)
+	cases := []struct {
+		p geo.Point
+		c Cell
+	}{
+		{geo.Pt(0, 0), Cell{0, 0}},
+		{geo.Pt(49.999, 49.999), Cell{0, 0}},
+		{geo.Pt(50, 50), Cell{1, 1}},
+		{geo.Pt(-0.001, 0), Cell{-1, 0}},
+		{geo.Pt(-50, -50), Cell{-1, -1}},
+		{geo.Pt(-50.001, -0.001), Cell{-2, -1}},
+	}
+	for _, tc := range cases {
+		if got := g.CellOf(tc.p); got != tc.c {
+			t.Errorf("CellOf(%v) = %v, want %v", tc.p, got, tc.c)
+		}
+		r := g.CellRect(tc.c)
+		if !r.Contains(tc.p) {
+			t.Errorf("CellRect(%v) = %v misses %v", tc.c, r, tc.p)
+		}
+	}
+}
+
+// TestLiveGridVisitRing checks rings partition the occupied cells by
+// Chebyshev distance and that early termination works.
+func TestLiveGridVisitRing(t *testing.T) {
+	g := NewLiveGrid[*tm](10)
+	// A 7x7 block of cells around the origin, one member per cell.
+	for dx := -3; dx <= 3; dx++ {
+		for dy := -3; dy <= 3; dy++ {
+			m := &tm{key: fmt.Sprintf("c%d,%d", dx, dy)}
+			g.Update(m, geo.Pt(float64(dx)*10+5, float64(dy)*10+5))
+		}
+	}
+	center := g.CellOf(geo.Pt(5, 5))
+	total := 0
+	for ring := int32(0); ring <= 3; ring++ {
+		count := 0
+		g.VisitRing(center, ring, func(c Cell, members []*tm) bool {
+			d := absI32t(c.X - center.X)
+			if dy := absI32t(c.Y - center.Y); dy > d {
+				d = dy
+			}
+			if d != ring {
+				t.Fatalf("ring %d visited cell %v at distance %d", ring, c, d)
+			}
+			count += len(members)
+			return true
+		})
+		want := 8 * int(ring)
+		if ring == 0 {
+			want = 1
+		}
+		if count != want {
+			t.Errorf("ring %d: %d cells, want %d", ring, count, want)
+		}
+		total += count
+	}
+	if total != 49 {
+		t.Errorf("rings 0..3 covered %d cells, want 49", total)
+	}
+	// Early termination: fn returning false stops the ring.
+	calls := 0
+	if g.VisitRing(center, 2, func(Cell, []*tm) bool { calls++; return false }) {
+		t.Error("VisitRing did not report early termination")
+	}
+	if calls != 1 {
+		t.Errorf("VisitRing kept calling after false: %d calls", calls)
+	}
+}
+
+func absI32t(v int32) int32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// TestLiveGridRebucket checks rebucketing preserves membership, resets
+// the cell extent exactly, and counts.
+func TestLiveGridRebucket(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := NewLiveGrid[*tm](100)
+	ref := map[*tm]geo.Point{}
+	for i := 0; i < 200; i++ {
+		m := &tm{key: fmt.Sprintf("k-%d", i)}
+		p := geo.Pt(rng.Float64()*10000, rng.Float64()*10000)
+		g.Update(m, p)
+		ref[m] = p
+	}
+	// Vacate the far corner so the monotone extent goes stale.
+	far := &tm{key: "far"}
+	g.Update(far, geo.Pt(1e6, 1e6))
+	g.Remove(far)
+	_, maxC, _ := g.CellExtent()
+	if maxC.X < 1000 {
+		t.Fatalf("monotone extent should still cover the vacated far cell, maxC=%v", maxC)
+	}
+
+	g.Rebucket(25)
+	if g.CellSize() != 25 {
+		t.Errorf("CellSize = %v after Rebucket", g.CellSize())
+	}
+	if g.Rebuckets() != 1 {
+		t.Errorf("Rebuckets = %d", g.Rebuckets())
+	}
+	checkLiveGridInvariants(t, g, ref)
+	// Extent is exact again after the rebucket.
+	_, maxC, _ = g.CellExtent()
+	if maxC.X >= 1000 {
+		t.Errorf("CellExtent not reset by Rebucket: maxC=%v", maxC)
+	}
+	b := g.Extent()
+	if b.Max.X > 10000 || b.Max.Y > 10000 {
+		t.Errorf("Extent() = %v beyond stored positions", b)
+	}
+}

@@ -36,8 +36,11 @@ import (
 // from the update-frame Version space only by context (queries and
 // updates arrive on different endpoints/ops). Version 2 added replica
 // sequence numbers to every hit (the coordinator's freshest-Seq merge
-// needs them) and the Within paging cursor.
-const QueryVersion = 2
+// needs them) and the Within paging cursor. Version 3 replaced the
+// rebuild-era stats counters with the live spatial index's six
+// (cell moves, bound recomputes, cells visited, ring expansions,
+// indexed queries, scan fallbacks).
+const QueryVersion = 3
 
 // QueryContentType is the media type of binary query frames on HTTP.
 const QueryContentType = "application/x-mapdr-query"
@@ -127,17 +130,18 @@ func QueryHitSize(h QueryHit) int {
 }
 
 // StatsPayload is the OpStats answer: a node's counter snapshot. The
-// index counters mirror internal/locserv's spatial-snapshot health
+// index counters mirror internal/locserv's live spatial-index health
 // metrics.
 type StatsPayload struct {
-	Objects, Shards                 int64
-	UpdatesApplied, WireBytes       int64
-	IndexRebuilds, IndexedQueries   int64
-	ScanFallbacks, DeferredRebuilds int64
+	Objects, Shards               int64
+	UpdatesApplied, WireBytes     int64
+	CellMoves, BoundRecomputes    int64
+	CellsVisited, RingExpansions  int64
+	IndexedQueries, ScanFallbacks int64
 }
 
 // statsFieldCount is the number of uvarint fields in a StatsPayload.
-const statsFieldCount = 8
+const statsFieldCount = 10
 
 // QueryResponse is one query-protocol response. Err != "" signals an
 // application-level failure (unknown op, rejected registration, ...);
@@ -399,13 +403,15 @@ func AppendQueryResponse(dst []byte, resp QueryResponse) []byte {
 func (s *StatsPayload) fields() [statsFieldCount]int64 {
 	return [statsFieldCount]int64{
 		s.Objects, s.Shards, s.UpdatesApplied, s.WireBytes,
-		s.IndexRebuilds, s.IndexedQueries, s.ScanFallbacks, s.DeferredRebuilds,
+		s.CellMoves, s.BoundRecomputes, s.CellsVisited, s.RingExpansions,
+		s.IndexedQueries, s.ScanFallbacks,
 	}
 }
 
 func (s *StatsPayload) setFields(v [statsFieldCount]int64) {
 	s.Objects, s.Shards, s.UpdatesApplied, s.WireBytes = v[0], v[1], v[2], v[3]
-	s.IndexRebuilds, s.IndexedQueries, s.ScanFallbacks, s.DeferredRebuilds = v[4], v[5], v[6], v[7]
+	s.CellMoves, s.BoundRecomputes, s.CellsVisited, s.RingExpansions = v[4], v[5], v[6], v[7]
+	s.IndexedQueries, s.ScanFallbacks = v[8], v[9]
 }
 
 // EncodeQueryResponse encodes resp as one frame, validating the size

@@ -57,7 +57,8 @@ func sampleResponses() []QueryResponse {
 		{Op: OpWithin, Hits: []QueryHit{{ID: "page-1", X: 1, Y: 2, Seq: 9}}, Next: "page-1"},
 		{Op: OpStats, Stats: StatsPayload{
 			Objects: 10, Shards: 4, UpdatesApplied: 123, WireBytes: 4567,
-			IndexRebuilds: 1, IndexedQueries: 2, ScanFallbacks: 3, DeferredRebuilds: 4,
+			CellMoves: 1, BoundRecomputes: 2, CellsVisited: 3, RingExpansions: 4,
+			IndexedQueries: 5, ScanFallbacks: 6,
 		}},
 		{Op: OpRegister},
 		{Op: OpDeregister},

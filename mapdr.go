@@ -342,8 +342,9 @@ type (
 	// NodeStats is a node's counter snapshot, including the
 	// spatial-index health counters.
 	NodeStats = locserv.NodeStats
-	// IndexStats counts spatial-snapshot rebuilds, indexed vs scan
-	// range queries and deferred rebuilds.
+	// IndexStats counts the live spatial index's health: cell moves and
+	// bound recomputes on the write path, cells visited and k-NN rings
+	// expanded on the read path, and the indexed-vs-scan query mix.
 	IndexStats = locserv.IndexStats
 )
 
