@@ -215,8 +215,8 @@ func (sh *shard) maybeResizeLocked() {
 	if !ok {
 		return
 	}
-	span := maxC.X - minC.X
-	if dy := maxC.Y - minC.Y; dy > span {
+	span := int64(maxC.X) - int64(minC.X)
+	if dy := int64(maxC.Y) - int64(minC.Y); dy > span {
 		span = dy
 	}
 	w := float64(span+1) * sh.grid.CellSize()
@@ -267,11 +267,24 @@ func (sh *shard) rebuildBoundsLocked() {
 // as indexed (the index made the decision; no fallback occurred).
 // Caller holds the read lock.
 func (sh *shard) prunelessLocked(t float64) bool {
+	if sh.grid.Saturated() > 0 {
+		// A member sits in an edge cell, where CellOf saturated its
+		// coordinate: cell indices no longer measure distance near it
+		// (ring lower bounds in particular are unsound), so answer by
+		// the scan body until it rebuckets or moves back into range.
+		return true
+	}
 	minC, maxC, ok := sh.grid.CellExtent()
 	if !ok {
 		return true
 	}
-	span := maxI32(maxC.X-minC.X, maxC.Y-minC.Y)
+	// Spans in int64: the monotone bbox can straddle most of the int32
+	// cell range after extreme positions have come and gone, where raw
+	// int32 subtraction would wrap.
+	span := int64(maxC.X) - int64(minC.X)
+	if dy := int64(maxC.Y) - int64(minC.Y); dy > span {
+		span = dy
+	}
 	return boundReach(sh.maxV, sh.minT, sh.maxT, t)*2 >= float64(span+1)*sh.grid.CellSize()
 }
 
@@ -317,11 +330,20 @@ func (sh *shard) withinIndexedLocked(r geo.Rect, t float64) []ObjectPos {
 		lo.X, lo.Y = maxI32(lo.X, minC.X), maxI32(lo.Y, minC.Y)
 		hi.X, hi.Y = minI32(hi.X, maxC.X), minI32(hi.Y, maxC.Y)
 	}
-	windowCells := int64(hi.X-lo.X+1) * int64(hi.Y-lo.Y+1)
-	if windowCells <= int64(sh.grid.Cells()) {
-		for cx := lo.X; cx <= hi.X; cx++ {
-			for cy := lo.Y; cy <= hi.Y; cy++ {
-				c := spatial.Cell{X: cx, Y: cy}
+	// Spans in int64: CellOf saturates instead of overflowing, but the
+	// extent clamp can still invert an axis when the grown window misses
+	// the occupied bbox entirely. A degenerate or oversized window walks
+	// the occupied cells instead, where the per-cell predicate decides —
+	// never a silent zero-iteration loop over a legal query. The span
+	// guards also keep the cell-count product from overflowing and the
+	// int64 loop variables keep cx/cy from wrapping at the int32 edge.
+	spanX := int64(hi.X) - int64(lo.X) + 1
+	spanY := int64(hi.Y) - int64(lo.Y) + 1
+	occupied := int64(sh.grid.Cells())
+	if spanX > 0 && spanY > 0 && spanX <= occupied && spanY <= occupied && spanX*spanY <= occupied {
+		for cx := int64(lo.X); cx <= int64(hi.X); cx++ {
+			for cy := int64(lo.Y); cy <= int64(hi.Y); cy++ {
+				c := spatial.Cell{X: int32(cx), Y: int32(cy)}
 				if members := sh.grid.CellMembers(c); len(members) > 0 {
 					visit(c, members)
 				}
@@ -346,7 +368,12 @@ func (sh *shard) withinIndexedLocked(r geo.Rect, t float64) []ObjectPos {
 //
 // Soundness: a candidate in cell c is at least
 // dist(p, CellRect(c)) − reach_c from p, and every cell on ring ρ is at
-// least (ρ−1)·cellSize from p. Cells and rings are skipped only when
+// least (ρ−1)·cellSize from p — clamping the ring center into the
+// occupied bbox preserves this, because clamping each axis toward the
+// range that contains every occupied cell's coordinate can only shrink
+// |center−c| per axis, so ρ never exceeds the Chebyshev distance from
+// p's true (unclamped, float) cell to c, for which the bound is the
+// standard one. Cells and rings are skipped only when
 // that lower bound strictly exceeds the current k-th best distance;
 // PosLess breaks distance ties by id, so an equal-distance candidate
 // can still win and is never pruned. The retained set is the top-k
@@ -358,26 +385,33 @@ func (sh *shard) nearestIndexedLocked(p geo.Point, k int, t float64) []ObjectPos
 	if !ok {
 		return nil
 	}
+	// Clamp the center cell into the occupied bbox: CellOf saturates for
+	// far-away query points, and unclamped centers would need ring
+	// arithmetic past the int32 range. Clamping each axis moves the
+	// center toward every occupied cell, so a cell's ring index only
+	// shrinks — (ring−1)·cellSize stays a true lower bound on the cell's
+	// distance to p (see the soundness note above) and no cell is pruned
+	// early; the empty rings a far-away center would have skipped via a
+	// start ring are simply never generated now.
 	center := sh.grid.CellOf(p)
-	// Rings below the Chebyshev distance to the occupied bbox are empty,
-	// as are rings beyond its farthest cell.
-	startRing := int32(0)
-	if d := minC.X - center.X; d > startRing {
-		startRing = d
-	}
-	if d := center.X - maxC.X; d > startRing {
-		startRing = d
-	}
-	if d := minC.Y - center.Y; d > startRing {
-		startRing = d
-	}
-	if d := center.Y - maxC.Y; d > startRing {
-		startRing = d
-	}
-	maxRing := maxI32(
-		maxI32(absI32(minC.X-center.X), absI32(maxC.X-center.X)),
-		maxI32(absI32(minC.Y-center.Y), absI32(maxC.Y-center.Y)),
+	center.X = minI32(maxI32(center.X, minC.X), maxC.X)
+	center.Y = minI32(maxI32(center.Y, minC.Y), maxC.Y)
+	// Rings beyond the bbox's farthest cell are empty. int64: the bbox
+	// can straddle most of the int32 cell range.
+	maxRing := maxI64(
+		maxI64(int64(center.X)-int64(minC.X), int64(maxC.X)-int64(center.X)),
+		maxI64(int64(center.Y)-int64(minC.Y), int64(maxC.Y)-int64(center.Y)),
 	)
+	// Ring marching probes O(ring) candidate cells per ring whether or
+	// not they are occupied. A well-sized grid keeps the bbox span near
+	// √occupied, but the monotone bbox can be far larger — stale edge
+	// cells after an extreme position came and went, or a sparse
+	// unresized shard spread wide — and then marching rings over empty
+	// space costs more than evaluating every object. Take the scan body
+	// instead: same candidates, same evaluation, bit-identical answer.
+	if maxRing > 64+8*int64(math.Sqrt(float64(sh.grid.Cells()))) {
+		return sh.nearestScanLocked(p, k, t)
+	}
 	cellSize := sh.grid.CellSize()
 	shardReach := boundReach(sh.maxV, sh.minT, sh.maxT, t)
 	occupied := sh.grid.Cells()
@@ -388,7 +422,7 @@ func (sh *shard) nearestIndexedLocked(p geo.Point, k int, t float64) []ObjectPos
 	h := make(posHeap, 0, top)
 	var cellsVisited, rings int64
 	visited := 0
-	for ring := startRing; ring <= maxRing; ring++ {
+	for ring := int64(0); ring <= maxRing; ring++ {
 		if len(h) == k && float64(ring-1)*cellSize-shardReach > h[0].Dist {
 			break
 		}
@@ -448,9 +482,9 @@ func minI32(a, b int32) int32 {
 	return b
 }
 
-func absI32(a int32) int32 {
-	if a < 0 {
-		return -a
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
 	}
-	return a
+	return b
 }

@@ -337,3 +337,90 @@ func TestConcurrentLiveIndexSameShard(t *testing.T) {
 		}
 	}
 }
+
+// TestLiveIndexExtremeCoordinates is the regression test for the int32
+// cell-coordinate overflow class: query geometry far beyond the int32
+// cell range (half-open "everything in this band" rects, far-away k-NN
+// centers) and bounded members parked at coordinates that saturate
+// CellOf must all answer bit-identically to the scan reference, instead
+// of silently losing hits to an inverted cell window or a wrapped ring
+// distance.
+func TestLiveIndexExtremeCoordinates(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards-%d", shards), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(41 + shards)))
+			s := NewSharded(shards)
+			const nObjs = 100
+			for i := 0; i < nObjs; i++ {
+				id := ObjectID(fmt.Sprintf("band-%03d", i))
+				if err := s.Register(id, core.LinearPredictor{}); err != nil {
+					t.Fatal(err)
+				}
+				if err := s.Apply(id, core.Update{Report: core.Report{
+					Seq: 1, T: 0,
+					Pos:     geo.Pt(rng.Float64()*12000-6000, rng.Float64()*10000),
+					V:       rng.Float64() * 20,
+					Heading: rng.Float64() * 2 * math.Pi,
+				}}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			check := func(stage string) {
+				t.Helper()
+				rects := []geo.Rect{
+					{Min: geo.Pt(-1e15, -100), Max: geo.Pt(1e15, 20000)}, // X half-open band (the reported repro)
+					{Min: geo.Pt(-7000, -1e18), Max: geo.Pt(7000, 1e18)}, // Y half-open band
+					{Min: geo.Pt(-1e18, -1e18), Max: geo.Pt(1e18, 1e18)}, // everything
+					{Min: geo.Pt(2e14, -100), Max: geo.Pt(3e14, 20000)},  // far window, disjoint from the fleet
+					{Min: geo.Pt(-200, -200), Max: geo.Pt(200, 200)},     // plain in-range window
+				}
+				points := []geo.Point{{X: 1e15, Y: 0}, {X: -3e18, Y: 2e17}, {X: 0, Y: 5000}}
+				for _, qt := range []float64{0, 30, -10} {
+					for _, r := range rects {
+						got, want := s.Within(r, qt), withinScanRef(s, r, qt)
+						if !reflect.DeepEqual(got, want) {
+							t.Fatalf("%s: Within(%v, t=%v): %d hits != scan %d",
+								stage, r, qt, len(got), len(want))
+						}
+					}
+					for _, p := range points {
+						for _, k := range []int{1, 7, nObjs + 5} {
+							got, want := s.Nearest(p, k, qt), nearestScanRef(s, p, k, qt)
+							if !reflect.DeepEqual(got, want) {
+								t.Fatalf("%s: Nearest(%v, k=%d, t=%v) != scan\n got %v\nwant %v",
+									stage, p, k, qt, got, want)
+							}
+						}
+					}
+				}
+			}
+			check("in-range fleet")
+
+			// A bounded member parked where CellOf saturates: its shard must
+			// keep answering bit-identically (by the scan body, or after a
+			// forced rebucket to covering cells) rather than trust cell
+			// geometry that no longer brackets the member.
+			if err := s.Register("voyager", core.StaticPredictor{}); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Apply("voyager", core.Update{Report: core.Report{
+				Seq: 1, T: 0, Pos: geo.Pt(9e14, -9e14),
+			}}); err != nil {
+				t.Fatal(err)
+			}
+			check("saturated member")
+
+			// The member returns to range; pruning resumes, still identical.
+			if err := s.Apply("voyager", core.Update{Report: core.Report{
+				Seq: 2, T: 1, Pos: geo.Pt(100, 100),
+			}}); err != nil {
+				t.Fatal(err)
+			}
+			check("recovered")
+
+			if st := s.IndexStats(); st.ScanFallbacks != 0 {
+				t.Errorf("bounded fleet fell back to scan %d times: %+v", st.ScanFallbacks, st)
+			}
+		})
+	}
+}

@@ -61,7 +61,10 @@ type LiveGrid[M Member] struct {
 	// the grid is rebucketed.
 	minCell, maxCell Cell
 	haveCells        bool
-	rebuckets        int64
+	// sat counts members currently resident in edge cells (a coordinate
+	// at the int32 boundary, where CellOf saturates) — see Saturated.
+	sat       int
+	rebuckets int64
 }
 
 // NewLiveGrid returns an empty live grid with the given cell size in
@@ -88,18 +91,69 @@ func (g *LiveGrid[M]) Cells() int { return len(g.cells) }
 // Rebuckets returns how many times the grid has been rebucketed.
 func (g *LiveGrid[M]) Rebuckets() int64 { return g.rebuckets }
 
-// CellOf returns the cell containing p.
+// CellOf returns the cell containing p. Coordinates beyond what int32
+// cell indices can address saturate to the edge cells (index
+// math.MinInt32 or math.MaxInt32) instead of going through Go's
+// implementation-defined out-of-range float→int conversion, which on
+// amd64 folds both +huge and −huge to MinInt32 and silently inverts
+// query windows derived from the result. CellRect treats edge cells as
+// covering the whole saturated half-plane, so the mapping stays
+// conservative for pruning.
 func (g *LiveGrid[M]) CellOf(p geo.Point) Cell {
-	return Cell{int32(math.Floor(p.X / g.cellSize)), int32(math.Floor(p.Y / g.cellSize))}
+	return Cell{cellCoord(p.X / g.cellSize), cellCoord(p.Y / g.cellSize)}
 }
 
-// CellRect returns the rectangle covered by cell c.
-func (g *LiveGrid[M]) CellRect(c Cell) geo.Rect {
-	return geo.Rect{
-		Min: geo.Pt(float64(c.X)*g.cellSize, float64(c.Y)*g.cellSize),
-		Max: geo.Pt(float64(c.X+1)*g.cellSize, float64(c.Y+1)*g.cellSize),
+// cellCoord is floor(v) saturated to the int32 range; NaN maps to 0.
+func cellCoord(v float64) int32 {
+	f := math.Floor(v)
+	if f >= math.MaxInt32 {
+		return math.MaxInt32
 	}
+	if f <= math.MinInt32 {
+		return math.MinInt32
+	}
+	if math.IsNaN(f) {
+		return 0
+	}
+	return int32(f)
 }
+
+// edgeCell reports whether any coordinate of c sits on the int32
+// boundary — the cells CellOf saturates out-of-range positions into.
+func edgeCell(c Cell) bool {
+	return c.X == math.MinInt32 || c.X == math.MaxInt32 ||
+		c.Y == math.MinInt32 || c.Y == math.MaxInt32
+}
+
+// CellRect returns the rectangle covered by cell c. Edge cells absorb
+// every coordinate CellOf saturated, so their rectangle extends to
+// infinity on the boundary side — conservative for pruning: an edge
+// cell is never pruned away from a query its residents could serve.
+func (g *LiveGrid[M]) CellRect(c Cell) geo.Rect {
+	r := geo.Rect{
+		Min: geo.Pt(float64(c.X)*g.cellSize, float64(c.Y)*g.cellSize),
+		Max: geo.Pt((float64(c.X)+1)*g.cellSize, (float64(c.Y)+1)*g.cellSize),
+	}
+	if c.X == math.MinInt32 {
+		r.Min.X = math.Inf(-1)
+	} else if c.X == math.MaxInt32 {
+		r.Max.X = math.Inf(1)
+	}
+	if c.Y == math.MinInt32 {
+		r.Min.Y = math.Inf(-1)
+	} else if c.Y == math.MaxInt32 {
+		r.Max.Y = math.Inf(1)
+	}
+	return r
+}
+
+// Saturated returns how many members are resident in edge cells. While
+// nonzero, an edge cell's rectangle does not bracket its residents'
+// positions to within one cell size, so geometric lower bounds derived
+// from cell indices (ring distances in particular) are not trustworthy
+// near those members; callers should answer by scan until the members
+// rebucket or move back into range.
+func (g *LiveGrid[M]) Saturated() int { return g.sat }
 
 // CellLen returns the number of members in cell c.
 func (g *LiveGrid[M]) CellLen(c Cell) int { return len(g.cells[c]) }
@@ -137,6 +191,9 @@ func (g *LiveGrid[M]) place(m M, s *Slot, c Cell) {
 	members := g.cells[c]
 	s.cell, s.idx, s.in = c, int32(len(members)), true
 	g.cells[c] = append(members, m)
+	if edgeCell(c) {
+		g.sat++
+	}
 	g.extendCellBBox(c)
 }
 
@@ -167,6 +224,9 @@ func (g *LiveGrid[M]) removeFromCell(c Cell, idx int32) {
 		delete(g.cells, c)
 	} else {
 		g.cells[c] = members
+	}
+	if edgeCell(c) {
+		g.sat--
 	}
 }
 
@@ -233,25 +293,62 @@ func (g *LiveGrid[M]) VisitCells(fn func(c Cell, members []M) bool) {
 
 // VisitRing calls fn for every occupied cell on the square ring at
 // Chebyshev distance ring from center, until fn returns false. It
-// reports whether the visit ran to completion.
-func (g *LiveGrid[M]) VisitRing(center Cell, ring int32, fn func(c Cell, members []M) bool) bool {
+// reports whether the visit ran to completion. Candidate cells are
+// clipped to the occupied-cell bbox — nothing can live outside it —
+// which caps the per-ring work at the bbox perimeter and keeps the
+// int64 ring arithmetic from wrapping the int32 cell coordinates.
+func (g *LiveGrid[M]) VisitRing(center Cell, ring int64, fn func(c Cell, members []M) bool) bool {
+	if !g.haveCells {
+		return true
+	}
 	if ring == 0 {
 		if m := g.cells[center]; len(m) > 0 {
 			return fn(center, m)
 		}
 		return true
 	}
-	for dx := -ring; dx <= ring; dx++ {
-		for _, dy := range ringYs(dx, ring) {
-			c := Cell{center.X + dx, center.Y + dy}
-			if m := g.cells[c]; len(m) > 0 {
-				if !fn(c, m) {
+	cx, cy := int64(center.X), int64(center.Y)
+	xLo, xHi := maxI64(-ring, int64(g.minCell.X)-cx), minI64(ring, int64(g.maxCell.X)-cx)
+	yLo, yHi := maxI64(-ring, int64(g.minCell.Y)-cy), minI64(ring, int64(g.maxCell.Y)-cy)
+	// dx/dy stay inside the bbox offsets, so cx+dx / cy+dy fit in int32.
+	visit := func(dx, dy int64) bool {
+		c := Cell{int32(cx + dx), int32(cy + dy)}
+		if m := g.cells[c]; len(m) > 0 {
+			return fn(c, m)
+		}
+		return true
+	}
+	for dx := xLo; dx <= xHi; dx++ {
+		if dx == -ring || dx == ring {
+			for dy := yLo; dy <= yHi; dy++ {
+				if !visit(dx, dy) {
 					return false
 				}
+			}
+		} else {
+			if -ring >= yLo && -ring <= yHi && !visit(dx, -ring) {
+				return false
+			}
+			if ring >= yLo && ring <= yHi && !visit(dx, ring) {
+				return false
 			}
 		}
 	}
 	return true
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // Rebucket redistributes every member into buckets of the new cell
@@ -270,6 +367,7 @@ func (g *LiveGrid[M]) Rebucket(cellSize float64) {
 	g.cellSize = cellSize
 	g.cells = make(map[Cell][]M, len(g.cells))
 	g.haveCells = false
+	g.sat = 0
 	for _, m := range all {
 		s := m.GridSlot()
 		g.place(m, s, g.CellOf(s.pos))

@@ -174,14 +174,14 @@ func TestLiveGridVisitRing(t *testing.T) {
 	}
 	center := g.CellOf(geo.Pt(5, 5))
 	total := 0
-	for ring := int32(0); ring <= 3; ring++ {
+	for ring := int64(0); ring <= 3; ring++ {
 		count := 0
 		g.VisitRing(center, ring, func(c Cell, members []*tm) bool {
 			d := absI32t(c.X - center.X)
 			if dy := absI32t(c.Y - center.Y); dy > d {
 				d = dy
 			}
-			if d != ring {
+			if int64(d) != ring {
 				t.Fatalf("ring %d visited cell %v at distance %d", ring, c, d)
 			}
 			count += len(members)
@@ -253,5 +253,62 @@ func TestLiveGridRebucket(t *testing.T) {
 	b := g.Extent()
 	if b.Max.X > 10000 || b.Max.Y > 10000 {
 		t.Errorf("Extent() = %v beyond stored positions", b)
+	}
+}
+
+// TestLiveGridSaturation covers positions beyond the int32 cell range:
+// CellOf must saturate to the edge cells instead of going through Go's
+// implementation-defined out-of-range float→int32 conversion (which on
+// amd64 folds both ±huge to MinInt32 and inverts query windows derived
+// from the result), CellRect must extend edge cells over the saturated
+// half-plane so their residents are never pruned away, and Saturated
+// must track edge-cell residency through moves, removal and rebuckets.
+func TestLiveGridSaturation(t *testing.T) {
+	g := NewLiveGrid[*tm](256)
+	if c := g.CellOf(geo.Pt(1e15, -1e15)); c.X != math.MaxInt32 || c.Y != math.MinInt32 {
+		t.Fatalf("CellOf(1e15,-1e15) = %v, want saturated edge cell", c)
+	}
+	lo, hi := g.CellOf(geo.Pt(-1e15, -100)), g.CellOf(geo.Pt(1e15, 20000))
+	if lo.X >= hi.X || lo.Y >= hi.Y {
+		t.Fatalf("window over a half-open band inverted: lo=%v hi=%v", lo, hi)
+	}
+	r := g.CellRect(Cell{math.MaxInt32, math.MinInt32})
+	if !math.IsInf(r.Max.X, 1) || !math.IsInf(r.Min.Y, -1) {
+		t.Fatalf("edge CellRect not half-open: %v", r)
+	}
+	if !r.Contains(geo.Pt(1e15, -1e15)) {
+		t.Fatalf("edge CellRect %v misses the position that saturated into it", r)
+	}
+
+	near, far := &tm{key: "near"}, &tm{key: "far"}
+	g.Update(near, geo.Pt(10, 10))
+	if g.Saturated() != 0 {
+		t.Fatalf("Saturated = %d before any edge resident", g.Saturated())
+	}
+	g.Update(far, geo.Pt(1e15, 0))
+	if g.Saturated() != 1 {
+		t.Fatalf("Saturated = %d with one edge resident", g.Saturated())
+	}
+	g.Update(far, geo.Pt(-1e15, 1e18)) // edge-to-edge move stays saturated
+	if g.Saturated() != 1 {
+		t.Fatalf("Saturated = %d after edge-to-edge move", g.Saturated())
+	}
+	g.Update(far, geo.Pt(20, 20))
+	if g.Saturated() != 0 {
+		t.Fatalf("Saturated = %d after moving back into range", g.Saturated())
+	}
+	g.Update(far, geo.Pt(0, 1e15))
+	if g.Saturated() != 1 {
+		t.Fatalf("Saturated = %d after re-saturating", g.Saturated())
+	}
+	g.Rebucket(1e14) // the larger cells bring the position back in range
+	if g.Saturated() != 0 {
+		t.Fatalf("Saturated = %d after rebucket to a covering cell size", g.Saturated())
+	}
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d after saturation churn, want 2", g.Len())
+	}
+	if _, ok := g.Remove(far); !ok {
+		t.Fatal("Remove(far) failed")
 	}
 }
