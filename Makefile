@@ -9,8 +9,8 @@ GO ?= go
 # BENCH_BASELINE is the previous committed gate file the fresh numbers
 # are compared against: any gate metric regressing by more than
 # BENCH_MAXREGRESS (relative) fails the target.
-BENCH_JSON ?= BENCH_9.json
-BENCH_BASELINE ?= BENCH_8.json
+BENCH_JSON ?= BENCH_10.json
+BENCH_BASELINE ?= BENCH_9.json
 BENCH_MAXREGRESS ?= 0.30
 # The gate benchmarks: the prediction-walk/cursor pair, the end-to-end
 # source+server quiet-period pair, the 10k-object fleet step, the
@@ -24,9 +24,12 @@ BENCH_MAXREGRESS ?= 0.30
 # across two membership-replicating fronts; gate: beat the
 # single-front replicated number), and the live-index churn pair
 # (range and 10-NN queries interleaved with full-rate ingest at 10k
-# objects; gate: live >= 3x the scan baseline's queries/s).
-BENCH_GATE = PredictLongQuiet|SourceServerQuiet|ServerQueryFanout|FleetSteps10k|MapQueryMix|IngestHTTP|ClusterIngestQuery|ReplicatedIngestQuery|FanInIngestQuery|WithinChurn|NearestChurn
-BENCH_PKGS = ./internal/core ./internal/locserv ./internal/sim ./internal/cluster
+# objects; gate: live >= 3x the scan baseline's queries/s), and the
+# untraced metrics record path (sampler check + histogram record;
+# gate: zero allocations — instrumentation must stay free on the hot
+# path).
+BENCH_GATE = PredictLongQuiet|SourceServerQuiet|ServerQueryFanout|FleetSteps10k|MapQueryMix|IngestHTTP|ClusterIngestQuery|ReplicatedIngestQuery|FanInIngestQuery|WithinChurn|NearestChurn|ObsRecordUntraced
+BENCH_PKGS = ./internal/core ./internal/locserv ./internal/sim ./internal/cluster ./internal/obs
 
 check: vet staticcheck build race
 

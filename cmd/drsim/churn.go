@@ -12,6 +12,7 @@ import (
 	"mapdr/internal/core"
 	"mapdr/internal/geo"
 	"mapdr/internal/locserv"
+	"mapdr/internal/obs"
 	"mapdr/internal/stats"
 )
 
@@ -143,8 +144,11 @@ func churnRun(cfg fleetConfig, n int, tb *stats.Table) error {
 			}
 		}(w, lo, hi)
 	}
+	// Readers record straight into a shared lock-free histogram — the
+	// same log-bucketed implementation the servers expose on /metrics —
+	// so no per-reader latency slices accumulate or need folding.
 	const readers = 2
-	lats := make([][]float64, readers)
+	qLat := obs.NewHistogram("drsim_churn_query_seconds", "", obs.TicksSeconds)
 	for q := 0; q < readers; q++ {
 		readerWG.Add(1)
 		go func(q int) {
@@ -159,7 +163,7 @@ func churnRun(cfg fleetConfig, n int, tb *stats.Table) error {
 				} else {
 					s.Within(geo.Rect{Min: p, Max: geo.Pt(p.X+1000, p.Y+1000)}, qt)
 				}
-				lats[q] = append(lats[q], time.Since(t0).Seconds()*1e6)
+				qLat.RecordDur(time.Since(t0))
 			}
 		}(q)
 	}
@@ -171,14 +175,8 @@ func churnRun(cfg fleetConfig, n int, tb *stats.Table) error {
 		return err
 	}
 
-	var qLat stats.Sample
-	var queries int64
-	for _, ls := range lats {
-		queries += int64(len(ls))
-		for _, v := range ls {
-			qLat.Add(v)
-		}
-	}
+	qs := qLat.Snapshot()
+	queries := int64(qs.Count)
 	st := s.IndexStats() // before the verification sweep skews counters
 	updates := int64(n) * (rounds + 1)
 
@@ -202,7 +200,7 @@ func churnRun(cfg fleetConfig, n int, tb *stats.Table) error {
 	}
 
 	tb.AddRow(n, s.Shards(), writers, updates, float64(updates)/ingestWall.Seconds(),
-		queries, qLat.Quantile(0.50), qLat.Quantile(0.95), qLat.Quantile(0.99),
+		queries, qs.Quantile(0.50)*1e6, qs.Quantile(0.95)*1e6, qs.Quantile(0.99)*1e6,
 		st.CellMoves, st.BoundRecomputes, float64(st.CellsVisited)/float64(max64(queries, 1)),
 		st.RingExpansions, st.ScanFallbacks)
 	return nil

@@ -96,6 +96,7 @@ import (
 	"mapdr/internal/locserv"
 	"mapdr/internal/mapgen"
 	"mapdr/internal/netsim"
+	"mapdr/internal/obs"
 	"mapdr/internal/sim"
 	"mapdr/internal/stats"
 	"mapdr/internal/tracegen"
@@ -355,8 +356,10 @@ func runCluster(cfg fleetConfig, csv bool) error {
 	// Query mix riding along: one 10-NN scatter-gather per simulated
 	// second, cycling over deterministic city points. Every query's
 	// wall-clock cost is recorded — an empty answer still paid for the
-	// scatter and the merge.
-	var qLat stats.Sample
+	// scatter and the merge. The latencies land in the same log-bucketed
+	// histogram the servers expose on /metrics, so the reported
+	// percentiles use one quantile implementation across the repo.
+	qLat := obs.NewHistogram("drsim_10nn_seconds", "", obs.TicksSeconds)
 	qPoints := []geo.Point{geo.Pt(2500, 2500), geo.Pt(5000, 5000), geo.Pt(7500, 2500), geo.Pt(2500, 7500)}
 	fl := sim.Fleet{
 		Objects:   objs,
@@ -367,7 +370,7 @@ func runCluster(cfg fleetConfig, csv bool) error {
 			p := qPoints[int(t)%len(qPoints)]
 			q0 := time.Now()
 			coord.Nearest(p, 10, t)
-			qLat.Add(time.Since(q0).Seconds() * 1e6)
+			qLat.RecordDur(time.Since(q0))
 		},
 	}
 	startT := time.Now()
@@ -381,11 +384,12 @@ func runCluster(cfg fleetConfig, csv bool) error {
 		updates += n
 	}
 
+	qs := qLat.Snapshot()
 	tb := stats.NewTable("nodes", "R", "vehicles", "shards/node", "workers", "samples", "updates",
 		"mean err [m]", "wall [ms]", "samples/s", "10NN p50 [us]", "p95 [us]", "p99 [us]")
 	tb.AddRow(cfg.nodes, cfg.replicas, cfg.n, cfg.shards, fl.Workers, res.Samples, updates,
 		res.MeanErr, wall.Milliseconds(), float64(res.Samples)/wall.Seconds(),
-		qLat.Quantile(0.50), qLat.Quantile(0.95), qLat.Quantile(0.99))
+		qs.Quantile(0.50)*1e6, qs.Quantile(0.95)*1e6, qs.Quantile(0.99)*1e6)
 	if err := emit(tb, csv); err != nil {
 		return err
 	}

@@ -72,6 +72,19 @@
 // changes and the self-healing loops are fenced behind a replicated
 // lease so exactly one coordinator drives them at a time, and GET
 // /cluster merges stats across the peers.
+//
+// # Observability
+//
+// Every role serves GET /metrics (Prometheus text exposition). A
+// coordinator's scrape merges its members' metrics fetched over the
+// binary query protocol, so node latency histograms add bucket-wise
+// into cluster-wide distributions. -trace-every N samples every N-th
+// coordinator query for per-hop tracing (GET /trace), and -pprof
+// serves net/http/pprof on a separate address:
+//
+//	locserver -cluster coordinator ... -trace-every 100 -pprof 127.0.0.1:6060
+//	curl 'http://127.0.0.1:8080/metrics'
+//	curl 'http://127.0.0.1:8080/trace?limit=10'
 package main
 
 import (
@@ -79,6 +92,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"runtime"
 	"strings"
@@ -106,6 +120,8 @@ func main() {
 		mode       = flag.String("cluster", "", "cluster role: \"\" (standalone), \"node\" or \"coordinator\"")
 		peers      = flag.String("peers", "", "coordinator mode: comma-separated name=baseURL node list")
 		replicas   = flag.Int("replicas", 1, "coordinator mode: replicas per key range (R)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. 127.0.0.1:6060; empty disables)")
+		traceEvery = flag.Int("trace-every", 0, "coordinator mode: trace every n-th query on GET /trace (0 disables, 1 traces all)")
 
 		coordID    = flag.String("coordinator-id", "", "coordinator mode: this coordinator's name on the shared membership log (enables multi-coordinator fan-in)")
 		coordPeers = flag.String("peers-coordinators", "", "coordinator mode: comma-separated name=baseURL list of peer coordinators")
@@ -123,6 +139,7 @@ func main() {
 	cfg := config{
 		addr: *addr, fleet: *fleet, seed: *seed, shards: *shards, workers: *workers,
 		ingest: *ingest, ingestAuto: *ingestAuto, mode: *mode, peers: *peers, replicas: *replicas,
+		pprofAddr: *pprofAddr, traceEvery: *traceEvery,
 		coordID: *coordID, coordPeers: *coordPeers, leaseFor: *leaseFor, gossipEach: *gossipEach,
 		heartbeat: *heartbeat, demoteAfter: *demoteAfter, demoteHints: *demoteHints,
 		reweightEvery: *reweightEvery, reweightRatio: *reweightRatio, reweightAfter: *reweightAfter,
@@ -143,6 +160,8 @@ type config struct {
 	mode            string
 	peers           string
 	replicas        int
+	pprofAddr       string
+	traceEvery      int
 
 	coordID    string
 	coordPeers string
@@ -278,7 +297,29 @@ func addPeerCoordinators(coord *cluster.Coordinator, list string) ([]string, err
 	return names, nil
 }
 
+// startPprof serves the net/http/pprof handlers on their own listener,
+// kept off the service address so profiling endpoints are never exposed
+// alongside the public API by accident.
+func startPprof(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	log.Printf("pprof listening on http://%s/debug/pprof/", addr)
+	go func() {
+		if err := srv.ListenAndServe(); err != nil {
+			log.Printf("pprof server: %v", err)
+		}
+	}()
+}
+
 func run(cfg config) error {
+	if cfg.pprofAddr != "" {
+		startPprof(cfg.pprofAddr)
+	}
 	var h http.Handler
 	var endpoints string
 	switch cfg.mode {
@@ -288,7 +329,7 @@ func run(cfg config) error {
 			return err
 		}
 		h = handler(svc, g, cfg.ingest, cfg.ingestAuto)
-		endpoints = "/objects, /position, /nearest, /within, /healthz, /stats"
+		endpoints = "/objects, /position, /nearest, /within, /healthz, /stats, /metrics"
 		if cfg.ingest {
 			endpoints += ", POST /updates"
 		}
@@ -306,7 +347,7 @@ func run(cfg config) error {
 			return core.NewMapPredictor(g)
 		})
 		h = node.Handler()
-		endpoints = "/objects, /position, /nearest, /within, /healthz, /stats, POST /updates, POST /query"
+		endpoints = "/objects, /position, /nearest, /within, /healthz, /stats, /metrics, /trace, POST /updates, POST /query"
 
 	case "coordinator":
 		members, err := parsePeers(cfg.peers)
@@ -360,10 +401,14 @@ func run(cfg config) error {
 				}
 			}()
 		}
+		if cfg.traceEvery > 0 {
+			coord.SetTraceSampling(cfg.traceEvery)
+			log.Printf("tracing every %d-th query on GET /trace", cfg.traceEvery)
+		}
 		h = cluster.Handler(coord)
 		log.Printf("coordinating %d nodes (R=%d): %s",
 			len(members), coord.Replicas(), strings.Join(coord.Nodes(), ", "))
-		endpoints = "/position, /nearest, /within, /healthz, /stats, /cluster, POST /updates, POST /peer"
+		endpoints = "/position, /nearest, /within, /healthz, /stats, /cluster, /metrics, /trace, POST /updates, POST /peer"
 
 	default:
 		return fmt.Errorf("unknown -cluster mode %q (want node or coordinator)", cfg.mode)

@@ -8,10 +8,12 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mapdr/internal/core"
 	"mapdr/internal/geo"
 	"mapdr/internal/locserv"
+	"mapdr/internal/obs"
 	"mapdr/internal/wire"
 )
 
@@ -185,6 +187,17 @@ type Coordinator struct {
 	repairs     atomic.Int64 // read-repair deliveries that landed
 	flushes     atomic.Int64 // ingest operations, the probe pacing clock
 
+	// Observability (obs.go): the coordinator's registry (the counters
+	// above are bridged onto it), per-family query latency histograms,
+	// the replica seq-divergence histogram, and the trace sampler+ring.
+	obsReg      *obs.Registry
+	qPositionH  *obs.Histogram
+	qNearestH   *obs.Histogram
+	qWithinH    *obs.Histogram
+	divergenceH *obs.Histogram
+	sampler     obs.Sampler
+	traceRing   *obs.TraceRing
+
 	clock atomic.Uint64            // float bits: highest transport/Tick time seen
 	heal  atomic.Pointer[selfHeal] // self-healing membership state; nil = manual ops
 	fanin atomic.Pointer[fanIn]    // multi-coordinator replication; nil = single front
@@ -269,6 +282,7 @@ func NewReplicated(vnodes, replicas int, members ...*Member) (*Coordinator, erro
 		c.members[m.Name] = newMemberState(m)
 	}
 	c.reorder()
+	c.initObs()
 	return c, nil
 }
 
@@ -750,17 +764,37 @@ func (c *Coordinator) NearestE(p geo.Point, k int, t float64) ([]locserv.ObjectP
 	if k <= 0 {
 		return nil, nil
 	}
+	start := time.Now()
+	trace := c.traceID()
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	c.queries.Add(1)
-	parts, err := c.scatter(func(n locserv.Node) ([]locserv.ObjectPos, error) {
-		return n.Nearest(p, k, t)
-	})
+	var (
+		parts [][]locserv.ObjectPos
+		spans []obs.Span
+		err   error
+	)
+	if trace != 0 {
+		parts, spans, err = c.scatterTraced(start, func(n locserv.Node) ([]locserv.ObjectPos, []wire.Span, error) {
+			if tr, ok := n.(locserv.NodeTracer); ok {
+				return tr.TraceNearest(p, k, t, trace)
+			}
+			hits, err := n.Nearest(p, k, t)
+			return hits, nil, err
+		})
+	} else {
+		parts, err = c.scatter(func(n locserv.Node) ([]locserv.ObjectPos, error) {
+			return n.Nearest(p, k, t)
+		})
+	}
 	if err != nil {
 		c.queryErrors.Add(1)
 	}
+	mergeStart := time.Since(start)
 	hits, stale := locserv.MergeNearest(parts, k)
+	c.noteDivergence(stale)
 	c.scheduleRepairs(stale)
+	c.finishQuery(c.qNearestH, "nearest", t, start, trace, mergeStart, spans)
 	return hits, err
 }
 
@@ -768,17 +802,37 @@ func (c *Coordinator) NearestE(p geo.Point, k int, t float64) ([]locserv.ObjectP
 // freshest Seq, then id. Like NearestE, member failures yield the
 // surviving partial answer plus the error.
 func (c *Coordinator) WithinE(r geo.Rect, t float64) ([]locserv.ObjectPos, error) {
+	start := time.Now()
+	trace := c.traceID()
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	c.queries.Add(1)
-	parts, err := c.scatter(func(n locserv.Node) ([]locserv.ObjectPos, error) {
-		return n.Within(r, t)
-	})
+	var (
+		parts [][]locserv.ObjectPos
+		spans []obs.Span
+		err   error
+	)
+	if trace != 0 {
+		parts, spans, err = c.scatterTraced(start, func(n locserv.Node) ([]locserv.ObjectPos, []wire.Span, error) {
+			if tr, ok := n.(locserv.NodeTracer); ok {
+				return tr.TraceWithin(r, t, trace)
+			}
+			hits, err := n.Within(r, t)
+			return hits, nil, err
+		})
+	} else {
+		parts, err = c.scatter(func(n locserv.Node) ([]locserv.ObjectPos, error) {
+			return n.Within(r, t)
+		})
+	}
 	if err != nil {
 		c.queryErrors.Add(1)
 	}
+	mergeStart := time.Since(start)
 	hits, stale := locserv.MergeWithin(parts)
+	c.noteDivergence(stale)
 	c.scheduleRepairs(stale)
+	c.finishQuery(c.qWithinH, "within", t, start, trace, mergeStart, spans)
 	return hits, err
 }
 
@@ -790,6 +844,8 @@ func (c *Coordinator) WithinE(r geo.Rect, t float64) ([]locserv.ObjectPos, error
 // fails the query. The error is non-nil only when every owner was
 // unreachable.
 func (c *Coordinator) PositionE(id locserv.ObjectID, t float64) (geo.Point, bool, error) {
+	start := time.Now()
+	trace := c.traceID()
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	c.queries.Add(1)
@@ -807,6 +863,10 @@ func (c *Coordinator) PositionE(id locserv.ObjectID, t float64) (geo.Point, bool
 	}
 	answers := make([]answer, len(owners))
 	errs := make([]error, len(owners))
+	var ownerSpans [][]obs.Span
+	if trace != 0 {
+		ownerSpans = make([][]obs.Span, len(owners))
+	}
 	skipped := false
 	var wg sync.WaitGroup
 	for oi, name := range owners {
@@ -823,7 +883,20 @@ func (c *Coordinator) PositionE(id locserv.ObjectID, t float64) (geo.Point, bool
 		wg.Add(1)
 		go func(oi int, name string, m *memberState) {
 			defer wg.Done()
-			p, seq, found, err := m.Node.Position(id, t)
+			var (
+				p     geo.Point
+				seq   uint32
+				found bool
+				ws    []wire.Span
+				err   error
+			)
+			if tr, ok := m.Node.(locserv.NodeTracer); trace != 0 && ok {
+				callStart := time.Since(start)
+				p, seq, found, ws, err = tr.TracePosition(id, t, trace)
+				ownerSpans[oi] = memberSpans(name, callStart, time.Since(start)-callStart, ws)
+			} else {
+				p, seq, found, err = m.Node.Position(id, t)
+			}
 			if err != nil {
 				c.noteFail(m)
 				errs[oi] = fmt.Errorf("cluster: query %s: %w", name, err)
@@ -837,6 +910,14 @@ func (c *Coordinator) PositionE(id locserv.ObjectID, t float64) (geo.Point, bool
 	if skipped {
 		c.degraded.Add(1)
 	}
+	if trace != 0 {
+		var spans []obs.Span
+		for _, ms := range ownerSpans {
+			spans = append(spans, ms...)
+		}
+		c.finishQuery(nil, "position", t, start, trace, time.Since(start), spans)
+	}
+	c.qPositionH.RecordDur(time.Since(start))
 	best := -1
 	anyLive := false
 	for i, a := range answers {
@@ -865,6 +946,9 @@ func (c *Coordinator) PositionE(id locserv.ObjectID, t float64) (geo.Point, bool
 		}
 		if !a.ok || a.seq < answers[best].seq {
 			staleMembers = append(staleMembers, a.m)
+			if a.ok {
+				c.divergenceH.Record(float64(answers[best].seq - a.seq))
+			}
 		}
 	}
 	if len(staleMembers) > 0 {

@@ -1295,6 +1295,11 @@ type FanInStats struct {
 	Holding     bool
 	// OpenRuns counts migration runs begun on the log and not closed.
 	OpenRuns int
+	// PeerCover maps each peer to its cover watermark: the highest epoch
+	// through which its log is confirmed to agree with ours. The gap
+	// MaxEpoch − min(PeerCover) is the tier's membership-log lag, the
+	// telemetry gauge for how far behind the slowest front is.
+	PeerCover map[string]uint64
 	// LastGossipErr is the most recent gossip round's first failure
 	// ("" when the round reached every peer) — persistent non-"" means
 	// replication, and with it lease safety, is impaired.
@@ -1332,6 +1337,12 @@ func (c *Coordinator) FanInStats() FanInStats {
 		Holding:       f.leaseHolder == f.id,
 		OpenRuns:      len(f.runs),
 		LastGossipErr: f.gossipErr,
+	}
+	if len(f.peerCover) > 0 {
+		st.PeerCover = make(map[string]uint64, len(f.peerCover))
+		for name, cover := range f.peerCover {
+			st.PeerCover[name] = cover
+		}
 	}
 	f.mu.Unlock()
 	st.Appends = f.appends.Load()

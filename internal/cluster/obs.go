@@ -1,0 +1,248 @@
+// Coordinator observability: the registry bridging the coordinator's
+// routing counters onto /metrics, the traced scatter that decomposes a
+// query into per-member fan-out spans, and the cluster-wide snapshot a
+// scrape assembles — the coordinator's own metrics plus every live
+// member's OpMetrics snapshot merged in (counters sum, histograms add
+// bucket-wise), plus per-member routing/health gauges the coordinator
+// alone can know.
+
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mapdr/internal/locserv"
+	"mapdr/internal/obs"
+	"mapdr/internal/wire"
+)
+
+// coordTraceRingCap bounds the coordinator-side retained trace history.
+const coordTraceRingCap = 256
+
+// initObs builds the coordinator's metrics registry. Called once from
+// NewReplicated, before the coordinator is shared.
+func (c *Coordinator) initObs() {
+	reg := obs.NewRegistry()
+	c.obsReg = reg
+	c.traceRing = obs.NewTraceRing(coordTraceRingCap)
+	reg.CounterFunc("mapdr_coord_queries_total",
+		"Queries served by this coordinator.", c.queries.Load)
+	reg.CounterFunc("mapdr_coord_query_errors_total",
+		"Scatter/route queries that failed.", c.queryErrors.Load)
+	reg.CounterFunc("mapdr_coord_degraded_queries_total",
+		"Queries answered with at least one down member skipped.", c.degraded.Load)
+	reg.CounterFunc("mapdr_coord_read_repairs_total",
+		"Read-repair deliveries that landed on stale replicas.", c.repairs.Load)
+	reg.CounterFunc("mapdr_coord_ingest_flushes_total",
+		"Ingest operations (Send, DeliverRecords or Flush).", c.flushes.Load)
+	reg.CounterFunc("mapdr_coord_migrations_committed_total",
+		"Live migrations committed.", c.migCommitted.Load)
+	reg.CounterFunc("mapdr_coord_migrations_aborted_total",
+		"Live migrations aborted.", c.migAborted.Load)
+	reg.CounterFunc("mapdr_coord_migrations_resumed_total",
+		"Halted migrations resumed.", c.migResumed.Load)
+	reg.CounterFunc("mapdr_coord_migration_records_total",
+		"Records moved by live migrations.", c.migRecords.Load)
+	reg.GaugeFunc("mapdr_coord_members", "Cluster members this coordinator routes to.",
+		func() float64 {
+			c.mu.RLock()
+			defer c.mu.RUnlock()
+			return float64(len(c.members))
+		})
+	c.qPositionH = reg.Histogram("mapdr_coord_query_position_seconds",
+		"Wall-clock latency of coordinator position queries (owner fan-out and freshest-Seq pick).", obs.TicksSeconds)
+	c.qNearestH = reg.Histogram("mapdr_coord_query_nearest_seconds",
+		"Wall-clock latency of coordinator k-nearest queries (scatter, gather, merge).", obs.TicksSeconds)
+	c.qWithinH = reg.Histogram("mapdr_coord_query_within_seconds",
+		"Wall-clock latency of coordinator range queries (scatter, gather, merge).", obs.TicksSeconds)
+	c.divergenceH = reg.Histogram("mapdr_coord_replica_seq_divergence",
+		"Sequence-number gap (freshest minus stalest) per object whose replicas disagreed in a freshest-Seq merge.", obs.TicksCount)
+}
+
+// SetTraceSampling sets per-hop query tracing: every n-th coordinator
+// query is traced end to end (encode, transport, per-member fan-out,
+// node query, merge) and retained on GET /trace. 0 disables (the
+// default), 1 traces every query. Untraced queries skip all span
+// bookkeeping.
+func (c *Coordinator) SetTraceSampling(n int) { c.sampler.SetEvery(int64(n)) }
+
+// TraceSampling returns the current sampling period.
+func (c *Coordinator) TraceSampling() int { return int(c.sampler.Every()) }
+
+// TraceRing exposes the coordinator's trace ring (GET /trace).
+func (c *Coordinator) TraceRing() *obs.TraceRing { return c.traceRing }
+
+// Obs returns the coordinator's own metrics registry.
+func (c *Coordinator) Obs() *obs.Registry { return c.obsReg }
+
+// traceID returns a fresh trace id when this query is sampled for
+// tracing, 0 otherwise.
+func (c *Coordinator) traceID() uint64 {
+	if !c.sampler.Sample() {
+		return 0
+	}
+	return c.traceRing.NextID()
+}
+
+// noteDivergence histograms the seq gap of every object whose replicas
+// disagreed in a merge.
+func (c *Coordinator) noteDivergence(stale []locserv.Divergence) {
+	for _, d := range stale {
+		c.divergenceH.Record(float64(d.FreshSeq - d.MinStaleSeq))
+	}
+}
+
+// memberSpans assembles one member's fan-out span plus the hop spans
+// the member call returned, re-based onto the query's clock (callStart
+// is the offset of the member call from the query start).
+func memberSpans(name string, callStart, dur time.Duration, ws []wire.Span) []obs.Span {
+	out := make([]obs.Span, 0, 1+len(ws))
+	out = append(out, obs.Span{
+		Stage: wire.StageFanout.String(), Member: name,
+		Start: int64(callStart), Dur: int64(dur),
+	})
+	for _, s := range ws {
+		out = append(out, obs.Span{
+			Stage: s.Stage.String(), Member: name,
+			Start: int64(callStart) + int64(s.Start), Dur: int64(s.Dur),
+		})
+	}
+	return out
+}
+
+// scatterTraced is scatter with span collection: fn additionally
+// returns the wire spans its member call observed, and the result
+// includes every member's fan-out span re-based onto the query clock.
+// Only sampled queries run it; the common path stays on scatter.
+func (c *Coordinator) scatterTraced(start time.Time, fn func(n locserv.Node) ([]locserv.ObjectPos, []wire.Span, error)) ([][]locserv.ObjectPos, []obs.Span, error) {
+	parts := make([][]locserv.ObjectPos, len(c.order))
+	spans := make([][]obs.Span, len(c.order))
+	errs := make([]error, len(c.order))
+	skipped := false
+	var wg sync.WaitGroup
+	for i, name := range c.order {
+		m := c.members[name]
+		if m.down.Load() {
+			skipped = true
+			continue
+		}
+		m.queries.Add(1)
+		wg.Add(1)
+		go func(i int, name string, m *memberState) {
+			defer wg.Done()
+			callStart := time.Since(start)
+			part, ws, err := fn(m.Node)
+			spans[i] = memberSpans(name, callStart, time.Since(start)-callStart, ws)
+			if err != nil {
+				c.noteFail(m)
+				errs[i] = fmt.Errorf("cluster: query %s: %w", m.Name, err)
+				return
+			}
+			m.noteOK()
+			parts[i] = part
+		}(i, name, m)
+	}
+	wg.Wait()
+	if skipped {
+		c.degraded.Add(1)
+	}
+	var flat []obs.Span
+	for _, ms := range spans {
+		flat = append(flat, ms...)
+	}
+	return parts, flat, errors.Join(errs...)
+}
+
+// finishQuery records a query's latency and, when traced, closes out
+// the trace: a merge span from mergeStart to now on top of the fan-out
+// spans, recorded into the ring. hist may be nil when the caller
+// records latency itself.
+func (c *Coordinator) finishQuery(hist *obs.Histogram, op string, t float64, start time.Time, trace uint64, mergeStart time.Duration, spans []obs.Span) {
+	dur := time.Since(start)
+	if hist != nil {
+		hist.RecordDur(dur)
+	}
+	if trace == 0 {
+		return
+	}
+	if dur > mergeStart {
+		spans = append(spans, obs.Span{
+			Stage: wire.StageMerge.String(),
+			Start: int64(mergeStart), Dur: int64(dur - mergeStart),
+		})
+	}
+	c.traceRing.Add(obs.Trace{ID: trace, Op: op, T: t, Dur: int64(dur), Spans: spans})
+}
+
+// ObsSnapshot implements locserv.ObsSnapshotter for the coordinator: a
+// cluster-wide metrics view assembled per scrape. The coordinator's own
+// registry comes first; then per-member routing and health gauges
+// (breaker state, hint-buffer depth and age, records routed); then each
+// live member's own snapshot — fetched through the Node API (OpMetrics
+// over the wire) and merged by name, so node histograms of the same
+// family add bucket-wise into cluster-wide distributions. Members that
+// are down, unreachable or too old to answer OpMetrics contribute
+// nothing; the scrape itself never fails.
+func (c *Coordinator) ObsSnapshot() (obs.Snapshot, error) {
+	snap := c.obsReg.Snapshot()
+	type memberRef struct {
+		name string
+		m    *memberState
+	}
+	c.mu.RLock()
+	refs := make([]memberRef, 0, len(c.order))
+	for _, name := range c.order {
+		refs = append(refs, memberRef{name, c.members[name]})
+	}
+	c.mu.RUnlock()
+	now := c.now()
+	for _, ref := range refs {
+		labels := `member="` + ref.name + `"`
+		up := 1.0
+		if ref.m.down.Load() {
+			up = 0
+		}
+		snap.AddGauge("mapdr_member_up",
+			"Member circuit-breaker state: 1 routable, 0 down.", labels, up)
+		snap.AddCounter("mapdr_member_records_routed_total",
+			"Update records routed to the member (all replicas counted).", labels, ref.m.records.Load())
+		snap.AddCounter("mapdr_member_query_errors_total",
+			"Failed node calls against the member.", labels, ref.m.errors.Load())
+		hs := ref.m.hints.Stats()
+		snap.AddGauge("mapdr_member_hint_buffer_objects",
+			"Distinct objects parked in the member's hinted-handoff buffer.", labels, float64(hs.Buffered))
+		if hs.HasSince && now > hs.Since {
+			snap.AddGauge("mapdr_member_hint_age_seconds",
+				"Age (transport clock) of the oldest buffered hint for the member.", labels, now-hs.Since)
+		}
+		if ref.m.down.Load() {
+			continue
+		}
+		if os, ok := ref.m.Node.(locserv.ObsSnapshotter); ok {
+			if ms, err := os.ObsSnapshot(); err == nil {
+				snap.Merge(ms)
+			}
+		}
+	}
+	if fi := c.FanInStats(); fi.Enabled {
+		snap.AddGauge("mapdr_coord_fanin_log_epochs",
+			"Highest epoch on this coordinator's membership log.", "", float64(fi.MaxEpoch))
+		snap.AddGauge("mapdr_coord_fanin_log_records",
+			"Membership-log records retained after compaction.", "", float64(fi.LogLen))
+		if len(fi.PeerCover) > 0 {
+			minCover := fi.MaxEpoch
+			for _, cover := range fi.PeerCover {
+				if cover < minCover {
+					minCover = cover
+				}
+			}
+			snap.AddGauge("mapdr_coord_fanin_log_lag_epochs",
+				"Membership-log lag between coordinator fronts: max epoch minus the slowest peer's confirmed cover.",
+				"", float64(fi.MaxEpoch-minCover))
+		}
+	}
+	return snap, nil
+}

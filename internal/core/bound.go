@@ -80,3 +80,21 @@ func DisplacementBound(pred Predictor, rep Report) float64 {
 	}
 	return math.Inf(1)
 }
+
+// EffectiveUncertainty is the paper's u_s evaluated at answer time: the
+// radius within which the true position is guaranteed to lie when a
+// query at time t is answered from a report taken at rep.T — the drift
+// bound times the prediction age. It is the end-to-end staleness signal
+// the telemetry layer histograms: a service answering mostly-fresh
+// reports keeps it near zero however fast the fleet moves, while a
+// quiet or lagging fleet grows it linearly with age. Queries at or
+// before the report time have no prediction error (age clamps at 0);
+// an unbounded predictor yields +Inf, which callers should treat as
+// "no bound known" rather than record.
+func EffectiveUncertainty(db DisplacementBounded, rep Report, t float64) float64 {
+	age := t - rep.T
+	if age <= 0 {
+		return 0
+	}
+	return db.DisplacementBound(rep) * age
+}

@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"mapdr/internal/geo"
+	"mapdr/internal/obs"
 	"mapdr/internal/wire"
 )
 
@@ -109,6 +110,19 @@ func RouteQueryAPI(mux *http.ServeMux, q Querier) {
 		mux.HandleFunc("GET /objects", func(w http.ResponseWriter, _ *http.Request) {
 			WriteJSON(w, ob.Objects())
 		})
+	}
+	if os, ok := q.(ObsSnapshotter); ok {
+		mux.Handle("GET /metrics", obs.MetricsHandler(func() obs.Snapshot {
+			// A failed member scrape degrades to whatever assembled; the
+			// snapshot source logs nothing and the scrape stays valid text.
+			snap, _ := os.ObsSnapshot()
+			return snap
+		}))
+	}
+	if tr, ok := q.(traceRinger); ok {
+		if ring := tr.TraceRing(); ring != nil {
+			mux.Handle("GET /trace", obs.TraceHandler(ring))
+		}
 	}
 	mux.HandleFunc("GET /position", func(w http.ResponseWriter, r *http.Request) {
 		handlePosition(w, r, q)

@@ -43,9 +43,11 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mapdr/internal/core"
 	"mapdr/internal/geo"
+	"mapdr/internal/obs"
 	"mapdr/internal/spatial"
 )
 
@@ -87,14 +89,37 @@ type Service struct {
 	// count tracks the total object count so queries can decide whether
 	// parallel fan-out is worthwhile without locking every shard.
 	count atomic.Int64
+	// reg is the service's metrics registry: every counter below lives
+	// on it, so GET /metrics and the OpMetrics wire blob see the same
+	// numbers /stats always reported.
+	reg *obs.Registry
 	// applied counts updates that advanced an object replica and
 	// appliedBytes their total encoded wire size, for /stats and
 	// capacity monitoring.
-	applied      atomic.Int64
-	appliedBytes atomic.Int64
+	applied      *obs.Counter
+	appliedBytes *obs.Counter
 	// health aggregates spatial-index behaviour across the shards, for
 	// /stats and capacity monitoring.
 	health IndexHealth
+	// Latency histograms for the three query families and batched
+	// ingest. Nearest/Within/ApplyBatch record every call (one Record is
+	// two atomic adds, trivial next to a fan-out); Position is the
+	// nanosecond-scale hot path, so it samples 1 in stalenessSample
+	// calls — the common case pays a single atomic add.
+	qPosition   *obs.Histogram
+	qNearest    *obs.Histogram
+	qWithin     *obs.Histogram
+	ingestBatch *obs.Histogram
+	// Paper-native staleness gauges: the age of the report behind an
+	// answer and the effective uncertainty u_s = drift bound × age at
+	// answer time. Sampled on the same 1-in-stalenessSample cadence:
+	// Position records its own answer, Nearest/Within walk up to
+	// stalenessMaxHits hits.
+	ansAge        *obs.Histogram
+	ansUS         *obs.Histogram
+	stalenessTick atomic.Int64
+	// ring retains traced queries served by this node for GET /trace.
+	ring *obs.TraceRing
 }
 
 // IndexHealth counts the live spatial index's behaviour across all
@@ -103,25 +128,38 @@ type Service struct {
 // BoundRecomputes how often a cell bound was re-derived exactly;
 // CellsVisited and RingExpansions the read-side pruning effort. A
 // nonzero ScanFallbacks share means unbounded-predictor objects are
-// routing queries to the O(n) scan path.
+// routing queries to the O(n) scan path. The counters are obs-registry
+// counters (same single atomic add as before), so they surface on
+// GET /metrics without a second accounting path.
 type IndexHealth struct {
 	// CellMoves counts accepted reports that moved an object between
 	// grid cells.
-	CellMoves atomic.Int64
+	CellMoves *obs.Counter
 	// BoundRecomputes counts exact per-cell bound re-derivations
 	// (evictions, fold-budget refreshes, rebucket rebuilds).
-	BoundRecomputes atomic.Int64
+	BoundRecomputes *obs.Counter
 	// CellsVisited counts cells whose residents were evaluated by
 	// indexed queries (after per-cell bound pruning).
-	CellsVisited atomic.Int64
+	CellsVisited *obs.Counter
 	// RingExpansions counts cell rings expanded by k-nearest queries.
-	RingExpansions atomic.Int64
+	RingExpansions *obs.Counter
 	// IndexedQueries counts queries answered through the live index.
-	IndexedQueries atomic.Int64
+	IndexedQueries *obs.Counter
 	// ScanFallbacks counts queries answered by a linear scan because the
 	// shard holds objects whose predictor admits no displacement bound.
-	ScanFallbacks atomic.Int64
+	ScanFallbacks *obs.Counter
 }
+
+// Instrumentation sampling: every stalenessSample-th Position call
+// records its latency and its answer's report age / effective u_s;
+// every stalenessSample-th Nearest/Within answer walks up to
+// stalenessMaxHits of its hits for the same staleness gauges. Sampling
+// keeps the per-query overhead in the noise while the histograms stay
+// statistically faithful.
+const (
+	stalenessSample  = 4 // must be a power of two
+	stalenessMaxHits = 32
+)
 
 // IndexStats is a point-in-time copy of the index health counters.
 type IndexStats struct {
@@ -191,13 +229,53 @@ type shard struct {
 // New returns an empty service with DefaultShards shards.
 func New() *Service { return NewSharded(DefaultShards) }
 
+// traceRingCap bounds the node-side retained trace history.
+const traceRingCap = 256
+
 // NewSharded returns an empty service with n shards. n < 1 is treated as
 // 1, which degenerates to a single-lock store (the benchmark baseline).
 func NewSharded(n int) *Service {
 	if n < 1 {
 		n = 1
 	}
-	s := &Service{shards: make([]*shard, n)}
+	reg := obs.NewRegistry()
+	s := &Service{
+		shards: make([]*shard, n),
+		reg:    reg,
+		applied: reg.Counter("mapdr_node_updates_applied_total",
+			"Updates that advanced an object replica (stale and duplicate deliveries excluded)."),
+		appliedBytes: reg.Counter("mapdr_node_wire_bytes_total",
+			"Encoded size of applied update reports in bytes (the paper's message-cost metric)."),
+		health: IndexHealth{
+			CellMoves: reg.Counter("mapdr_node_index_cell_moves_total",
+				"Accepted reports that moved an object between live-grid cells."),
+			BoundRecomputes: reg.Counter("mapdr_node_index_bound_recomputes_total",
+				"Exact per-cell displacement-bound re-derivations."),
+			CellsVisited: reg.Counter("mapdr_node_index_cells_visited_total",
+				"Cells whose residents were evaluated by indexed queries."),
+			RingExpansions: reg.Counter("mapdr_node_index_ring_expansions_total",
+				"Cell rings expanded by k-nearest queries."),
+			IndexedQueries: reg.Counter("mapdr_node_index_indexed_queries_total",
+				"Shard queries answered through the live spatial index."),
+			ScanFallbacks: reg.Counter("mapdr_node_index_scan_fallbacks_total",
+				"Shard queries answered by a linear scan because unbounded predictors are present."),
+		},
+		qPosition: reg.Histogram("mapdr_node_query_position_seconds",
+			"Wall-clock latency of position queries (1-in-4 sampled).", obs.TicksSeconds),
+		qNearest: reg.Histogram("mapdr_node_query_nearest_seconds",
+			"Wall-clock latency of k-nearest queries.", obs.TicksSeconds),
+		qWithin: reg.Histogram("mapdr_node_query_within_seconds",
+			"Wall-clock latency of range queries.", obs.TicksSeconds),
+		ingestBatch: reg.Histogram("mapdr_node_ingest_batch_seconds",
+			"Wall-clock latency of batched update ingestion (ApplyBatch).", obs.TicksSeconds),
+		ansAge: reg.Histogram("mapdr_node_answer_age_seconds",
+			"Prediction age behind query answers: query time minus report time, simulation seconds.", obs.TicksSeconds),
+		ansUS: reg.Histogram("mapdr_node_answer_us_meters",
+			"Effective uncertainty u_s at answer time: displacement bound times prediction age, meters.", obs.TicksMeters),
+		ring: obs.NewTraceRing(traceRingCap),
+	}
+	reg.GaugeFunc("mapdr_node_objects", "Registered objects.",
+		func() float64 { return float64(s.count.Load()) })
 	for i := range s.shards {
 		s.shards[i] = &shard{
 			objs:    make(map[ObjectID]*objEntry),
@@ -305,6 +383,8 @@ func (s *Service) ApplyBatch(batch []Update) error {
 	if len(batch) == 0 {
 		return nil
 	}
+	start := time.Now()
+	defer func() { s.ingestBatch.RecordDur(time.Since(start)) }()
 	var errs []error
 	n := len(s.shards)
 	if n == 1 {
@@ -390,15 +470,45 @@ func (s *Service) Position(id ObjectID, t float64) (geo.Point, bool) {
 // what a replicated coordinator needs to pick the freshest of R
 // answers. seq is 0 for unknown or not-yet-reported objects.
 func (s *Service) PositionSeq(id ObjectID, t float64) (pos geo.Point, seq uint32, ok bool) {
+	// Position is the nanosecond-scale hot path (fleet sources call it
+	// per sample), so the instrumentation itself is sampled: 1 in
+	// stalenessSample calls pays the clock reads and histogram records,
+	// the rest pay one atomic add.
+	sampled := s.stalenessTick.Add(1)&(stalenessSample-1) == 0
+	var start time.Time
+	if sampled {
+		start = time.Now()
+	}
 	sh := s.shardFor(id)
 	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	e, ok := sh.objs[id]
-	if !ok {
+	e, found := sh.objs[id]
+	if !found {
+		sh.mu.RUnlock()
+		if sampled {
+			s.qPosition.RecordDur(time.Since(start))
+		}
 		return geo.Point{}, 0, false
 	}
 	pos, ok = e.srv.Position(t)
-	return pos, e.srv.Seq(), ok
+	seq = e.srv.Seq()
+	// The entry is already at hand, so a sampled position answer records
+	// staleness inline: report age, and u_s when the predictor admits a
+	// finite bound.
+	if sampled && ok {
+		if rep, has := e.srv.LastReport(); has {
+			s.ansAge.Record(t - rep.T)
+			if e.bounded {
+				if us := core.EffectiveUncertainty(e.db, rep, t); !math.IsInf(us, 1) {
+					s.ansUS.Record(us)
+				}
+			}
+		}
+	}
+	sh.mu.RUnlock()
+	if sampled {
+		s.qPosition.RecordDur(time.Since(start))
+	}
+	return pos, seq, ok
 }
 
 // Len returns the number of registered objects.
@@ -422,6 +532,20 @@ func (s *Service) UpdatesApplied() int64 { return s.applied.Load() }
 // deliberately excludes per-record (id, reason) and per-frame framing
 // overhead; transports report those in their wire.Stats.
 func (s *Service) WireBytes() int64 { return s.appliedBytes.Load() }
+
+// Obs returns the node's metrics registry so embedding layers
+// (transports, handlers, binaries) can register their own metrics
+// alongside the store's.
+func (s *Service) Obs() *obs.Registry { return s.reg }
+
+// TraceRing returns the ring of traced queries served by this node.
+func (s *Service) TraceRing() *obs.TraceRing { return s.ring }
+
+// ObsSnapshot returns a point-in-time snapshot of every node metric —
+// what GET /metrics renders and what an OpMetrics wire query ships to a
+// scraping coordinator. The error is always nil locally; the signature
+// matches the remote-node implementation.
+func (s *Service) ObsSnapshot() (obs.Snapshot, error) { return s.reg.Snapshot(), nil }
 
 // Objects returns the registered ids in sorted order.
 func (s *Service) Objects() []ObjectID {
@@ -497,6 +621,7 @@ func (s *Service) Nearest(p geo.Point, k int, t float64) []ObjectPos {
 	if k <= 0 {
 		return nil
 	}
+	start := time.Now()
 	parts := make([][]ObjectPos, len(s.shards))
 	s.forEachShard(func(i int, sh *shard) { parts[i] = sh.nearest(p, k, t) })
 	var all []ObjectPos
@@ -507,6 +632,8 @@ func (s *Service) Nearest(p geo.Point, k int, t float64) []ObjectPos {
 	if len(all) > k {
 		all = all[:k]
 	}
+	s.qNearest.RecordDur(time.Since(start))
+	s.recordStaleness(all, t)
 	return all
 }
 
@@ -562,6 +689,7 @@ func (sh *shard) nearestScanLocked(p geo.Point, k int, t float64) []ObjectPos {
 // Within returns all objects predicted inside r at time t ("all users
 // currently inside a department of a store", paper §1), sorted by id.
 func (s *Service) Within(r geo.Rect, t float64) []ObjectPos {
+	start := time.Now()
 	parts := make([][]ObjectPos, len(s.shards))
 	s.forEachShard(func(i int, sh *shard) { parts[i] = sh.within(r, t) })
 	var out []ObjectPos
@@ -569,7 +697,61 @@ func (s *Service) Within(r geo.Rect, t float64) []ObjectPos {
 		out = append(out, part...)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	s.qWithin.RecordDur(time.Since(start))
+	s.recordStaleness(out, t)
 	return out
+}
+
+// recordStaleness histograms report age and effective u_s for a sampled
+// subset of fan-out query answers: every stalenessSample-th answered
+// query walks up to stalenessMaxHits hits, re-resolving each through its
+// shard (one RLock + map lookup per hit), and records the worst age and
+// worst finite u_s it saw — the answer-level guarantee a client should
+// plan for. Hits deregistered since the query simply drop out.
+func (s *Service) recordStaleness(hits []ObjectPos, t float64) {
+	if len(hits) == 0 {
+		return
+	}
+	if s.stalenessTick.Add(1)&(stalenessSample-1) != 0 {
+		return
+	}
+	n := len(hits)
+	if n > stalenessMaxHits {
+		n = stalenessMaxHits
+	}
+	var (
+		maxAge, maxUS   float64
+		haveAge, haveUS bool
+	)
+	for i := 0; i < n; i++ {
+		sh := s.shardFor(hits[i].ID)
+		sh.mu.RLock()
+		e, ok := sh.objs[hits[i].ID]
+		if !ok {
+			sh.mu.RUnlock()
+			continue
+		}
+		rep, has := e.srv.LastReport()
+		bounded, db := e.bounded, e.db
+		sh.mu.RUnlock()
+		if !has {
+			continue
+		}
+		if age := t - rep.T; !haveAge || age > maxAge {
+			maxAge, haveAge = age, true
+		}
+		if bounded {
+			if us := core.EffectiveUncertainty(db, rep, t); !math.IsInf(us, 1) && (!haveUS || us > maxUS) {
+				maxUS, haveUS = us, true
+			}
+		}
+	}
+	if haveAge {
+		s.ansAge.Record(maxAge)
+	}
+	if haveUS {
+		s.ansUS.Record(maxUS)
+	}
 }
 
 // within answers the shard-local range query — through the live index

@@ -17,11 +17,16 @@ import (
 // different sequence numbers: FreshPart is the index (into the merged
 // parts) of the freshest answer, StaleParts the indices that returned
 // a staler copy. The coordinator maps part indices back to members and
-// pushes the winning record at the stale ones.
+// pushes the winning record at the stale ones. FreshSeq and MinStaleSeq
+// carry the winning and the worst losing sequence number, so telemetry
+// can histogram how far behind a lagging replica answered
+// (FreshSeq − MinStaleSeq updates).
 type Divergence struct {
-	ID         ObjectID
-	FreshPart  int
-	StaleParts []int
+	ID          ObjectID
+	FreshPart   int
+	StaleParts  []int
+	FreshSeq    uint32
+	MinStaleSeq uint32
 }
 
 // tieRef remembers one part that answered an object with the same Seq
@@ -113,6 +118,9 @@ func MergeFreshest(parts [][]ObjectPos) (fresh []ObjectPos, stale []Divergence) 
 			switch {
 			case hit.Seq > fresh[i].Seq:
 				d := divFor(hit.ID)
+				if len(d.StaleParts) == 0 || fresh[i].Seq < d.MinStaleSeq {
+					d.MinStaleSeq = fresh[i].Seq
+				}
 				d.StaleParts = append(d.StaleParts, d.FreshPart)
 				if head, ok := lastTie[hit.ID]; ok {
 					// Walk this object's tie chain (newest first), then flip
@@ -131,6 +139,9 @@ func MergeFreshest(parts [][]ObjectPos) (fresh []ObjectPos, stale []Divergence) 
 				fresh[i] = hit
 			case hit.Seq < fresh[i].Seq:
 				d := divFor(hit.ID)
+				if len(d.StaleParts) == 0 || hit.Seq < d.MinStaleSeq {
+					d.MinStaleSeq = hit.Seq
+				}
 				d.StaleParts = append(d.StaleParts, pi)
 			default:
 				// Same Seq as the current best: in sync so far, but stale
@@ -145,8 +156,9 @@ func MergeFreshest(parts [][]ObjectPos) (fresh []ObjectPos, stale []Divergence) 
 		}
 	}
 	scr.ties = ties
-	for _, d := range div {
+	for id, d := range div {
 		if len(d.StaleParts) > 0 {
+			d.FreshSeq = fresh[at[id]].Seq
 			stale = append(stale, *d)
 		}
 	}

@@ -27,7 +27,7 @@ func TestMergeFreshestKeepsHighestSeq(t *testing.T) {
 		t.Fatalf("fresh %v", fresh)
 	}
 	// One divergence: part 0's copy of "a" is stale; "b" is in sync.
-	want := []Divergence{{ID: "a", FreshPart: 1, StaleParts: []int{0}}}
+	want := []Divergence{{ID: "a", FreshPart: 1, StaleParts: []int{0}, FreshSeq: 5, MinStaleSeq: 3}}
 	if !reflect.DeepEqual(stale, want) {
 		t.Fatalf("stale %v, want %v", stale, want)
 	}

@@ -11,9 +11,11 @@ package locserv
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"mapdr/internal/core"
 	"mapdr/internal/geo"
+	"mapdr/internal/obs"
 	"mapdr/internal/wire"
 )
 
@@ -231,12 +233,93 @@ func (n *NodeService) Export(lo, hi uint64) ([]wire.Record, []ObjectID, error) {
 // NodeStats implements Node.
 func (n *NodeService) NodeStats() (NodeStats, error) { return n.s.NodeStats(), nil }
 
+// ObsSnapshot implements ObsSnapshotter over the underlying store.
+func (n *NodeService) ObsSnapshot() (obs.Snapshot, error) { return n.s.ObsSnapshot() }
+
+// TraceRing exposes the store's trace ring for node-side retention.
+func (n *NodeService) TraceRing() *obs.TraceRing { return n.s.TraceRing() }
+
+// ObsSnapshotter is the optional Node extension for full metrics
+// snapshots — what OpMetrics and GET /metrics serve. NodeService and
+// cluster.RemoteNode implement it; nodes without it answer OpMetrics
+// with an in-band error.
+type ObsSnapshotter interface {
+	ObsSnapshot() (obs.Snapshot, error)
+}
+
+// traceRinger is the optional Node extension for retaining traced
+// queries node-side.
+type traceRinger interface {
+	TraceRing() *obs.TraceRing
+}
+
+// NodeTracer is the optional Node extension for traced queries: the
+// three query families with the trace id threaded through, returning
+// the per-hop spans the call accumulated. A remote implementation
+// carries the id on the wire and returns the transport's spans
+// (encode, rtt, decode, node query); an in-process one times the local
+// call. Coordinators fall back to the untraced methods (and synthesize
+// no member spans) for nodes without it.
+type NodeTracer interface {
+	TracePosition(id ObjectID, t float64, trace uint64) (pos geo.Point, seq uint32, ok bool, spans []wire.Span, err error)
+	TraceNearest(p geo.Point, k int, t float64, trace uint64) ([]ObjectPos, []wire.Span, error)
+	TraceWithin(r geo.Rect, t float64, trace uint64) ([]ObjectPos, []wire.Span, error)
+}
+
+// TracePosition implements NodeTracer by timing the local call.
+func (n *NodeService) TracePosition(id ObjectID, t float64, trace uint64) (geo.Point, uint32, bool, []wire.Span, error) {
+	start := time.Now()
+	p, seq, ok := n.s.PositionSeq(id, t)
+	return p, seq, ok, []wire.Span{{Stage: wire.StageNodeQuery, Dur: uint64(time.Since(start))}}, nil
+}
+
+// TraceNearest implements NodeTracer by timing the local call.
+func (n *NodeService) TraceNearest(p geo.Point, k int, t float64, trace uint64) ([]ObjectPos, []wire.Span, error) {
+	start := time.Now()
+	hits := n.s.Nearest(p, k, t)
+	return hits, []wire.Span{{Stage: wire.StageNodeQuery, Dur: uint64(time.Since(start))}}, nil
+}
+
+// TraceWithin implements NodeTracer by timing the local call.
+func (n *NodeService) TraceWithin(r geo.Rect, t float64, trace uint64) ([]ObjectPos, []wire.Span, error) {
+	start := time.Now()
+	hits := n.s.Within(r, t)
+	return hits, []wire.Span{{Stage: wire.StageNodeQuery, Dur: uint64(time.Since(start))}}, nil
+}
+
 // ServeQuery answers one wire query request against a node — the
 // server side of the query protocol, shared by the HTTP /query
 // endpoint and the in-process loopback. Node errors become in-band
 // error responses, so the transport only ever fails for transport
 // reasons.
+//
+// A request with a nonzero Trace id gets the server-side query span
+// (StageNodeQuery) appended to the response and, when the node retains
+// traces, a copy recorded in its ring. Untraced requests skip all
+// timing.
 func ServeQuery(n Node, req wire.QueryRequest) wire.QueryResponse {
+	if req.Trace == 0 {
+		return serveQueryOp(n, req)
+	}
+	start := time.Now()
+	resp := serveQueryOp(n, req)
+	dur := time.Since(start)
+	if resp.Err == "" {
+		resp.Spans = append(resp.Spans, wire.Span{Stage: wire.StageNodeQuery, Dur: uint64(dur)})
+	}
+	if tr, ok := n.(traceRinger); ok {
+		if ring := tr.TraceRing(); ring != nil {
+			ring.Add(obs.Trace{
+				ID: req.Trace, Op: req.Op.String(), T: req.T, Dur: int64(dur),
+				Spans: []obs.Span{{Stage: wire.StageNodeQuery.String(), Dur: int64(dur)}},
+			})
+		}
+	}
+	return resp
+}
+
+// serveQueryOp dispatches one query op; see ServeQuery.
+func serveQueryOp(n Node, req wire.QueryRequest) wire.QueryResponse {
 	resp := wire.QueryResponse{Op: req.Op}
 	fail := func(err error) wire.QueryResponse {
 		resp.Err = err.Error()
@@ -293,6 +376,16 @@ func ServeQuery(n Node, req wire.QueryRequest) wire.QueryResponse {
 		for i, id := range ids {
 			resp.IDs[i] = string(id)
 		}
+	case wire.OpMetrics:
+		os, ok := n.(ObsSnapshotter)
+		if !ok {
+			return fail(fmt.Errorf("locserv: node does not export metrics"))
+		}
+		snap, err := os.ObsSnapshot()
+		if err != nil {
+			return fail(err)
+		}
+		resp.Metrics = snap.AppendBinary(nil)
 	default:
 		return fail(fmt.Errorf("locserv: unknown query op %d", req.Op))
 	}

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// MetricsHandler serves GET /metrics in Prometheus text format from a
+// snapshot source evaluated per scrape — a registry's Snapshot method,
+// or a closure assembling a merged cluster view.
+func MetricsHandler(snap func() Snapshot) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		snap().WriteText(w)
+	})
+}
+
+// TraceHandler serves GET /trace: the span ring as JSON, newest trace
+// first. ?limit=N caps the result.
+func TraceHandler(ring *TraceRing) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		limit := 0
+		if v := r.URL.Query().Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				http.Error(w, "bad limit", http.StatusBadRequest)
+				return
+			}
+			limit = n
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Traces []Trace `json:"traces"`
+		}{Traces: ring.Traces(limit)})
+	})
+}

@@ -8,6 +8,12 @@ import (
 
 // Histogram is a fixed-width bin histogram over [Min, Max). Observations
 // outside the range are counted in underflow/overflow bins.
+//
+// Histogram is NOT safe for concurrent use: it is the offline analysis
+// histogram for single-goroutine experiment post-processing (known
+// value range, linear bins, ASCII rendering). Hot paths recorded from
+// many goroutines belong on internal/obs.Histogram, the lock-free
+// log-bucketed histogram the servers expose on /metrics.
 type Histogram struct {
 	Min, Max  float64
 	bins      []int64
@@ -60,6 +66,24 @@ func (h *Histogram) Overflow() int64 { return h.overflow }
 func (h *Histogram) BinCenter(i int) float64 {
 	w := (h.Max - h.Min) / float64(len(h.bins))
 	return h.Min + (float64(i)+0.5)*w
+}
+
+// Merge folds o's counts into h bin for bin. The histograms must share
+// the same range and bin count — merging differently-shaped histograms
+// has no meaningful bin correspondence, so Merge returns an error
+// instead of guessing.
+func (h *Histogram) Merge(o *Histogram) error {
+	if o.Min != h.Min || o.Max != h.Max || len(o.bins) != len(h.bins) {
+		return fmt.Errorf("stats: cannot merge histogram [%g,%g)/%d into [%g,%g)/%d",
+			o.Min, o.Max, len(o.bins), h.Min, h.Max, len(h.bins))
+	}
+	for i, c := range o.bins {
+		h.bins[i] += c
+	}
+	h.underflow += o.underflow
+	h.overflow += o.overflow
+	h.total += o.total
+	return nil
 }
 
 // CDFAt returns the fraction of observations with value < x (including

@@ -319,13 +319,24 @@ func (t *QueryClient) SetRetry(timeout time.Duration, retries int, backoff time.
 // URL returns the query endpoint the client posts to.
 func (t *QueryClient) URL() string { return t.url }
 
-// Query implements QueryTransport.
+// Query implements QueryTransport. A traced request (req.Trace != 0)
+// additionally times its own encode, round trip, and decode stages and
+// prepends them to the server's spans, so the caller sees the full
+// per-hop decomposition; the untraced path takes no timestamps.
 func (t *QueryClient) Query(req QueryRequest) (QueryResponse, error) {
 	t.c.queries.Add(1)
+	traced := req.Trace != 0
+	var t0, t1, t2, t3 time.Time
+	if traced {
+		t0 = time.Now()
+	}
 	frame, err := EncodeQueryRequest(req)
 	if err != nil {
 		t.c.errors.Add(1)
 		return QueryResponse{}, err
+	}
+	if traced {
+		t1 = time.Now()
 	}
 	t.c.bytesSent.Add(int64(len(frame)))
 	data, err := t.policy.do(t.hc, t.url, QueryContentType, frame, func() { t.c.retries.Add(1) })
@@ -333,11 +344,23 @@ func (t *QueryClient) Query(req QueryRequest) (QueryResponse, error) {
 		t.c.errors.Add(1)
 		return QueryResponse{}, fmt.Errorf("wire: query: %w", err)
 	}
+	if traced {
+		t2 = time.Now()
+	}
 	t.c.bytesReceived.Add(int64(len(data)))
 	resp, _, err := DecodeQueryResponse(data)
 	if err != nil {
 		t.c.errors.Add(1)
 		return QueryResponse{}, err
+	}
+	if traced {
+		t3 = time.Now()
+		local := []Span{
+			{Stage: StageEncodeReq, Start: 0, Dur: uint64(t1.Sub(t0))},
+			{Stage: StageRTT, Start: uint64(t1.Sub(t0)), Dur: uint64(t2.Sub(t1))},
+			{Stage: StageDecodeResp, Start: uint64(t2.Sub(t0)), Dur: uint64(t3.Sub(t2))},
+		}
+		resp.Spans = append(local, resp.Spans...)
 	}
 	return resp, nil
 }

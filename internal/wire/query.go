@@ -39,8 +39,16 @@ import (
 // needs them) and the Within paging cursor. Version 3 replaced the
 // rebuild-era stats counters with the live spatial index's six
 // (cell moves, bound recomputes, cells visited, ring expansions,
-// indexed queries, scan fallbacks).
-const QueryVersion = 3
+// indexed queries, scan fallbacks). Version 4 added the telemetry
+// surface: a trace id trailing every request, per-hop timing spans
+// trailing every success response, and the OpMetrics operation
+// carrying a node's binary metrics snapshot. Encoders emit version 4;
+// decoders still accept version 3 frames (which simply carry no trace
+// fields), so mixed-version clusters keep interoperating.
+const (
+	QueryVersion    = 4
+	queryVersionMin = 3
+)
 
 // QueryContentType is the media type of binary query frames on HTTP.
 const QueryContentType = "application/x-mapdr-query"
@@ -61,10 +69,11 @@ const (
 	OpRegister                      // register an object (node-side predictor factory)
 	OpDeregister                    // remove an object
 	OpExport                        // export replicas in a key-hash range (handoff)
+	OpMetrics                       // node obs-registry snapshot (binary blob; version 4)
 )
 
 // Valid reports whether op is a known operation.
-func (op QueryOp) Valid() bool { return op >= OpPosition && op <= OpExport }
+func (op QueryOp) Valid() bool { return op >= OpPosition && op <= OpMetrics }
 
 func (op QueryOp) String() string {
 	switch op {
@@ -82,6 +91,8 @@ func (op QueryOp) String() string {
 		return "deregister"
 	case OpExport:
 		return "export"
+	case OpMetrics:
+		return "metrics"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(op))
 	}
@@ -110,7 +121,63 @@ type QueryRequest struct {
 	// Lo, Hi is the Export key-hash range, half-open (Lo, Hi] on the
 	// KeyHash ring (Lo == Hi selects every key).
 	Lo, Hi uint64
+	// Trace is the sampling coordinator's trace id; 0 (the overwhelming
+	// common case) means untraced. A non-zero Trace asks the server to
+	// time its stages and return them as response spans.
+	Trace uint64
 }
+
+// SpanStage identifies one timed stage of a traced query's path.
+type SpanStage uint8
+
+// Span stages, client side first. A traced coordinator query
+// decomposes into: request encode → transport round trip → response
+// decode (all client-side), and server-side request decode → node
+// query execution; the coordinator itself adds per-member fan-out and
+// merge stages when it folds member spans into its trace ring.
+const (
+	StageEncodeReq    SpanStage = iota + 1 // client: request frame encode
+	StageRTT                               // client: send → receive wall time
+	StageDecodeResp                        // client: response frame decode
+	StageServerDecode                      // server: request frame decode
+	StageNodeQuery                         // server: node-local query execution
+	StageFanout                            // coordinator: one member's scatter call
+	StageMerge                             // coordinator: freshest-Seq merge + repair scheduling
+)
+
+func (s SpanStage) String() string {
+	switch s {
+	case StageEncodeReq:
+		return "encode"
+	case StageRTT:
+		return "rtt"
+	case StageDecodeResp:
+		return "decode"
+	case StageServerDecode:
+		return "srv_decode"
+	case StageNodeQuery:
+		return "node_query"
+	case StageFanout:
+		return "fanout"
+	case StageMerge:
+		return "merge"
+	default:
+		return fmt.Sprintf("stage(%d)", uint8(s))
+	}
+}
+
+// Span is one timed stage inside a version-4 response: Start is the
+// offset in nanoseconds from the reporting hop's own start, Dur the
+// stage duration in nanoseconds.
+type Span struct {
+	Stage SpanStage
+	Start uint64
+	Dur   uint64
+}
+
+// maxSpans bounds the span list a decoder accepts — far above what
+// any real hop emits, low enough that a corrupt count cannot balloon.
+const maxSpans = 256
 
 // QueryHit is one object in a query answer. Dist is meaningful for
 // Nearest answers (distance to the query point) and zero otherwise.
@@ -165,6 +232,13 @@ type QueryResponse struct {
 	// objects.
 	Records []Record
 	IDs     []string
+	// Spans carries the serving hop's stage timings for a traced
+	// request (version 4; empty when untraced). Transports prepend
+	// their own client-side spans before handing the response up.
+	Spans []Span
+	// Metrics is the OpMetrics answer: an opaque internal/obs binary
+	// snapshot blob (the wire layer does not interpret it).
+	Metrics []byte
 }
 
 // ErrQueryDropped is returned by lossy query transports when the
@@ -225,7 +299,7 @@ func AppendQueryRequest(dst []byte, req QueryRequest) []byte {
 		dst = appendF64(dst, req.T)
 		dst = appendString(dst, req.After)
 		dst = binary.AppendUvarint(dst, uint64(req.Limit))
-	case OpStats:
+	case OpStats, OpMetrics:
 		// no payload
 	case OpRegister, OpDeregister:
 		dst = appendString(dst, req.ID)
@@ -233,6 +307,7 @@ func AppendQueryRequest(dst []byte, req QueryRequest) []byte {
 		dst = binary.LittleEndian.AppendUint64(dst, req.Lo)
 		dst = binary.LittleEndian.AppendUint64(dst, req.Hi)
 	}
+	dst = binary.AppendUvarint(dst, req.Trace)
 	binary.LittleEndian.PutUint32(dst[start:], uint32(len(dst)-start-4))
 	return dst
 }
@@ -267,8 +342,9 @@ func DecodeQueryRequest(data []byte) (req QueryRequest, n int, err error) {
 	if len(body) < 2 {
 		return QueryRequest{}, 0, fmt.Errorf("wire: truncated query body")
 	}
-	if body[0] != QueryVersion {
-		return QueryRequest{}, 0, fmt.Errorf("wire: unsupported query version %d", body[0])
+	version := body[0]
+	if version < queryVersionMin || version > QueryVersion {
+		return QueryRequest{}, 0, fmt.Errorf("wire: unsupported query version %d", version)
 	}
 	req.Op = QueryOp(body[1])
 	if !req.Op.Valid() {
@@ -314,7 +390,7 @@ func DecodeQueryRequest(data []byte) (req QueryRequest, n int, err error) {
 		}
 		req.Limit = int(lim)
 		k += ln
-	case OpStats:
+	case OpStats, OpMetrics:
 		// no payload
 	case OpRegister, OpDeregister:
 		req.ID, err = readString(body, &k, MaxIDLen)
@@ -329,6 +405,14 @@ func DecodeQueryRequest(data []byte) (req QueryRequest, n int, err error) {
 	}
 	if err != nil {
 		return QueryRequest{}, 0, err
+	}
+	if version >= 4 {
+		tr, tn := binary.Uvarint(body[k:])
+		if tn <= 0 {
+			return QueryRequest{}, 0, fmt.Errorf("wire: bad trace id")
+		}
+		req.Trace = tr
+		k += tn
 	}
 	if k != len(body) {
 		return QueryRequest{}, 0, fmt.Errorf("wire: %d trailing bytes in query body", len(body)-k)
@@ -393,6 +477,19 @@ func AppendQueryResponse(dst []byte, resp QueryResponse) []byte {
 		for _, id := range resp.IDs {
 			dst = appendString(dst, id)
 		}
+	case OpMetrics:
+		dst = binary.AppendUvarint(dst, uint64(len(resp.Metrics)))
+		dst = append(dst, resp.Metrics...)
+	}
+	spans := resp.Spans
+	if len(spans) > maxSpans {
+		spans = spans[:maxSpans]
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(spans)))
+	for _, sp := range spans {
+		dst = append(dst, byte(sp.Stage))
+		dst = binary.AppendUvarint(dst, sp.Start)
+		dst = binary.AppendUvarint(dst, sp.Dur)
 	}
 	binary.LittleEndian.PutUint32(dst[start:], uint32(len(dst)-start-4))
 	return dst
@@ -435,8 +532,9 @@ func DecodeQueryResponse(data []byte) (resp QueryResponse, n int, err error) {
 	if len(body) < 3 {
 		return QueryResponse{}, 0, fmt.Errorf("wire: truncated response body")
 	}
-	if body[0] != QueryVersion {
-		return QueryResponse{}, 0, fmt.Errorf("wire: unsupported query version %d", body[0])
+	version := body[0]
+	if version < queryVersionMin || version > QueryVersion {
+		return QueryResponse{}, 0, fmt.Errorf("wire: unsupported query version %d", version)
 	}
 	resp.Op = QueryOp(body[1])
 	if !resp.Op.Valid() {
@@ -562,6 +660,47 @@ func DecodeQueryResponse(data []byte) (resp QueryResponse, n int, err error) {
 				return QueryResponse{}, 0, serr
 			}
 			resp.IDs = append(resp.IDs, id)
+		}
+	case OpMetrics:
+		blobLen, kn := binary.Uvarint(body[k:])
+		if kn <= 0 || blobLen > uint64(len(body)-k-kn) {
+			return QueryResponse{}, 0, fmt.Errorf("wire: bad metrics blob length")
+		}
+		k += kn
+		if blobLen > 0 {
+			resp.Metrics = append([]byte(nil), body[k:k+int(blobLen)]...)
+			k += int(blobLen)
+		}
+	}
+	if version >= 4 {
+		spanCount, kn := binary.Uvarint(body[k:])
+		if kn <= 0 || spanCount > maxSpans || spanCount > uint64(len(body)-k-kn)/3 {
+			return QueryResponse{}, 0, fmt.Errorf("wire: bad span count")
+		}
+		k += kn
+		if spanCount > 0 {
+			resp.Spans = make([]Span, 0, spanCount)
+		}
+		for i := uint64(0); i < spanCount; i++ {
+			if len(body) <= k {
+				return QueryResponse{}, 0, fmt.Errorf("wire: truncated span")
+			}
+			var sp Span
+			sp.Stage = SpanStage(body[k])
+			k++
+			st, sn := binary.Uvarint(body[k:])
+			if sn <= 0 {
+				return QueryResponse{}, 0, fmt.Errorf("wire: bad span start")
+			}
+			sp.Start = st
+			k += sn
+			d, dn := binary.Uvarint(body[k:])
+			if dn <= 0 {
+				return QueryResponse{}, 0, fmt.Errorf("wire: bad span duration")
+			}
+			sp.Dur = d
+			k += dn
+			resp.Spans = append(resp.Spans, sp)
 		}
 	}
 	if k != len(body) {

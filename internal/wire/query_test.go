@@ -332,3 +332,94 @@ func FuzzQueryFrameDecode(f *testing.F) {
 		_, _, _ = DecodeQueryResponse(data)
 	})
 }
+
+// encodeV3Request hand-builds a version-3 frame (no trailing trace id)
+// for the ops whose payloads are version-independent.
+func encodeV3Request(req QueryRequest) []byte {
+	frame := AppendQueryRequest(nil, req)
+	// Strip the trailing trace uvarint (one byte for Trace == 0) and
+	// rewrite the version byte and length prefix.
+	body := frame[4 : len(frame)-1]
+	body[0] = 3
+	out := []byte{byte(len(body)), 0, 0, 0}
+	return append(out, body...)
+}
+
+// TestQueryV3BackwardCompatible pins the mixed-version contract: a
+// version-3 peer's frames (no trace id, no spans) still decode, and a
+// version-4 response round-trips its spans.
+func TestQueryV3BackwardCompatible(t *testing.T) {
+	for _, req := range sampleRequests() {
+		if req.Trace != 0 {
+			continue
+		}
+		frame := encodeV3Request(req)
+		got, n, err := DecodeQueryRequest(frame)
+		if err != nil {
+			t.Fatalf("v3 %s request: %v", req.Op, err)
+		}
+		if n != len(frame) {
+			t.Fatalf("v3 %s: consumed %d of %d", req.Op, n, len(frame))
+		}
+		if !reflect.DeepEqual(got, req) {
+			t.Fatalf("v3 round trip:\nin  %+v\nout %+v", req, got)
+		}
+	}
+	// v3 response: strip the span-count byte from a span-free v4 frame.
+	frame, err := EncodeQueryResponse(QueryResponse{Op: OpRegister})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := frame[4 : len(frame)-1]
+	body[0] = 3
+	v3 := append([]byte{byte(len(body)), 0, 0, 0}, body...)
+	if _, _, err := DecodeQueryResponse(v3); err != nil {
+		t.Fatalf("v3 response: %v", err)
+	}
+}
+
+// TestQueryTraceSpanRoundTrip: a traced request carries its id, and a
+// response's spans survive the codec.
+func TestQueryTraceSpanRoundTrip(t *testing.T) {
+	req := QueryRequest{Op: OpNearest, X: 1, Y: 2, K: 5, T: 9, Trace: 0xabcdef}
+	frame, err := EncodeQueryRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DecodeQueryRequest(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace != req.Trace {
+		t.Fatalf("trace id %d, want %d", got.Trace, req.Trace)
+	}
+	resp := QueryResponse{Op: OpNearest, Spans: []Span{
+		{Stage: StageServerDecode, Start: 0, Dur: 1500},
+		{Stage: StageNodeQuery, Start: 1500, Dur: 250000},
+	}}
+	rframe, err := EncodeQueryResponse(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rgot, _, err := DecodeQueryResponse(rframe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rgot.Spans, resp.Spans) {
+		t.Fatalf("spans round trip:\nin  %+v\nout %+v", resp.Spans, rgot.Spans)
+	}
+	// OpMetrics carries its blob.
+	blob := []byte{1, 2, 3, 4, 5}
+	mresp := QueryResponse{Op: OpMetrics, Metrics: blob}
+	mframe, err := EncodeQueryResponse(mresp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgot, _, err := DecodeQueryResponse(mframe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(mgot.Metrics, blob) {
+		t.Fatalf("metrics blob round trip: %v", mgot.Metrics)
+	}
+}
